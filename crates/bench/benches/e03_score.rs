@@ -1,0 +1,32 @@
+//! E3 — Z-scoring (Example 3.8): scoring the paper's three candidates
+//! under both Z instantiations, end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use obx_core::explain::{ExplainTask, SearchLimits};
+use obx_core::paper_example::{PaperExample, PAPER_RADIUS};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_score");
+    let ex = PaperExample::new();
+    for (zname, scoring) in [("z1", ex.z1()), ("z2", ex.z2())] {
+        let task = ExplainTask::new(
+            &ex.system,
+            &ex.labels,
+            PAPER_RADIUS,
+            &scoring,
+            SearchLimits::default(),
+        )
+        .unwrap();
+        group.bench_function(format!("score_q1_q2_q3_{zname}"), |b| {
+            b.iter(|| {
+                for (_, q) in ex.queries() {
+                    black_box(task.score_ucq(q).unwrap().score);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 — border preparation and matching as the radius grows
+//! (the computational face of Proposition 3.5).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use obx_core::matcher::PreparedLabels;
+use obx_datagen::{university_scenario, UniversityParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e04_radius");
+    let s = university_scenario(UniversityParams {
+        n_students: 100,
+        ..UniversityParams::default()
+    });
+    let truth = s.ground_truth.as_ref().unwrap();
+    let compiled = s.system.spec().compile(truth).unwrap();
+    for r in [0usize, 1, 2, 3] {
+        group.bench_function(format!("prepare_borders_r{r}"), |b| {
+            b.iter(|| black_box(PreparedLabels::new(&s.system, &s.labels, r).num_pos()))
+        });
+        let prepared = PreparedLabels::new(&s.system, &s.labels, r);
+        group.bench_function(format!("match_truth_r{r}"), |b| {
+            b.iter(|| black_box(prepared.stats(&compiled)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E5 — the full explanation pipeline (beam search) under label noise.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use obx_core::explain::{ExplainTask, SearchLimits, Strategy};
+use obx_core::score::Scoring;
+use obx_core::strategies::BeamSearch;
+use obx_datagen::{university_scenario, UniversityParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_fidelity");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for noise in [0.0f64, 0.1, 0.3] {
+        let s = university_scenario(UniversityParams {
+            n_students: 40,
+            label_noise: noise,
+            ..UniversityParams::default()
+        });
+        let scoring = Scoring::accuracy();
+        let limits = SearchLimits {
+            max_rounds: 4,
+            ..SearchLimits::default()
+        };
+        group.bench_function(format!("beam_explain_noise_{noise:.1}"), |b| {
+            b.iter(|| {
+                let task =
+                    ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+                black_box(BeamSearch.explain(&task).unwrap()[0].score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E6 — the four search strategies on the same instance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use obx_core::explain::{ExplainTask, SearchLimits, Strategy};
+use obx_core::score::Scoring;
+use obx_core::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
+use obx_datagen::{university_scenario, UniversityParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_strategies");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    let s = university_scenario(UniversityParams {
+        n_students: 30,
+        ..UniversityParams::default()
+    });
+    let scoring = Scoring::accuracy();
+    let limits = SearchLimits {
+        max_atoms: 2,
+        max_rounds: 4,
+        ..SearchLimits::default()
+    };
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(ExhaustiveSearch::default()),
+        Box::new(BeamSearch),
+        Box::new(BottomUpGeneralize::default()),
+        Box::new(GreedyUcq::default()),
+    ];
+    for strat in strategies {
+        group.bench_function(strat.name(), |b| {
+            b.iter(|| {
+                let task =
+                    ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+                black_box(strat.explain(&task).unwrap()[0].score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

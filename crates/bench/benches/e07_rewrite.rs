@@ -1,0 +1,34 @@
+//! E7 — PerfectRef scaling with TBox hierarchy shape.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use obx_datagen::hierarchy::{concept_chain, concept_tree};
+use obx_query::{perfect_ref, OntoAtom, OntoCq, OntoUcq, RewriteBudget, Term, VarId};
+
+fn query_on(tbox: &obx_ontology::TBox, name: &str) -> OntoUcq {
+    let c = tbox.vocab().get_concept(name).unwrap();
+    OntoUcq::from_cq(
+        OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(c, Term::Var(VarId(0)))]).unwrap(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_rewrite");
+    for depth in [4usize, 16, 64] {
+        let tbox = concept_chain(depth);
+        let q = query_on(&tbox, &format!("C{depth}"));
+        group.bench_function(format!("chain_depth_{depth}"), |b| {
+            b.iter(|| black_box(perfect_ref(&q, &tbox, RewriteBudget::default()).unwrap().len()))
+        });
+    }
+    for (depth, branching) in [(3usize, 2usize), (4, 2), (4, 3)] {
+        let tbox = concept_tree(depth, branching);
+        let q = query_on(&tbox, "C0");
+        group.bench_function(format!("tree_d{depth}_b{branching}"), |b| {
+            b.iter(|| black_box(perfect_ref(&q, &tbox, RewriteBudget::default()).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

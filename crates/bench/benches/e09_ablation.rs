@@ -1,0 +1,39 @@
+//! E9 — ontology-level search vs the data-level baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use obx_core::baseline::DataLevelBeam;
+use obx_core::explain::{ExplainTask, SearchLimits, Strategy};
+use obx_core::score::Scoring;
+use obx_core::strategies::BeamSearch;
+use obx_datagen::{recidivism_scenario, RecidivismParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let s = recidivism_scenario(RecidivismParams {
+        n_defendants: 60,
+        ..RecidivismParams::default()
+    });
+    let scoring = Scoring::accuracy();
+    let limits = SearchLimits {
+        max_rounds: 4,
+        ..SearchLimits::default()
+    };
+    group.bench_function("ontology_beam", |b| {
+        b.iter(|| {
+            let task = ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+            black_box(BeamSearch.explain(&task).unwrap()[0].score)
+        })
+    });
+    group.bench_function("data_level_beam", |b| {
+        b.iter(|| {
+            let task = ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+            black_box(DataLevelBeam.explain(&task).unwrap()[0].score)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

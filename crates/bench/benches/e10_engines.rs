@@ -1,0 +1,45 @@
+//! E10 — certain-answer engines: rewriting vs materialization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use obx_datagen::{random_scenario, RandomParams};
+use obx_obdm::ChaseConfig;
+use obx_srcdb::View;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_engines");
+    for (label, n_ind, n_facts) in [("small", 30usize, 80usize), ("medium", 100, 300)] {
+        let s = random_scenario(RandomParams {
+            seed: 5,
+            n_individuals: n_ind,
+            n_concept_facts: n_facts / 2,
+            n_role_facts: n_facts,
+            ..RandomParams::default()
+        });
+        let truth = s.ground_truth.clone().unwrap();
+        group.bench_function(format!("rewrite_{label}"), |b| {
+            b.iter(|| black_box(s.system.certain_answers(&truth).unwrap().len()))
+        });
+        group.bench_function(format!("materialize_{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    s.system
+                        .certain_answers_materialized(
+                            &truth,
+                            View::full(s.system.db()),
+                            ChaseConfig::for_ucq(&truth),
+                        )
+                        .len(),
+                )
+            })
+        });
+        // The compile-once/evaluate-many split that the matcher exploits.
+        let compiled = s.system.spec().compile(&truth).unwrap();
+        group.bench_function(format!("evaluate_precompiled_{label}"), |b| {
+            b.iter(|| black_box(compiled.answers(View::full(s.system.db())).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

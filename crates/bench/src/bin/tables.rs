@@ -1,0 +1,40 @@
+//! Regenerates every experiment table (E1–E10).
+//!
+//! ```text
+//! cargo run --release -p obx-bench --bin tables           # all tables
+//! cargo run --release -p obx-bench --bin tables e3 e7     # selected
+//! ```
+//!
+//! The output of a full run is recorded in EXPERIMENTS.md.
+
+use obx_bench::experiments as ex;
+use obx_util::table::Table;
+
+/// One experiment: id, title, row producer.
+type Experiment = (&'static str, &'static str, fn() -> Table);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    let all: Vec<Experiment> = vec![
+        ("e1", "E1 — Example 3.3: border of radius 2", ex::e01_border_layers),
+        ("e2", "E2 — Example 3.6: J-match matrix (r = 1)", ex::e02_match_matrix),
+        ("e3", "E3 — Example 3.8: Z-scores (* = paper erratum, see EXPERIMENTS.md)", ex::e03_scores),
+        ("e4", "E4 — Proposition 3.5: matches vs radius", ex::e04_radius_curve),
+        ("e5", "E5 — fidelity vs label noise (university, beam)", ex::e05_fidelity_vs_noise),
+        ("e6", "E6 — strategy comparison (university, 40 students)", ex::e06_strategies),
+        ("e7", "E7 — PerfectRef scaling vs TBox shape", ex::e07_rewrite_scaling),
+        ("e8", "E8 — border computation scaling", ex::e08_border_scaling),
+        ("e9", "E9 — ontology-value ablation", ex::e09_ablation),
+        ("e10", "E10 — certain-answer engines", ex::e10_engines),
+    ];
+
+    for (id, title, f) in all {
+        if !want(id) {
+            continue;
+        }
+        println!("### {title}\n");
+        println!("{}", f().render());
+    }
+}

@@ -1,0 +1,14 @@
+//! `obx-bench` — the experiment harness.
+//!
+//! Each `eNN_*` module computes the *rows* of one experiment from
+//! DESIGN.md's index (E1–E10): the `tables` binary renders them as text
+//! tables (the source of EXPERIMENTS.md), and the Criterion benches in
+//! `benches/` time the underlying kernels. Keeping row computation here,
+//! as plain functions, means the printed numbers and the benchmarked code
+//! paths cannot drift apart.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,452 @@
+//! Command dispatch. [`run`] is a pure function from arguments to output
+//! text, so the whole CLI is testable without spawning processes.
+
+use crate::scenario_io::{load_dir, write_paper_example, LoadedScenario};
+use obx_core::baseline::DataLevelBeam;
+use obx_core::explain::{ExplainTask, SearchLimits, Strategy};
+use obx_core::score::Scoring;
+use obx_core::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
+use obx_srcdb::Border;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// CLI failure, rendered to stderr by the binary.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+const USAGE: &str = "\
+obx — ontology-based explanation of classifiers (EDBT 2020 reproduction)
+
+USAGE:
+  obx init <dir>                      write the paper's example scenario
+  obx explain <dir> [opts]            find best-describing queries (Def. 3.7)
+  obx score <dir> \"<query>\" [opts]    Z-score one ontology query
+  obx certain <dir> \"<query>\"         certain answers over the full database
+  obx consistency <dir>               check the system's consistency
+  obx border <dir> <consts> <radius>  show B_{t,r}(D) (consts comma-separated)
+  obx evidence <dir> \"<query>\" <const> [opts]
+                                      why does the query J-match the tuple?
+
+OPTIONS:
+  --radius N          border radius r (default 1)
+  --strategy NAME     beam | bottom-up | exhaustive | greedy | data-level
+  --weights A,B,G     paper Z weights for δ1, δ4, δ5 (default 1,1,1)
+  --top K             how many explanations to print (default 5)
+
+Queries use the paper-style syntax: q(x) :- studies(x, \"Math\")";
+
+struct Opts {
+    radius: usize,
+    strategy: String,
+    weights: (f64, f64, f64),
+    top: usize,
+}
+
+fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
+    let mut opts = Opts {
+        radius: 1,
+        strategy: "beam".to_owned(),
+        weights: (1.0, 1.0, 1.0),
+        top: 5,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--radius" => {
+                opts.radius = next("--radius")?
+                    .parse()
+                    .map_err(|_| err("--radius must be a number"))?;
+            }
+            "--strategy" => {
+                opts.strategy = next("--strategy")?.clone();
+            }
+            "--top" => {
+                opts.top = next("--top")?
+                    .parse()
+                    .map_err(|_| err("--top must be a number"))?;
+            }
+            "--weights" => {
+                let raw = next("--weights")?;
+                let parts: Vec<f64> = raw
+                    .split(',')
+                    .map(|p| p.trim().parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err("--weights must be A,B,G"))?;
+                if parts.len() != 3 {
+                    return Err(err("--weights must have three values"));
+                }
+                opts.weights = (parts[0], parts[1], parts[2]);
+            }
+            other if other.starts_with("--") => {
+                return Err(err(format!("unknown option `{other}`")));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    Ok((positional, opts))
+}
+
+/// Runs one CLI invocation; returns the text to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(USAGE.to_owned());
+    };
+    let (pos, opts) = parse_opts(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "init" => {
+            let dir = pos.first().ok_or_else(|| err("init needs a directory"))?;
+            write_paper_example(Path::new(dir)).map_err(|e| err(format!("init: {e}")))?;
+            Ok(format!("wrote the paper's Example 3.6 scenario to {dir}"))
+        }
+        "explain" => {
+            let dir = pos.first().ok_or_else(|| err("explain needs a directory"))?;
+            let loaded = load(dir)?;
+            explain(&loaded, &opts)
+        }
+        "score" => {
+            let [dir, query] = two(&pos, "score <dir> \"<query>\"")?;
+            let mut loaded = load(dir)?;
+            let ucq = parse_query(&mut loaded, query)?;
+            let scoring = scoring_of(&opts);
+            let task = task_of(&loaded, &scoring, &opts)?;
+            let e = task
+                .score_ucq(&ucq)
+                .map_err(|e| err(format!("score: {e}")))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "query:   {}", e.render(&loaded.system));
+            let _ = writeln!(out, "Z-score: {:.4}", e.score);
+            let _ = writeln!(
+                out,
+                "matches: {}/{} of λ⁺, {}/{} of λ⁻",
+                e.stats.pos_matched, e.stats.pos_total, e.stats.neg_matched, e.stats.neg_total
+            );
+            let _ = writeln!(out, "criteria (δ1, δ4, δ5): {:?}", e.criterion_values);
+            Ok(out)
+        }
+        "certain" => {
+            let [dir, query] = two(&pos, "certain <dir> \"<query>\"")?;
+            let mut loaded = load(dir)?;
+            let ucq = parse_query(&mut loaded, query)?;
+            let answers = loaded
+                .system
+                .certain_answers(&ucq)
+                .map_err(|e| err(format!("certain: {e}")))?;
+            let mut names: Vec<String> = answers
+                .iter()
+                .map(|t| loaded.system.db().consts().render_tuple(t))
+                .collect();
+            names.sort();
+            Ok(format!("{} certain answer(s)\n{}\n", names.len(), names.join("\n")))
+        }
+        "consistency" => {
+            let dir = pos.first().ok_or_else(|| err("consistency needs a directory"))?;
+            let loaded = load(dir)?;
+            let violations = loaded.system.check_consistency();
+            if violations.is_empty() {
+                Ok("consistent".to_owned())
+            } else {
+                Ok(format!("INCONSISTENT: {} violation(s)\n{violations:#?}", violations.len()))
+            }
+        }
+        "border" => {
+            let [dir, consts, radius] = three(&pos, "border <dir> <consts> <radius>")?;
+            let loaded = load(dir)?;
+            let radius: usize = radius.parse().map_err(|_| err("radius must be a number"))?;
+            let tuple: Vec<obx_srcdb::Const> = consts
+                .split(',')
+                .map(|c| {
+                    loaded
+                        .system
+                        .db()
+                        .consts()
+                        .get(c.trim())
+                        .ok_or_else(|| err(format!("unknown constant `{}`", c.trim())))
+                })
+                .collect::<Result<_, _>>()?;
+            let border = Border::compute(loaded.system.db(), &tuple, radius);
+            let db = loaded.system.db();
+            let mut out = String::new();
+            for j in 0..border.num_layers() {
+                let mut atoms: Vec<String> = border
+                    .layer(j)
+                    .unwrap()
+                    .iter()
+                    .map(|&id| db.atom(id).render(db.schema(), db.consts()))
+                    .collect();
+                atoms.sort();
+                let _ = writeln!(out, "W_{j}: {{{}}}", atoms.join(", "));
+            }
+            let _ = writeln!(out, "B_t,{radius}: {} atom(s)", border.len());
+            Ok(out)
+        }
+        "evidence" => {
+            let [dir, query, constant] = three(&pos, "evidence <dir> \"<query>\" <const>")?;
+            let mut loaded = load(dir)?;
+            let ucq = parse_query(&mut loaded, query)?;
+            let c = loaded
+                .system
+                .db()
+                .consts()
+                .get(constant)
+                .ok_or_else(|| err(format!("unknown constant `{constant}`")))?;
+            let scoring = scoring_of(&opts);
+            let task = task_of(&loaded, &scoring, &opts)?;
+            match task
+                .evidence(&ucq, &[c])
+                .map_err(|e| err(format!("evidence: {e}")))?
+            {
+                Some(atoms) => Ok(format!(
+                    "{constant} J-matches; grounded by:\n  {}",
+                    atoms.join("\n  ")
+                )),
+                None => Ok(format!(
+                    "{constant} does not J-match the query within radius {} (or is unlabelled)",
+                    opts.radius
+                )),
+            }
+        }
+        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn load(dir: &str) -> Result<LoadedScenario, CliError> {
+    load_dir(Path::new(dir)).map_err(|e| err(format!("loading {dir}: {e}")))
+}
+
+fn parse_query(
+    loaded: &mut LoadedScenario,
+    text: &str,
+) -> Result<obx_query::OntoUcq, CliError> {
+    loaded
+        .system
+        .parse_query(text)
+        .map_err(|e| err(format!("query: {e}")))
+}
+
+fn scoring_of(opts: &Opts) -> Scoring {
+    Scoring::paper_weighted(opts.weights.0, opts.weights.1, opts.weights.2)
+}
+
+fn task_of<'a>(
+    loaded: &'a LoadedScenario,
+    scoring: &'a Scoring,
+    opts: &Opts,
+) -> Result<ExplainTask<'a>, CliError> {
+    let limits = SearchLimits {
+        top_k: opts.top,
+        ..SearchLimits::default()
+    };
+    ExplainTask::new(&loaded.system, &loaded.labels, opts.radius, scoring, limits)
+        .map_err(|e| err(format!("task: {e}")))
+}
+
+fn explain(loaded: &LoadedScenario, opts: &Opts) -> Result<String, CliError> {
+    let scoring = scoring_of(opts);
+    let task = task_of(loaded, &scoring, opts)?;
+    let mut out = String::new();
+    if opts.strategy == "data-level" {
+        let result = DataLevelBeam
+            .explain(&task)
+            .map_err(|e| err(format!("explain: {e}")))?;
+        for e in result {
+            let _ = writeln!(
+                out,
+                "Z = {:.4}  [{}/{}+  {}-]  {}",
+                e.score,
+                e.stats.pos_matched,
+                e.stats.pos_total,
+                e.stats.neg_matched,
+                e.render(&task)
+            );
+        }
+        return Ok(out);
+    }
+    let strategy: Box<dyn Strategy> = match opts.strategy.as_str() {
+        "beam" => Box::new(BeamSearch),
+        "bottom-up" => Box::new(BottomUpGeneralize::default()),
+        "exhaustive" => Box::new(ExhaustiveSearch::default()),
+        "greedy" => Box::new(GreedyUcq::default()),
+        other => return Err(err(format!("unknown strategy `{other}`"))),
+    };
+    let result = strategy
+        .explain(&task)
+        .map_err(|e| err(format!("explain: {e}")))?;
+    for e in result {
+        let _ = writeln!(
+            out,
+            "Z = {:.4}  [{}/{}+  {}-]  {}",
+            e.score,
+            e.stats.pos_matched,
+            e.stats.pos_total,
+            e.stats.neg_matched,
+            e.render(&loaded.system)
+        );
+    }
+    Ok(out)
+}
+
+fn two<'a>(pos: &'a [String], usage: &str) -> Result<[&'a str; 2], CliError> {
+    match pos {
+        [a, b] => Ok([a, b]),
+        _ => Err(err(format!("usage: obx {usage}"))),
+    }
+}
+
+fn three<'a>(pos: &'a [String], usage: &str) -> Result<[&'a str; 3], CliError> {
+    match pos {
+        [a, b, c] => Ok([a, b, c]),
+        _ => Err(err(format!("usage: obx {usage}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn with_scenario(tag: &str, f: impl FnOnce(&str)) {
+        let dir = std::env::temp_dir().join(format!("obx-cmd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_paper_example(&dir).unwrap();
+        f(dir.to_str().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn score_reproduces_example_3_8() {
+        with_scenario("score", |dir| {
+            let out = run(&args(&[
+                "score",
+                dir,
+                r#"q(x) :- likes(x, "Science")"#,
+            ]))
+            .unwrap();
+            assert!(out.contains("0.8333"), "{out}");
+            assert!(out.contains("2/4 of λ⁺"), "{out}");
+        });
+    }
+
+    #[test]
+    fn certain_answers_command() {
+        with_scenario("certain", |dir| {
+            let out = run(&args(&["certain", dir, r#"q(x) :- studies(x, "Math")"#])).unwrap();
+            assert!(out.starts_with("3 certain answer(s)"), "{out}");
+            assert!(out.contains("<E25>"), "{out}");
+        });
+    }
+
+    #[test]
+    fn border_command_matches_example() {
+        with_scenario("border", |dir| {
+            let out = run(&args(&["border", dir, "A10", "1"])).unwrap();
+            assert!(out.contains("STUD(A10)"), "{out}");
+            assert!(out.contains("LOC(TV, Rome)"), "{out}");
+        });
+    }
+
+    #[test]
+    fn explain_finds_a_good_query() {
+        with_scenario("explain", |dir| {
+            let out = run(&args(&["explain", dir, "--top", "3"])).unwrap();
+            assert!(out.contains("0.8333"), "{out}");
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 3);
+        });
+    }
+
+    #[test]
+    fn explain_with_weights_finds_the_true_z2_optimum() {
+        with_scenario("weights", |dir| {
+            // Under the paper's Z2 (α = 3), Example 3.8 crowns q1 (0.716) —
+            // but only among its three candidates. The unrestricted search
+            // finds `studies(x, y)`: coverage 4/4 and one atom give
+            // (3·1 + 1·0 + 1·1)/5 = 0.8 > 0.716. See EXPERIMENTS.md.
+            let out = run(&args(&["explain", dir, "--weights", "3,1,1", "--top", "1"])).unwrap();
+            assert!(out.contains("Z = 0.8000"), "{out}");
+            assert!(out.contains("[4/4+"), "{out}");
+        });
+    }
+
+    #[test]
+    fn evidence_command_grounds_a_match() {
+        with_scenario("evidence", |dir| {
+            let out = run(&args(&[
+                "evidence",
+                dir,
+                r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#,
+                "A10",
+            ]))
+            .unwrap();
+            assert!(out.contains("grounded by"), "{out}");
+            assert!(out.contains("LOC(TV, Rome)"), "{out}");
+            let out2 = run(&args(&[
+                "evidence",
+                dir,
+                r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#,
+                "E25",
+            ]))
+            .unwrap();
+            assert!(out2.contains("does not J-match"), "{out2}");
+        });
+    }
+
+    #[test]
+    fn consistency_command() {
+        with_scenario("consistency", |dir| {
+            let out = run(&args(&["consistency", dir])).unwrap();
+            assert_eq!(out, "consistent");
+        });
+    }
+
+    #[test]
+    fn data_level_strategy_is_reachable() {
+        with_scenario("datalevel", |dir| {
+            let out =
+                run(&args(&["explain", dir, "--strategy", "data-level", "--top", "2"])).unwrap();
+            assert!(out.contains("ENR") || out.contains("STUD") || out.contains("LOC"), "{out}");
+        });
+    }
+
+    #[test]
+    fn bad_options_are_reported() {
+        assert!(run(&args(&["explain", "--radius"])).is_err());
+        assert!(run(&args(&["explain", "x", "--weights", "1,2"])).is_err());
+        assert!(run(&args(&["explain", "x", "--bogus"])).is_err());
+        with_scenario("badstrat", |dir| {
+            assert!(run(&args(&["explain", dir, "--strategy", "nope"])).is_err());
+        });
+    }
+}

@@ -1,0 +1,23 @@
+//! `obx-cli` — a command-line front end for the explanation framework.
+//!
+//! A *scenario directory* holds the five text artefacts of an explanation
+//! problem (the formats are those of the workspace parsers):
+//!
+//! | file | contents | format |
+//! |---|---|---|
+//! | `schema.obx` | the source schema `S` | `NAME/ARITY …` |
+//! | `data.obx` | the database `D` | `REL(a, b).` per line |
+//! | `ontology.obx` | the TBox `O` | `concept …` / `role …` / `A < B` |
+//! | `mapping.obx` | the mapping `M` | `REL(x, y) ~> role(x, y)` |
+//! | `labels.obx` | the classifier λ | `+ const[, const]` / `- …` |
+//!
+//! Commands (see [`run`]): `init`, `explain`, `score`, `certain`,
+//! `consistency`, `border`, `evidence`.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod scenario_io;
+
+pub use commands::{run, CliError};
+pub use scenario_io::{load_dir, write_paper_example, LoadedScenario};

@@ -1,0 +1,156 @@
+//! Loading and saving scenario directories.
+
+use obx_core::labels::Labels;
+use obx_mapping::parse_mapping;
+use obx_obdm::{ObdmSpec, ObdmSystem};
+use obx_ontology::parse_tbox;
+use obx_srcdb::{parse_database, parse_schema};
+use std::fmt;
+use std::path::Path;
+
+/// A scenario loaded from disk: the system plus λ.
+#[derive(Debug)]
+pub struct LoadedScenario {
+    /// Σ = ⟨J, D⟩.
+    pub system: ObdmSystem,
+    /// λ.
+    pub labels: Labels,
+}
+
+/// Errors loading a scenario directory.
+#[derive(Debug)]
+pub enum LoadError {
+    /// A file was missing or unreadable.
+    Io {
+        /// The file involved.
+        file: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A file failed to parse.
+    Parse {
+        /// The file involved.
+        file: String,
+        /// The parser's message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { file, source } => write!(f, "{file}: {source}"),
+            LoadError::Parse { file, msg } => write!(f, "{file}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn read(dir: &Path, file: &str) -> Result<String, LoadError> {
+    std::fs::read_to_string(dir.join(file)).map_err(|source| LoadError::Io {
+        file: file.to_owned(),
+        source,
+    })
+}
+
+fn parse_err(file: &str, msg: impl ToString) -> LoadError {
+    LoadError::Parse {
+        file: file.to_owned(),
+        msg: msg.to_string(),
+    }
+}
+
+/// Loads `schema.obx`, `data.obx`, `ontology.obx`, `mapping.obx`,
+/// `labels.obx` from `dir` and assembles the system.
+pub fn load_dir(dir: &Path) -> Result<LoadedScenario, LoadError> {
+    let schema =
+        parse_schema(&read(dir, "schema.obx")?).map_err(|e| parse_err("schema.obx", e))?;
+    let mut db = parse_database(schema, &read(dir, "data.obx")?)
+        .map_err(|e| parse_err("data.obx", e))?;
+    let tbox =
+        parse_tbox(&read(dir, "ontology.obx")?).map_err(|e| parse_err("ontology.obx", e))?;
+    let mapping = {
+        let (schema_ref, consts) = db.schema_and_consts_mut();
+        parse_mapping(schema_ref, tbox.vocab(), consts, &read(dir, "mapping.obx")?)
+            .map_err(|e| parse_err("mapping.obx", e))?
+    };
+    let labels = Labels::parse(&mut db, &read(dir, "labels.obx")?)
+        .map_err(|e| parse_err("labels.obx", e))?;
+    Ok(LoadedScenario {
+        system: ObdmSystem::new(ObdmSpec::new(tbox, mapping), db),
+        labels,
+    })
+}
+
+/// Writes the paper's Example 3.6/3.8 scenario into `dir` (`obx init`).
+pub fn write_paper_example(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let files: [(&str, &str); 5] = [
+        ("schema.obx", "STUD/1 LOC/2 ENR/3\n"),
+        (
+            "data.obx",
+            "STUD(A10).\nSTUD(B80).\nSTUD(C12).\nSTUD(D50).\nSTUD(E25).\n\
+             LOC(Sap, Rome).\nLOC(TV, Rome).\nLOC(Pol, Milan).\n\
+             ENR(A10, Math, TV).\nENR(B80, Math, Sap).\nENR(C12, Science, Norm).\n\
+             ENR(D50, Science, TV).\nENR(E25, Math, Pol).\n",
+        ),
+        (
+            "ontology.obx",
+            "role studies likes taughtIn locatedIn\nstudies < likes\n",
+        ),
+        (
+            "mapping.obx",
+            "ENR(x, y, z) ~> studies(x, y)\nENR(x, y, z) ~> taughtIn(y, z)\n\
+             LOC(x, y) ~> locatedIn(x, y)\n",
+        ),
+        ("labels.obx", "+ A10\n+ B80\n+ C12\n+ D50\n- E25\n"),
+    ];
+    for (name, contents) in files {
+        std::fs::write(dir.join(name), contents)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("obx-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn init_then_load_roundtrips_the_paper_example() {
+        let dir = tmpdir("roundtrip");
+        write_paper_example(&dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.system.db().len(), 13);
+        assert_eq!(loaded.labels.pos().len(), 4);
+        assert_eq!(loaded.labels.neg().len(), 1);
+        assert_eq!(loaded.system.spec().tbox().len(), 1);
+        assert_eq!(loaded.system.spec().mapping().len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(matches!(err, LoadError::Io { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_syntax_is_a_parse_error_naming_the_file() {
+        let dir = tmpdir("badsyntax");
+        write_paper_example(&dir).unwrap();
+        std::fs::write(dir.join("ontology.obx"), "role r\nr << s\n").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().starts_with("ontology.obx:"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

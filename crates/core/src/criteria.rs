@@ -1,0 +1,192 @@
+//! The criteria set `Δ` and its functions `F` (§3 of the paper).
+//!
+//! Each criterion `δ ∈ Δ` comes with a function `f^{J,r}_{δ,λ}(q)` scoring
+//! how well `q` meets `δ`; all functions share the codomain `[0, 1]` ("we
+//! can obviously consider all such functions to have the same range"). The
+//! paper lists δ1–δ4 (coverage of λ⁺ / avoidance of λ⁻) plus the
+//! language-dependent δ5 (few atoms, for CQs) and δ6 (few disjuncts, for
+//! UCQs); arbitrary additional criteria plug in through
+//! [`Criterion::Custom`].
+
+use crate::matcher::MatchStats;
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything a criterion function may inspect about a candidate query.
+#[derive(Debug, Clone, Copy)]
+pub struct CriterionCtx<'a> {
+    /// Match statistics of the query against λ (w.r.t. Σ and radius r).
+    pub stats: &'a MatchStats,
+    /// Total number of body atoms across disjuncts (δ5 measures this).
+    pub num_atoms: usize,
+    /// Number of UCQ disjuncts (δ6 measures this; 1 for a CQ).
+    pub num_disjuncts: usize,
+}
+
+/// A criterion `δ` with its scoring function `f_δ`.
+#[derive(Clone)]
+pub enum Criterion {
+    /// δ1: "are there many tuples of λ⁺ that `q` J-matches?" —
+    /// `f = |matched⁺| / |λ⁺|`.
+    PosCoverage,
+    /// δ2: "are there few tuples of λ⁺ that `q` does **not** J-match?" —
+    /// `f = 1 − |unmatched⁺| / |λ⁺|` (extensionally equal to δ1; kept
+    /// separate for fidelity to the paper's list).
+    PosMissPenalty,
+    /// δ3: "are there many tuples of λ⁻ that `q` does not J-match?" —
+    /// `f = |unmatched⁻| / |λ⁻|`.
+    NegAvoidance,
+    /// δ4: "are there few tuples of λ⁻ that `q` J-matches?" —
+    /// `f = 1 − |matched⁻| / |λ⁻|` (the paper's `f_{δ4}`).
+    NegHitPenalty,
+    /// δ5: "are there few atoms used by the query?" — `f = 1 / #atoms`.
+    AtomParsimony,
+    /// δ6: "are there few disjuncts used by the query?" —
+    /// `f = 1 / #disjuncts`.
+    DisjunctParsimony,
+    /// A user-supplied criterion (must map into `[0, 1]` like the rest).
+    Custom {
+        /// Short name shown in reports.
+        name: &'static str,
+        /// The scoring function.
+        f: Arc<dyn Fn(&CriterionCtx<'_>) -> f64 + Send + Sync>,
+    },
+}
+
+impl Criterion {
+    /// A short identifier (`δ1` … `δ6`, or the custom name).
+    pub fn name(&self) -> &str {
+        match self {
+            Criterion::PosCoverage => "δ1",
+            Criterion::PosMissPenalty => "δ2",
+            Criterion::NegAvoidance => "δ3",
+            Criterion::NegHitPenalty => "δ4",
+            Criterion::AtomParsimony => "δ5",
+            Criterion::DisjunctParsimony => "δ6",
+            Criterion::Custom { name, .. } => name,
+        }
+    }
+
+    /// Evaluates `f_δ` on a candidate. All built-ins return values in
+    /// `[0, 1]`; empty λ⁺/λ⁻ degrade gracefully (coverage of an empty set
+    /// is 0, avoidance of an empty set is 1).
+    pub fn value(&self, ctx: &CriterionCtx<'_>) -> f64 {
+        let s = ctx.stats;
+        match self {
+            Criterion::PosCoverage | Criterion::PosMissPenalty => s.pos_fraction(),
+            Criterion::NegAvoidance | Criterion::NegHitPenalty => 1.0 - s.neg_fraction(),
+            Criterion::AtomParsimony => {
+                if ctx.num_atoms == 0 {
+                    0.0
+                } else {
+                    1.0 / ctx.num_atoms as f64
+                }
+            }
+            Criterion::DisjunctParsimony => {
+                if ctx.num_disjuncts == 0 {
+                    0.0
+                } else {
+                    1.0 / ctx.num_disjuncts as f64
+                }
+            }
+            Criterion::Custom { f, .. } => f(ctx),
+        }
+    }
+}
+
+impl fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Criterion({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(stats: &MatchStats, atoms: usize, disjuncts: usize) -> CriterionCtx<'_> {
+        CriterionCtx {
+            stats,
+            num_atoms: atoms,
+            num_disjuncts: disjuncts,
+        }
+    }
+
+    #[test]
+    fn paper_example_3_8_values() {
+        // q1: 3/4 of λ⁺, 0 of λ⁻, 3 atoms.
+        let s1 = MatchStats {
+            pos_matched: 3,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 1,
+        };
+        let c1 = ctx(&s1, 3, 1);
+        assert!((Criterion::PosCoverage.value(&c1) - 0.75).abs() < 1e-12);
+        assert!((Criterion::NegHitPenalty.value(&c1) - 1.0).abs() < 1e-12);
+        assert!((Criterion::AtomParsimony.value(&c1) - 1.0 / 3.0).abs() < 1e-12);
+        // q2: 2/4 of λ⁺, all of λ⁻, 1 atom.
+        let s2 = MatchStats {
+            pos_matched: 2,
+            pos_total: 4,
+            neg_matched: 1,
+            neg_total: 1,
+        };
+        let c2 = ctx(&s2, 1, 1);
+        assert!((Criterion::PosCoverage.value(&c2) - 0.5).abs() < 1e-12);
+        assert!((Criterion::NegHitPenalty.value(&c2) - 0.0).abs() < 1e-12);
+        assert!((Criterion::AtomParsimony.value(&c2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta2_equals_delta1_and_delta3_equals_delta4() {
+        let s = MatchStats {
+            pos_matched: 1,
+            pos_total: 3,
+            neg_matched: 2,
+            neg_total: 5,
+        };
+        let c = ctx(&s, 2, 1);
+        assert_eq!(
+            Criterion::PosCoverage.value(&c),
+            Criterion::PosMissPenalty.value(&c)
+        );
+        assert_eq!(
+            Criterion::NegAvoidance.value(&c),
+            Criterion::NegHitPenalty.value(&c)
+        );
+    }
+
+    #[test]
+    fn empty_label_sets_degrade() {
+        let s = MatchStats::default();
+        let c = ctx(&s, 1, 1);
+        assert_eq!(Criterion::PosCoverage.value(&c), 0.0);
+        assert_eq!(Criterion::NegHitPenalty.value(&c), 1.0);
+    }
+
+    #[test]
+    fn parsimony_guards_against_zero() {
+        let s = MatchStats::default();
+        assert_eq!(Criterion::AtomParsimony.value(&ctx(&s, 0, 0)), 0.0);
+        assert_eq!(Criterion::DisjunctParsimony.value(&ctx(&s, 0, 0)), 0.0);
+        assert_eq!(Criterion::DisjunctParsimony.value(&ctx(&s, 4, 2)), 0.5);
+    }
+
+    #[test]
+    fn custom_criterion() {
+        let s = MatchStats {
+            pos_matched: 4,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 2,
+        };
+        let perfect = Criterion::Custom {
+            name: "perfect-separation",
+            f: Arc::new(|ctx| if ctx.stats.perfect() { 1.0 } else { 0.0 }),
+        };
+        assert_eq!(perfect.value(&ctx(&s, 2, 1)), 1.0);
+        assert_eq!(perfect.name(), "perfect-separation");
+        assert!(format!("{perfect:?}").contains("perfect-separation"));
+    }
+}

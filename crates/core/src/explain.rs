@@ -1,0 +1,376 @@
+//! The explanation task (Definition 3.7) and its strategy interface.
+
+use crate::criteria::CriterionCtx;
+use crate::labels::Labels;
+use crate::matcher::{MatchStats, PreparedLabels};
+use crate::score::Scoring;
+use obx_obdm::{ObdmError, ObdmSystem};
+use obx_query::{OntoCq, OntoUcq};
+use std::fmt;
+
+/// Search failure.
+#[derive(Debug)]
+pub enum ExplainError {
+    /// λ is empty — nothing to describe.
+    NoLabels,
+    /// Certain-answer machinery failed (budgets).
+    Obdm(ObdmError),
+    /// The strategy does not support the labels' arity.
+    UnsupportedArity {
+        /// The strategy's name.
+        strategy: &'static str,
+        /// The labels' arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::NoLabels => write!(f, "λ labels no tuple"),
+            ExplainError::Obdm(e) => write!(f, "{e}"),
+            ExplainError::UnsupportedArity { strategy, arity } => {
+                write!(f, "strategy `{strategy}` does not support arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
+
+impl From<ObdmError> for ExplainError {
+    fn from(e: ObdmError) -> Self {
+        ExplainError::Obdm(e)
+    }
+}
+
+/// Knobs bounding a search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLimits {
+    /// Maximum body atoms per CQ candidate.
+    pub max_atoms: usize,
+    /// Maximum distinct variables per CQ candidate.
+    pub max_vars: usize,
+    /// Maximum constants drawn from the positive borders.
+    pub max_constants: usize,
+    /// Beam width (beam/bottom-up strategies).
+    pub beam_width: usize,
+    /// Maximum refinement/generalization rounds.
+    pub max_rounds: usize,
+    /// How many top explanations to return.
+    pub top_k: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        Self {
+            max_atoms: 3,
+            max_vars: 4,
+            max_constants: 8,
+            beam_width: 24,
+            max_rounds: 6,
+            top_k: 5,
+        }
+    }
+}
+
+/// A scored explanation: the query, its Z-score, its match statistics,
+/// and the per-criterion values that produced the score.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The query over the ontology (a UCQ; a plain CQ has one disjunct).
+    pub query: OntoUcq,
+    /// `Z_F(q)`.
+    pub score: f64,
+    /// The confusion counts behind the criteria.
+    pub stats: MatchStats,
+    /// `f_δ(q)` per criterion, in the scoring's criteria order.
+    pub criterion_values: Vec<f64>,
+}
+
+impl Explanation {
+    /// Renders the query with the system's vocabularies.
+    pub fn render(&self, system: &ObdmSystem) -> String {
+        let mut s = String::new();
+        for (i, d) in self.query.disjuncts().iter().enumerate() {
+            if i > 0 {
+                s.push_str(" ∪ ");
+            }
+            s.push_str(&d.render(system.spec().tbox().vocab(), system.db().consts()));
+        }
+        s
+    }
+}
+
+/// One fully-specified instance of the paper's Definition 3.7 problem:
+/// find `q ∈ L_O` maximizing `Z_F(q)` w.r.t. `Σ`, `r`, `Δ`, `F`, `Z`.
+#[derive(Clone)]
+pub struct ExplainTask<'a> {
+    prepared: PreparedLabels<'a>,
+    scoring: &'a Scoring,
+    limits: SearchLimits,
+    arity: usize,
+}
+
+impl<'a> ExplainTask<'a> {
+    /// Prepares a task: computes every labelled tuple's border once.
+    pub fn new(
+        system: &'a ObdmSystem,
+        labels: &Labels,
+        radius: usize,
+        scoring: &'a Scoring,
+        limits: SearchLimits,
+    ) -> Result<Self, ExplainError> {
+        let arity = labels.arity().ok_or(ExplainError::NoLabels)?;
+        Ok(Self {
+            prepared: PreparedLabels::new(system, labels, radius),
+            scoring,
+            limits,
+            arity,
+        })
+    }
+
+    /// The system Σ.
+    pub fn system(&self) -> &'a ObdmSystem {
+        self.prepared.system()
+    }
+
+    /// The prepared (border-cached) labels.
+    pub fn prepared(&self) -> &PreparedLabels<'a> {
+        &self.prepared
+    }
+
+    /// The scoring configuration (Δ, F, Z).
+    pub fn scoring(&self) -> &Scoring {
+        self.scoring
+    }
+
+    /// The search limits.
+    pub fn limits(&self) -> SearchLimits {
+        self.limits
+    }
+
+    /// The arity `n` of λ's tuples.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// A copy of this task with different limits (borders are cloned, not
+    /// recomputed). Used by meta-strategies that need a wider base pool.
+    pub fn with_limits(&self, limits: SearchLimits) -> ExplainTask<'a> {
+        ExplainTask {
+            prepared: self.prepared.clone(),
+            scoring: self.scoring,
+            limits,
+            arity: self.arity,
+        }
+    }
+
+    /// Scores one UCQ candidate end to end (compile + match + Z).
+    pub fn score_ucq(&self, ucq: &OntoUcq) -> Result<Explanation, ExplainError> {
+        let stats = self.prepared.stats_of(ucq)?;
+        let num_atoms = ucq.disjuncts().iter().map(OntoCq::num_atoms).sum();
+        let ctx = CriterionCtx {
+            stats: &stats,
+            num_atoms,
+            num_disjuncts: ucq.len(),
+        };
+        let criterion_values = self.scoring.values(&ctx);
+        let score = self.scoring.expr().eval(&criterion_values);
+        Ok(Explanation {
+            query: ucq.clone(),
+            score,
+            stats,
+            criterion_values,
+        })
+    }
+
+    /// Scores a single CQ candidate.
+    pub fn score_cq(&self, cq: &OntoCq) -> Result<Explanation, ExplainError> {
+        self.score_ucq(&OntoUcq::from_cq(cq.clone()))
+    }
+
+    /// Evidence for why `query` J-matches the labelled tuple `tuple`: the
+    /// border atoms grounding the match, rendered (`ENR(A10, Math, TV)`,
+    /// …). `Ok(None)` when the tuple is unlabelled or does not match —
+    /// this is the per-answer provenance the paper's future work (its
+    /// reference [10], explanation of query answers in DL-Lite) calls for.
+    pub fn evidence(
+        &self,
+        query: &OntoUcq,
+        tuple: &[obx_srcdb::Const],
+    ) -> Result<Option<Vec<String>>, ExplainError> {
+        let entry = self
+            .prepared
+            .pos()
+            .iter()
+            .chain(self.prepared.neg().iter())
+            .find(|(t, _)| t.as_ref() == tuple);
+        let Some((t, border)) = entry else {
+            return Ok(None);
+        };
+        let compiled = self.system().spec().compile(query)?;
+        let db = self.system().db();
+        let found = compiled.evidence(obx_srcdb::View::masked(db, border), t);
+        Ok(found.map(|(_, atoms)| {
+            atoms
+                .into_iter()
+                .map(|id| db.atom(id).render(db.schema(), db.consts()))
+                .collect()
+        }))
+    }
+}
+
+/// A search strategy for Definition 3.7. Implementations return their best
+/// explanations **sorted by descending score** (ties broken towards fewer
+/// atoms, then deterministically).
+pub trait Strategy {
+    /// The strategy's name (used in reports and the E6 table).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search.
+    fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError>;
+}
+
+/// Final post-processing shared by all strategies: each explanation's
+/// query is replaced by its **core** (equivalent subquery with redundant
+/// atoms removed, [`obx_query::minimize_cq`]'s ontology variant) and
+/// re-scored — parsimony (δ5) can only improve and matches are unchanged
+/// — then the pool is ranked and truncated.
+pub(crate) fn finalize(
+    task: &ExplainTask<'_>,
+    pool: Vec<Explanation>,
+    top_k: usize,
+) -> Vec<Explanation> {
+    let minimized: Vec<Explanation> = pool
+        .into_iter()
+        .map(|e| {
+            let cores: OntoUcq = e
+                .query
+                .disjuncts()
+                .iter()
+                .map(obx_query::minimize_onto_cq)
+                .collect();
+            if cores == e.query {
+                e
+            } else {
+                task.score_ucq(&cores).unwrap_or(e)
+            }
+        })
+        .collect();
+    // Minimization can collapse distinct candidates onto the same core;
+    // keep the best-ranked representative of each.
+    let ranked = rank(minimized, usize::MAX);
+    let mut seen: obx_util::FxHashSet<OntoUcq> = obx_util::FxHashSet::default();
+    let mut out = Vec::with_capacity(top_k);
+    for e in ranked {
+        if seen.insert(e.query.clone()) {
+            out.push(e);
+            if out.len() == top_k {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Sorts + truncates a candidate pool into the final ranking. Ties on the
+/// Z-score break towards higher positive coverage (keeps "in-progress"
+/// conjunction chains alive in beam frontiers), then fewer atoms, then a
+/// deterministic textual order.
+pub(crate) fn rank(mut explanations: Vec<Explanation>, top_k: usize) -> Vec<Explanation> {
+    explanations.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.stats.pos_matched.cmp(&a.stats.pos_matched))
+            .then_with(|| {
+                let atoms = |e: &Explanation| -> usize {
+                    e.query.disjuncts().iter().map(OntoCq::num_atoms).sum()
+                };
+                atoms(a).cmp(&atoms(b))
+            })
+            .then_with(|| format!("{:?}", a.query).cmp(&format!("{:?}", b.query)))
+    });
+    explanations.truncate(top_k);
+    explanations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_obdm::example_3_6_system;
+
+    #[test]
+    fn task_scores_the_papers_queries() {
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let q1 = sys
+            .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
+            .unwrap();
+        let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        let task =
+            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let e = task.score_ucq(&q1).unwrap();
+        assert!((e.score - 0.6944).abs() < 1e-3);
+        assert_eq!(e.stats.pos_matched, 3);
+        assert_eq!(e.criterion_values.len(), 3);
+        assert!(e.render(&sys).contains("studies"));
+        assert_eq!(task.arity(), 1);
+    }
+
+    #[test]
+    fn empty_labels_are_rejected() {
+        let sys = example_3_6_system();
+        let labels = Labels::new();
+        let scoring = Scoring::balanced();
+        let err = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default())
+            .err()
+            .expect("empty λ must fail");
+        assert!(matches!(err, ExplainError::NoLabels));
+    }
+
+    #[test]
+    fn evidence_grounds_a_match_in_border_atoms() {
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let q1 = sys
+            .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
+            .unwrap();
+        let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        let task =
+            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let a10 = sys.db().consts().get("A10").unwrap();
+        let ev = task.evidence(&q1, &[a10]).unwrap().expect("A10 matches q1");
+        // The grounding facts: A10's enrolment and the Rome location.
+        assert!(ev.iter().any(|a| a == "ENR(A10, Math, TV)"), "{ev:?}");
+        assert!(ev.iter().any(|a| a == "LOC(TV, Rome)"), "{ev:?}");
+        // E25 does not match q1 inside its border: no evidence.
+        let e25 = sys.db().consts().get("E25").unwrap();
+        assert!(task.evidence(&q1, &[e25]).unwrap().is_none());
+        // Unlabelled tuples have no border: no evidence either.
+        let rome = sys.db().consts().get("Rome").unwrap();
+        assert!(task.evidence(&q1, &[rome]).unwrap().is_none());
+    }
+
+    #[test]
+    fn rank_orders_by_score_then_parsimony() {
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
+        let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        let q_small = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let q_big = sys
+            .parse_query(r#"q(x) :- studies(x, "Math"), likes(x, "Math")"#)
+            .unwrap();
+        let task =
+            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let e_small = task.score_ucq(&q_small).unwrap();
+        let e_big = task.score_ucq(&q_big).unwrap();
+        let ranked = rank(vec![e_big.clone(), e_small.clone()], 10);
+        assert!(ranked[0].score >= ranked[1].score);
+        // Same coverage: the smaller query must rank first via δ5.
+        assert!(ranked[0].query.disjuncts()[0].num_atoms() <= ranked[1].query.disjuncts()[0].num_atoms());
+        // top_k truncation.
+        assert_eq!(rank(vec![e_small, e_big], 1).len(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The classifier λ as a labelled set of tuples.
+//!
+//! §3: λ is a *partial* function `dom(D)^n → {+1, −1}`; `λ⁺` and `λ⁻`
+//! collect the positively and negatively classified tuples. Equivalently,
+//! λ is a training set. The explanation framework never inspects the
+//! classifier itself — only these labels — so any actor ("human or
+//! machine", §1) can produce them.
+
+use obx_srcdb::{Const, ConstPool, Database, Tuple};
+use obx_util::FxHashSet;
+use std::fmt;
+
+/// Errors building a label set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelsError {
+    /// The same tuple is labelled both `+1` and `−1` (λ is a function).
+    Conflict(String),
+    /// Tuples of different arities were mixed.
+    MixedArity {
+        /// First arity seen.
+        expected: usize,
+        /// Offending arity.
+        got: usize,
+    },
+    /// A parse problem (bad line).
+    Parse(String),
+}
+
+impl fmt::Display for LabelsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelsError::Conflict(t) => write!(f, "tuple {t} labelled both +1 and -1"),
+            LabelsError::MixedArity { expected, got } => {
+                write!(f, "mixed tuple arities: {expected} vs {got}")
+            }
+            LabelsError::Parse(msg) => write!(f, "bad label line: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelsError {}
+
+/// The labelled tuples `λ⁺` / `λ⁻`.
+#[derive(Debug, Clone, Default)]
+pub struct Labels {
+    pos: Vec<Tuple>,
+    neg: Vec<Tuple>,
+    arity: Option<usize>,
+}
+
+impl Labels {
+    /// An empty label set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from explicit positive/negative tuple lists, checking arity
+    /// uniformity, deduplicating, and rejecting contradictory labels.
+    pub fn from_tuples(
+        pos: impl IntoIterator<Item = Tuple>,
+        neg: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, LabelsError> {
+        let mut l = Self::new();
+        for t in pos {
+            l.add_pos(t)?;
+        }
+        for t in neg {
+            l.add_neg(t)?;
+        }
+        Ok(l)
+    }
+
+    fn check_arity(&mut self, t: &Tuple) -> Result<(), LabelsError> {
+        match self.arity {
+            None => {
+                self.arity = Some(t.len());
+                Ok(())
+            }
+            Some(a) if a == t.len() => Ok(()),
+            Some(a) => Err(LabelsError::MixedArity {
+                expected: a,
+                got: t.len(),
+            }),
+        }
+    }
+
+    /// Adds a positive example.
+    pub fn add_pos(&mut self, t: Tuple) -> Result<(), LabelsError> {
+        self.check_arity(&t)?;
+        if self.neg.contains(&t) {
+            return Err(LabelsError::Conflict(format!("{t:?}")));
+        }
+        if !self.pos.contains(&t) {
+            self.pos.push(t);
+        }
+        Ok(())
+    }
+
+    /// Adds a negative example.
+    pub fn add_neg(&mut self, t: Tuple) -> Result<(), LabelsError> {
+        self.check_arity(&t)?;
+        if self.pos.contains(&t) {
+            return Err(LabelsError::Conflict(format!("{t:?}")));
+        }
+        if !self.neg.contains(&t) {
+            self.neg.push(t);
+        }
+        Ok(())
+    }
+
+    /// `λ⁺`.
+    pub fn pos(&self) -> &[Tuple] {
+        &self.pos
+    }
+
+    /// `λ⁻`.
+    pub fn neg(&self) -> &[Tuple] {
+        &self.neg
+    }
+
+    /// The common arity `n`, or `None` when empty.
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// Total number of labelled tuples.
+    pub fn len(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    /// Whether no tuple is labelled.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty()
+    }
+
+    /// The value `λ(t)` for a tuple, if labelled.
+    pub fn label_of(&self, t: &[Const]) -> Option<i8> {
+        if self.pos.iter().any(|p| **p == *t) {
+            Some(1)
+        } else if self.neg.iter().any(|n| **n == *t) {
+            Some(-1)
+        } else {
+            None
+        }
+    }
+
+    /// All distinct constants mentioned by labelled tuples.
+    pub fn constants(&self) -> FxHashSet<Const> {
+        self.pos
+            .iter()
+            .chain(self.neg.iter())
+            .flat_map(|t| t.iter().copied())
+            .collect()
+    }
+
+    /// Parses labels from text: one tuple per line, `+` or `-` followed by
+    /// comma-separated constant names (interned into `db`'s pool).
+    ///
+    /// ```text
+    /// + A10
+    /// + B80
+    /// - E25
+    /// ```
+    pub fn parse(db: &mut Database, text: &str) -> Result<Self, LabelsError> {
+        let mut labels = Self::new();
+        for raw in text.lines() {
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (sign, rest) = line
+                .split_at_checked(1)
+                .ok_or_else(|| LabelsError::Parse(line.to_owned()))?;
+            let tuple: Tuple = rest
+                .split(',')
+                .map(|c| db.constant(c.trim()))
+                .collect();
+            if tuple.is_empty() || rest.trim().is_empty() {
+                return Err(LabelsError::Parse(line.to_owned()));
+            }
+            match sign {
+                "+" => labels.add_pos(tuple)?,
+                "-" => labels.add_neg(tuple)?,
+                _ => return Err(LabelsError::Parse(line.to_owned())),
+            }
+        }
+        Ok(labels)
+    }
+
+    /// Renders like `+ <A10>` per line, for diagnostics.
+    pub fn render(&self, consts: &ConstPool) -> String {
+        let mut s = String::new();
+        for t in &self.pos {
+            s.push_str(&format!("+ {}\n", consts.render_tuple(t)));
+        }
+        for t in &self.neg {
+            s.push_str(&format!("- {}\n", consts.render_tuple(t)));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_srcdb::{parse_schema, Database};
+
+    fn db() -> Database {
+        Database::new(parse_schema("R/1").unwrap())
+    }
+
+    #[test]
+    fn build_and_query_labels() {
+        let mut db = db();
+        let a = db.constant("a");
+        let b = db.constant("b");
+        let labels = Labels::from_tuples(
+            [vec![a].into_boxed_slice()],
+            [vec![b].into_boxed_slice()],
+        )
+        .unwrap();
+        assert_eq!(labels.pos().len(), 1);
+        assert_eq!(labels.neg().len(), 1);
+        assert_eq!(labels.arity(), Some(1));
+        assert_eq!(labels.label_of(&[a]), Some(1));
+        assert_eq!(labels.label_of(&[b]), Some(-1));
+        let c = db.constant("c");
+        assert_eq!(labels.label_of(&[c]), None, "λ is partial");
+        assert_eq!(labels.constants().len(), 2);
+    }
+
+    #[test]
+    fn conflicting_labels_are_rejected() {
+        let mut db = db();
+        let a = db.constant("a");
+        let mut labels = Labels::new();
+        labels.add_pos(vec![a].into_boxed_slice()).unwrap();
+        let err = labels.add_neg(vec![a].into_boxed_slice()).unwrap_err();
+        assert!(matches!(err, LabelsError::Conflict(_)));
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let mut db = db();
+        let a = db.constant("a");
+        let mut labels = Labels::new();
+        labels.add_pos(vec![a].into_boxed_slice()).unwrap();
+        labels.add_pos(vec![a].into_boxed_slice()).unwrap();
+        assert_eq!(labels.pos().len(), 1);
+    }
+
+    #[test]
+    fn mixed_arity_is_rejected() {
+        let mut db = db();
+        let a = db.constant("a");
+        let b = db.constant("b");
+        let mut labels = Labels::new();
+        labels.add_pos(vec![a].into_boxed_slice()).unwrap();
+        let err = labels.add_pos(vec![a, b].into_boxed_slice()).unwrap_err();
+        assert!(matches!(err, LabelsError::MixedArity { expected: 1, got: 2 }));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let mut db = db();
+        let labels = Labels::parse(
+            &mut db,
+            "# the paper's λ\n+ A10\n+ B80\n+ C12\n+ D50\n- E25\n",
+        )
+        .unwrap();
+        assert_eq!(labels.pos().len(), 4);
+        assert_eq!(labels.neg().len(), 1);
+        let rendered = labels.render(db.consts());
+        assert!(rendered.contains("+ <A10>"));
+        assert!(rendered.contains("- <E25>"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let mut db = db();
+        assert!(Labels::parse(&mut db, "? A10").is_err());
+        assert!(Labels::parse(&mut db, "+").is_err());
+        assert!(Labels::parse(&mut db, "+ a\n- a").is_err());
+    }
+
+    #[test]
+    fn pair_tuples() {
+        let mut db = db();
+        let a = db.constant("a");
+        let b = db.constant("b");
+        let labels = Labels::parse(&mut db, "+ a, b\n- b, a").unwrap();
+        assert_eq!(labels.arity(), Some(2));
+        assert_eq!(labels.label_of(&[a, b]), Some(1));
+        assert_eq!(labels.label_of(&[b, a]), Some(-1));
+    }
+}

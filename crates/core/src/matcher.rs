@@ -1,0 +1,337 @@
+//! J-matching (Definition 3.4) and per-query match statistics.
+//!
+//! `q` J-matches `B_{t,r}(D)` iff `t ∈ cert(q, J, B_{t,r}(D))` — the tuple
+//! must be a certain answer of `q` over the sub-database made of its own
+//! border. [`PreparedLabels`] computes every labelled tuple's border once
+//! (they are query-independent), so scoring a candidate costs one compile
+//! plus `|λ⁺| + |λ⁻|` goal-directed evaluations over small masked views.
+
+use crate::labels::Labels;
+use obx_obdm::{CompiledQuery, ObdmError, ObdmSystem};
+use obx_query::{OntoUcq, SrcCq, SrcUcq};
+use obx_srcdb::{AtomId, Border, Const, Tuple, View};
+use obx_util::FxHashSet;
+
+/// Confusion counts of a query against λ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchStats {
+    /// `|{t ∈ λ⁺ : q J-matches B_{t,r}}|` — true positives.
+    pub pos_matched: usize,
+    /// `|λ⁺|`.
+    pub pos_total: usize,
+    /// `|{t ∈ λ⁻ : q J-matches B_{t,r}}|` — false positives.
+    pub neg_matched: usize,
+    /// `|λ⁻|`.
+    pub neg_total: usize,
+}
+
+impl MatchStats {
+    /// Fraction of λ⁺ matched (the paper's `f_{δ1}`); 0 when λ⁺ is empty.
+    pub fn pos_fraction(&self) -> f64 {
+        if self.pos_total == 0 {
+            0.0
+        } else {
+            self.pos_matched as f64 / self.pos_total as f64
+        }
+    }
+
+    /// Fraction of λ⁻ matched; 0 when λ⁻ is empty (so `f_{δ4}` = 1).
+    pub fn neg_fraction(&self) -> f64 {
+        if self.neg_total == 0 {
+            0.0
+        } else {
+            self.neg_matched as f64 / self.neg_total as f64
+        }
+    }
+
+    /// Whether the query *perfectly separates* λ⁺ from λ⁻ (conditions (1)
+    /// and (2) of §3 — which Example 3.6 shows may be unattainable).
+    pub fn perfect(&self) -> bool {
+        self.pos_matched == self.pos_total && self.neg_matched == 0
+    }
+
+    /// Precision over the labelled tuples.
+    pub fn precision(&self) -> f64 {
+        let predicted = self.pos_matched + self.neg_matched;
+        if predicted == 0 {
+            0.0
+        } else {
+            self.pos_matched as f64 / predicted as f64
+        }
+    }
+
+    /// Recall over λ⁺ (same as [`MatchStats::pos_fraction`]).
+    pub fn recall(&self) -> f64 {
+        self.pos_fraction()
+    }
+
+    /// F1 over the labelled tuples.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Labelled tuples with their precomputed borders.
+#[derive(Clone)]
+pub struct PreparedLabels<'a> {
+    system: &'a ObdmSystem,
+    radius: usize,
+    pos: Vec<(Tuple, FxHashSet<AtomId>)>,
+    neg: Vec<(Tuple, FxHashSet<AtomId>)>,
+}
+
+impl<'a> PreparedLabels<'a> {
+    /// Computes `B_{t,radius}(D)` for every labelled tuple.
+    pub fn new(system: &'a ObdmSystem, labels: &Labels, radius: usize) -> Self {
+        let compute = |tuples: &[Tuple]| -> Vec<(Tuple, FxHashSet<AtomId>)> {
+            tuples
+                .iter()
+                .map(|t| {
+                    let border = Border::compute(system.db(), t, radius);
+                    (t.clone(), border.atoms().clone())
+                })
+                .collect()
+        };
+        Self {
+            system,
+            radius,
+            pos: compute(labels.pos()),
+            neg: compute(labels.neg()),
+        }
+    }
+
+    /// The system Σ.
+    pub fn system(&self) -> &'a ObdmSystem {
+        self.system
+    }
+
+    /// The radius `r` used for the borders.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of positive examples.
+    pub fn num_pos(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of negative examples.
+    pub fn num_neg(&self) -> usize {
+        self.neg.len()
+    }
+
+    /// Positive tuples with their border atom sets.
+    pub fn pos(&self) -> &[(Tuple, FxHashSet<AtomId>)] {
+        &self.pos
+    }
+
+    /// Negative tuples with their border atom sets.
+    pub fn neg(&self) -> &[(Tuple, FxHashSet<AtomId>)] {
+        &self.neg
+    }
+
+    /// Whether the compiled query J-matches one tuple's border.
+    pub fn matches(&self, compiled: &CompiledQuery, tuple: &[Const], border: &FxHashSet<AtomId>) -> bool {
+        compiled.member(View::masked(self.system.db(), border), tuple)
+    }
+
+    /// Match statistics of a compiled ontology query against λ.
+    pub fn stats(&self, compiled: &CompiledQuery) -> MatchStats {
+        let count = |set: &[(Tuple, FxHashSet<AtomId>)]| {
+            set.iter()
+                .filter(|(t, b)| self.matches(compiled, t, b))
+                .count()
+        };
+        MatchStats {
+            pos_matched: count(&self.pos),
+            pos_total: self.pos.len(),
+            neg_matched: count(&self.neg),
+            neg_total: self.neg.len(),
+        }
+    }
+
+    /// Compiles an ontology UCQ and computes its stats in one call.
+    pub fn stats_of(&self, ucq: &OntoUcq) -> Result<MatchStats, ObdmError> {
+        let compiled = self.system.spec().compile(ucq)?;
+        Ok(self.stats(&compiled))
+    }
+
+    /// Match statistics of a *source-level* query (the data-level baseline
+    /// evaluates directly, without rewriting/unfolding).
+    pub fn stats_src(&self, src: &SrcUcq) -> MatchStats {
+        let member = |t: &[Const], b: &FxHashSet<AtomId>| {
+            obx_query::eval::satisfies_ucq(View::masked(self.system.db(), b), src, t)
+        };
+        MatchStats {
+            pos_matched: self.pos.iter().filter(|(t, b)| member(t, b)).count(),
+            pos_total: self.pos.len(),
+            neg_matched: self.neg.iter().filter(|(t, b)| member(t, b)).count(),
+            neg_total: self.neg.len(),
+        }
+    }
+
+    /// Match statistics of a single source CQ.
+    pub fn stats_src_cq(&self, cq: &SrcCq) -> MatchStats {
+        self.stats_src(&SrcUcq::from_cq(cq.clone()))
+    }
+
+    /// Constants worth mentioning in generated queries (e.g. `"Rome"` in
+    /// the paper's q1), ranked **discriminatively**: by the number of
+    /// positive borders a constant occurs in minus the number of negative
+    /// borders (presence, not multiplicity). A constant that appears in
+    /// every border regardless of label (a ubiquitous subject name) scores
+    /// near zero; one characteristic of the positives (the target city)
+    /// scores near `|λ⁺|`.
+    ///
+    /// Constants that occur in the labelled tuples themselves are
+    /// excluded: a query mentioning a classified individual by name
+    /// over-fits by construction (it can only ever describe that
+    /// individual).
+    pub fn relevant_constants(&self, cap: usize) -> Vec<Const> {
+        let labelled: FxHashSet<Const> = self
+            .pos
+            .iter()
+            .chain(self.neg.iter())
+            .flat_map(|(t, _)| t.iter().copied())
+            .collect();
+        let mut score: obx_util::FxHashMap<Const, i64> = obx_util::FxHashMap::default();
+        let mut tally = |set: &[(Tuple, FxHashSet<AtomId>)], weight: i64| {
+            for (_, border) in set {
+                let mut seen: FxHashSet<Const> = FxHashSet::default();
+                for &id in border {
+                    for &c in self.system.db().atom(id).args.iter() {
+                        if !labelled.contains(&c) && seen.insert(c) {
+                            *score.entry(c).or_insert(0) += weight;
+                        }
+                    }
+                }
+            }
+        };
+        tally(&self.pos, 1);
+        tally(&self.neg, -1);
+        let mut pairs: Vec<(Const, i64)> = score.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(cap);
+        pairs.into_iter().map(|(c, _)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_obdm::example_3_6_system;
+
+    fn paper_labels(sys: &mut ObdmSystem) -> Labels {
+        Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap()
+    }
+
+    #[test]
+    fn stats_reproduce_example_3_6_match_matrix() {
+        let mut sys = example_3_6_system();
+        let labels = paper_labels(&mut sys);
+        let q1 = sys
+            .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
+            .unwrap();
+        let q2 = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let q3 = sys.parse_query(r#"q(x) :- likes(x, "Science")"#).unwrap();
+        let prepared = PreparedLabels::new(&sys, &labels, 1);
+
+        let s1 = prepared.stats_of(&q1).unwrap();
+        assert_eq!((s1.pos_matched, s1.neg_matched), (3, 0), "q1: 3/4, none");
+        let s2 = prepared.stats_of(&q2).unwrap();
+        assert_eq!((s2.pos_matched, s2.neg_matched), (2, 1), "q2: 2/4, all λ⁻");
+        let s3 = prepared.stats_of(&q3).unwrap();
+        assert_eq!((s3.pos_matched, s3.neg_matched), (2, 0), "q3: 2/4, none");
+        assert!(!s1.perfect() && !s2.perfect() && !s3.perfect());
+    }
+
+    #[test]
+    fn fractions_and_f1() {
+        let s = MatchStats {
+            pos_matched: 3,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 1,
+        };
+        assert!((s.pos_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(s.neg_fraction(), 0.0);
+        assert_eq!(s.precision(), 1.0);
+        assert!((s.f1() - (2.0 * 0.75 / 1.75)).abs() < 1e-12);
+        let empty = MatchStats::default();
+        assert_eq!(empty.pos_fraction(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+    }
+
+    #[test]
+    fn radius_monotonicity_proposition_3_5() {
+        // If q J-matches B_{t,r} then it J-matches B_{t,r+1}: matched
+        // counts are monotone in r.
+        let mut sys = example_3_6_system();
+        let labels = paper_labels(&mut sys);
+        let q1 = sys
+            .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
+            .unwrap();
+        let compiled = sys.spec().compile(&q1).unwrap();
+        let mut prev = 0usize;
+        for r in 0..4 {
+            let prepared = PreparedLabels::new(&sys, &labels, r);
+            let stats = prepared.stats(&compiled);
+            assert!(
+                stats.pos_matched >= prev,
+                "Proposition 3.5 violated at r={r}"
+            );
+            prev = stats.pos_matched;
+        }
+        // At radius ≥ 2 every positive matches (LOC atoms reachable), and
+        // at radius 0 none do (locatedIn needs the LOC atom).
+        let r0 = PreparedLabels::new(&sys, &labels, 0);
+        assert_eq!(r0.stats(&compiled).pos_matched, 0);
+        let r2 = PreparedLabels::new(&sys, &labels, 2);
+        assert_eq!(r2.stats(&compiled).pos_matched, 4);
+    }
+
+    #[test]
+    fn relevant_constants_come_from_positive_borders() {
+        let mut sys = example_3_6_system();
+        let labels = paper_labels(&mut sys);
+        let prepared = PreparedLabels::new(&sys, &labels, 1);
+        let consts = prepared.relevant_constants(100);
+        let rome = sys.db().consts().get("Rome").unwrap();
+        let math = sys.db().consts().get("Math").unwrap();
+        assert!(consts.contains(&rome));
+        assert!(consts.contains(&math));
+        // The cap is honoured.
+        assert_eq!(prepared.relevant_constants(2).len(), 2);
+    }
+
+    #[test]
+    fn src_level_stats_match_direct_evaluation() {
+        let mut sys = example_3_6_system();
+        let labels = paper_labels(&mut sys);
+        let prepared = PreparedLabels::new(&sys, &labels, 1);
+        // Source query: q(x) :- ENR(x, "Math", z) — like q2 but data-level.
+        // Constants must come from the system's pool; resolve by name.
+        let math = prepared.system().db().consts().get("Math").unwrap();
+        let enr = prepared.system().db().schema().rel("ENR").unwrap();
+        let q = obx_query::SrcCq::new(
+            vec![obx_query::VarId(0)],
+            vec![obx_query::SrcAtom::new(
+                enr,
+                [
+                    obx_query::Term::Var(obx_query::VarId(0)),
+                    obx_query::Term::Const(math),
+                    obx_query::Term::Var(obx_query::VarId(1)),
+                ],
+            )],
+        )
+        .unwrap();
+        let s = prepared.stats_src_cq(&q);
+        assert_eq!((s.pos_matched, s.neg_matched), (2, 1));
+    }
+}

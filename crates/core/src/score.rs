@@ -1,0 +1,277 @@
+//! The expression `Z` and the Z-score `Z_F(q)` (§3).
+//!
+//! `Z` is "a mathematical expression having a variable `z_δ` for each
+//! criterion δ ∈ Δ"; instantiating each `z_δ` with `f^{J,r}_{δ,λ}(q)`
+//! yields the query's Z-score, and Definition 3.7 asks for a query
+//! maximizing it. [`ScoreExpr`] is a small arithmetic AST over criterion
+//! variables; [`Scoring`] pairs the criteria list with an expression.
+//! The paper's Example 3.8 instantiation — the weighted average
+//! `(α·z_{δ1} + β·z_{δ4} + γ·z_{δ5}) / (α+β+γ)` — has a dedicated
+//! constructor.
+
+use crate::criteria::{Criterion, CriterionCtx};
+use std::fmt;
+
+/// An arithmetic expression over criterion variables `z_δ`.
+#[derive(Debug, Clone)]
+pub enum ScoreExpr {
+    /// `z_{Δ[i]}` — the value of the i-th criterion in the criteria list.
+    Var(usize),
+    /// A numeric constant.
+    Const(f64),
+    /// Sum of sub-expressions.
+    Sum(Vec<ScoreExpr>),
+    /// Product of sub-expressions.
+    Product(Vec<ScoreExpr>),
+    /// `k · e`.
+    Scale(f64, Box<ScoreExpr>),
+    /// `a / b` (0 when `b` is 0, keeping scores finite).
+    Div(Box<ScoreExpr>, Box<ScoreExpr>),
+    /// Minimum of sub-expressions (∞-identity: empty = +∞ clamped to 0).
+    Min(Vec<ScoreExpr>),
+    /// Maximum of sub-expressions (empty = 0).
+    Max(Vec<ScoreExpr>),
+}
+
+impl ScoreExpr {
+    /// Evaluates with `values[i]` bound to `Var(i)`.
+    ///
+    /// # Panics
+    /// Panics if a `Var` index is out of range (a mis-built [`Scoring`]).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        match self {
+            ScoreExpr::Var(i) => values[*i],
+            ScoreExpr::Const(k) => *k,
+            ScoreExpr::Sum(es) => es.iter().map(|e| e.eval(values)).sum(),
+            ScoreExpr::Product(es) => es.iter().map(|e| e.eval(values)).product(),
+            ScoreExpr::Scale(k, e) => k * e.eval(values),
+            ScoreExpr::Div(a, b) => {
+                let d = b.eval(values);
+                if d == 0.0 {
+                    0.0
+                } else {
+                    a.eval(values) / d
+                }
+            }
+            ScoreExpr::Min(es) => es
+                .iter()
+                .map(|e| e.eval(values))
+                .fold(f64::INFINITY, f64::min),
+            ScoreExpr::Max(es) => es
+                .iter()
+                .map(|e| e.eval(values))
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The weighted average `Σ wᵢ·zᵢ / Σ wᵢ` over the first `weights.len()`
+    /// criteria — the paper's Example 3.8 expression.
+    pub fn weighted_average(weights: &[f64]) -> ScoreExpr {
+        let total: f64 = weights.iter().sum();
+        let terms = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| ScoreExpr::Scale(w, Box::new(ScoreExpr::Var(i))))
+            .collect();
+        ScoreExpr::Scale(if total == 0.0 { 0.0 } else { 1.0 / total }, Box::new(ScoreExpr::Sum(terms)))
+    }
+}
+
+/// A complete scoring configuration: the criteria `Δ` (with `F`) and `Z`.
+#[derive(Debug, Clone)]
+pub struct Scoring {
+    criteria: Vec<Criterion>,
+    expr: ScoreExpr,
+}
+
+impl Scoring {
+    /// Builds a scoring configuration. `Var(i)` in `expr` refers to
+    /// `criteria[i]`.
+    pub fn new(criteria: Vec<Criterion>, expr: ScoreExpr) -> Self {
+        Self { criteria, expr }
+    }
+
+    /// The paper's Example 3.8 setup: `Δ = {δ1, δ4, δ5}` with the weighted
+    /// average `(α·z_{δ1} + β·z_{δ4} + γ·z_{δ5})/(α+β+γ)`.
+    pub fn paper_weighted(alpha: f64, beta: f64, gamma: f64) -> Self {
+        Self::new(
+            vec![
+                Criterion::PosCoverage,
+                Criterion::NegHitPenalty,
+                Criterion::AtomParsimony,
+            ],
+            ScoreExpr::weighted_average(&[alpha, beta, gamma]),
+        )
+    }
+
+    /// A balanced default for search experiments: coverage, avoidance,
+    /// and both parsimony criteria, equally weighted.
+    pub fn balanced() -> Self {
+        Self::new(
+            vec![
+                Criterion::PosCoverage,
+                Criterion::NegHitPenalty,
+                Criterion::AtomParsimony,
+                Criterion::DisjunctParsimony,
+            ],
+            ScoreExpr::weighted_average(&[1.0, 1.0, 1.0, 1.0]),
+        )
+    }
+
+    /// An accuracy-focused scoring (coverage and avoidance only), used
+    /// when fidelity to λ matters more than parsimony (experiment E5).
+    pub fn accuracy() -> Self {
+        Self::new(
+            vec![Criterion::PosCoverage, Criterion::NegHitPenalty],
+            ScoreExpr::weighted_average(&[1.0, 1.0]),
+        )
+    }
+
+    /// The criteria `Δ`.
+    pub fn criteria(&self) -> &[Criterion] {
+        &self.criteria
+    }
+
+    /// The expression `Z`.
+    pub fn expr(&self) -> &ScoreExpr {
+        &self.expr
+    }
+
+    /// Per-criterion values `f_δ(q)` for a candidate.
+    pub fn values(&self, ctx: &CriterionCtx<'_>) -> Vec<f64> {
+        self.criteria.iter().map(|c| c.value(ctx)).collect()
+    }
+
+    /// The Z-score `Z_F(q)`.
+    pub fn score(&self, ctx: &CriterionCtx<'_>) -> f64 {
+        self.expr.eval(&self.values(ctx))
+    }
+}
+
+impl fmt::Display for Scoring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Z over {{{}}}",
+            self.criteria
+                .iter()
+                .map(Criterion::name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::MatchStats;
+
+    fn q_ctx(stats: &MatchStats, atoms: usize) -> CriterionCtx<'_> {
+        CriterionCtx {
+            stats,
+            num_atoms: atoms,
+            num_disjuncts: 1,
+        }
+    }
+
+    /// The exact numbers of the paper's Example 3.8 (up to its erratum on
+    /// Z1(q2); see EXPERIMENTS.md).
+    #[test]
+    fn example_3_8_scores() {
+        let s1 = MatchStats { pos_matched: 3, pos_total: 4, neg_matched: 0, neg_total: 1 };
+        let s2 = MatchStats { pos_matched: 2, pos_total: 4, neg_matched: 1, neg_total: 1 };
+        let s3 = MatchStats { pos_matched: 2, pos_total: 4, neg_matched: 0, neg_total: 1 };
+        let z1 = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        let z2 = Scoring::paper_weighted(3.0, 1.0, 1.0);
+
+        let z1_q1 = z1.score(&q_ctx(&s1, 3));
+        let z1_q2 = z1.score(&q_ctx(&s2, 1));
+        let z1_q3 = z1.score(&q_ctx(&s3, 1));
+        assert!((z1_q1 - 0.6944).abs() < 1e-3, "paper prints 0.693: {z1_q1}");
+        assert!((z1_q3 - 0.8333).abs() < 1e-3, "paper prints 0.833: {z1_q3}");
+        // The paper prints 0.333 for Z1(q2); with its own F the value is
+        // (0.5 + 0 + 1)/3 = 0.5 — see the erratum note. Either way q3 wins.
+        assert!((z1_q2 - 0.5).abs() < 1e-12);
+        assert!(z1_q3 > z1_q1 && z1_q1 > z1_q2, "winner under Z1 is q3");
+
+        let z2_q1 = z2.score(&q_ctx(&s1, 3));
+        let z2_q2 = z2.score(&q_ctx(&s2, 1));
+        let z2_q3 = z2.score(&q_ctx(&s3, 1));
+        assert!((z2_q1 - 0.7166).abs() < 1e-3, "paper prints 0.716: {z2_q1}");
+        assert!((z2_q2 - 0.5).abs() < 1e-12, "paper prints 0.5");
+        assert!((z2_q3 - 0.7).abs() < 1e-12, "paper prints 0.7");
+        assert!(z2_q1 > z2_q3 && z2_q3 > z2_q2, "winner under Z2 is q1");
+    }
+
+    #[test]
+    fn weighted_average_normalizes() {
+        let e = ScoreExpr::weighted_average(&[2.0, 2.0]);
+        assert!((e.eval(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((e.eval(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // Zero total weight yields 0, not NaN.
+        let z = ScoreExpr::weighted_average(&[0.0, 0.0]);
+        assert_eq!(z.eval(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn expression_algebra() {
+        let vals = [0.25, 0.5];
+        assert_eq!(ScoreExpr::Const(3.0).eval(&vals), 3.0);
+        assert_eq!(
+            ScoreExpr::Sum(vec![ScoreExpr::Var(0), ScoreExpr::Var(1)]).eval(&vals),
+            0.75
+        );
+        assert_eq!(
+            ScoreExpr::Product(vec![ScoreExpr::Var(0), ScoreExpr::Var(1)]).eval(&vals),
+            0.125
+        );
+        assert_eq!(
+            ScoreExpr::Div(Box::new(ScoreExpr::Var(1)), Box::new(ScoreExpr::Var(0))).eval(&vals),
+            2.0
+        );
+        assert_eq!(
+            ScoreExpr::Div(Box::new(ScoreExpr::Var(1)), Box::new(ScoreExpr::Const(0.0)))
+                .eval(&vals),
+            0.0,
+            "division by zero clamps to 0"
+        );
+        assert_eq!(
+            ScoreExpr::Min(vec![ScoreExpr::Var(0), ScoreExpr::Var(1)]).eval(&vals),
+            0.25
+        );
+        assert_eq!(
+            ScoreExpr::Max(vec![ScoreExpr::Var(0), ScoreExpr::Var(1)]).eval(&vals),
+            0.5
+        );
+    }
+
+    #[test]
+    fn product_expressions_enforce_hard_constraints() {
+        // Z = z_δ4 × average(z_δ1, z_δ5): any λ⁻ hit zeroes the score.
+        let z = Scoring::new(
+            vec![
+                Criterion::NegHitPenalty,
+                Criterion::PosCoverage,
+                Criterion::AtomParsimony,
+            ],
+            ScoreExpr::Product(vec![
+                ScoreExpr::Var(0),
+                ScoreExpr::Scale(
+                    0.5,
+                    Box::new(ScoreExpr::Sum(vec![ScoreExpr::Var(1), ScoreExpr::Var(2)])),
+                ),
+            ]),
+        );
+        let bad = MatchStats { pos_matched: 4, pos_total: 4, neg_matched: 1, neg_total: 1 };
+        assert_eq!(z.score(&q_ctx(&bad, 1)), 0.0);
+        let good = MatchStats { pos_matched: 4, pos_total: 4, neg_matched: 0, neg_total: 1 };
+        assert_eq!(z.score(&q_ctx(&good, 1)), 1.0);
+    }
+
+    #[test]
+    fn display_lists_criteria() {
+        let z = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        assert_eq!(format!("{z}"), "Z over {δ1, δ4, δ5}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Exhaustive enumeration of small connected CQs.
+//!
+//! Complete up to its size limits (atoms, variables, constants), so it is
+//! the reference point for the heuristic strategies in experiment E6 — on
+//! spaces where it finishes, no strategy can beat its Z-score. The
+//! candidate space is the set of *connected* conjunctive queries built
+//! from the ontology vocabulary, variables `x0..x_{max_vars-1}` (with `x0`
+//! the answer variable) and the relevant constants of the positive
+//! borders.
+
+use super::{dedup_candidates, require_unary, score_batch};
+use crate::explain::{finalize, ExplainError, ExplainTask, Explanation, Strategy};
+use obx_query::{OntoAtom, OntoCq, Term, VarId};
+use obx_util::FxHashSet;
+
+/// Exhaustive search (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveSearch {
+    /// Hard cap on generated candidates; enumeration stops (and the result
+    /// is marked by the strategy having hit the cap) rather than running
+    /// unbounded. 50k candidates ≈ seconds on the paper-scale systems.
+    pub max_candidates: usize,
+}
+
+impl Default for ExhaustiveSearch {
+    fn default() -> Self {
+        Self {
+            max_candidates: 50_000,
+        }
+    }
+}
+
+impl Strategy for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError> {
+        require_unary(task, self.name())?;
+        let limits = task.limits();
+        let consts = task.prepared().relevant_constants(limits.max_constants);
+
+        // Terms: x0 (answer), x1.., constants.
+        let vars: Vec<Term> = (0..limits.max_vars as u32)
+            .map(|i| Term::Var(VarId(i)))
+            .collect();
+        let mut terms: Vec<Term> = vars.clone();
+        terms.extend(consts.iter().map(|&c| Term::Const(c)));
+
+        // Atom pool over those terms.
+        let vocab = task.system().spec().tbox().vocab();
+        let mut pool: Vec<OntoAtom> = Vec::new();
+        for c in vocab.concept_ids() {
+            for &v in &vars {
+                pool.push(OntoAtom::Concept(c, v));
+            }
+        }
+        for r in vocab.role_ids() {
+            for &t1 in &terms {
+                for &t2 in &terms {
+                    if t1.is_var() || t2.is_var() {
+                        pool.push(OntoAtom::Role(r, t1, t2));
+                    }
+                }
+            }
+        }
+
+        // Enumerate connected subsets containing x0, up to max_atoms.
+        let mut candidates: Vec<OntoCq> = Vec::new();
+        let mut stack: Vec<OntoAtom> = Vec::new();
+        enumerate(
+            &pool,
+            0,
+            &mut stack,
+            limits.max_atoms,
+            self.max_candidates,
+            &mut candidates,
+        );
+        let candidates = dedup_candidates(candidates);
+        let scored = score_batch(task, candidates);
+        Ok(finalize(task, scored, limits.top_k))
+    }
+}
+
+fn mentions_var(atom: &OntoAtom, v: VarId) -> bool {
+    atom.terms().any(|t| t == Term::Var(v))
+}
+
+fn connected_and_safe(body: &[OntoAtom]) -> bool {
+    // x0 present?
+    if !body.iter().any(|a| mentions_var(a, VarId(0))) {
+        return false;
+    }
+    // Connectivity over shared variables/constants, seeded at the atoms
+    // holding x0.
+    let n = body.len();
+    let mut reached = vec![false; n];
+    let mut frontier: Vec<usize> = (0..n).filter(|&i| mentions_var(&body[i], VarId(0))).collect();
+    for &i in &frontier {
+        reached[i] = true;
+    }
+    while let Some(i) = frontier.pop() {
+        for j in 0..n {
+            if reached[j] {
+                continue;
+            }
+            let shares = body[i]
+                .terms()
+                .any(|t| body[j].terms().any(|u| u == t));
+            if shares {
+                reached[j] = true;
+                frontier.push(j);
+            }
+        }
+    }
+    reached.iter().all(|&r| r)
+}
+
+/// Enumerates bodies as ordered index combinations (i1 < i2 < …), pruning
+/// by the candidate budget.
+fn enumerate(
+    pool: &[OntoAtom],
+    from: usize,
+    stack: &mut Vec<OntoAtom>,
+    max_atoms: usize,
+    budget: usize,
+    out: &mut Vec<OntoCq>,
+) {
+    if out.len() >= budget {
+        return;
+    }
+    if !stack.is_empty() && connected_and_safe(stack) {
+        if let Ok(cq) = OntoCq::new(vec![VarId(0)], stack.clone()) {
+            out.push(cq);
+        }
+    }
+    if stack.len() == max_atoms {
+        return;
+    }
+    for i in from..pool.len() {
+        stack.push(pool[i]);
+        enumerate(pool, i + 1, stack, max_atoms, budget, out);
+        stack.pop();
+        if out.len() >= budget {
+            return;
+        }
+    }
+}
+
+/// Variable-normalized candidate count, exposed for the E6 table.
+pub fn candidate_space_size(task: &ExplainTask<'_>) -> usize {
+    let limits = task.limits();
+    let consts = task.prepared().relevant_constants(limits.max_constants);
+    let vocab = task.system().spec().tbox().vocab();
+    let v = limits.max_vars;
+    let t = v + consts.len();
+    let atoms = vocab.num_concepts() * v + vocab.num_roles() * (t * t - consts.len() * consts.len());
+    // Upper bound: subsets up to max_atoms.
+    (0..=limits.max_atoms).map(|k| binom(atoms, k)).sum()
+}
+
+fn binom(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut r: usize = 1;
+    for i in 0..k {
+        r = r.saturating_mul(n - i) / (i + 1);
+    }
+    r
+}
+
+/// Dedup set type re-exported for tests.
+#[allow(dead_code)]
+type Seen = FxHashSet<OntoCq>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Labels;
+    use crate::score::Scoring;
+    use crate::explain::SearchLimits;
+    use obx_obdm::example_3_6_system;
+
+    fn small_limits() -> SearchLimits {
+        SearchLimits {
+            max_atoms: 1,
+            max_vars: 2,
+            max_constants: 4,
+            top_k: 10,
+            ..SearchLimits::default()
+        }
+    }
+
+    #[test]
+    fn exhaustive_one_atom_finds_q3_like_query() {
+        let mut sys = example_3_6_system();
+        let labels =
+            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, small_limits()).unwrap();
+        let result = ExhaustiveSearch::default().explain(&task).unwrap();
+        assert!(!result.is_empty());
+        // The 1-atom optimum under Z1 is 0.833 (q3 in the paper, or the
+        // equivalent studies(x, "Science")).
+        assert!((result[0].score - 0.8333).abs() < 1e-3, "{}", result[0].score);
+    }
+
+    #[test]
+    fn connectivity_filter_rejects_disconnected_bodies() {
+        let mut sys = example_3_6_system();
+        let vocab = sys.spec().tbox().vocab();
+        let studies = vocab.get_role("studies").unwrap();
+        let likes = vocab.get_role("likes").unwrap();
+        let connected = vec![
+            OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1))),
+            OntoAtom::Role(likes, Term::Var(VarId(1)), Term::Var(VarId(2))),
+        ];
+        assert!(connected_and_safe(&connected));
+        let disconnected = vec![
+            OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1))),
+            OntoAtom::Role(likes, Term::Var(VarId(2)), Term::Var(VarId(3))),
+        ];
+        assert!(!connected_and_safe(&disconnected));
+        let no_head = vec![OntoAtom::Role(studies, Term::Var(VarId(1)), Term::Var(VarId(2)))];
+        assert!(!connected_and_safe(&no_head));
+        let _ = sys.db_mut();
+    }
+
+    #[test]
+    fn candidate_budget_is_respected() {
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
+        let scoring = Scoring::balanced();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let tiny = ExhaustiveSearch { max_candidates: 5 };
+        let result = tiny.explain(&task).unwrap();
+        assert!(result.len() <= task.limits().top_k);
+    }
+
+    #[test]
+    fn space_size_estimate_is_positive() {
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
+        let scoring = Scoring::balanced();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, small_limits()).unwrap();
+        assert!(candidate_space_size(&task) > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Greedy UCQ assembly.
+//!
+//! When λ⁺ is a union of heterogeneous clusters (the paper's Example 3.6
+//! is exactly this: Rome-students plus Science-students), no single CQ
+//! covers it well. `L_O = UCQ` (§3, criterion δ6) allows unions; this
+//! strategy takes the CQ candidates of a base strategy and greedily adds
+//! the disjunct that improves the UCQ's Z-score most, stopping when no
+//! disjunct helps — classic greedy set cover, with the Z-expression (not
+//! raw coverage) as the objective, so the δ6 parsimony criterion decides
+//! when another disjunct stops paying for itself.
+
+use super::{base_cqs, ucq_of};
+use crate::explain::{finalize, ExplainError, ExplainTask, Explanation, Strategy};
+use crate::strategies::BeamSearch;
+use obx_query::OntoCq;
+
+/// Greedy UCQ assembly over a base strategy's candidates.
+pub struct GreedyUcq {
+    /// The strategy producing the CQ candidate pool.
+    pub base: Box<dyn Strategy>,
+    /// Maximum number of disjuncts assembled.
+    pub max_disjuncts: usize,
+    /// How many base candidates to collect (the base strategy is run with
+    /// `top_k` raised to this, so heterogeneous clusters each surface a
+    /// covering CQ).
+    pub base_pool: usize,
+}
+
+impl Default for GreedyUcq {
+    fn default() -> Self {
+        Self {
+            base: Box::new(BeamSearch),
+            max_disjuncts: 4,
+            base_pool: 16,
+        }
+    }
+}
+
+impl Strategy for GreedyUcq {
+    fn name(&self) -> &'static str {
+        "greedy-ucq"
+    }
+
+    fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError> {
+        let mut base_limits = task.limits();
+        base_limits.top_k = base_limits.top_k.max(self.base_pool);
+        let base_task = task.with_limits(base_limits);
+        let base = self.base.explain(&base_task)?;
+        let candidates: Vec<OntoCq> = base_cqs(&base);
+        if candidates.is_empty() {
+            return Ok(base);
+        }
+
+        // Start from the best single CQ.
+        let mut chosen: Vec<OntoCq> = vec![candidates[0].clone()];
+        let mut best = task.score_ucq(&ucq_of(&chosen))?;
+        while chosen.len() < self.max_disjuncts {
+            let mut improvement: Option<(OntoCq, Explanation)> = None;
+            for cand in &candidates {
+                if chosen.contains(cand) {
+                    continue;
+                }
+                let mut trial = chosen.clone();
+                trial.push(cand.clone());
+                let scored = task.score_ucq(&ucq_of(&trial))?;
+                let better = match &improvement {
+                    None => scored.score > best.score + 1e-12,
+                    Some((_, cur)) => scored.score > cur.score + 1e-12,
+                };
+                if better {
+                    improvement = Some((cand.clone(), scored));
+                }
+            }
+            match improvement {
+                Some((cand, scored)) => {
+                    chosen.push(cand);
+                    best = scored;
+                }
+                None => break,
+            }
+        }
+
+        // Final ranking: the assembled UCQ plus the base results.
+        let mut pool = base;
+        pool.push(best);
+        Ok(finalize(task, pool, task.limits().top_k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::Criterion;
+    use crate::labels::Labels;
+    use crate::score::{ScoreExpr, Scoring};
+    use crate::explain::SearchLimits;
+    use obx_obdm::example_3_6_system;
+
+    /// With coverage weighted heavily and δ6 light, the union
+    /// q1-like ∪ q3-like covering all of λ⁺ should win.
+    #[test]
+    fn greedy_union_covers_heterogeneous_positives() {
+        let mut sys = example_3_6_system();
+        let labels =
+            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let scoring = Scoring::new(
+            vec![
+                Criterion::PosCoverage,
+                Criterion::NegHitPenalty,
+                Criterion::DisjunctParsimony,
+            ],
+            ScoreExpr::weighted_average(&[4.0, 4.0, 1.0]),
+        );
+        let limits = SearchLimits {
+            max_rounds: 5,
+            ..SearchLimits::default()
+        };
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, limits).unwrap();
+        let result = GreedyUcq::default().explain(&task).unwrap();
+        let best = &result[0];
+        assert_eq!(
+            best.stats.pos_matched, 4,
+            "the union should cover all positives: {}",
+            best.render(&sys)
+        );
+        assert_eq!(best.stats.neg_matched, 0);
+        assert!(best.query.len() >= 2, "a single CQ cannot cover all of λ⁺");
+    }
+
+    #[test]
+    fn greedy_stops_when_disjuncts_stop_paying() {
+        let mut sys = example_3_6_system();
+        let labels =
+            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        // δ6 dominates: additional disjuncts are punished hard, so greedy
+        // must keep the union small.
+        let scoring = Scoring::new(
+            vec![
+                Criterion::PosCoverage,
+                Criterion::NegHitPenalty,
+                Criterion::DisjunctParsimony,
+            ],
+            ScoreExpr::weighted_average(&[1.0, 1.0, 10.0]),
+        );
+        let task =
+            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let result = GreedyUcq::default().explain(&task).unwrap();
+        assert!(result[0].query.len() <= 2);
+    }
+}

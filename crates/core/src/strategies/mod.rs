@@ -1,0 +1,230 @@
+//! Search strategies for Definition 3.7.
+//!
+//! | Strategy | Direction | Completeness | Cost | Use when |
+//! |---|---|---|---|---|
+//! | [`ExhaustiveSearch`] | enumerate | complete up to its size limits | exponential | tiny vocabularies, ground truth for the others |
+//! | [`BottomUpGeneralize`] | specific → general | heuristic | `O(border · rounds · beam)` | few positives with rich borders |
+//! | [`BeamSearch`] | general → specific | heuristic | `O(rounds · beam · branching)` | the workhorse (DL-Learner-style) |
+//! | [`GreedyUcq`] | assemble disjuncts | heuristic | base + `O(k²)` | λ⁺ is a union of heterogeneous clusters |
+//!
+//! All strategies share candidate scoring (one compile per candidate, one
+//! goal-directed evaluation per labelled border), parallelized across
+//! worker threads with `crossbeam`.
+
+mod beam;
+mod bottom_up;
+mod exhaustive;
+mod greedy_ucq;
+
+pub use beam::BeamSearch;
+pub use bottom_up::BottomUpGeneralize;
+pub use exhaustive::{candidate_space_size, ExhaustiveSearch};
+pub use greedy_ucq::GreedyUcq;
+
+use crate::explain::{ExplainError, ExplainTask, Explanation};
+use obx_query::{OntoCq, OntoUcq};
+use obx_util::FxHashSet;
+
+/// Scores a batch of CQ candidates in parallel. Candidates whose
+/// compilation exceeds budgets are silently dropped (a pathological
+/// candidate should not abort the whole search); all other candidates are
+/// scored. Order follows the input.
+pub(crate) fn score_batch(
+    task: &ExplainTask<'_>,
+    candidates: Vec<OntoCq>,
+) -> Vec<Explanation> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    if candidates.len() < 4 || threads == 1 {
+        return candidates
+            .iter()
+            .filter_map(|cq| task.score_cq(cq).ok())
+            .collect();
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    let mut results: Vec<Vec<Explanation>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .filter_map(|cq| task.score_cq(cq).ok())
+                        .collect::<Vec<Explanation>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("scorer thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+/// Beam selection with a diversity cap: at most a few candidates per
+/// *signature* (multiset of predicates + confusion counts) enter the
+/// frontier. Without this, plateaus of equal-scored rewordings of one idea
+/// crowd out structurally different partial conjunctions (e.g. the
+/// `studies∘taughtIn` chain that must survive two rounds before
+/// `locatedIn(z, "Rome")` pays off in the paper's example).
+pub(crate) fn select_beam(scored: Vec<Explanation>, width: usize) -> Vec<Explanation> {
+    use obx_query::OntoAtom;
+    let ranked = crate::explain::rank(scored, usize::MAX);
+    let per_sig = (width / 6).max(2);
+    let mut counts: obx_util::FxHashMap<(Vec<u64>, usize, usize), usize> =
+        obx_util::FxHashMap::default();
+    let mut beam = Vec::with_capacity(width);
+    let mut overflow = Vec::new();
+    for e in ranked {
+        if beam.len() == width {
+            break;
+        }
+        let mut preds: Vec<u64> = e
+            .query
+            .disjuncts()
+            .iter()
+            .flat_map(|d| d.body().iter())
+            .map(|a| match a {
+                OntoAtom::Concept(c, _) => (c.0 .0 as u64) << 1,
+                OntoAtom::Role(r, _, _) => ((r.0 .0 as u64) << 1) | 1,
+            })
+            .collect();
+        preds.sort_unstable();
+        let sig = (preds, e.stats.pos_matched, e.stats.neg_matched);
+        let n = counts.entry(sig).or_insert(0);
+        if *n < per_sig {
+            *n += 1;
+            beam.push(e);
+        } else {
+            overflow.push(e);
+        }
+    }
+    // Fill any remaining width from the overflow, best first.
+    for e in overflow {
+        if beam.len() == width {
+            break;
+        }
+        beam.push(e);
+    }
+    beam
+}
+
+/// Deduplicates candidates by canonical form, preserving first occurrence.
+pub(crate) fn dedup_candidates(candidates: Vec<OntoCq>) -> Vec<OntoCq> {
+    let mut seen: FxHashSet<OntoCq> = FxHashSet::default();
+    let mut out = Vec::with_capacity(candidates.len());
+    for cq in candidates {
+        let canon = cq.canonical();
+        if seen.insert(canon.clone()) {
+            out.push(canon);
+        }
+    }
+    out
+}
+
+/// Runs a base strategy and returns its distinct single-CQ candidates (the
+/// raw material for [`GreedyUcq`]).
+pub(crate) fn base_cqs(explanations: &[Explanation]) -> Vec<OntoCq> {
+    let mut out = Vec::new();
+    let mut seen: FxHashSet<OntoCq> = FxHashSet::default();
+    for e in explanations {
+        for d in e.query.disjuncts() {
+            let canon = d.canonical();
+            if seen.insert(canon.clone()) {
+                out.push(canon);
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: wrap single CQs into UCQ explanations is already handled by
+/// `score_cq`; this helper exists for greedy UCQ assembly.
+pub(crate) fn ucq_of(cqs: &[OntoCq]) -> OntoUcq {
+    cqs.iter().cloned().collect()
+}
+
+/// Returns an error when the task's labels are not unary; the generate-
+/// and-test strategies currently synthesize unary (single-head-variable)
+/// queries only. Bottom-up generalization supports any arity.
+pub(crate) fn require_unary(
+    task: &ExplainTask<'_>,
+    strategy: &'static str,
+) -> Result<(), ExplainError> {
+    if task.arity() != 1 {
+        Err(ExplainError::UnsupportedArity {
+            strategy,
+            arity: task.arity(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Labels;
+    use crate::score::Scoring;
+    use crate::explain::SearchLimits;
+    use obx_obdm::example_3_6_system;
+    use obx_query::{OntoAtom, Term, VarId};
+
+    #[test]
+    fn score_batch_drops_nothing_on_well_formed_candidates() {
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
+        let scoring = Scoring::balanced();
+        let task =
+            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let vocab = sys.spec().tbox().vocab();
+        let studies = vocab.get_role("studies").unwrap();
+        let likes = vocab.get_role("likes").unwrap();
+        let mk = |r| {
+            OntoCq::new(
+                vec![VarId(0)],
+                vec![OntoAtom::Role(r, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+            )
+            .unwrap()
+        };
+        let scored = score_batch(&task, vec![mk(studies), mk(likes)]);
+        assert_eq!(scored.len(), 2);
+        assert!(scored.iter().all(|e| e.stats.pos_total == 1));
+    }
+
+    #[test]
+    fn dedup_candidates_collapses_renamings() {
+        let mut sys = example_3_6_system();
+        let vocab = sys.spec().tbox().vocab();
+        let studies = vocab.get_role("studies").unwrap();
+        let a = OntoCq::new(
+            vec![VarId(0)],
+            vec![OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+        )
+        .unwrap();
+        let b = OntoCq::new(
+            vec![VarId(3)],
+            vec![OntoAtom::Role(studies, Term::Var(VarId(3)), Term::Var(VarId(7)))],
+        )
+        .unwrap();
+        assert_eq!(dedup_candidates(vec![a, b]).len(), 1);
+        let _ = sys.db_mut();
+    }
+
+    #[test]
+    fn require_unary_rejects_pairs() {
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10, B80").unwrap();
+        let scoring = Scoring::balanced();
+        let task =
+            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        assert!(matches!(
+            require_unary(&task, "beam"),
+            Err(ExplainError::UnsupportedArity { arity: 2, .. })
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Synthetic TBox hierarchies for the rewriting benchmarks (E7).
+//!
+//! PerfectRef's output size is driven by how many predicates can derive
+//! each query atom, i.e. by the depth and branching of the subsumption
+//! hierarchy below the queried predicates. These builders produce the two
+//! canonical shapes:
+//!
+//! * **chain** — `C_0 ⊑ C_1 ⊑ … ⊑ C_d` (rewriting a query on `C_d` yields
+//!   `d + 1` disjuncts);
+//! * **tree** — a complete `b`-ary concept tree of depth `d` (a query on
+//!   the root yields one disjunct per node);
+//!
+//! plus role-inclusion variants of each.
+
+use obx_ontology::{parse_tbox, TBox};
+
+/// `C_0 ⊑ C_1 ⊑ … ⊑ C_depth`; query concept is `C_depth`.
+pub fn concept_chain(depth: usize) -> TBox {
+    let names: Vec<String> = (0..=depth).map(|i| format!("C{i}")).collect();
+    let mut text = format!("concept {}\n", names.join(" "));
+    for i in 0..depth {
+        text.push_str(&format!("C{} < C{}\n", i, i + 1));
+    }
+    parse_tbox(&text).expect("generated chain TBox is well-formed")
+}
+
+/// `r_0 ⊑ r_1 ⊑ … ⊑ r_depth`; query role is `r_depth`.
+pub fn role_chain(depth: usize) -> TBox {
+    let names: Vec<String> = (0..=depth).map(|i| format!("r{i}")).collect();
+    let mut text = format!("role {}\n", names.join(" "));
+    for i in 0..depth {
+        text.push_str(&format!("r{} < r{}\n", i, i + 1));
+    }
+    parse_tbox(&text).expect("generated chain TBox is well-formed")
+}
+
+/// A complete `branching`-ary tree of concepts with `depth` levels below
+/// the root `C0`. Every node is subsumed by its parent; querying `C0`
+/// rewrites to one disjunct per node.
+pub fn concept_tree(depth: usize, branching: usize) -> TBox {
+    // Level-order ids: node n has children n*b+1 … n*b+b.
+    let mut count = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= branching;
+        count += level;
+    }
+    let names: Vec<String> = (0..count).map(|i| format!("C{i}")).collect();
+    let mut text = format!("concept {}\n", names.join(" "));
+    for child in 1..count {
+        let parent = (child - 1) / branching;
+        text.push_str(&format!("C{child} < C{parent}\n"));
+    }
+    parse_tbox(&text).expect("generated tree TBox is well-formed")
+}
+
+/// Number of nodes in [`concept_tree`]'s output.
+pub fn tree_size(depth: usize, branching: usize) -> usize {
+    let mut count = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= branching;
+        count += level;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_query::{perfect_ref, OntoAtom, OntoCq, OntoUcq, RewriteBudget, Term, VarId};
+
+    fn rewrite_concept(tbox: &TBox, name: &str) -> usize {
+        let c = tbox.vocab().get_concept(name).unwrap();
+        let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(c, Term::Var(VarId(0)))])
+            .unwrap();
+        perfect_ref(&OntoUcq::from_cq(q), tbox, RewriteBudget::default())
+            .unwrap()
+            .len()
+    }
+
+    #[test]
+    fn chain_rewrites_linearly() {
+        for depth in [0, 1, 4, 10] {
+            let tbox = concept_chain(depth);
+            assert_eq!(rewrite_concept(&tbox, &format!("C{depth}")), depth + 1);
+        }
+    }
+
+    #[test]
+    fn role_chain_rewrites_linearly() {
+        let tbox = role_chain(5);
+        let r = tbox.vocab().get_role("r5").unwrap();
+        let q = OntoCq::new(
+            vec![VarId(0)],
+            vec![OntoAtom::Role(r, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+        )
+        .unwrap();
+        let rewritten =
+            perfect_ref(&OntoUcq::from_cq(q), &tbox, RewriteBudget::default()).unwrap();
+        assert_eq!(rewritten.len(), 6);
+    }
+
+    #[test]
+    fn tree_rewrites_to_one_disjunct_per_node() {
+        let tbox = concept_tree(3, 2);
+        assert_eq!(tree_size(3, 2), 15);
+        assert_eq!(rewrite_concept(&tbox, "C0"), 15);
+        // A leaf only rewrites to itself.
+        assert_eq!(rewrite_concept(&tbox, "C14"), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! `obx-datagen` — synthetic workloads for evaluating the explanation
+//! framework.
+//!
+//! The paper defers quantitative evaluation to future work and its §1
+//! motivation mentions proprietary data (COMPAS). This crate supplies the
+//! substitutes (documented in DESIGN.md §4): every generator is
+//! deterministic given a seed, plants a known **ground-truth ontology
+//! query** as the hidden classifier, labels tuples by its certain answers,
+//! and can corrupt labels with Bernoulli noise — enabling the fidelity
+//! measurements (E5) that an opaque real-world classifier would not.
+//!
+//! * [`scenario`] — the common `Scenario` bundle + fidelity metrics;
+//! * [`university`] — the paper's running example, scaled (E6, E9);
+//! * [`recidivism`] — a COMPAS-like bias-audit scenario (E9, examples);
+//! * [`random_scenario`] — random DL-Lite OBDM systems for engine
+//!   cross-checks and scaling sweeps (E5, E7, E8, E10);
+//! * [`hierarchy`] — chain/tree TBox builders for rewriting benchmarks
+//!   (E7).
+
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod random_scenario;
+pub mod recidivism;
+pub mod scenario;
+pub mod university;
+
+pub use random_scenario::{random_scenario, RandomParams};
+pub use recidivism::{recidivism_scenario, RecidivismParams};
+pub use scenario::{fidelity, Fidelity, Scenario};
+pub use university::{university_scenario, UniversityParams};

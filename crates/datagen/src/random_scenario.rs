@@ -1,0 +1,270 @@
+//! Random DL-Lite OBDM scenarios.
+//!
+//! Used by the scaling experiments (E5, E8, E10) and — crucially — by the
+//! engine cross-check property tests: a random TBox + mapping + database +
+//! random queries, evaluated by both certain-answer engines, is the
+//! strongest correctness guard the rewriting implementation has.
+
+use crate::scenario::{label_by_query, Scenario};
+use obx_mapping::parse_mapping;
+use obx_obdm::{ObdmSpec, ObdmSystem};
+use obx_ontology::parse_tbox;
+use obx_query::{OntoAtom, OntoCq, OntoUcq, Term, VarId};
+use obx_srcdb::{parse_schema, Database, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_scenario`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomParams {
+    /// Number of atomic concepts.
+    pub n_concepts: usize,
+    /// Number of atomic roles.
+    pub n_roles: usize,
+    /// Probability that a concept/role gets a parent in the hierarchy.
+    pub incl_prob: f64,
+    /// Number of individuals.
+    pub n_individuals: usize,
+    /// Number of concept facts.
+    pub n_concept_facts: usize,
+    /// Number of role facts.
+    pub n_role_facts: usize,
+    /// Body size of the planted ground-truth query.
+    pub truth_atoms: usize,
+    /// Probability of flipping a label.
+    pub label_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        Self {
+            n_concepts: 6,
+            n_roles: 4,
+            incl_prob: 0.5,
+            n_individuals: 60,
+            n_concept_facts: 80,
+            n_role_facts: 120,
+            truth_atoms: 2,
+            label_noise: 0.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds just the random OBDM *system* (no labels) — reused by the
+/// cross-check property tests, which generate their own queries.
+pub fn random_system(params: RandomParams, rng: &mut StdRng) -> ObdmSystem {
+    // TBox text.
+    let mut tbox_text = String::new();
+    let concepts: Vec<String> = (0..params.n_concepts).map(|i| format!("C{i}")).collect();
+    let roles: Vec<String> = (0..params.n_roles).map(|i| format!("r{i}")).collect();
+    tbox_text.push_str(&format!("concept {}\n", concepts.join(" ")));
+    tbox_text.push_str(&format!("role {}\n", roles.join(" ")));
+    for i in 1..params.n_concepts {
+        if rng.gen_bool(params.incl_prob) {
+            let parent = rng.gen_range(0..i);
+            tbox_text.push_str(&format!("C{i} < C{parent}\n"));
+        }
+    }
+    for i in 1..params.n_roles {
+        if rng.gen_bool(params.incl_prob) {
+            let parent = rng.gen_range(0..i);
+            // Occasionally through an inverse, exercising that code path.
+            if rng.gen_bool(0.25) {
+                tbox_text.push_str(&format!("r{i} < inv(r{parent})\n"));
+            } else {
+                tbox_text.push_str(&format!("r{i} < r{parent}\n"));
+            }
+        }
+    }
+    // Existential axioms now and then: C_i ⊑ ∃r_j.
+    for i in 0..params.n_concepts {
+        if rng.gen_bool(params.incl_prob / 2.0) {
+            let j = rng.gen_range(0..params.n_roles);
+            tbox_text.push_str(&format!("C{i} < exists(r{j})\n"));
+        }
+    }
+    let tbox = parse_tbox(&tbox_text).expect("generated TBox is well-formed");
+
+    // Schema + one-to-one mapping.
+    let mut schema_text = String::new();
+    let mut mapping_text = String::new();
+    for i in 0..params.n_concepts {
+        schema_text.push_str(&format!("TC{i}/1 "));
+        mapping_text.push_str(&format!("TC{i}(x) ~> C{i}(x)\n"));
+    }
+    for i in 0..params.n_roles {
+        schema_text.push_str(&format!("TR{i}/2 "));
+        mapping_text.push_str(&format!("TR{i}(x, y) ~> r{i}(x, y)\n"));
+    }
+    let schema = parse_schema(&schema_text).expect("generated schema is well-formed");
+    let mut db = Database::new(schema);
+
+    // Facts.
+    let ind = |i: usize| format!("ind{i}");
+    for _ in 0..params.n_concept_facts {
+        let c = rng.gen_range(0..params.n_concepts);
+        let i = rng.gen_range(0..params.n_individuals);
+        db.insert_named(&format!("TC{c}"), &[&ind(i)]).expect("fits");
+    }
+    for _ in 0..params.n_role_facts {
+        let r = rng.gen_range(0..params.n_roles);
+        let i = rng.gen_range(0..params.n_individuals);
+        let j = rng.gen_range(0..params.n_individuals);
+        db.insert_named(&format!("TR{r}"), &[&ind(i), &ind(j)])
+            .expect("fits");
+    }
+    // Make sure every individual exists in the domain (singleton borders
+    // are fine, absent constants are not).
+    for i in 0..params.n_individuals {
+        let c = rng.gen_range(0..params.n_concepts);
+        db.insert_named(&format!("TC{c}"), &[&ind(i)]).expect("fits");
+    }
+
+    let (schema_ref, consts) = db.schema_and_consts_mut();
+    let mapping = parse_mapping(schema_ref, tbox.vocab(), consts, &mapping_text)
+        .expect("generated mapping is well-formed");
+    ObdmSystem::new(ObdmSpec::new(tbox, mapping), db)
+}
+
+/// A random connected unary query over the system's ontology vocabulary
+/// (for property tests and planted classifiers).
+pub fn random_query(system: &ObdmSystem, rng: &mut StdRng, n_atoms: usize) -> OntoUcq {
+    let vocab = system.spec().tbox().vocab();
+    let concepts: Vec<_> = vocab.concept_ids().collect();
+    let roles: Vec<_> = vocab.role_ids().collect();
+    let mut body: Vec<OntoAtom> = Vec::with_capacity(n_atoms);
+    let mut frontier = VarId(0);
+    let mut next_var = 1u32;
+    for k in 0..n_atoms.max(1) {
+        let concept_atom = roles.is_empty() || (rng.gen_bool(0.4) && !concepts.is_empty());
+        if concept_atom {
+            let c = concepts[rng.gen_range(0..concepts.len())];
+            body.push(OntoAtom::Concept(c, Term::Var(frontier)));
+        } else {
+            let r = roles[rng.gen_range(0..roles.len())];
+            let fresh = VarId(next_var);
+            next_var += 1;
+            if rng.gen_bool(0.5) {
+                body.push(OntoAtom::Role(r, Term::Var(frontier), Term::Var(fresh)));
+            } else {
+                body.push(OntoAtom::Role(r, Term::Var(fresh), Term::Var(frontier)));
+            }
+            // Half the time keep chaining from the new variable.
+            if rng.gen_bool(0.5) && k + 1 < n_atoms {
+                frontier = fresh;
+            }
+        }
+    }
+    let cq = OntoCq::new(vec![VarId(0)], body).expect("x0 occurs in the first atom");
+    OntoUcq::from_cq(cq)
+}
+
+/// Generates the full random scenario: system + planted query + labels.
+/// Retries the plant until the query has at least one positive and one
+/// negative (up to 40 attempts, then falls back to a single-atom query).
+pub fn random_scenario(params: RandomParams) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let system = random_system(params, &mut rng);
+    let pool: Vec<Tuple> = (0..params.n_individuals)
+        .map(|i| {
+            vec![system
+                .db()
+                .consts()
+                .get(&format!("ind{i}"))
+                .expect("individual interned")]
+            .into_boxed_slice()
+        })
+        .collect();
+
+    let mut truth = random_query(&system, &mut rng, 1);
+    for attempt in 0..40 {
+        let n_atoms = 1 + (attempt % params.truth_atoms.max(1));
+        let candidate = random_query(&system, &mut rng, n_atoms);
+        if let Ok(answers) = system.certain_answers(&candidate) {
+            let pos = pool.iter().filter(|t| answers.contains(*t)).count();
+            if pos > 0 && pos < pool.len() {
+                truth = candidate;
+                break;
+            }
+        }
+    }
+    let labels = label_by_query(&system, &truth, &pool, params.label_noise, &mut rng)
+        .expect("labelling within budgets");
+    Scenario {
+        system,
+        labels,
+        ground_truth: Some(truth),
+        description: format!("random({params:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_obdm::ChaseConfig;
+    use obx_srcdb::View;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = random_scenario(RandomParams::default());
+        let b = random_scenario(RandomParams::default());
+        assert_eq!(a.system.db().len(), b.system.db().len());
+        assert_eq!(a.labels.pos().len(), b.labels.pos().len());
+    }
+
+    #[test]
+    fn planted_query_separates_the_pool() {
+        let s = random_scenario(RandomParams::default());
+        assert!(!s.labels.pos().is_empty());
+        assert!(!s.labels.neg().is_empty());
+    }
+
+    /// The headline correctness guard: the rewriting and materialization
+    /// engines agree on random systems and random queries.
+    #[test]
+    fn engines_agree_on_random_scenarios() {
+        for seed in 0..8 {
+            let params = RandomParams {
+                seed,
+                n_individuals: 25,
+                n_concept_facts: 30,
+                n_role_facts: 40,
+                ..RandomParams::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let system = random_system(params, &mut rng);
+            for qi in 0..6 {
+                let n_atoms = 1 + qi % 3;
+                let q = random_query(&system, &mut rng, n_atoms);
+                let rewriting = match system.certain_answers(&q) {
+                    Ok(ans) => ans,
+                    Err(_) => continue, // budget blow-up: skip, not a bug
+                };
+                let materialized = system.certain_answers_materialized(
+                    &q,
+                    View::full(system.db()),
+                    ChaseConfig::for_ucq(&q),
+                );
+                assert_eq!(
+                    rewriting, materialized,
+                    "engines disagree (seed {seed}, query {qi}: {q:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_queries_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let system = random_system(RandomParams::default(), &mut rng);
+        for n in 1..5 {
+            let q = random_query(&system, &mut rng, n);
+            assert_eq!(q.disjuncts().len(), 1);
+            assert!(q.disjuncts()[0].num_atoms() <= n.max(1));
+            assert_eq!(q.disjuncts()[0].arity(), 1);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! COMPAS-like recidivism-risk scenario (bias auditing).
+//!
+//! The paper's §1 motivates the framework with the COMPAS system's biased
+//! risk scores. The real data is proprietary; this generator builds a
+//! synthetic analogue with the same *shape*: defendants with demographic
+//! attributes, prior-offence histories, and charges; a planted "risk
+//! classifier" that — configurably — leans on a protected attribute. An
+//! auditor who runs the explanation framework over the resulting labels
+//! recovers a query that names the protected attribute explicitly, which
+//! is precisely the transparency the paper argues for.
+
+use crate::scenario::{label_by_query, Scenario};
+use obx_mapping::parse_mapping;
+use obx_obdm::{ObdmSpec, ObdmSystem};
+use obx_ontology::parse_tbox;
+use obx_srcdb::{parse_schema, Database, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`recidivism_scenario`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecidivismParams {
+    /// Number of defendants.
+    pub n_defendants: usize,
+    /// Whether the planted classifier uses the protected attribute
+    /// (`true` = biased rule: groupA ∧ priors; `false` = neutral rule:
+    /// felony charge ∧ priors).
+    pub biased: bool,
+    /// Probability of flipping a label.
+    pub label_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RecidivismParams {
+    fn default() -> Self {
+        Self {
+            n_defendants: 120,
+            biased: true,
+            label_noise: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates the synthetic recidivism scenario.
+pub fn recidivism_scenario(params: RecidivismParams) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let schema = parse_schema("DEF/2 PRIORS/2 CHARGE/2").expect("static schema");
+    let mut db = Database::new(schema);
+
+    let groups = ["groupA", "groupB"];
+    let priors = ["none", "low", "high"];
+    let charges = ["misdemeanor", "felony"];
+    let mut pool: Vec<Tuple> = Vec::with_capacity(params.n_defendants);
+    for d in 0..params.n_defendants {
+        let name = format!("def{d}");
+        let group = groups[rng.gen_range(0..groups.len())];
+        let prior = priors[rng.gen_range(0..priors.len())];
+        let charge = charges[rng.gen_range(0..charges.len())];
+        db.insert_named("DEF", &[&name, group]).expect("fits");
+        db.insert_named("PRIORS", &[&name, prior]).expect("fits");
+        db.insert_named("CHARGE", &[&name, charge]).expect("fits");
+        pool.push(vec![db.consts().get(&name).expect("interned")].into_boxed_slice());
+    }
+
+    let tbox = parse_tbox(
+        "concept Defendant\n\
+         role belongsToGroup hasPriorsLevel chargedWith involvedWith\n\
+         # every specific judicial relation is a kind of involvement —\n\
+         # lets explanations generalize away from the exact table\n\
+         chargedWith < involvedWith\n\
+         hasPriorsLevel < involvedWith",
+    )
+    .expect("static tbox");
+    let (schema_ref, consts) = db.schema_and_consts_mut();
+    let mapping = parse_mapping(
+        schema_ref,
+        tbox.vocab(),
+        consts,
+        "DEF(x, g) ~> Defendant(x)\n\
+         DEF(x, g) ~> belongsToGroup(x, g)\n\
+         PRIORS(x, p) ~> hasPriorsLevel(x, p)\n\
+         CHARGE(x, c) ~> chargedWith(x, c)",
+    )
+    .expect("static mapping");
+    let mut system = ObdmSystem::new(ObdmSpec::new(tbox, mapping), db);
+
+    let truth = if params.biased {
+        system
+            .parse_query(r#"q(x) :- belongsToGroup(x, "groupA"), hasPriorsLevel(x, "high")"#)
+            .expect("static truth")
+    } else {
+        system
+            .parse_query(r#"q(x) :- chargedWith(x, "felony"), hasPriorsLevel(x, "high")"#)
+            .expect("static truth")
+    };
+    let labels = label_by_query(&system, &truth, &pool, params.label_noise, &mut rng)
+        .expect("labelling within budgets");
+    Scenario {
+        system,
+        labels,
+        ground_truth: Some(truth),
+        description: format!("recidivism({params:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_core::explain::{ExplainTask, SearchLimits, Strategy};
+    use obx_core::score::Scoring;
+    use obx_core::strategies::BeamSearch;
+
+    #[test]
+    fn deterministic_and_fully_labelled() {
+        let a = recidivism_scenario(RecidivismParams::default());
+        let b = recidivism_scenario(RecidivismParams::default());
+        assert_eq!(a.labels.pos().len(), b.labels.pos().len());
+        assert_eq!(a.labels.len(), 120);
+    }
+
+    #[test]
+    fn biased_and_neutral_rules_differ() {
+        let biased = recidivism_scenario(RecidivismParams::default());
+        let neutral = recidivism_scenario(RecidivismParams {
+            biased: false,
+            ..RecidivismParams::default()
+        });
+        assert_ne!(biased.labels.pos().len(), neutral.labels.pos().len());
+    }
+
+    /// The headline bias-audit behaviour: explaining the biased classifier
+    /// surfaces the protected attribute.
+    #[test]
+    fn audit_recovers_the_protected_attribute() {
+        let s = recidivism_scenario(RecidivismParams {
+            n_defendants: 60,
+            ..RecidivismParams::default()
+        });
+        let scoring = Scoring::accuracy();
+        let limits = SearchLimits {
+            max_rounds: 4,
+            ..SearchLimits::default()
+        };
+        let task = ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+        let result = BeamSearch.explain(&task).unwrap();
+        let best = &result[0];
+        let rendered = best.render(&s.system);
+        assert!(
+            rendered.contains("groupA"),
+            "bias not surfaced by `{rendered}` (score {})",
+            best.score
+        );
+        assert!(best.stats.perfect(), "planted rule is learnable: {rendered}");
+    }
+}

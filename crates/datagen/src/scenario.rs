@@ -1,0 +1,151 @@
+//! The `Scenario` bundle and fidelity metrics.
+
+use obx_core::labels::Labels;
+use obx_obdm::{ObdmError, ObdmSystem};
+use obx_query::OntoUcq;
+use obx_srcdb::Tuple;
+use rand::Rng;
+
+/// A generated evaluation scenario: an OBDM system, a labelled λ, and
+/// (when planted) the hidden ground-truth query that produced the labels.
+pub struct Scenario {
+    /// Σ = ⟨J, D⟩.
+    pub system: ObdmSystem,
+    /// λ⁺ / λ⁻ (possibly noise-corrupted).
+    pub labels: Labels,
+    /// The planted classifier, if any.
+    pub ground_truth: Option<OntoUcq>,
+    /// Human-readable description (generator + parameters).
+    pub description: String,
+}
+
+/// Set-overlap metrics between a learned query and the ground truth,
+/// measured on their certain answers over the *full* database (i.e. the
+/// classifier's true behaviour, before label noise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fidelity {
+    /// |learned ∩ truth| / |learned|.
+    pub precision: f64,
+    /// |learned ∩ truth| / |truth|.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+/// Compares the certain answers of `learned` and `truth` over the system.
+pub fn fidelity(
+    system: &ObdmSystem,
+    learned: &OntoUcq,
+    truth: &OntoUcq,
+) -> Result<Fidelity, ObdmError> {
+    let a = system.certain_answers(learned)?;
+    let b = system.certain_answers(truth)?;
+    let inter = a.intersection(&b).count() as f64;
+    let precision = if a.is_empty() { 0.0 } else { inter / a.len() as f64 };
+    let recall = if b.is_empty() { 0.0 } else { inter / b.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Ok(Fidelity {
+        precision,
+        recall,
+        f1,
+    })
+}
+
+/// Labels a pool of candidate tuples by membership in `truth`'s certain
+/// answers, flipping each label with probability `noise`.
+pub fn label_by_query(
+    system: &ObdmSystem,
+    truth: &OntoUcq,
+    pool: &[Tuple],
+    noise: f64,
+    rng: &mut impl Rng,
+) -> Result<Labels, ObdmError> {
+    let answers = system.certain_answers(truth)?;
+    let mut labels = Labels::new();
+    for t in pool {
+        let mut positive = answers.contains(t);
+        if noise > 0.0 && rng.gen_bool(noise) {
+            positive = !positive;
+        }
+        let outcome = if positive {
+            labels.add_pos(t.clone())
+        } else {
+            labels.add_neg(t.clone())
+        };
+        outcome.expect("pool tuples are distinct and of equal arity");
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_obdm::example_3_6_system;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fidelity_of_identical_queries_is_one() {
+        let mut sys = example_3_6_system();
+        let q = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let f = fidelity(&sys, &q, &q).unwrap();
+        assert_eq!(f, Fidelity { precision: 1.0, recall: 1.0, f1: 1.0 });
+    }
+
+    #[test]
+    fn fidelity_of_disjoint_queries_is_zero() {
+        let mut sys = example_3_6_system();
+        let math = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let science = sys.parse_query(r#"q(x) :- studies(x, "Science")"#).unwrap();
+        let f = fidelity(&sys, &math, &science).unwrap();
+        assert_eq!(f.f1, 0.0);
+    }
+
+    #[test]
+    fn fidelity_partial_overlap() {
+        let mut sys = example_3_6_system();
+        // learned: everyone who studies anything (5) ⊇ truth: Math (3).
+        let all = sys.parse_query("q(x) :- studies(x, y)").unwrap();
+        let math = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let f = fidelity(&sys, &all, &math).unwrap();
+        assert!((f.precision - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(f.recall, 1.0);
+    }
+
+    #[test]
+    fn labelling_without_noise_matches_certain_answers() {
+        let mut sys = example_3_6_system();
+        let math = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let pool: Vec<Tuple> = ["A10", "B80", "C12", "D50", "E25"]
+            .iter()
+            .map(|s| vec![sys.db().consts().get(s).unwrap()].into_boxed_slice())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let labels = label_by_query(&sys, &math, &pool, 0.0, &mut rng).unwrap();
+        assert_eq!(labels.pos().len(), 3);
+        assert_eq!(labels.neg().len(), 2);
+    }
+
+    #[test]
+    fn noise_flips_are_seed_deterministic() {
+        let mut sys = example_3_6_system();
+        let math = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let pool: Vec<Tuple> = ["A10", "B80", "C12", "D50", "E25"]
+            .iter()
+            .map(|s| vec![sys.db().consts().get(s).unwrap()].into_boxed_slice())
+            .collect();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let l = label_by_query(&sys, &math, &pool, 0.5, &mut rng).unwrap();
+            (l.pos().to_vec(), l.neg().to_vec())
+        };
+        assert_eq!(run(7), run(7));
+        // With 50% noise and 5 tuples, different seeds almost surely differ;
+        // check a pair that does (fixed seeds keep this deterministic).
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,17 @@
+//! `obx-integration` — cross-crate integration tests and the workspace's
+//! runnable examples.
+//!
+//! The library itself only re-exports the sibling crates so that examples
+//! and tests have one import root; all substance lives in the workspace
+//! `tests/` and `examples/` directories, wired into this crate's targets.
+
+#![warn(missing_docs)]
+
+pub use obx_core as core;
+pub use obx_datagen as datagen;
+pub use obx_mapping as mapping;
+pub use obx_obdm as obdm;
+pub use obx_ontology as ontology;
+pub use obx_query as query;
+pub use obx_srcdb as srcdb;
+pub use obx_util as util;

@@ -1,0 +1,186 @@
+//! GAV mapping assertions.
+
+use obx_query::{OntoAtom, SrcCq, Term, VarId};
+use obx_srcdb::{ConstPool, Schema};
+use obx_ontology::OntoVocab;
+use std::fmt;
+
+/// Errors constructing a mapping assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A head variable does not occur in the body.
+    UnboundHeadVar(VarId),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::UnboundHeadVar(v) => {
+                write!(f, "mapping head uses variable x{} not bound by the body", v.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// One sound GAV assertion `body(x̄) ⇝ head(x̄)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingAssertion {
+    body: SrcCq,
+    head: OntoAtom,
+}
+
+impl MappingAssertion {
+    /// Builds an assertion, checking that every head variable is bound by
+    /// the body.
+    pub fn new(body: SrcCq, head: OntoAtom) -> Result<Self, MappingError> {
+        for t in head.terms() {
+            if let Term::Var(v) = t {
+                let bound = body
+                    .body()
+                    .iter()
+                    .any(|a| a.args.contains(&Term::Var(v)));
+                if !bound {
+                    return Err(MappingError::UnboundHeadVar(v));
+                }
+            }
+        }
+        Ok(Self { body, head })
+    }
+
+    /// The source-side CQ.
+    pub fn body(&self) -> &SrcCq {
+        &self.body
+    }
+
+    /// The ontology-side atom template.
+    pub fn head(&self) -> &OntoAtom {
+        &self.head
+    }
+
+    /// Renders like `ENR(x0, x1, x2) ~> studies(x0, x1)`.
+    pub fn render(
+        &self,
+        schema: &Schema,
+        vocab: &OntoVocab,
+        consts: &ConstPool,
+    ) -> String {
+        let body = self
+            .body
+            .body()
+            .iter()
+            .map(|a| a.render(schema, consts))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{} ~> {}", body, self.head.render(vocab, consts))
+    }
+}
+
+/// The mapping `M`: an ordered set of assertions.
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    assertions: Vec<MappingAssertion>,
+}
+
+impl Mapping {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an assertion.
+    pub fn add(&mut self, assertion: MappingAssertion) {
+        if !self.assertions.contains(&assertion) {
+            self.assertions.push(assertion);
+        }
+    }
+
+    /// All assertions.
+    pub fn assertions(&self) -> &[MappingAssertion] {
+        &self.assertions
+    }
+
+    /// Number of assertions.
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+
+    /// Renders one assertion per line.
+    pub fn render(&self, schema: &Schema, vocab: &OntoVocab, consts: &ConstPool) -> String {
+        let mut s = String::new();
+        for a in &self.assertions {
+            s.push_str(&a.render(schema, vocab, consts));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_query::SrcAtom;
+    use obx_ontology::parse_tbox;
+    use obx_srcdb::parse_schema;
+
+    #[test]
+    fn head_vars_must_be_bound() {
+        let schema = parse_schema("ENR/3").unwrap();
+        let tbox = parse_tbox("role studies").unwrap();
+        let enr = schema.rel("ENR").unwrap();
+        let studies = tbox.vocab().get_role("studies").unwrap();
+        let body = SrcCq::new(
+            vec![VarId(0), VarId(1)],
+            vec![SrcAtom::new(
+                enr,
+                [Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Var(VarId(2))],
+            )],
+        )
+        .unwrap();
+        let ok = MappingAssertion::new(
+            body.clone(),
+            OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1))),
+        );
+        assert!(ok.is_ok());
+        let bad = MappingAssertion::new(
+            body,
+            OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(9))),
+        );
+        assert_eq!(bad.unwrap_err(), MappingError::UnboundHeadVar(VarId(9)));
+    }
+
+    #[test]
+    fn mapping_dedups_and_renders() {
+        let schema = parse_schema("ENR/3").unwrap();
+        let tbox = parse_tbox("role studies").unwrap();
+        let mut consts = ConstPool::new();
+        let enr = schema.rel("ENR").unwrap();
+        let studies = tbox.vocab().get_role("studies").unwrap();
+        let body = SrcCq::new(
+            vec![VarId(0), VarId(1)],
+            vec![SrcAtom::new(
+                enr,
+                [Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Var(VarId(2))],
+            )],
+        )
+        .unwrap();
+        let a = MappingAssertion::new(
+            body,
+            OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1))),
+        )
+        .unwrap();
+        let mut m = Mapping::new();
+        m.add(a.clone());
+        m.add(a);
+        assert_eq!(m.len(), 1);
+        let rendered = m.render(&schema, tbox.vocab(), &consts);
+        assert_eq!(rendered, "ENR(x0, x1, x2) ~> studies(x0, x1)\n");
+        let _ = &mut consts;
+    }
+}

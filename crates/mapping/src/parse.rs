@@ -1,0 +1,254 @@
+//! Text syntax for mappings: one assertion per line,
+//! `srcAtom, srcAtom, ... ~> ontoAtom` (the paper's `⇝`, spelled `~>`).
+//!
+//! ```text
+//! ENR(x, y, z) ~> studies(x, y)
+//! ENR(x, y, z) ~> taughtIn(y, z)
+//! LOC(x, y)    ~> locatedIn(x, y)
+//! ```
+
+use crate::assertion::{Mapping, MappingAssertion};
+use obx_query::{parse_onto_cq, parse_src_cq, OntoAtom, QueryParseError, Term, VarId};
+use obx_srcdb::{ConstPool, Schema};
+use obx_ontology::OntoVocab;
+use obx_util::FxHashMap;
+
+fn err(msg: impl Into<String>) -> QueryParseError {
+    QueryParseError { msg: msg.into() }
+}
+
+/// Parses a mapping. Constants are interned into `consts` (pass the
+/// database's pool).
+pub fn parse_mapping(
+    schema: &Schema,
+    vocab: &OntoVocab,
+    consts: &mut ConstPool,
+    text: &str,
+) -> Result<Mapping, QueryParseError> {
+    let mut mapping = Mapping::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (body_txt, head_txt) = line
+            .split_once("~>")
+            .ok_or_else(|| err(format!("line {}: expected `body ~> head`", lineno + 1)))?;
+
+        // Reuse the query parsers by synthesising heads. Variable names must
+        // resolve identically on both sides, so collect the body's variable
+        // names first and reparse the head with the same name→id order.
+        // The src parser numbers variables by first occurrence; we exploit
+        // that by parsing `q(<all vars in order>) :- body` and
+        // `q(<same vars>) :- body, and reading the head atom separately.
+        let var_names = collect_var_names(body_txt, head_txt)?;
+        let head_list = var_names.join(", ");
+        let body_cq = parse_src_cq(
+            schema,
+            consts,
+            &format!("q({head_list}) :- {body_txt}"),
+        )
+        .map_err(|e| err(format!("line {}: {}", lineno + 1, e.msg)))?;
+        // Parse the head as a 1-atom ontology CQ over the same variable
+        // order (vars not in the head are padded through the body text —
+        // instead we parse with an explicit scope built from var_names).
+        let head_atom = parse_head_atom(vocab, consts, &var_names, head_txt.trim())
+            .map_err(|e| err(format!("line {}: {}", lineno + 1, e.msg)))?;
+        let assertion = MappingAssertion::new(body_cq, head_atom)
+            .map_err(|e| err(format!("line {}: {}", lineno + 1, e)))?;
+        mapping.add(assertion);
+    }
+    Ok(mapping)
+}
+
+/// Returns the distinct variable names of the body text, in first-occurrence
+/// order (matching `parse_src_cq`'s numbering), ensuring head vars exist.
+fn collect_var_names(body_txt: &str, head_txt: &str) -> Result<Vec<String>, QueryParseError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut push = |tok: &str| {
+        if !tok.is_empty() && !names.iter().any(|n| n == tok) {
+            names.push(tok.to_owned());
+        }
+    };
+    for tok in tokens(body_txt) {
+        push(&tok);
+    }
+    let body_count = names.len();
+    for tok in tokens(head_txt) {
+        if !names.contains(&tok) {
+            return Err(err(format!("head variable `{tok}` not bound by body")));
+        }
+    }
+    names.truncate(body_count);
+    Ok(names)
+}
+
+/// Extracts bare-identifier argument tokens (variables) from atom text,
+/// skipping predicate names and quoted constants.
+fn tokens(text: &str) -> Vec<String> {
+    // Argument tokens are the comma-separated pieces inside parentheses;
+    // predicate names sit at depth 0 and are skipped.
+    let mut vars = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    let flush = |cur: &mut String, depth: usize, vars: &mut Vec<String>| {
+        let tok = cur.trim().to_owned();
+        cur.clear();
+        if depth > 0 && !tok.is_empty() && !tok.starts_with('"') && !tok.starts_with('\'') {
+            vars.push(tok);
+        }
+    };
+    for ch in text.chars() {
+        match ch {
+            '(' => {
+                cur.clear();
+                depth += 1;
+            }
+            ')' => {
+                flush(&mut cur, depth, &mut vars);
+                depth = depth.saturating_sub(1);
+            }
+            ',' => flush(&mut cur, depth, &mut vars),
+            _ => cur.push(ch),
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    vars.retain(|v| seen.insert(v.clone()));
+    vars
+}
+
+/// Parses the head atom with an explicit variable scope.
+fn parse_head_atom(
+    vocab: &OntoVocab,
+    consts: &mut ConstPool,
+    var_names: &[String],
+    head_txt: &str,
+) -> Result<OntoAtom, QueryParseError> {
+    // Parse `q(v...) :- head_txt` where v... are exactly the head's own
+    // variables; then remap variable ids to the body's numbering.
+    let head_vars = tokens(head_txt);
+    let synth = if head_vars.is_empty() {
+        // Constant-only heads are not useful; require at least one var.
+        return Err(err("mapping head must use at least one variable"));
+    } else {
+        format!("q({}) :- {}", head_vars.join(", "), head_txt)
+    };
+    let cq = parse_onto_cq(vocab, consts, &synth)?;
+    if cq.num_atoms() != 1 {
+        return Err(err("mapping head must be a single ontology atom"));
+    }
+    // parse_onto_cq numbered head_vars 0..n in order; remap to body order.
+    let mut remap: FxHashMap<VarId, VarId> = FxHashMap::default();
+    for (i, name) in head_vars.iter().enumerate() {
+        let body_idx = var_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| err(format!("head variable `{name}` not bound by body")))?;
+        remap.insert(VarId(i as u32), VarId(body_idx as u32));
+    }
+    let atom = cq.body()[0];
+    let map = |t: Term| match t {
+        Term::Var(v) => Term::Var(remap[&v]),
+        c => c,
+    };
+    Ok(match atom {
+        OntoAtom::Concept(c, t) => OntoAtom::Concept(c, map(t)),
+        OntoAtom::Role(r, t1, t2) => OntoAtom::Role(r, map(t1), map(t2)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_ontology::parse_tbox;
+    use obx_srcdb::parse_schema;
+
+    #[test]
+    fn parses_the_papers_mapping() {
+        let schema = parse_schema("STUD/1 LOC/2 ENR/3").unwrap();
+        let tbox = parse_tbox("role studies taughtIn locatedIn").unwrap();
+        let mut consts = ConstPool::new();
+        let m = parse_mapping(
+            &schema,
+            tbox.vocab(),
+            &mut consts,
+            r#"
+            # the paper's M
+            ENR(x, y, z) ~> studies(x, y)
+            ENR(x, y, z) ~> taughtIn(y, z)
+            LOC(x, y) ~> locatedIn(x, y)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.len(), 3);
+        let rendered = m.render(&schema, tbox.vocab(), &consts);
+        assert!(rendered.contains("ENR(x0, x1, x2) ~> studies(x0, x1)"));
+        assert!(rendered.contains("ENR(x0, x1, x2) ~> taughtIn(x1, x2)"));
+        assert!(rendered.contains("LOC(x0, x1) ~> locatedIn(x0, x1)"));
+    }
+
+    #[test]
+    fn multi_atom_body_with_constant() {
+        let schema = parse_schema("ENR/3 LOC/2").unwrap();
+        let tbox = parse_tbox("concept RomeStudent").unwrap();
+        let mut consts = ConstPool::new();
+        let m = parse_mapping(
+            &schema,
+            tbox.vocab(),
+            &mut consts,
+            r#"ENR(x, y, z), LOC(z, "Rome") ~> RomeStudent(x)"#,
+        )
+        .unwrap();
+        assert_eq!(m.len(), 1);
+        let a = &m.assertions()[0];
+        assert_eq!(a.body().num_atoms(), 2);
+        assert!(matches!(a.head(), OntoAtom::Concept(_, Term::Var(VarId(0)))));
+    }
+
+    #[test]
+    fn head_var_not_in_body_is_rejected() {
+        let schema = parse_schema("R/1").unwrap();
+        let tbox = parse_tbox("role r").unwrap();
+        let mut consts = ConstPool::new();
+        let e = parse_mapping(&schema, tbox.vocab(), &mut consts, "R(x) ~> r(x, w)").unwrap_err();
+        assert!(e.msg.contains("not bound"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let schema = parse_schema("R/1").unwrap();
+        let tbox = parse_tbox("role r\nconcept A").unwrap();
+        let mut consts = ConstPool::new();
+        for bad in [
+            "R(x) -> r(x, x)",                  // wrong arrow
+            "R(x) ~> r(x, y), A(x)",            // two head atoms
+            "R(x) ~> unknown(x, x)",            // unknown role
+            "R(x, y) ~> r(x, y)",               // body arity mismatch
+            r#"R(x) ~> r("a", "b")"#,           // no head variable
+        ] {
+            assert!(
+                parse_mapping(&schema, tbox.vocab(), &mut consts, bad).is_err(),
+                "should reject `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_assertions_dedup() {
+        let schema = parse_schema("R/2").unwrap();
+        let tbox = parse_tbox("role r").unwrap();
+        let mut consts = ConstPool::new();
+        let m = parse_mapping(
+            &schema,
+            tbox.vocab(),
+            &mut consts,
+            "R(x, y) ~> r(x, y)\nR(a, b) ~> r(a, b)",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 1, "alpha-equivalent assertions dedup");
+    }
+}

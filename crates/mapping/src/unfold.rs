@@ -1,0 +1,361 @@
+//! Query unfolding: ontology UCQ → source UCQ through a GAV mapping.
+//!
+//! After PerfectRef compiles the TBox into a UCQ over `O`, unfolding
+//! replaces every ontology atom with the body of a matching mapping
+//! assertion (all combinations — GAV unfolding is a cartesian product of
+//! per-atom choices). The result evaluates directly over the source
+//! database, completing the classical OBDM pipeline
+//! `rewrite → unfold → evaluate`.
+
+use crate::assertion::Mapping;
+use obx_query::{OntoAtom, OntoCq, OntoUcq, SrcAtom, SrcCq, SrcUcq, Term, VarId};
+use obx_util::FxHashMap;
+use std::fmt;
+
+/// Unfolding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnfoldError {
+    /// The cartesian product of assertion choices grew beyond the budget.
+    BudgetExceeded {
+        /// The limit that was hit.
+        max_disjuncts: usize,
+    },
+}
+
+impl fmt::Display for UnfoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnfoldError::BudgetExceeded { max_disjuncts } => {
+                write!(f, "unfolding exceeded {max_disjuncts} disjuncts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnfoldError {}
+
+fn walk(subst: &FxHashMap<VarId, Term>, mut t: Term) -> Term {
+    while let Term::Var(v) = t {
+        match subst.get(&v) {
+            Some(&next) => t = next,
+            None => break,
+        }
+    }
+    t
+}
+
+fn unify(subst: &mut FxHashMap<VarId, Term>, t1: Term, t2: Term) -> bool {
+    let t1 = walk(subst, t1);
+    let t2 = walk(subst, t2);
+    match (t1, t2) {
+        (Term::Const(a), Term::Const(b)) => a == b,
+        (Term::Var(v), other) | (other, Term::Var(v)) => {
+            if Term::Var(v) != other {
+                subst.insert(v, other);
+            }
+            true
+        }
+    }
+}
+
+/// Renames every variable of `t` by adding `offset`.
+fn shift(t: Term, offset: u32) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(VarId(v.0 + offset)),
+        c => c,
+    }
+}
+
+struct Unfolder<'m> {
+    mapping: &'m Mapping,
+    max_disjuncts: usize,
+    out: SrcUcq,
+}
+
+impl Unfolder<'_> {
+    fn unfold_cq(&mut self, cq: &OntoCq) -> Result<(), UnfoldError> {
+        let mut fresh = cq.max_var().map_or(0, |m| m + 1);
+        let mut body: Vec<SrcAtom> = Vec::new();
+        let mut subst: FxHashMap<VarId, Term> = FxHashMap::default();
+        self.dfs(cq, 0, &mut fresh, &mut body, &mut subst)
+    }
+
+    fn dfs(
+        &mut self,
+        cq: &OntoCq,
+        atom_idx: usize,
+        fresh: &mut u32,
+        body: &mut Vec<SrcAtom>,
+        subst: &mut FxHashMap<VarId, Term>,
+    ) -> Result<(), UnfoldError> {
+        if atom_idx == cq.body().len() {
+            // All atoms covered: emit, unless an answer variable ended up
+            // bound to a constant (not expressible in our CQ heads; such a
+            // combination is dropped — see crate docs).
+            let mut head = Vec::with_capacity(cq.head().len());
+            for &h in cq.head() {
+                match walk(subst, Term::Var(h)) {
+                    Term::Var(v) => head.push(v),
+                    Term::Const(_) => return Ok(()),
+                }
+            }
+            let resolved: Vec<SrcAtom> = body
+                .iter()
+                .map(|a| SrcAtom::new(a.rel, a.args.iter().map(|&t| walk(subst, t))))
+                .collect();
+            if let Ok(q) = SrcCq::new(head, resolved) {
+                self.out.push(q);
+                if self.out.len() > self.max_disjuncts {
+                    return Err(UnfoldError::BudgetExceeded {
+                        max_disjuncts: self.max_disjuncts,
+                    });
+                }
+            }
+            return Ok(());
+        }
+        let qa = cq.body()[atom_idx];
+        for assertion in self.mapping.assertions() {
+            // Quick predicate screen.
+            let head = assertion.head();
+            let compatible = matches!(
+                (qa, head),
+                (OntoAtom::Concept(c1, _), OntoAtom::Concept(c2, _)) if c1 == *c2
+            ) || matches!(
+                (qa, head),
+                (OntoAtom::Role(r1, _, _), OntoAtom::Role(r2, _, _)) if r1 == *r2
+            );
+            if !compatible {
+                continue;
+            }
+            // Rename the assertion apart, then unify its head with qa.
+            let offset = *fresh;
+            let a_max = assertion
+                .body()
+                .max_var()
+                .max(head.terms().filter_map(Term::as_var).map(|v| v.0).max())
+                .unwrap_or(0);
+            let saved_subst = subst.clone();
+            let saved_len = body.len();
+            *fresh = offset + a_max + 1;
+
+            let mut ok = true;
+            let pairs: Vec<(Term, Term)> = match (qa, head) {
+                (OntoAtom::Concept(_, t), OntoAtom::Concept(_, ht)) => {
+                    vec![(t, shift(*ht, offset))]
+                }
+                (OntoAtom::Role(_, t1, t2), OntoAtom::Role(_, h1, h2)) => {
+                    vec![(t1, shift(*h1, offset)), (t2, shift(*h2, offset))]
+                }
+                _ => unreachable!("screened above"),
+            };
+            for (qt, ht) in pairs {
+                if !unify(subst, qt, ht) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for a in assertion.body().body() {
+                    body.push(SrcAtom::new(a.rel, a.args.iter().map(|&t| shift(t, offset))));
+                }
+                self.dfs(cq, atom_idx + 1, fresh, body, subst)?;
+            }
+            body.truncate(saved_len);
+            *subst = saved_subst;
+            *fresh = offset;
+        }
+        Ok(())
+    }
+}
+
+/// Unfolds an ontology UCQ into a source UCQ. Disjuncts with an atom no
+/// assertion can produce are dropped (they retrieve nothing from a sound
+/// mapping). `max_disjuncts` bounds the output size.
+pub fn unfold(
+    mapping: &Mapping,
+    ucq: &OntoUcq,
+    max_disjuncts: usize,
+) -> Result<SrcUcq, UnfoldError> {
+    let mut u = Unfolder {
+        mapping,
+        max_disjuncts,
+        out: SrcUcq::empty(),
+    };
+    for cq in ucq.disjuncts() {
+        u.unfold_cq(cq)?;
+    }
+    Ok(u.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_mapping;
+    use obx_query::{eval, parse_onto_cq};
+    use obx_srcdb::{parse_database, parse_schema, View};
+    use obx_ontology::parse_tbox;
+
+    fn fixture() -> (
+        obx_srcdb::Database,
+        obx_ontology::TBox,
+        Mapping,
+    ) {
+        let schema = parse_schema("STUD/1 LOC/2 ENR/3").unwrap();
+        let mut db = parse_database(
+            schema,
+            "STUD(A10)\nLOC(TV, Rome)\nENR(A10, Math, TV)\nENR(E25, Math, Pol)\nLOC(Pol, Milan)",
+        )
+        .unwrap();
+        let tbox = parse_tbox(
+            "concept Student\nrole studies taughtIn locatedIn likes\nstudies < likes",
+        )
+        .unwrap();
+        let (schema, consts) = db.schema_and_consts_mut();
+        let mapping = parse_mapping(
+            schema,
+            tbox.vocab(),
+            consts,
+            r#"
+            STUD(x) ~> Student(x)
+            ENR(x, y, z) ~> studies(x, y)
+            ENR(x, y, z) ~> taughtIn(y, z)
+            LOC(x, y) ~> locatedIn(x, y)
+            "#,
+        )
+        .unwrap();
+        (db, tbox, mapping)
+    }
+
+    #[test]
+    fn single_atom_unfolds_to_assertion_body() {
+        let (mut db, tbox, mapping) = fixture();
+        let q = {
+            let consts = db.consts_mut();
+            parse_onto_cq(tbox.vocab(), consts, "q(x) :- studies(x, y)").unwrap()
+        };
+        let src = unfold(&mapping, &OntoUcq::from_cq(q), 1000).unwrap();
+        assert_eq!(src.len(), 1);
+        let ans = eval::answers_ucq(View::full(&db), &src);
+        assert_eq!(ans.len(), 2); // A10 and E25 study something
+    }
+
+    #[test]
+    fn join_across_assertions() {
+        let (mut db, tbox, mapping) = fixture();
+        let q = {
+            let consts = db.consts_mut();
+            parse_onto_cq(
+                tbox.vocab(),
+                consts,
+                r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#,
+            )
+            .unwrap()
+        };
+        let src = unfold(&mapping, &OntoUcq::from_cq(q), 1000).unwrap();
+        assert_eq!(src.len(), 1);
+        let ans = eval::answers_ucq(View::full(&db), &src);
+        let mut names: Vec<&str> = ans.iter().map(|t| db.consts().resolve(t[0])).collect();
+        names.sort_unstable();
+        // Over the FULL database both qualify: E25 studies Math, Math is
+        // (also) taught at TV, and TV is in Rome. The paper separates E25
+        // from A10 only because matching happens per-tuple inside the
+        // border (Definition 3.4) — that restriction lives in `obx-core`,
+        // not here.
+        assert_eq!(names, vec!["A10", "E25"]);
+    }
+
+    #[test]
+    fn atom_without_assertion_drops_disjunct() {
+        let (mut db, tbox, mapping) = fixture();
+        // `likes` has no mapping assertion (it is only reachable via
+        // rewriting into `studies`), so unfolding the unrewritten query
+        // yields an empty UCQ.
+        let q = {
+            let consts = db.consts_mut();
+            parse_onto_cq(tbox.vocab(), consts, "q(x) :- likes(x, y)").unwrap()
+        };
+        let src = unfold(&mapping, &OntoUcq::from_cq(q), 1000).unwrap();
+        assert!(src.is_empty());
+    }
+
+    #[test]
+    fn multiple_assertions_for_one_predicate_multiply_disjuncts() {
+        let schema = parse_schema("R/2 S/2").unwrap();
+        let mut db = parse_database(schema, "R(a, b)\nS(c, d)").unwrap();
+        let tbox = parse_tbox("role p").unwrap();
+        let (schema, consts) = db.schema_and_consts_mut();
+        let mapping = parse_mapping(
+            schema,
+            tbox.vocab(),
+            consts,
+            "R(x, y) ~> p(x, y)\nS(x, y) ~> p(x, y)",
+        )
+        .unwrap();
+        let q = parse_onto_cq(tbox.vocab(), db.consts_mut(), "q(x) :- p(x, y), p(y, z)").unwrap();
+        let src = unfold(&mapping, &OntoUcq::from_cq(q), 1000).unwrap();
+        assert_eq!(src.len(), 4, "2 choices × 2 atoms");
+    }
+
+    #[test]
+    fn constant_in_assertion_head_binds_query_variable() {
+        let schema = parse_schema("R/1").unwrap();
+        let mut db = parse_database(schema, "R(a)").unwrap();
+        let tbox = parse_tbox("role r").unwrap();
+        let (schema, consts) = db.schema_and_consts_mut();
+        let mapping = parse_mapping(
+            schema,
+            tbox.vocab(),
+            consts,
+            r#"R(x) ~> r(x, "home")"#,
+        )
+        .unwrap();
+        // q(x) :- r(x, y): y unifies with "home".
+        let q = parse_onto_cq(tbox.vocab(), db.consts_mut(), "q(x) :- r(x, y)").unwrap();
+        let src = unfold(&mapping, &OntoUcq::from_cq(q), 1000).unwrap();
+        assert_eq!(src.len(), 1);
+        let ans = eval::answers_ucq(View::full(&db), &src);
+        assert_eq!(ans.len(), 1);
+        // But an *answer* variable cannot be bound to a constant: dropped.
+        let q2 =
+            parse_onto_cq(tbox.vocab(), db.consts_mut(), "q(x, y) :- r(x, y)").unwrap();
+        let src2 = unfold(&mapping, &OntoUcq::from_cq(q2), 1000).unwrap();
+        assert!(src2.is_empty());
+        // A mismatching constant in the query also drops the disjunct.
+        let q3 = parse_onto_cq(
+            tbox.vocab(),
+            db.consts_mut(),
+            r#"q(x) :- r(x, "elsewhere")"#,
+        )
+        .unwrap();
+        let src3 = unfold(&mapping, &OntoUcq::from_cq(q3), 1000).unwrap();
+        assert!(src3.is_empty());
+        // While the matching constant keeps it.
+        let q4 = parse_onto_cq(tbox.vocab(), db.consts_mut(), r#"q(x) :- r(x, "home")"#)
+            .unwrap();
+        let src4 = unfold(&mapping, &OntoUcq::from_cq(q4), 1000).unwrap();
+        assert_eq!(src4.len(), 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let schema = parse_schema("R/2 S/2").unwrap();
+        let mut db = parse_database(schema, "R(a, b)").unwrap();
+        let tbox = parse_tbox("role p").unwrap();
+        let (schema, consts) = db.schema_and_consts_mut();
+        let mapping = parse_mapping(
+            schema,
+            tbox.vocab(),
+            consts,
+            "R(x, y) ~> p(x, y)\nS(x, y) ~> p(x, y)",
+        )
+        .unwrap();
+        let q = parse_onto_cq(
+            tbox.vocab(),
+            db.consts_mut(),
+            "q(x) :- p(x, a), p(a, b), p(b, c)",
+        )
+        .unwrap();
+        let err = unfold(&mapping, &OntoUcq::from_cq(q), 3).unwrap_err();
+        assert_eq!(err, UnfoldError::BudgetExceeded { max_disjuncts: 3 });
+    }
+}

@@ -1,0 +1,317 @@
+//! OBDM specification and system types.
+
+use crate::chase::{chase_abox, ChaseConfig};
+use crate::compile::CompiledQuery;
+use obx_mapping::{virtual_abox, Mapping, UnfoldError};
+use obx_ontology::{Reasoner, TBox};
+use obx_query::{OntoUcq, RewriteBudget, RewriteError};
+use obx_srcdb::{Const, Database, Schema, View};
+use obx_util::FxHashSet;
+use std::fmt;
+
+/// Errors surfaced by certain-answer computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObdmError {
+    /// PerfectRef exceeded its budget.
+    Rewrite(RewriteError),
+    /// Unfolding exceeded its budget.
+    Unfold(UnfoldError),
+    /// The system's schema does not match the database's schema.
+    SchemaMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ObdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObdmError::Rewrite(e) => write!(f, "rewriting failed: {e}"),
+            ObdmError::Unfold(e) => write!(f, "unfolding failed: {e}"),
+            ObdmError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ObdmError {}
+
+impl From<RewriteError> for ObdmError {
+    fn from(e: RewriteError) -> Self {
+        ObdmError::Rewrite(e)
+    }
+}
+
+impl From<UnfoldError> for ObdmError {
+    fn from(e: UnfoldError) -> Self {
+        ObdmError::Unfold(e)
+    }
+}
+
+/// The intensional level `J = ⟨O, S, M⟩`, with the ontology's reasoning
+/// tables precomputed.
+pub struct ObdmSpec {
+    tbox: TBox,
+    reasoner: Reasoner,
+    mapping: Mapping,
+    /// Budget applied to PerfectRef when compiling queries.
+    pub rewrite_budget: RewriteBudget,
+    /// Maximum disjuncts produced by unfolding.
+    pub unfold_max: usize,
+}
+
+impl ObdmSpec {
+    /// Builds a specification (precomputes the reasoner).
+    pub fn new(tbox: TBox, mapping: Mapping) -> Self {
+        let reasoner = Reasoner::build(&tbox);
+        Self {
+            tbox,
+            reasoner,
+            mapping,
+            rewrite_budget: RewriteBudget::default(),
+            unfold_max: 100_000,
+        }
+    }
+
+    /// The ontology `O`.
+    pub fn tbox(&self) -> &TBox {
+        &self.tbox
+    }
+
+    /// The precomputed reasoning tables for `O`.
+    pub fn reasoner(&self) -> &Reasoner {
+        &self.reasoner
+    }
+
+    /// The mapping `M`.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Compiles an ontology UCQ into a directly evaluable source UCQ
+    /// (PerfectRef + unfold). The compiled query can be evaluated over any
+    /// view of any database with this schema.
+    pub fn compile(&self, ucq: &OntoUcq) -> Result<CompiledQuery, ObdmError> {
+        CompiledQuery::compile(self, ucq)
+    }
+}
+
+impl fmt::Debug for ObdmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObdmSpec")
+            .field("tbox_axioms", &self.tbox.len())
+            .field("mapping_assertions", &self.mapping.len())
+            .finish()
+    }
+}
+
+/// The full system `Σ = ⟨J, D⟩`.
+pub struct ObdmSystem {
+    spec: ObdmSpec,
+    db: Database,
+}
+
+impl ObdmSystem {
+    /// Assembles a system. The database's schema is authoritative; callers
+    /// build the mapping against it, so no separate schema copy is kept.
+    pub fn new(spec: ObdmSpec, db: Database) -> Self {
+        Self { spec, db }
+    }
+
+    /// The specification `J`.
+    pub fn spec(&self) -> &ObdmSpec {
+        &self.spec
+    }
+
+    /// The source database `D`.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database (e.g. to intern query constants).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The source schema `S`.
+    pub fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    /// Parses an ontology UCQ against this system's vocabulary, interning
+    /// query constants into the database's pool (split borrow of the two
+    /// fields, which callers cannot express from outside).
+    pub fn parse_query(&mut self, text: &str) -> Result<OntoUcq, obx_query::QueryParseError> {
+        let (_, consts) = self.db.schema_and_consts_mut();
+        obx_query::parse_onto_ucq(self.spec.tbox().vocab(), consts, text)
+    }
+
+    /// Parses a single ontology CQ (wrapped as a one-disjunct UCQ parser
+    /// would, but returning the CQ itself).
+    pub fn parse_cq(&mut self, text: &str) -> Result<obx_query::OntoCq, obx_query::QueryParseError> {
+        let (_, consts) = self.db.schema_and_consts_mut();
+        obx_query::parse_onto_cq(self.spec.tbox().vocab(), consts, text)
+    }
+
+    /// Certain answers of `ucq` over the full database, via the rewriting
+    /// engine.
+    pub fn certain_answers(&self, ucq: &OntoUcq) -> Result<FxHashSet<Box<[Const]>>, ObdmError> {
+        let compiled = self.spec.compile(ucq)?;
+        Ok(compiled.answers(View::full(&self.db)))
+    }
+
+    /// Certain membership test (`t ∈ cert(q, J, D)`), via the rewriting
+    /// engine, over an arbitrary view (e.g. a border — Definition 3.4).
+    pub fn certain_member(
+        &self,
+        ucq: &OntoUcq,
+        view: View<'_>,
+        tuple: &[Const],
+    ) -> Result<bool, ObdmError> {
+        let compiled = self.spec.compile(ucq)?;
+        Ok(compiled.member(view, tuple))
+    }
+
+    /// Certain answers via the **materialization engine** (virtual ABox +
+    /// chase + evaluation, answers with nulls dropped). Exists to
+    /// cross-check the rewriting engine; `config` bounds the chase.
+    pub fn certain_answers_materialized(
+        &self,
+        ucq: &OntoUcq,
+        view: View<'_>,
+        config: ChaseConfig,
+    ) -> FxHashSet<Box<[Const]>> {
+        let abox = virtual_abox(self.spec.mapping(), view);
+        let materialized = chase_abox(self.spec.tbox(), self.spec.reasoner(), &abox, config);
+        materialized.answers(ucq)
+    }
+
+    /// Checks the consistency of the system: materializes the virtual ABox
+    /// and validates it against the TBox's negative inclusions and
+    /// functionality assertions. Returns the violations (empty = the
+    /// system is consistent).
+    pub fn check_consistency(&self) -> Vec<obx_ontology::AboxViolation<Const>> {
+        let abox = virtual_abox(self.spec.mapping(), View::full(&self.db));
+        abox.check_consistency(self.spec.reasoner())
+    }
+}
+
+impl fmt::Debug for ObdmSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObdmSystem")
+            .field("spec", &self.spec)
+            .field("db_atoms", &self.db.len())
+            .finish()
+    }
+}
+
+/// The fixture used across the workspace: the OBDM system of the paper's
+/// Example 3.6 (students, courses, universities, cities), exposed here so
+/// integration tests, examples, and benches all build the very same system.
+pub fn example_3_6_system() -> ObdmSystem {
+    let schema = obx_srcdb::parse_schema("STUD/1 LOC/2 ENR/3").expect("static schema");
+    let mut db = obx_srcdb::parse_database(
+        schema,
+        "STUD(A10)\nSTUD(B80)\nSTUD(C12)\nSTUD(D50)\nSTUD(E25)\n\
+         LOC(Sap, Rome)\nLOC(TV, Rome)\nLOC(Pol, Milan)\n\
+         ENR(A10, Math, TV)\nENR(B80, Math, Sap)\nENR(C12, Science, Norm)\n\
+         ENR(D50, Science, TV)\nENR(E25, Math, Pol)",
+    )
+    .expect("static facts");
+    let tbox = obx_ontology::parse_tbox(
+        "role studies likes taughtIn locatedIn\nstudies < likes",
+    )
+    .expect("static tbox");
+    let (schema_ref, consts) = db.schema_and_consts_mut();
+    let mapping = obx_mapping::parse_mapping(
+        schema_ref,
+        tbox.vocab(),
+        consts,
+        "ENR(x, y, z) ~> studies(x, y)\n\
+         ENR(x, y, z) ~> taughtIn(y, z)\n\
+         LOC(x, y) ~> locatedIn(x, y)",
+    )
+    .expect("static mapping");
+    ObdmSystem::new(ObdmSpec::new(tbox, mapping), db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(sys: &ObdmSystem, ans: &FxHashSet<Box<[Const]>>) -> Vec<String> {
+        let mut v: Vec<String> = ans
+            .iter()
+            .map(|t| sys.db().consts().resolve(t[0]).to_owned())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn q2_certain_answers_use_the_mapping() {
+        let mut sys = example_3_6_system();
+        let q2 = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let ans = sys.certain_answers(&q2).unwrap();
+        assert_eq!(names(&sys, &ans), vec!["A10", "B80", "E25"]);
+    }
+
+    #[test]
+    fn q3_needs_the_role_inclusion() {
+        // likes(x, "Science") has no direct mapping; only studies ⊑ likes
+        // makes C12 and D50 certain answers. This is the paper's central
+        // inference.
+        let mut sys = example_3_6_system();
+        let q3 = sys.parse_query(r#"q(x) :- likes(x, "Science")"#).unwrap();
+        let ans = sys.certain_answers(&q3).unwrap();
+        assert_eq!(names(&sys, &ans), vec!["C12", "D50"]);
+    }
+
+    #[test]
+    fn engines_agree_on_the_example() {
+        let mut sys = example_3_6_system();
+        for q in [
+            r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#,
+            r#"q(x) :- studies(x, "Math")"#,
+            r#"q(x) :- likes(x, "Science")"#,
+            r#"q(x) :- likes(x, y)"#,
+            r#"q(x, y) :- taughtIn(x, y)"#,
+        ] {
+            let ucq = sys.parse_query(q).unwrap();
+            let rewriting = sys.certain_answers(&ucq).unwrap();
+            let materialized = sys.certain_answers_materialized(
+                &ucq,
+                View::full(sys.db()),
+                ChaseConfig::for_ucq(&ucq),
+            );
+            assert_eq!(rewriting, materialized, "engines disagree on `{q}`");
+        }
+    }
+
+    #[test]
+    fn consistency_of_the_example_system() {
+        let sys = example_3_6_system();
+        assert!(sys.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn inconsistent_system_is_reported() {
+        // Add Math ⊑ ¬Science-style disjointness at the level of subjects:
+        // declare concepts via mappings and make them disjoint.
+        let schema = obx_srcdb::parse_schema("T/2").unwrap();
+        let mut db = obx_srcdb::parse_database(schema, "T(a, b)").unwrap();
+        let tbox = obx_ontology::parse_tbox(
+            "concept A B\nA < not B",
+        )
+        .unwrap();
+        let (schema_ref, consts) = db.schema_and_consts_mut();
+        let mapping = obx_mapping::parse_mapping(
+            schema_ref,
+            tbox.vocab(),
+            consts,
+            "T(x, y) ~> A(x)\nT(x, y) ~> B(x)",
+        )
+        .unwrap();
+        let sys = ObdmSystem::new(ObdmSpec::new(tbox, mapping), db);
+        assert!(!sys.check_consistency().is_empty());
+    }
+}

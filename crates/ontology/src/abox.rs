@@ -1,0 +1,456 @@
+//! ABoxes: extensional assertions over an ontology vocabulary.
+//!
+//! An ABox is generic over the individual type `I`:
+//!
+//! * in the *virtual ABox* retrieved through the mapping, individuals are
+//!   source constants (`obx_srcdb::Const`);
+//! * during the chase used by the materialization engine, individuals are
+//!   constants-or-labelled-nulls.
+//!
+//! The crate only requires `I: Copy + Eq + Hash + Ord` so both fit.
+
+use crate::expr::{BasicConcept, Role};
+use crate::reasoner::Reasoner;
+use crate::vocab::{ConceptId, OntoVocab, RoleId};
+use obx_util::{FxHashMap, FxHashSet};
+use std::hash::Hash;
+
+/// A set of concept and role assertions.
+#[derive(Debug, Clone)]
+pub struct ABox<I> {
+    concept_asserts: FxHashSet<(ConceptId, I)>,
+    role_asserts: FxHashSet<(RoleId, I, I)>,
+    /// Per-individual incident assertions, for instance checking.
+    by_ind_concepts: FxHashMap<I, Vec<ConceptId>>,
+    by_ind_roles_out: FxHashMap<I, Vec<(RoleId, I)>>,
+    by_ind_roles_in: FxHashMap<I, Vec<(RoleId, I)>>,
+}
+
+impl<I> Default for ABox<I> {
+    fn default() -> Self {
+        Self {
+            concept_asserts: FxHashSet::default(),
+            role_asserts: FxHashSet::default(),
+            by_ind_concepts: FxHashMap::default(),
+            by_ind_roles_out: FxHashMap::default(),
+            by_ind_roles_in: FxHashMap::default(),
+        }
+    }
+}
+
+/// A consistency violation found by [`ABox::check_consistency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AboxViolation<I> {
+    /// An individual is an instance of two disjoint basic concepts.
+    DisjointConcepts {
+        /// The individual.
+        ind: I,
+        /// First derived membership.
+        left: BasicConcept,
+        /// Second derived membership (disjoint with `left`).
+        right: BasicConcept,
+    },
+    /// A pair of individuals is in two disjoint roles.
+    DisjointRoles {
+        /// The pair (subject, object).
+        pair: (I, I),
+        /// First derived role membership.
+        left: Role,
+        /// Second derived role membership (disjoint with `left`).
+        right: Role,
+    },
+    /// A functional role with two distinct fillers.
+    FunctViolation {
+        /// The subject with multiple fillers.
+        ind: I,
+        /// The functional role.
+        role: Role,
+        /// Two distinct fillers.
+        fillers: (I, I),
+    },
+}
+
+impl<I: Copy + Eq + Hash + Ord> ABox<I> {
+    /// Creates an empty ABox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asserts `A(ind)`. Returns `true` if new.
+    pub fn assert_concept(&mut self, concept: ConceptId, ind: I) -> bool {
+        if self.concept_asserts.insert((concept, ind)) {
+            self.by_ind_concepts.entry(ind).or_default().push(concept);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Asserts `P(subj, obj)`. Returns `true` if new.
+    pub fn assert_role(&mut self, role: RoleId, subj: I, obj: I) -> bool {
+        if self.role_asserts.insert((role, subj, obj)) {
+            self.by_ind_roles_out.entry(subj).or_default().push((role, obj));
+            self.by_ind_roles_in.entry(obj).or_default().push((role, subj));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `A(ind)` is asserted (not derived).
+    pub fn has_concept(&self, concept: ConceptId, ind: I) -> bool {
+        self.concept_asserts.contains(&(concept, ind))
+    }
+
+    /// Whether `P(subj, obj)` is asserted (not derived).
+    pub fn has_role(&self, role: RoleId, subj: I, obj: I) -> bool {
+        self.role_asserts.contains(&(role, subj, obj))
+    }
+
+    /// All concept assertions.
+    pub fn concept_assertions(&self) -> impl Iterator<Item = (ConceptId, I)> + '_ {
+        self.concept_asserts.iter().copied()
+    }
+
+    /// All role assertions.
+    pub fn role_assertions(&self) -> impl Iterator<Item = (RoleId, I, I)> + '_ {
+        self.role_asserts.iter().copied()
+    }
+
+    /// Total number of assertions.
+    pub fn len(&self) -> usize {
+        self.concept_asserts.len() + self.role_asserts.len()
+    }
+
+    /// Whether there is no assertion.
+    pub fn is_empty(&self) -> bool {
+        self.concept_asserts.is_empty() && self.role_asserts.is_empty()
+    }
+
+    /// All individuals mentioned anywhere.
+    pub fn individuals(&self) -> FxHashSet<I> {
+        let mut out = FxHashSet::default();
+        for &(_, i) in &self.concept_asserts {
+            out.insert(i);
+        }
+        for &(_, s, o) in &self.role_asserts {
+            out.insert(s);
+            out.insert(o);
+        }
+        out
+    }
+
+    /// The basic concepts `ind` *syntactically* belongs to: asserted atomic
+    /// concepts plus `∃P` / `∃P⁻` induced by incident role assertions
+    /// (before any TBox closure).
+    pub fn syntactic_memberships(&self, ind: I) -> Vec<BasicConcept> {
+        let mut out: Vec<BasicConcept> = Vec::new();
+        if let Some(cs) = self.by_ind_concepts.get(&ind) {
+            out.extend(cs.iter().map(|&c| BasicConcept::Atomic(c)));
+        }
+        if let Some(rs) = self.by_ind_roles_out.get(&ind) {
+            out.extend(rs.iter().map(|&(r, _)| BasicConcept::exists(r)));
+        }
+        if let Some(rs) = self.by_ind_roles_in.get(&ind) {
+            out.extend(rs.iter().map(|&(r, _)| BasicConcept::exists_inv(r)));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The basic concepts `ind` belongs to *after* TBox closure (instance
+    /// checking for basic concepts).
+    pub fn derived_memberships(&self, reasoner: &Reasoner, ind: I) -> FxHashSet<BasicConcept> {
+        let mut out = FxHashSet::default();
+        for b in self.syntactic_memberships(ind) {
+            out.extend(reasoner.subsumers(b));
+        }
+        out
+    }
+
+    /// The role expressions holding for the ordered pair `(s, o)` after
+    /// closure under role subsumption.
+    pub fn derived_role_memberships(&self, reasoner: &Reasoner, s: I, o: I) -> FxHashSet<Role> {
+        let mut out = FxHashSet::default();
+        if let Some(rs) = self.by_ind_roles_out.get(&s) {
+            for &(r, obj) in rs {
+                if obj == o {
+                    out.extend(reasoner.role_subsumers(Role::direct(r)));
+                }
+            }
+        }
+        if let Some(rs) = self.by_ind_roles_in.get(&s) {
+            for &(r, subj) in rs {
+                if subj == o {
+                    out.extend(reasoner.role_subsumers(Role::inv(r)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the ABox against the TBox's negative inclusions and
+    /// functionality assertions. Returns every violation found (empty =
+    /// consistent). Sound and complete for DL-Lite_R + functionality:
+    /// inconsistency can always be traced to a pair of derived memberships
+    /// clashing with a (derived) negative axiom, or to a functionality
+    /// violation.
+    pub fn check_consistency(&self, reasoner: &Reasoner) -> Vec<AboxViolation<I>> {
+        let mut out = Vec::new();
+        // Concept clashes per individual.
+        for ind in self.individuals() {
+            let mems: Vec<BasicConcept> = {
+                let mut v: Vec<BasicConcept> =
+                    self.derived_memberships(reasoner, ind).into_iter().collect();
+                v.sort();
+                v
+            };
+            for (i, &l) in mems.iter().enumerate() {
+                for &r in &mems[i..] {
+                    if reasoner.disjoint(l, r) {
+                        out.push(AboxViolation::DisjointConcepts {
+                            ind,
+                            left: l,
+                            right: r,
+                        });
+                    }
+                }
+            }
+        }
+        // Role clashes per asserted pair.
+        let mut seen_pairs: FxHashSet<(I, I)> = FxHashSet::default();
+        for &(_, s, o) in &self.role_asserts {
+            if !seen_pairs.insert((s, o)) {
+                continue;
+            }
+            let mems: Vec<Role> = {
+                let mut v: Vec<Role> = self
+                    .derived_role_memberships(reasoner, s, o)
+                    .into_iter()
+                    .collect();
+                v.sort();
+                v
+            };
+            for (i, &l) in mems.iter().enumerate() {
+                for &r in &mems[i..] {
+                    if reasoner.roles_disjoint(l, r) {
+                        out.push(AboxViolation::DisjointRoles {
+                            pair: (s, o),
+                            left: l,
+                            right: r,
+                        });
+                    }
+                }
+            }
+        }
+        // Functionality.
+        for role in reasoner.functional_roles() {
+            let mut fillers: FxHashMap<I, I> = FxHashMap::default();
+            for &(p, s, o) in &self.role_asserts {
+                // Collect (subject, filler) pairs of every asserted role
+                // whose closure includes `role`.
+                for sup in reasoner.role_subsumers(Role::direct(p)) {
+                    let (subj, obj) = if sup == role {
+                        (s, o)
+                    } else if sup == role.inverted() {
+                        (o, s)
+                    } else {
+                        continue;
+                    };
+                    match fillers.get(&subj) {
+                        None => {
+                            fillers.insert(subj, obj);
+                        }
+                        Some(&prev) if prev != obj => {
+                            out.push(AboxViolation::FunctViolation {
+                                ind: subj,
+                                role,
+                                fillers: (prev.min(obj), prev.max(obj)),
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the ABox for diagnostics.
+    pub fn render(&self, vocab: &OntoVocab, mut ind: impl FnMut(I) -> String) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(self.len());
+        for &(c, i) in &self.concept_asserts {
+            lines.push(format!("{}({})", vocab.concept_name(c), ind(i)));
+        }
+        for &(r, s, o) in &self.role_asserts {
+            lines.push(format!("{}({}, {})", vocab.role_name(r), ind(s), ind(o)));
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tbox::TBox;
+    use crate::vocab::OntoVocab;
+
+    type Ind = u32;
+
+    fn tbox() -> (TBox, BasicConcept, BasicConcept, Role, Role) {
+        let mut vocab = OntoVocab::new();
+        let student = BasicConcept::Atomic(vocab.concept("Student"));
+        let course = BasicConcept::Atomic(vocab.concept("Course"));
+        let studies = Role::direct(vocab.role("studies"));
+        let likes = Role::direct(vocab.role("likes"));
+        let mut tbox = TBox::with_vocab(vocab);
+        tbox.role_incl(studies, likes);
+        tbox.concept_disjoint(student, course);
+        (tbox, student, course, studies, likes)
+    }
+
+    fn cid(b: BasicConcept) -> ConceptId {
+        match b {
+            BasicConcept::Atomic(c) => c,
+            _ => panic!("atomic expected"),
+        }
+    }
+
+    #[test]
+    fn assertions_and_dedup() {
+        let (tbox, student, ..) = tbox();
+        let _ = &tbox;
+        let mut abox: ABox<Ind> = ABox::new();
+        assert!(abox.assert_concept(cid(student), 1));
+        assert!(!abox.assert_concept(cid(student), 1));
+        assert_eq!(abox.len(), 1);
+        assert!(abox.has_concept(cid(student), 1));
+        assert!(!abox.has_concept(cid(student), 2));
+    }
+
+    #[test]
+    fn syntactic_memberships_include_exists() {
+        let (tbox, student, _, studies, _) = tbox();
+        let _ = &tbox;
+        let mut abox: ABox<Ind> = ABox::new();
+        abox.assert_concept(cid(student), 1);
+        abox.assert_role(studies.id, 1, 2);
+        let m1 = abox.syntactic_memberships(1);
+        assert!(m1.contains(&student));
+        assert!(m1.contains(&BasicConcept::exists(studies.id)));
+        let m2 = abox.syntactic_memberships(2);
+        assert!(m2.contains(&BasicConcept::exists_inv(studies.id)));
+        assert!(abox.syntactic_memberships(99).is_empty());
+    }
+
+    #[test]
+    fn derived_memberships_close_under_tbox() {
+        let (tbox, _, _, studies, likes) = tbox();
+        let reasoner = Reasoner::build(&tbox);
+        let mut abox: ABox<Ind> = ABox::new();
+        abox.assert_role(studies.id, 1, 2);
+        let m = abox.derived_memberships(&reasoner, 1);
+        // studies ⊑ likes lifts ∃studies to ∃likes.
+        assert!(m.contains(&BasicConcept::Exists(likes)));
+        let roles = abox.derived_role_memberships(&reasoner, 1, 2);
+        assert!(roles.contains(&likes));
+        // And the inverse direction for (2,1).
+        let roles_inv = abox.derived_role_memberships(&reasoner, 2, 1);
+        assert!(roles_inv.contains(&likes.inverted()));
+    }
+
+    #[test]
+    fn consistent_abox_has_no_violations() {
+        let (tbox, student, _, studies, _) = tbox();
+        let reasoner = Reasoner::build(&tbox);
+        let mut abox: ABox<Ind> = ABox::new();
+        abox.assert_concept(cid(student), 1);
+        abox.assert_role(studies.id, 1, 2);
+        assert!(abox.check_consistency(&reasoner).is_empty());
+    }
+
+    #[test]
+    fn disjointness_violation_detected() {
+        let (tbox, student, course, ..) = tbox();
+        let reasoner = Reasoner::build(&tbox);
+        let mut abox: ABox<Ind> = ABox::new();
+        abox.assert_concept(cid(student), 7);
+        abox.assert_concept(cid(course), 7);
+        let violations = abox.check_consistency(&reasoner);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            AboxViolation::DisjointConcepts { ind: 7, .. }
+        )));
+    }
+
+    #[test]
+    fn role_disjointness_violation_detected() {
+        let (mut tbox, _, _, studies, _) = tbox();
+        let hates = Role::direct(tbox.vocab_mut().role("hates"));
+        tbox.role_disjoint(studies, hates);
+        let reasoner = Reasoner::build(&tbox);
+        let mut abox: ABox<Ind> = ABox::new();
+        abox.assert_role(studies.id, 1, 2);
+        abox.assert_role(hates.id, 1, 2);
+        let violations = abox.check_consistency(&reasoner);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, AboxViolation::DisjointRoles { pair: (1, 2), .. })));
+    }
+
+    #[test]
+    fn functionality_violation_detected_including_through_subroles() {
+        let (mut tbox, _, _, studies, likes) = tbox();
+        tbox.funct(likes);
+        let reasoner = Reasoner::build(&tbox);
+        let mut abox: ABox<Ind> = ABox::new();
+        // studies ⊑ likes and (funct likes): 1 likes 2 (via studies) and 3.
+        abox.assert_role(studies.id, 1, 2);
+        abox.assert_role(likes.id, 1, 3);
+        let violations = abox.check_consistency(&reasoner);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            AboxViolation::FunctViolation { ind: 1, fillers: (2, 3), .. }
+        )));
+        // A single filler asserted through both roles is fine.
+        let mut ok: ABox<Ind> = ABox::new();
+        ok.assert_role(studies.id, 1, 2);
+        ok.assert_role(likes.id, 1, 2);
+        assert!(ok.check_consistency(&reasoner).is_empty());
+    }
+
+    #[test]
+    fn inverse_functionality() {
+        let (mut tbox, _, _, studies, _) = tbox();
+        tbox.funct(studies.inverted());
+        let reasoner = Reasoner::build(&tbox);
+        let mut abox: ABox<Ind> = ABox::new();
+        // (funct studies⁻): no individual may be studied-by two subjects.
+        abox.assert_role(studies.id, 1, 9);
+        abox.assert_role(studies.id, 2, 9);
+        let violations = abox.check_consistency(&reasoner);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            AboxViolation::FunctViolation { ind: 9, fillers: (1, 2), .. }
+        )));
+    }
+
+    #[test]
+    fn individuals_and_render() {
+        let (tbox, student, _, studies, _) = tbox();
+        let mut abox: ABox<Ind> = ABox::new();
+        abox.assert_concept(cid(student), 1);
+        abox.assert_role(studies.id, 1, 2);
+        let inds = abox.individuals();
+        assert_eq!(inds.len(), 2);
+        let rendered = abox.render(tbox.vocab(), |i| format!("i{i}"));
+        assert!(rendered.contains("Student(i1)"));
+        assert!(rendered.contains("studies(i1, i2)"));
+    }
+}

@@ -1,0 +1,151 @@
+//! DL-Lite concept and role expressions.
+//!
+//! DL-Lite_R grammar (as in Calvanese et al., "Tractable Reasoning and
+//! Efficient Query Answering in Description Logics: The DL-Lite Family"):
+//!
+//! ```text
+//! R ::= P | P⁻                  (role expressions)
+//! B ::= A | ∃R                  (basic concepts)
+//! C ::= B | ¬B                  (general concepts, RHS only)
+//! E ::= R | ¬R                  (general roles, RHS only)
+//! ```
+
+use crate::vocab::{OntoVocab, RoleId};
+use crate::vocab::ConceptId;
+
+/// A role expression: an atomic role `P` or its inverse `P⁻`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Role {
+    /// The atomic role name.
+    pub id: RoleId,
+    /// Whether this is the inverse `P⁻`.
+    pub inverse: bool,
+}
+
+impl Role {
+    /// The direct role `P`.
+    pub fn direct(id: RoleId) -> Self {
+        Self { id, inverse: false }
+    }
+
+    /// The inverse role `P⁻`.
+    pub fn inv(id: RoleId) -> Self {
+        Self { id, inverse: true }
+    }
+
+    /// The inverse of this expression (`(P⁻)⁻ = P`).
+    pub fn inverted(self) -> Self {
+        Self {
+            id: self.id,
+            inverse: !self.inverse,
+        }
+    }
+
+    /// Renders like `studies` or `inv(studies)`.
+    pub fn render(&self, vocab: &OntoVocab) -> String {
+        if self.inverse {
+            format!("inv({})", vocab.role_name(self.id))
+        } else {
+            vocab.role_name(self.id).to_owned()
+        }
+    }
+}
+
+/// A basic concept: atomic `A`, or an unqualified existential `∃R`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BasicConcept {
+    /// An atomic concept name.
+    Atomic(ConceptId),
+    /// `∃R` — things with at least one `R`-successor.
+    Exists(Role),
+}
+
+impl BasicConcept {
+    /// `∃P` for an atomic role.
+    pub fn exists(id: RoleId) -> Self {
+        BasicConcept::Exists(Role::direct(id))
+    }
+
+    /// `∃P⁻` for an atomic role.
+    pub fn exists_inv(id: RoleId) -> Self {
+        BasicConcept::Exists(Role::inv(id))
+    }
+
+    /// Renders like `Student`, `exists(studies)`, `exists(inv(studies))`.
+    pub fn render(&self, vocab: &OntoVocab) -> String {
+        match self {
+            BasicConcept::Atomic(c) => vocab.concept_name(*c).to_owned(),
+            BasicConcept::Exists(r) => format!("exists({})", r.render(vocab)),
+        }
+    }
+}
+
+/// The right-hand side of a concept inclusion: `B` or `¬B`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConceptRhs {
+    /// Positive inclusion RHS.
+    Basic(BasicConcept),
+    /// Negative inclusion RHS (disjointness).
+    Neg(BasicConcept),
+}
+
+impl ConceptRhs {
+    /// Renders like `Person` or `not Person`.
+    pub fn render(&self, vocab: &OntoVocab) -> String {
+        match self {
+            ConceptRhs::Basic(b) => b.render(vocab),
+            ConceptRhs::Neg(b) => format!("not {}", b.render(vocab)),
+        }
+    }
+}
+
+/// The right-hand side of a role inclusion: `R` or `¬R`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RoleRhs {
+    /// Positive inclusion RHS.
+    Role(Role),
+    /// Negative inclusion RHS (role disjointness).
+    Neg(Role),
+}
+
+impl RoleRhs {
+    /// Renders like `likes` or `not likes`.
+    pub fn render(&self, vocab: &OntoVocab) -> String {
+        match self {
+            RoleRhs::Role(r) => r.render(vocab),
+            RoleRhs::Neg(r) => format!("not {}", r.render(vocab)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_inversion_is_involutive() {
+        let mut v = OntoVocab::new();
+        let s = v.role("studies");
+        let r = Role::direct(s);
+        assert_eq!(r.inverted().inverted(), r);
+        assert_eq!(r.inverted(), Role::inv(s));
+    }
+
+    #[test]
+    fn rendering() {
+        let mut v = OntoVocab::new();
+        let stu = v.concept("Student");
+        let s = v.role("studies");
+        assert_eq!(BasicConcept::Atomic(stu).render(&v), "Student");
+        assert_eq!(BasicConcept::exists(s).render(&v), "exists(studies)");
+        assert_eq!(
+            BasicConcept::exists_inv(s).render(&v),
+            "exists(inv(studies))"
+        );
+        assert_eq!(
+            ConceptRhs::Neg(BasicConcept::Atomic(stu)).render(&v),
+            "not Student"
+        );
+        assert_eq!(RoleRhs::Neg(Role::direct(s)).render(&v), "not studies");
+    }
+}

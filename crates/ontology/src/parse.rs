@@ -1,0 +1,259 @@
+//! Text syntax for TBoxes.
+//!
+//! ```text
+//! # declarations come first
+//! concept Student Person Professor Course
+//! role    studies likes teaches
+//!
+//! # axioms
+//! Student < Person
+//! exists(teaches) < Professor
+//! Person < exists(inv(knows))     # error: knows undeclared
+//! studies < likes
+//! Student < not Course
+//! studies < not hates             # role disjointness
+//! funct teaches
+//! funct inv(teaches)
+//! ```
+//!
+//! Declarations are mandatory: every name must be introduced by a
+//! `concept`/`role` line before use. This keeps concept/role namespaces
+//! unambiguous and makes typos hard errors instead of silent new names.
+
+use crate::expr::{BasicConcept, Role};
+use crate::tbox::TBox;
+use std::fmt;
+
+/// Errors from [`parse_tbox`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OntoParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for OntoParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for OntoParseError {}
+
+fn err(line: usize, msg: impl Into<String>) -> OntoParseError {
+    OntoParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Either side of an inclusion, before kind resolution.
+enum Side {
+    Concept(BasicConcept),
+    Role(Role),
+}
+
+fn parse_role(tbox: &TBox, line: usize, s: &str) -> Result<Role, OntoParseError> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix("inv(").and_then(|r| r.strip_suffix(')')) {
+        let id = tbox
+            .vocab()
+            .get_role(inner.trim())
+            .ok_or_else(|| err(line, format!("undeclared role `{}`", inner.trim())))?;
+        Ok(Role::inv(id))
+    } else {
+        let id = tbox
+            .vocab()
+            .get_role(s)
+            .ok_or_else(|| err(line, format!("undeclared role `{s}`")))?;
+        Ok(Role::direct(id))
+    }
+}
+
+fn parse_side(tbox: &TBox, line: usize, s: &str) -> Result<Side, OntoParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err(line, "empty expression"));
+    }
+    if let Some(inner) = s.strip_prefix("exists(").and_then(|r| r.strip_suffix(')')) {
+        return Ok(Side::Concept(BasicConcept::Exists(parse_role(
+            tbox, line, inner,
+        )?)));
+    }
+    if s.starts_with("inv(") {
+        return Ok(Side::Role(parse_role(tbox, line, s)?));
+    }
+    if let Some(c) = tbox.vocab().get_concept(s) {
+        return Ok(Side::Concept(BasicConcept::Atomic(c)));
+    }
+    if tbox.vocab().get_role(s).is_some() {
+        return Ok(Side::Role(parse_role(tbox, line, s)?));
+    }
+    Err(err(line, format!("undeclared name `{s}`")))
+}
+
+/// Parses the TBox text syntax described in the module docs.
+pub fn parse_tbox(text: &str) -> Result<TBox, OntoParseError> {
+    let mut tbox = TBox::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("concept ") {
+            for name in rest.split_whitespace() {
+                if tbox.vocab().get_role(name).is_some() {
+                    return Err(err(line_no, format!("`{name}` already declared as role")));
+                }
+                tbox.vocab_mut().concept(name);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("role ") {
+            for name in rest.split_whitespace() {
+                if tbox.vocab().get_concept(name).is_some() {
+                    return Err(err(line_no, format!("`{name}` already declared as concept")));
+                }
+                tbox.vocab_mut().role(name);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("funct ") {
+            let role = parse_role(&tbox, line_no, rest)?;
+            tbox.funct(role);
+            continue;
+        }
+        let (lhs_s, rhs_s) = line
+            .split_once('<')
+            .ok_or_else(|| err(line_no, format!("expected `LHS < RHS`, got `{line}`")))?;
+        let (negated, rhs_s) = match rhs_s.trim().strip_prefix("not ") {
+            Some(rest) => (true, rest),
+            None => (false, rhs_s.trim()),
+        };
+        let lhs = parse_side(&tbox, line_no, lhs_s)?;
+        let rhs = parse_side(&tbox, line_no, rhs_s)?;
+        match (lhs, rhs) {
+            (Side::Concept(l), Side::Concept(r)) => {
+                if negated {
+                    tbox.concept_disjoint(l, r);
+                } else {
+                    tbox.concept_incl(l, r);
+                }
+            }
+            (Side::Role(l), Side::Role(r)) => {
+                if negated {
+                    tbox.role_disjoint(l, r);
+                } else {
+                    tbox.role_incl(l, r);
+                }
+            }
+            _ => {
+                return Err(err(
+                    line_no,
+                    "inclusion mixes a concept with a role".to_string(),
+                ))
+            }
+        }
+    }
+    Ok(tbox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ConceptRhs, RoleRhs};
+    use crate::tbox::Axiom;
+
+    const SAMPLE: &str = r#"
+        # university ontology
+        concept Student Person Professor Course
+        role studies likes teaches
+
+        Student < Person
+        exists(teaches) < Professor
+        Professor < exists(teaches)
+        studies < likes
+        Student < not Course
+        studies < not teaches
+        funct teaches
+        funct inv(studies)
+        Student < exists(inv(teaches))
+    "#;
+
+    #[test]
+    fn parses_all_axiom_forms() {
+        let tbox = parse_tbox(SAMPLE).unwrap();
+        assert_eq!(tbox.len(), 9);
+        let v = tbox.vocab();
+        let student = BasicConcept::Atomic(v.get_concept("Student").unwrap());
+        let person = BasicConcept::Atomic(v.get_concept("Person").unwrap());
+        let teaches = Role::direct(v.get_role("teaches").unwrap());
+        let studies = Role::direct(v.get_role("studies").unwrap());
+        assert!(tbox
+            .axioms()
+            .contains(&Axiom::ConceptIncl(student, ConceptRhs::Basic(person))));
+        assert!(tbox.axioms().contains(&Axiom::Funct(teaches)));
+        assert!(tbox.axioms().contains(&Axiom::Funct(studies.inverted())));
+        assert!(tbox.axioms().contains(&Axiom::ConceptIncl(
+            student,
+            ConceptRhs::Basic(BasicConcept::Exists(teaches.inverted()))
+        )));
+        assert!(tbox
+            .axioms()
+            .contains(&Axiom::RoleIncl(studies, RoleRhs::Neg(teaches))));
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let tbox = parse_tbox(SAMPLE).unwrap();
+        let mut rendered = String::new();
+        rendered.push_str("concept Student Person Professor Course\n");
+        rendered.push_str("role studies likes teaches\n");
+        rendered.push_str(&tbox.render());
+        let reparsed = parse_tbox(&rendered).unwrap();
+        assert_eq!(reparsed.len(), tbox.len());
+        assert_eq!(reparsed.axioms(), tbox.axioms());
+    }
+
+    #[test]
+    fn undeclared_names_are_errors() {
+        let e = parse_tbox("Student < Person").unwrap_err();
+        assert!(e.msg.contains("undeclared"));
+        assert_eq!(e.line, 1);
+        let e = parse_tbox("role r\nr < s").unwrap_err();
+        assert!(e.msg.contains("undeclared"));
+        assert_eq!(e.line, 2);
+        let e = parse_tbox("concept A\nA < exists(r)").unwrap_err();
+        assert!(e.msg.contains("undeclared role"));
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let e = parse_tbox("concept A\nrole r\nA < r").unwrap_err();
+        assert!(e.msg.contains("mixes"));
+        let e = parse_tbox("concept A\nrole A").unwrap_err();
+        assert!(e.msg.contains("already declared"));
+        let e = parse_tbox("role r\nconcept r").unwrap_err();
+        assert!(e.msg.contains("already declared"));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_tbox("concept A\nA ⊑ A").is_err());
+        assert!(parse_tbox("concept A\nA <").is_err());
+        assert!(parse_tbox("funct ").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let tbox = parse_tbox("# nothing\n\n   \nconcept A # trailing\n").unwrap();
+        assert!(tbox.is_empty());
+        assert!(tbox.vocab().get_concept("A").is_some());
+    }
+}

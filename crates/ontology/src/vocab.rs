@@ -1,0 +1,124 @@
+//! The ontology vocabulary (alphabet): atomic concept and role names.
+
+use obx_util::{Interner, Symbol};
+use std::fmt;
+
+/// An atomic concept name (e.g. `Student`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub Symbol);
+
+impl fmt::Debug for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "concept#{}", self.0 .0)
+    }
+}
+
+/// An atomic role name (e.g. `studies`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoleId(pub Symbol);
+
+impl fmt::Debug for RoleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "role#{}", self.0 .0)
+    }
+}
+
+/// The alphabet of an ontology: two disjoint interned name spaces.
+#[derive(Default, Debug)]
+pub struct OntoVocab {
+    concepts: Interner,
+    roles: Interner,
+}
+
+impl OntoVocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or retrieves) a concept name.
+    pub fn concept(&mut self, name: &str) -> ConceptId {
+        ConceptId(self.concepts.intern(name))
+    }
+
+    /// Declares (or retrieves) a role name.
+    pub fn role(&mut self, name: &str) -> RoleId {
+        RoleId(self.roles.intern(name))
+    }
+
+    /// Looks up a concept without declaring it.
+    pub fn get_concept(&self, name: &str) -> Option<ConceptId> {
+        self.concepts.get(name).map(ConceptId)
+    }
+
+    /// Looks up a role without declaring it.
+    pub fn get_role(&self, name: &str) -> Option<RoleId> {
+        self.roles.get(name).map(RoleId)
+    }
+
+    /// The name of a concept.
+    pub fn concept_name(&self, c: ConceptId) -> &str {
+        self.concepts.resolve(c.0)
+    }
+
+    /// The name of a role.
+    pub fn role_name(&self, r: RoleId) -> &str {
+        self.roles.resolve(r.0)
+    }
+
+    /// Number of declared concepts.
+    pub fn num_concepts(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of declared roles.
+    pub fn num_roles(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// All declared concept ids.
+    pub fn concept_ids(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.concepts.iter().map(|(s, _)| ConceptId(s))
+    }
+
+    /// All declared role ids.
+    pub fn role_ids(&self) -> impl Iterator<Item = RoleId> + '_ {
+        self.roles.iter().map(|(s, _)| RoleId(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concepts_and_roles_are_separate_namespaces() {
+        let mut v = OntoVocab::new();
+        let c = v.concept("thing");
+        let r = v.role("thing");
+        // Same string, different namespaces: both resolve independently.
+        assert_eq!(v.concept_name(c), "thing");
+        assert_eq!(v.role_name(r), "thing");
+        assert_eq!(v.num_concepts(), 1);
+        assert_eq!(v.num_roles(), 1);
+    }
+
+    #[test]
+    fn get_does_not_declare() {
+        let mut v = OntoVocab::new();
+        assert!(v.get_concept("Student").is_none());
+        let c = v.concept("Student");
+        assert_eq!(v.get_concept("Student"), Some(c));
+        assert!(v.get_role("Student").is_none());
+    }
+
+    #[test]
+    fn id_iterators_enumerate_all() {
+        let mut v = OntoVocab::new();
+        let a = v.concept("A");
+        let b = v.concept("B");
+        let r = v.role("r");
+        assert_eq!(v.concept_ids().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(v.role_ids().collect::<Vec<_>>(), vec![r]);
+    }
+}

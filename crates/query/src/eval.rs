@@ -1,0 +1,577 @@
+//! Evaluation of source CQs/UCQs over a database [`View`].
+//!
+//! The evaluator is a backtracking join with **dynamic atom ordering**: at
+//! every depth it picks the not-yet-joined atom with the smallest estimated
+//! candidate set (using the per-(relation, position, constant) index for
+//! atoms that already have a bound argument). This is the classical
+//! "most-selective-first" heuristic; on border-sized sub-databases it makes
+//! J-match checks (Definition 3.4) effectively constant-time, and on full
+//! databases it avoids the worst cross products.
+
+use crate::src::{SrcAtom, SrcCq, SrcUcq};
+use crate::term::{Term, VarId};
+use obx_srcdb::{Const, View};
+use obx_util::FxHashSet;
+
+/// A variable binding, dense over the query's variable indices.
+struct Binding {
+    slots: Vec<Option<Const>>,
+}
+
+impl Binding {
+    fn new(num_vars: usize) -> Self {
+        Self {
+            slots: vec![None; num_vars],
+        }
+    }
+
+    #[inline]
+    fn get(&self, v: VarId) -> Option<Const> {
+        self.slots[v.index()]
+    }
+
+    #[inline]
+    fn resolve(&self, t: Term) -> Option<Const> {
+        match t {
+            Term::Const(c) => Some(c),
+            Term::Var(v) => self.get(v),
+        }
+    }
+}
+
+/// Estimated number of candidate database atoms for `atom` under the
+/// current binding (uses unmasked index sizes as the estimate).
+fn selectivity(view: &View<'_>, atom: &SrcAtom, binding: &Binding) -> usize {
+    let mut best = view.db().atoms_of(atom.rel).len();
+    for (pos, &t) in atom.args.iter().enumerate() {
+        if let Some(c) = binding.resolve(t) {
+            best = best.min(view.db().atoms_with(atom.rel, pos, c).len());
+        }
+    }
+    best
+}
+
+/// Iterates candidate atom ids for `atom` under `binding`, using the most
+/// selective index available.
+fn candidates<'v>(
+    view: &'v View<'v>,
+    atom: &SrcAtom,
+    binding: &Binding,
+) -> Box<dyn Iterator<Item = obx_srcdb::AtomId> + 'v> {
+    let mut best: Option<(usize, usize, Const)> = None; // (index size, pos, const)
+    for (pos, &t) in atom.args.iter().enumerate() {
+        if let Some(c) = binding.resolve(t) {
+            let size = view.db().atoms_with(atom.rel, pos, c).len();
+            if best.map_or(true, |(s, _, _)| size < s) {
+                best = Some((size, pos, c));
+            }
+        }
+    }
+    match best {
+        Some((_, pos, c)) => Box::new(view.atoms_with(atom.rel, pos, c)),
+        None => Box::new(view.atoms_of(atom.rel)),
+    }
+}
+
+/// Tries to match `atom` against the database atom `id`, extending
+/// `binding`. On success returns the list of variables newly bound (the
+/// trail to undo on backtrack); on failure returns `None` with `binding`
+/// unchanged.
+fn try_match(
+    view: &View<'_>,
+    atom: &SrcAtom,
+    id: obx_srcdb::AtomId,
+    binding: &mut Binding,
+) -> Option<Vec<VarId>> {
+    let fact = view.atom(id);
+    debug_assert_eq!(fact.rel, atom.rel);
+    if fact.args.len() != atom.args.len() {
+        return None;
+    }
+    let mut trail: Vec<VarId> = Vec::new();
+    for (&t, &c) in atom.args.iter().zip(fact.args.iter()) {
+        match t {
+            Term::Const(qc) => {
+                if qc != c {
+                    undo(binding, &trail);
+                    return None;
+                }
+            }
+            Term::Var(v) => match binding.get(v) {
+                Some(bound) => {
+                    if bound != c {
+                        undo(binding, &trail);
+                        return None;
+                    }
+                }
+                None => {
+                    binding.slots[v.index()] = Some(c);
+                    trail.push(v);
+                }
+            },
+        }
+    }
+    Some(trail)
+}
+
+fn undo(binding: &mut Binding, trail: &[VarId]) {
+    for &v in trail {
+        binding.slots[v.index()] = None;
+    }
+}
+
+/// Depth-first search over the remaining atoms. `on_solution` returns
+/// `true` to keep searching, `false` to stop early. Returns `false` iff the
+/// search was stopped early.
+fn search(
+    view: &View<'_>,
+    atoms: &[SrcAtom],
+    used: &mut [bool],
+    remaining: usize,
+    binding: &mut Binding,
+    on_solution: &mut dyn FnMut(&Binding) -> bool,
+) -> bool {
+    if remaining == 0 {
+        return on_solution(binding);
+    }
+    // Pick the most selective unjoined atom.
+    let mut pick = usize::MAX;
+    let mut pick_size = usize::MAX;
+    for (i, atom) in atoms.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let s = selectivity(view, atom, binding);
+        if s < pick_size {
+            pick_size = s;
+            pick = i;
+        }
+    }
+    let atom = &atoms[pick];
+    used[pick] = true;
+    let mut keep_going = true;
+    let ids: Vec<obx_srcdb::AtomId> = candidates(view, atom, binding).collect();
+    for id in ids {
+        if let Some(trail) = try_match(view, atom, id, binding) {
+            keep_going = search(view, atoms, used, remaining - 1, binding, on_solution);
+            undo(binding, &trail);
+            if !keep_going {
+                break;
+            }
+        }
+    }
+    used[pick] = false;
+    keep_going
+}
+
+fn num_vars(cq: &SrcCq) -> usize {
+    cq.max_var().map_or(0, |m| m as usize + 1)
+}
+
+/// All answers of `cq` over `view`: the set of head-variable tuples.
+pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
+    let mut out: FxHashSet<Box<[Const]>> = FxHashSet::default();
+    let mut binding = Binding::new(num_vars(cq));
+    let mut used = vec![false; cq.body().len()];
+    let n = cq.body().len();
+    search(&view, cq.body(), &mut used, n, &mut binding, &mut |b| {
+        let tuple: Box<[Const]> = cq
+            .head()
+            .iter()
+            .map(|&v| b.get(v).expect("head var bound by safety"))
+            .collect();
+        out.insert(tuple);
+        true
+    });
+    out
+}
+
+/// Whether `tuple` is an answer of `cq` over `view`.
+///
+/// Head variables are pre-bound to the tuple (so this is a single
+/// goal-directed search, not answer enumeration). Returns `false` when the
+/// tuple arity differs from the query arity, or when a repeated head
+/// variable would need two different constants.
+pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
+    if tuple.len() != cq.arity() {
+        return false;
+    }
+    let mut binding = Binding::new(num_vars(cq));
+    for (&v, &c) in cq.head().iter().zip(tuple.iter()) {
+        match binding.get(v) {
+            Some(prev) if prev != c => return false,
+            _ => binding.slots[v.index()] = Some(c),
+        }
+    }
+    let mut used = vec![false; cq.body().len()];
+    let n = cq.body().len();
+    let mut found = false;
+    search(&view, cq.body(), &mut used, n, &mut binding, &mut |_| {
+        found = true;
+        false // stop at the first witness
+    });
+    found
+}
+
+/// Like [`satisfies`], but additionally returns a *witness*: the database
+/// atoms (one per body atom, in body order) of the first embedding found.
+/// This is the provenance primitive behind explanation evidence — the
+/// paper's future-work item on explaining query answers (its reference
+/// [10]) asks exactly for the facts that ground a certain answer.
+pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_srcdb::AtomId>> {
+    if tuple.len() != cq.arity() {
+        return None;
+    }
+    let mut binding = Binding::new(num_vars(cq));
+    for (&v, &c) in cq.head().iter().zip(tuple.iter()) {
+        match binding.get(v) {
+            Some(prev) if prev != c => return None,
+            _ => binding.slots[v.index()] = Some(c),
+        }
+    }
+    // Re-run the search keeping per-atom matched ids. Reuses the same
+    // machinery with a side table filled on the way down.
+    fn go(
+        view: &View<'_>,
+        atoms: &[SrcAtom],
+        used: &mut [bool],
+        matched: &mut [Option<obx_srcdb::AtomId>],
+        remaining: usize,
+        binding: &mut Binding,
+    ) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        let mut pick = usize::MAX;
+        let mut pick_size = usize::MAX;
+        for (i, atom) in atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let s = selectivity(view, atom, binding);
+            if s < pick_size {
+                pick_size = s;
+                pick = i;
+            }
+        }
+        let atom = &atoms[pick];
+        used[pick] = true;
+        let ids: Vec<obx_srcdb::AtomId> = candidates(view, atom, binding).collect();
+        for id in ids {
+            if let Some(trail) = try_match(view, atom, id, binding) {
+                matched[pick] = Some(id);
+                if go(view, atoms, used, matched, remaining - 1, binding) {
+                    return true;
+                }
+                matched[pick] = None;
+                undo(binding, &trail);
+            }
+        }
+        used[pick] = false;
+        false
+    }
+    let n = cq.body().len();
+    let mut used = vec![false; n];
+    let mut matched: Vec<Option<obx_srcdb::AtomId>> = vec![None; n];
+    if go(&view, cq.body(), &mut used, &mut matched, n, &mut binding) {
+        Some(matched.into_iter().map(|m| m.expect("all atoms matched")).collect())
+    } else {
+        None
+    }
+}
+
+/// First witness across a UCQ's disjuncts, with the disjunct index.
+pub fn witness_ucq(
+    view: View<'_>,
+    ucq: &SrcUcq,
+    tuple: &[Const],
+) -> Option<(usize, Vec<obx_srcdb::AtomId>)> {
+    ucq.disjuncts()
+        .iter()
+        .enumerate()
+        .find_map(|(i, cq)| witness(view, cq, tuple).map(|w| (i, w)))
+}
+
+/// All answers of a UCQ (union of the disjuncts' answers).
+pub fn answers_ucq(view: View<'_>, ucq: &SrcUcq) -> FxHashSet<Box<[Const]>> {
+    let mut out: FxHashSet<Box<[Const]>> = FxHashSet::default();
+    for cq in ucq.disjuncts() {
+        out.extend(answers(view, cq));
+    }
+    out
+}
+
+/// Whether `tuple` is an answer of some disjunct.
+pub fn satisfies_ucq(view: View<'_>, ucq: &SrcUcq, tuple: &[Const]) -> bool {
+    ucq.disjuncts().iter().any(|cq| satisfies(view, cq, tuple))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::var;
+    use obx_srcdb::{Database, Schema};
+
+    /// The source database of the paper's Example 3.6.
+    fn students_db() -> Database {
+        let mut schema = Schema::new();
+        schema.declare("STUD", 1).unwrap();
+        schema.declare("LOC", 2).unwrap();
+        schema.declare("ENR", 3).unwrap();
+        let mut db = Database::new(schema);
+        for s in ["A10", "B80", "C12", "D50", "E25"] {
+            db.insert_named("STUD", &[s]).unwrap();
+        }
+        db.insert_named("LOC", &["Sap", "Rome"]).unwrap();
+        db.insert_named("LOC", &["TV", "Rome"]).unwrap();
+        db.insert_named("LOC", &["Pol", "Milan"]).unwrap();
+        db.insert_named("ENR", &["A10", "Math", "TV"]).unwrap();
+        db.insert_named("ENR", &["B80", "Math", "Sap"]).unwrap();
+        db.insert_named("ENR", &["C12", "Science", "Norm"]).unwrap();
+        db.insert_named("ENR", &["D50", "Science", "TV"]).unwrap();
+        db.insert_named("ENR", &["E25", "Math", "Pol"]).unwrap();
+        db
+    }
+
+    fn c(db: &Database, name: &str) -> Const {
+        db.consts().get(name).expect("constant present")
+    }
+
+    #[test]
+    fn single_atom_scan() {
+        let db = students_db();
+        let stud = db.schema().rel("STUD").unwrap();
+        let q = SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(stud, [var(0)])]).unwrap();
+        let ans = answers(View::full(&db), &q);
+        assert_eq!(ans.len(), 5);
+        assert!(ans.contains(&vec![c(&db, "A10")].into_boxed_slice()));
+    }
+
+    #[test]
+    fn join_with_constant() {
+        let db = students_db();
+        let enr = db.schema().rel("ENR").unwrap();
+        let loc = db.schema().rel("LOC").unwrap();
+        let rome = c(&db, "Rome");
+        // q(x) :- ENR(x, y, z), LOC(z, "Rome")
+        let q = SrcCq::new(
+            vec![VarId(0)],
+            vec![
+                SrcAtom::new(enr, [var(0), var(1), var(2)]),
+                SrcAtom::new(loc, [var(2), Term::Const(rome)]),
+            ],
+        )
+        .unwrap();
+        let ans = answers(View::full(&db), &q);
+        let names: FxHashSet<&str> = ans
+            .iter()
+            .map(|t| db.consts().resolve(t[0]))
+            .collect();
+        assert_eq!(names, ["A10", "B80", "D50"].into_iter().collect());
+    }
+
+    #[test]
+    fn satisfies_is_goal_directed_and_agrees_with_answers() {
+        let db = students_db();
+        let enr = db.schema().rel("ENR").unwrap();
+        let math = c(&db, "Math");
+        // q(x) :- ENR(x, "Math", z)
+        let q = SrcCq::new(
+            vec![VarId(0)],
+            vec![SrcAtom::new(enr, [var(0), Term::Const(math), var(1)])],
+        )
+        .unwrap();
+        let view = View::full(&db);
+        let ans = answers(view, &q);
+        for name in ["A10", "B80", "C12", "D50", "E25"] {
+            let t = [c(&db, name)];
+            assert_eq!(
+                satisfies(view, &q, &t),
+                ans.contains(&t.to_vec().into_boxed_slice()),
+                "mismatch for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn satisfies_rejects_wrong_arity_and_conflicting_repeated_head() {
+        let db = students_db();
+        let loc = db.schema().rel("LOC").unwrap();
+        // q(x, x) :- LOC(x, x) — diagonal query, no LOC fact is reflexive.
+        let q = SrcCq::new(
+            vec![VarId(0), VarId(0)],
+            vec![SrcAtom::new(loc, [var(0), var(0)])],
+        )
+        .unwrap();
+        let view = View::full(&db);
+        let sap = c(&db, "Sap");
+        let rome = c(&db, "Rome");
+        assert!(!satisfies(view, &q, &[sap])); // wrong arity
+        assert!(!satisfies(view, &q, &[sap, rome])); // conflicting repeat
+        assert!(!satisfies(view, &q, &[sap, sap])); // consistent but no fact
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let mut schema = Schema::new();
+        schema.declare("E", 2).unwrap();
+        let mut db = Database::new(schema);
+        db.insert_named("E", &["a", "a"]).unwrap();
+        db.insert_named("E", &["a", "b"]).unwrap();
+        let e = db.schema().rel("E").unwrap();
+        let q = SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(e, [var(0), var(0)])]).unwrap();
+        let ans = answers(View::full(&db), &q);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![c(&db, "a")].into_boxed_slice()));
+    }
+
+    #[test]
+    fn evaluation_respects_masked_views() {
+        let db = students_db();
+        let enr = db.schema().rel("ENR").unwrap();
+        let q = SrcCq::new(
+            vec![VarId(0)],
+            vec![SrcAtom::new(enr, [var(0), var(1), var(2)])],
+        )
+        .unwrap();
+        // Mask down to the single ENR(C12, …) fact.
+        let c12 = c(&db, "C12");
+        let mask: FxHashSet<obx_srcdb::AtomId> =
+            db.atoms_with(enr, 0, c12).iter().copied().collect();
+        let ans = answers(View::masked(&db, &mask), &q);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![c12].into_boxed_slice()));
+    }
+
+    #[test]
+    fn boolean_style_queries_via_constant_only_atoms() {
+        let db = students_db();
+        let loc = db.schema().rel("LOC").unwrap();
+        let sap = c(&db, "Sap");
+        let rome = c(&db, "Rome");
+        let stud = db.schema().rel("STUD").unwrap();
+        // q(x) :- STUD(x), LOC("Sap", "Rome") — the second atom is a guard.
+        let q = SrcCq::new(
+            vec![VarId(0)],
+            vec![
+                SrcAtom::new(stud, [var(0)]),
+                SrcAtom::new(loc, [Term::Const(sap), Term::Const(rome)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(answers(View::full(&db), &q).len(), 5);
+        // With a false guard there are no answers.
+        let milan = c(&db, "Milan");
+        let q2 = SrcCq::new(
+            vec![VarId(0)],
+            vec![
+                SrcAtom::new(stud, [var(0)]),
+                SrcAtom::new(loc, [Term::Const(sap), Term::Const(milan)]),
+            ],
+        )
+        .unwrap();
+        assert!(answers(View::full(&db), &q2).is_empty());
+    }
+
+    #[test]
+    fn witness_returns_grounding_atoms() {
+        let db = students_db();
+        let enr = db.schema().rel("ENR").unwrap();
+        let loc = db.schema().rel("LOC").unwrap();
+        let rome = c(&db, "Rome");
+        // q(x) :- ENR(x, y, z), LOC(z, "Rome")
+        let q = SrcCq::new(
+            vec![VarId(0)],
+            vec![
+                SrcAtom::new(enr, [var(0), var(1), var(2)]),
+                SrcAtom::new(loc, [var(2), Term::Const(rome)]),
+            ],
+        )
+        .unwrap();
+        let view = View::full(&db);
+        let a10 = c(&db, "A10");
+        let w = witness(view, &q, &[a10]).expect("A10 matches");
+        assert_eq!(w.len(), 2);
+        // Witness atoms ground the body in order: an ENR fact about A10,
+        // then a LOC(..., Rome) fact.
+        let w0 = db.atom(w[0]);
+        let w1 = db.atom(w[1]);
+        assert_eq!(w0.rel, enr);
+        assert_eq!(w0.args[0], a10);
+        assert_eq!(w1.rel, loc);
+        assert_eq!(w1.args[1], rome);
+        // The ENR's university must be the LOC's subject (join respected).
+        assert_eq!(w0.args[2], w1.args[0]);
+        // Non-answers yield no witness: E25's own university (Pol) is in
+        // Milan, and this source query joins the student's *own* ENR row
+        // with LOC (unlike the ontology q1, whose subject-mediated join
+        // lets E25 match globally).
+        let e25 = c(&db, "E25");
+        assert!(witness(view, &q, &[e25]).is_none());
+        let milan = c(&db, "Milan");
+        assert!(witness(view, &q, &[milan]).is_none());
+        // Arity mismatch yields none.
+        assert!(witness(view, &q, &[a10, a10]).is_none());
+    }
+
+    #[test]
+    fn witness_ucq_reports_disjunct_index() {
+        let db = students_db();
+        let enr = db.schema().rel("ENR").unwrap();
+        let math = c(&db, "Math");
+        let science = c(&db, "Science");
+        let q_math = SrcCq::new(
+            vec![VarId(0)],
+            vec![SrcAtom::new(enr, [var(0), Term::Const(math), var(1)])],
+        )
+        .unwrap();
+        let q_sci = SrcCq::new(
+            vec![VarId(0)],
+            vec![SrcAtom::new(enr, [var(0), Term::Const(science), var(1)])],
+        )
+        .unwrap();
+        let ucq: SrcUcq = [q_math, q_sci].into_iter().collect();
+        let view = View::full(&db);
+        let (i_a10, _) = witness_ucq(view, &ucq, &[c(&db, "A10")]).unwrap();
+        let (i_c12, _) = witness_ucq(view, &ucq, &[c(&db, "C12")]).unwrap();
+        assert_ne!(i_a10, i_c12, "Math and Science students hit different disjuncts");
+    }
+
+    #[test]
+    fn ucq_unions_disjuncts() {
+        let db = students_db();
+        let enr = db.schema().rel("ENR").unwrap();
+        let math = c(&db, "Math");
+        let science = c(&db, "Science");
+        let q_math = SrcCq::new(
+            vec![VarId(0)],
+            vec![SrcAtom::new(enr, [var(0), Term::Const(math), var(1)])],
+        )
+        .unwrap();
+        let q_sci = SrcCq::new(
+            vec![VarId(0)],
+            vec![SrcAtom::new(enr, [var(0), Term::Const(science), var(1)])],
+        )
+        .unwrap();
+        let ucq: SrcUcq = [q_math, q_sci].into_iter().collect();
+        let view = View::full(&db);
+        assert_eq!(answers_ucq(view, &ucq).len(), 5);
+        assert!(satisfies_ucq(view, &ucq, &[c(&db, "C12")]));
+    }
+
+    #[test]
+    fn cross_product_queries_terminate_and_are_correct() {
+        let db = students_db();
+        let stud = db.schema().rel("STUD").unwrap();
+        // q(x, y) :- STUD(x), STUD(y) — 25 answers.
+        let q = SrcCq::new(
+            vec![VarId(0), VarId(1)],
+            vec![
+                SrcAtom::new(stud, [var(0)]),
+                SrcAtom::new(stud, [var(1)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(answers(View::full(&db), &q).len(), 25);
+    }
+}

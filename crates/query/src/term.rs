@@ -1,0 +1,82 @@
+//! Query terms: variables and constants.
+
+use obx_srcdb::Const;
+use std::fmt;
+
+/// A query variable, scoped to one query (dense indices starting at 0).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A term: a variable or a constant from the shared constant pool.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A query variable.
+    Var(VarId),
+    /// A constant (interned in the database's [`obx_srcdb::ConstPool`]).
+    Const(Const),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    #[inline]
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    #[inline]
+    pub fn as_const(self) -> Option<Const> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Whether this term is a variable.
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+/// Convenience constructor for a variable term.
+pub fn var(i: u32) -> Term {
+    Term::Var(VarId(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obx_srcdb::ConstPool;
+
+    #[test]
+    fn accessors() {
+        let mut pool = ConstPool::new();
+        let rome = pool.intern("Rome");
+        let v = var(3);
+        let c = Term::Const(rome);
+        assert_eq!(v.as_var(), Some(VarId(3)));
+        assert_eq!(v.as_const(), None);
+        assert!(v.is_var());
+        assert_eq!(c.as_const(), Some(rome));
+        assert_eq!(c.as_var(), None);
+        assert!(!c.is_var());
+    }
+}

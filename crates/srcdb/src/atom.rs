@@ -1,0 +1,99 @@
+//! Ground atoms `s(c̄)`.
+
+use crate::consts::{Const, ConstPool};
+use crate::schema::{RelId, Schema};
+use std::fmt;
+
+/// Identifier of an atom within a [`crate::Database`] (dense, insertion
+/// ordered). Borders and sub-database masks are sets of `AtomId`s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// Raw index of this atom in its database.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A ground atom: a relation applied to a tuple of constants.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The relation symbol `s`.
+    pub rel: RelId,
+    /// The argument tuple `c̄` (length = declared arity).
+    pub args: Box<[Const]>,
+}
+
+impl Atom {
+    /// Builds an atom. Arity is checked by [`crate::Database::insert`], not
+    /// here, so that atoms can be constructed freely in tests.
+    pub fn new(rel: RelId, args: impl IntoIterator<Item = Const>) -> Self {
+        Self {
+            rel,
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Whether constant `c` occurs among the arguments.
+    #[inline]
+    pub fn mentions(&self, c: Const) -> bool {
+        self.args.contains(&c)
+    }
+
+    /// Whether the two atoms share at least one constant — the paper's
+    /// Definition 3.1 ("reachable from"), specialised to a pair.
+    pub fn shares_constant_with(&self, other: &Atom) -> bool {
+        self.args.iter().any(|c| other.args.contains(c))
+    }
+
+    /// Renders the atom like `ENR(A10, Math, TV)`.
+    pub fn render(&self, schema: &Schema, consts: &ConstPool) -> String {
+        let mut s = String::from(schema.name(self.rel));
+        s.push('(');
+        for (i, c) in self.args.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(consts.resolve(*c));
+        }
+        s.push(')');
+        s
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "atom#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn mentions_and_sharing() {
+        let mut p = ConstPool::new();
+        let (a, b, c) = (p.intern("a"), p.intern("b"), p.intern("c"));
+        let r = RelId(0);
+        let ab = Atom::new(r, [a, b]);
+        let bc = Atom::new(r, [b, c]);
+        let cc = Atom::new(r, [c, c]);
+        assert!(ab.mentions(a));
+        assert!(!ab.mentions(c));
+        assert!(ab.shares_constant_with(&bc));
+        assert!(!ab.shares_constant_with(&cc));
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let mut schema = Schema::new();
+        let enr = schema.declare("ENR", 3).unwrap();
+        let mut p = ConstPool::new();
+        let atom = Atom::new(enr, [p.intern("A10"), p.intern("Math"), p.intern("TV")]);
+        assert_eq!(atom.render(&schema, &p), "ENR(A10, Math, TV)");
+    }
+}

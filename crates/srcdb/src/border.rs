@@ -1,0 +1,338 @@
+//! Reachability and the border of radius `r` (Definitions 3.1 and 3.2).
+//!
+//! The border `B_{t,r}(D)` collects the atoms of `D` relevant to a
+//! classified tuple `t`: layer `W_{t,0}` holds the atoms mentioning a
+//! constant of `t`, and layer `W_{t,j+1}` holds the atoms *newly* reached
+//! from layer `j` by sharing a constant.
+//!
+//! **Semantics note.** Read literally, Definition 3.2 would put *every*
+//! atom reachable from `W_{t,j}` into `W_{t,j+1}`, re-including earlier
+//! layers (an atom always shares a constant with itself). The paper's
+//! Example 3.3 shows the intended reading — `W_{t,1}(D) = {Z(c,d)}` only,
+//! i.e. BFS frontier layers. We implement the frontier semantics; the
+//! *border* (the union of layers, which is what Definitions 3.4+ consume)
+//! is identical under both readings, and a property test below checks that
+//! union-equivalence.
+//!
+//! Complexity: one BFS over the bipartite constant–atom incidence graph
+//! using [`Database::atoms_mentioning`], i.e. `O(Σ |incident atoms|)` —
+//! near-linear in the size of the reached sub-database (experiment E8).
+
+use crate::atom::AtomId;
+use crate::consts::Const;
+use crate::database::Database;
+use crate::view::View;
+use obx_util::FxHashSet;
+
+/// Definition 3.1: all atoms of `db` sharing a constant with some atom in
+/// `from` (including the atoms of `from` themselves, which trivially share
+/// their own constants). Exposed mostly for tests and documentation; the
+/// border BFS below uses frontier bookkeeping instead of re-scanning.
+pub fn reachable_from(db: &Database, from: &FxHashSet<AtomId>) -> FxHashSet<AtomId> {
+    let mut out = FxHashSet::default();
+    let mut seen_consts: FxHashSet<Const> = FxHashSet::default();
+    for &id in from {
+        for &c in db.atom(id).args.iter() {
+            if seen_consts.insert(c) {
+                out.extend(db.atoms_mentioning(c).iter().copied());
+            }
+        }
+    }
+    out
+}
+
+/// The border `B_{t,r}(D)` of a tuple, with its BFS layers `W_{t,j}`.
+///
+/// A `Border` can be [extended](Border::extend) to a larger radius without
+/// recomputing earlier layers — the explanation engine grows borders lazily
+/// when the radius parameter increases.
+#[derive(Debug)]
+pub struct Border {
+    /// `layers[j]` = `W_{t,j}(D)`, in discovery order. Trailing layers may
+    /// be empty when the BFS exhausted the connected component early.
+    layers: Vec<Vec<AtomId>>,
+    all: FxHashSet<AtomId>,
+    /// Constants discovered in the most recent layer, not yet expanded.
+    frontier: Vec<Const>,
+    seen_consts: FxHashSet<Const>,
+}
+
+impl Border {
+    /// Computes `B_{t,radius}(D)` for the tuple `t` (given as its constants).
+    pub fn compute(db: &Database, tuple: &[Const], radius: usize) -> Self {
+        // Layer 0: atoms that mention a constant appearing in t.
+        let mut seen_consts: FxHashSet<Const> = FxHashSet::default();
+        let mut all: FxHashSet<AtomId> = FxHashSet::default();
+        let mut layer0: Vec<AtomId> = Vec::new();
+        let mut frontier: Vec<Const> = Vec::new();
+        for &c in tuple {
+            if !seen_consts.insert(c) {
+                continue;
+            }
+            for &id in db.atoms_mentioning(c) {
+                if all.insert(id) {
+                    layer0.push(id);
+                }
+            }
+        }
+        // Constants of t are expanded; constants first seen inside layer-0
+        // atoms form the frontier for layer 1.
+        for &id in &layer0 {
+            for &c in db.atom(id).args.iter() {
+                if seen_consts.insert(c) {
+                    frontier.push(c);
+                }
+            }
+        }
+        let mut border = Self {
+            layers: vec![layer0],
+            all,
+            frontier,
+            seen_consts,
+        };
+        border.extend(db, radius);
+        border
+    }
+
+    /// Grows the border so that at least `radius + 1` layers exist
+    /// (`W_0 ..= W_radius`). No-op if already large enough.
+    pub fn extend(&mut self, db: &Database, radius: usize) {
+        while self.layers.len() <= radius {
+            let mut layer: Vec<AtomId> = Vec::new();
+            let mut next_frontier: Vec<Const> = Vec::new();
+            for &c in &self.frontier {
+                for &id in db.atoms_mentioning(c) {
+                    if self.all.insert(id) {
+                        layer.push(id);
+                    }
+                }
+            }
+            for &id in &layer {
+                for &c in db.atom(id).args.iter() {
+                    if self.seen_consts.insert(c) {
+                        next_frontier.push(c);
+                    }
+                }
+            }
+            self.frontier = next_frontier;
+            self.layers.push(layer);
+        }
+    }
+
+    /// Radius currently covered (`layers.len() - 1`).
+    pub fn radius(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// The layer `W_{t,j}(D)`, or `None` if `j` exceeds the computed radius.
+    pub fn layer(&self, j: usize) -> Option<&[AtomId]> {
+        self.layers.get(j).map(Vec::as_slice)
+    }
+
+    /// Number of layers computed (radius + 1).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The atoms of `B_{t,r}` for `r <= self.radius()`, as a fresh set.
+    ///
+    /// For `r == self.radius()` prefer [`Border::atoms`], which borrows.
+    pub fn atoms_up_to(&self, r: usize) -> FxHashSet<AtomId> {
+        assert!(r < self.layers.len(), "radius {r} not computed");
+        let mut out = FxHashSet::default();
+        for layer in &self.layers[..=r] {
+            out.extend(layer.iter().copied());
+        }
+        out
+    }
+
+    /// All atoms of the border at its full computed radius.
+    #[inline]
+    pub fn atoms(&self) -> &FxHashSet<AtomId> {
+        &self.all
+    }
+
+    /// Number of atoms in the full border.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the border is empty (the tuple's constants occur in no atom).
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Whether the BFS has exhausted the connected component (further
+    /// extensions would only add empty layers).
+    pub fn saturated(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// A [`View`] of the database restricted to this border (full radius).
+    pub fn view<'a>(&'a self, db: &'a Database) -> View<'a> {
+        View::masked(db, &self.all)
+    }
+}
+
+/// Convenience wrapper: the atoms of `B_{t,r}(D)`.
+pub fn border(db: &Database, tuple: &[Const], radius: usize) -> FxHashSet<AtomId> {
+    Border::compute(db, tuple, radius).atoms().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    /// The database of Example 3.3:
+    /// D = {R(a,b), S(a,c), Z(c,d), W(d,e), W(e,h), R(f,g)}.
+    fn example_3_3() -> Database {
+        let mut schema = Schema::new();
+        for (name, arity) in [("R", 2), ("S", 2), ("Z", 2), ("W", 2)] {
+            schema.declare(name, arity).unwrap();
+        }
+        let mut db = Database::new(schema);
+        db.insert_named("R", &["a", "b"]).unwrap(); // atom#0
+        db.insert_named("S", &["a", "c"]).unwrap(); // atom#1
+        db.insert_named("Z", &["c", "d"]).unwrap(); // atom#2
+        db.insert_named("W", &["d", "e"]).unwrap(); // atom#3
+        db.insert_named("W", &["e", "h"]).unwrap(); // atom#4
+        db.insert_named("R", &["f", "g"]).unwrap(); // atom#5
+        db
+    }
+
+    fn sorted(v: &[AtomId]) -> Vec<AtomId> {
+        let mut v = v.to_vec();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn example_3_3_layers_match_paper() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        let b = Border::compute(&db, &[a], 2);
+        // W0 = {R(a,b), S(a,c)}
+        assert_eq!(sorted(b.layer(0).unwrap()), vec![AtomId(0), AtomId(1)]);
+        // W1 = {Z(c,d)}
+        assert_eq!(sorted(b.layer(1).unwrap()), vec![AtomId(2)]);
+        // W2 = {W(d,e)}
+        assert_eq!(sorted(b.layer(2).unwrap()), vec![AtomId(3)]);
+        // B_{t,2} = union.
+        let mut all: Vec<AtomId> = b.atoms().iter().copied().collect();
+        all.sort();
+        assert_eq!(all, vec![AtomId(0), AtomId(1), AtomId(2), AtomId(3)]);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn example_3_3_radius_3_reaches_w_e_h_but_never_r_f_g() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        let b = Border::compute(&db, &[a], 3);
+        assert_eq!(sorted(b.layer(3).unwrap()), vec![AtomId(4)]);
+        // R(f,g) is in a different connected component: even a huge radius
+        // never reaches it.
+        let big = Border::compute(&db, &[a], 50);
+        assert!(!big.atoms().contains(&AtomId(5)));
+        assert!(big.saturated());
+        // Extra layers beyond saturation are empty.
+        assert!(big.layer(10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn extend_is_incremental() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        let mut b = Border::compute(&db, &[a], 0);
+        assert_eq!(b.radius(), 0);
+        assert_eq!(b.len(), 2);
+        b.extend(&db, 2);
+        assert_eq!(b.radius(), 2);
+        let reference = Border::compute(&db, &[a], 2);
+        assert_eq!(b.atoms(), reference.atoms());
+        assert_eq!(sorted(b.layer(1).unwrap()), sorted(reference.layer(1).unwrap()));
+    }
+
+    #[test]
+    fn atoms_up_to_is_prefix_union() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        let b = Border::compute(&db, &[a], 2);
+        assert_eq!(b.atoms_up_to(0).len(), 2);
+        assert_eq!(b.atoms_up_to(1).len(), 3);
+        assert_eq!(&b.atoms_up_to(2), b.atoms());
+    }
+
+    #[test]
+    fn border_monotone_in_radius() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        for r in 0..4 {
+            let small = border(&db, &[a], r);
+            let large = border(&db, &[a], r + 1);
+            assert!(small.is_subset(&large), "B_r ⊆ B_(r+1) failed at r={r}");
+        }
+    }
+
+    #[test]
+    fn empty_tuple_and_unknown_constant_give_empty_border() {
+        let mut db = example_3_3();
+        assert!(Border::compute(&db, &[], 3).is_empty());
+        let ghost = db.constant("ghost");
+        let b = Border::compute(&db, &[ghost], 3);
+        assert!(b.is_empty());
+        assert!(b.saturated());
+    }
+
+    #[test]
+    fn multi_constant_tuple_unions_neighbourhoods() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        let f = db.consts().get("f").unwrap();
+        let b = Border::compute(&db, &[a, f], 0);
+        let mut got: Vec<AtomId> = b.atoms().iter().copied().collect();
+        got.sort();
+        assert_eq!(got, vec![AtomId(0), AtomId(1), AtomId(5)]);
+    }
+
+    #[test]
+    fn duplicate_constants_in_tuple_are_harmless() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        let single = Border::compute(&db, &[a], 2);
+        let dup = Border::compute(&db, &[a, a], 2);
+        assert_eq!(single.atoms(), dup.atoms());
+    }
+
+    #[test]
+    fn reachable_from_matches_definition_3_1() {
+        let db = example_3_3();
+        // From {S(a,c)}: atoms sharing a constant with it are R(a,b) (via a),
+        // itself, and Z(c,d) (via c).
+        let from: FxHashSet<AtomId> = [AtomId(1)].into_iter().collect();
+        let mut got: Vec<AtomId> = reachable_from(&db, &from).into_iter().collect();
+        got.sort();
+        assert_eq!(got, vec![AtomId(0), AtomId(1), AtomId(2)]);
+    }
+
+    /// The union-of-layers border equals the "literal Definition 3.2"
+    /// border computed by iterating `reachable_from` r times.
+    #[test]
+    fn frontier_semantics_union_equals_literal_definition() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        for r in 0..5 {
+            // Literal reading: W'_{j+1} = reachable(W'_j); B = union.
+            let mut w: FxHashSet<AtomId> =
+                db.atoms_mentioning(a).iter().copied().collect();
+            let mut union = w.clone();
+            for _ in 0..r {
+                w = reachable_from(&db, &w);
+                union.extend(w.iter().copied());
+            }
+            let ours = border(&db, &[a], r);
+            assert_eq!(ours, union, "mismatch at radius {r}");
+        }
+    }
+}

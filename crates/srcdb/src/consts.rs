@@ -1,0 +1,110 @@
+//! Constants and tuples.
+//!
+//! `dom(D)` — the set of constants occurring in the source database — is
+//! represented by interned [`Const`] symbols. Classified objects (the inputs
+//! of the partial function λ) are [`Tuple`]s of constants.
+
+use obx_util::{Interner, Symbol};
+use std::fmt;
+
+/// An interned source constant (an element of `dom(D)` or a query constant).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Const(pub Symbol);
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "const#{}", self.0 .0)
+    }
+}
+
+/// A tuple of constants, as classified by λ.
+pub type Tuple = Box<[Const]>;
+
+/// Builds a [`Tuple`] from anything iterable.
+pub fn tuple(consts: impl IntoIterator<Item = Const>) -> Tuple {
+    consts.into_iter().collect()
+}
+
+/// The pool of interned constants shared by a database and the queries that
+/// mention constants (e.g. `locatedIn(z, "Rome")`).
+#[derive(Default, Debug)]
+pub struct ConstPool {
+    interner: Interner,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a constant by its textual form.
+    pub fn intern(&mut self, name: &str) -> Const {
+        Const(self.interner.intern(name))
+    }
+
+    /// Looks up a constant without interning.
+    pub fn get(&self, name: &str) -> Option<Const> {
+        self.interner.get(name).map(Const)
+    }
+
+    /// Resolves a constant back to its textual form.
+    pub fn resolve(&self, c: Const) -> &str {
+        self.interner.resolve(c.0)
+    }
+
+    /// Number of distinct constants.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Renders a tuple like `⟨A10, Math⟩` for diagnostics.
+    pub fn render_tuple(&self, t: &[Const]) -> String {
+        let mut s = String::from("<");
+        for (i, c) in t.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(self.resolve(*c));
+        }
+        s.push('>');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_resolve_roundtrip() {
+        let mut p = ConstPool::new();
+        let rome = p.intern("Rome");
+        let milan = p.intern("Milan");
+        assert_ne!(rome, milan);
+        assert_eq!(p.resolve(rome), "Rome");
+        assert_eq!(p.intern("Rome"), rome);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut p = ConstPool::new();
+        assert!(p.get("x").is_none());
+        let x = p.intern("x");
+        assert_eq!(p.get("x"), Some(x));
+    }
+
+    #[test]
+    fn render_tuple_formats_angle_brackets() {
+        let mut p = ConstPool::new();
+        let t = tuple([p.intern("A10"), p.intern("Math")]);
+        assert_eq!(p.render_tuple(&t), "<A10, Math>");
+        assert_eq!(p.render_tuple(&[]), "<>");
+    }
+}

@@ -1,0 +1,262 @@
+//! The `S`-database `D`: an indexed, set-semantics store of ground atoms.
+
+use crate::atom::{Atom, AtomId};
+use crate::consts::{Const, ConstPool};
+use crate::schema::{RelId, Schema, SchemaError};
+use obx_util::FxHashMap;
+
+/// An in-memory `S`-database.
+///
+/// Atoms are deduplicated (a database is a *set* of atoms, §2). Three
+/// indexes are maintained incrementally:
+///
+/// 1. `rel_index` — all atoms of a relation (scan side of joins);
+/// 2. `pos_index` — atoms of a relation with a given constant at a given
+///    position (lookup side of joins);
+/// 3. `const_adj` — all atoms mentioning a given constant, regardless of
+///    relation or position. This is exactly the neighbourhood function of
+///    the border BFS (Definitions 3.1/3.2): one layer expansion touches each
+///    incident atom once.
+#[derive(Default, Debug)]
+pub struct Database {
+    schema: Schema,
+    consts: ConstPool,
+    atoms: Vec<Atom>,
+    dedup: FxHashMap<Atom, AtomId>,
+    rel_index: Vec<Vec<AtomId>>,
+    pos_index: FxHashMap<(RelId, u16, Const), Vec<AtomId>>,
+    const_adj: FxHashMap<Const, Vec<AtomId>>,
+}
+
+impl Database {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let rel_index = vec![Vec::new(); schema.len()];
+        Self {
+            schema,
+            consts: ConstPool::new(),
+            atoms: Vec::new(),
+            dedup: FxHashMap::default(),
+            rel_index,
+            pos_index: FxHashMap::default(),
+            const_adj: FxHashMap::default(),
+        }
+    }
+
+    /// The schema `S`.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The constant pool (read access).
+    #[inline]
+    pub fn consts(&self) -> &ConstPool {
+        &self.consts
+    }
+
+    /// The constant pool (intern access, e.g. for query parsing).
+    #[inline]
+    pub fn consts_mut(&mut self) -> &mut ConstPool {
+        &mut self.consts
+    }
+
+    /// Interns a constant in this database's pool.
+    pub fn constant(&mut self, name: &str) -> Const {
+        self.consts.intern(name)
+    }
+
+    /// Split borrow: read access to the schema together with intern access
+    /// to the constant pool (needed by query/mapping parsers, which resolve
+    /// relations against the schema while interning constants).
+    pub fn schema_and_consts_mut(&mut self) -> (&Schema, &mut ConstPool) {
+        (&self.schema, &mut self.consts)
+    }
+
+    /// Inserts an atom, returning its id (existing id if duplicate).
+    pub fn insert(&mut self, atom: Atom) -> Result<AtomId, SchemaError> {
+        self.schema.check_arity(atom.rel, atom.args.len())?;
+        if let Some(&id) = self.dedup.get(&atom) {
+            return Ok(id);
+        }
+        let id = AtomId(self.atoms.len() as u32);
+        self.rel_index[atom.rel.index()].push(id);
+        for (pos, &c) in atom.args.iter().enumerate() {
+            self.pos_index
+                .entry((atom.rel, pos as u16, c))
+                .or_default()
+                .push(id);
+            // `const_adj` must contain each incident atom once even when the
+            // constant repeats within the atom (e.g. W(e, e)).
+            if !atom.args[..pos].contains(&c) {
+                self.const_adj.entry(c).or_default().push(id);
+            }
+        }
+        self.dedup.insert(atom.clone(), id);
+        self.atoms.push(atom);
+        Ok(id)
+    }
+
+    /// Convenience: intern names and insert `rel(args…)` in one call.
+    pub fn insert_named(&mut self, rel: &str, args: &[&str]) -> Result<AtomId, SchemaError> {
+        let rel = self.schema.rel(rel)?;
+        let args: Vec<Const> = args.iter().map(|a| self.consts.intern(a)).collect();
+        self.insert(Atom::new(rel, args))
+    }
+
+    /// The atom with the given id.
+    #[inline]
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.atoms[id.index()]
+    }
+
+    /// Whether an identical atom is present.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.dedup.contains_key(atom)
+    }
+
+    /// Id of an identical atom, if present.
+    pub fn id_of(&self, atom: &Atom) -> Option<AtomId> {
+        self.dedup.get(atom).copied()
+    }
+
+    /// Total number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All atom ids, in insertion order.
+    pub fn atom_ids(&self) -> impl Iterator<Item = AtomId> {
+        (0..self.atoms.len() as u32).map(AtomId)
+    }
+
+    /// Atom ids of relation `rel`.
+    #[inline]
+    pub fn atoms_of(&self, rel: RelId) -> &[AtomId] {
+        &self.rel_index[rel.index()]
+    }
+
+    /// Atom ids of `rel` having constant `c` at position `pos`.
+    #[inline]
+    pub fn atoms_with(&self, rel: RelId, pos: usize, c: Const) -> &[AtomId] {
+        self.pos_index
+            .get(&(rel, pos as u16, c))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All atom ids mentioning constant `c` (each atom once).
+    #[inline]
+    pub fn atoms_mentioning(&self, c: Const) -> &[AtomId] {
+        self.const_adj.get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Renders the whole database, one atom per line (stable order), for
+    /// golden tests and examples.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for a in &self.atoms {
+            out.push_str(&a.render(&self.schema, &self.consts));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_rs() -> Database {
+        let mut schema = Schema::new();
+        schema.declare("R", 2).unwrap();
+        schema.declare("S", 2).unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut db = db_rs();
+        let a = db.insert_named("R", &["a", "b"]).unwrap();
+        let b = db.insert_named("R", &["a", "b"]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut db = db_rs();
+        let err = db.insert_named("R", &["a"]).unwrap_err();
+        assert!(matches!(err, SchemaError::ArityMismatch { .. }));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_is_rejected() {
+        let mut db = db_rs();
+        assert!(matches!(
+            db.insert_named("Z", &["a"]).unwrap_err(),
+            SchemaError::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn indexes_are_consistent() {
+        let mut db = db_rs();
+        let r = db.schema().rel("R").unwrap();
+        let s = db.schema().rel("S").unwrap();
+        let id1 = db.insert_named("R", &["a", "b"]).unwrap();
+        let id2 = db.insert_named("R", &["a", "c"]).unwrap();
+        let id3 = db.insert_named("S", &["c", "a"]).unwrap();
+        let a = db.consts().get("a").unwrap();
+        let c = db.consts().get("c").unwrap();
+
+        assert_eq!(db.atoms_of(r), &[id1, id2]);
+        assert_eq!(db.atoms_of(s), &[id3]);
+        assert_eq!(db.atoms_with(r, 0, a), &[id1, id2]);
+        assert_eq!(db.atoms_with(r, 1, c), &[id2]);
+        assert_eq!(db.atoms_with(s, 1, a), &[id3]);
+        assert!(db.atoms_with(s, 0, a).is_empty());
+
+        let mut mention_a: Vec<AtomId> = db.atoms_mentioning(a).to_vec();
+        mention_a.sort();
+        assert_eq!(mention_a, vec![id1, id2, id3]);
+        assert_eq!(db.atoms_mentioning(c), &[id2, id3]);
+    }
+
+    #[test]
+    fn repeated_constant_in_one_atom_appears_once_in_adjacency() {
+        let mut db = db_rs();
+        let id = db.insert_named("R", &["e", "e"]).unwrap();
+        let e = db.consts().get("e").unwrap();
+        assert_eq!(db.atoms_mentioning(e), &[id]);
+    }
+
+    #[test]
+    fn contains_and_id_of() {
+        let mut db = db_rs();
+        let id = db.insert_named("R", &["a", "b"]).unwrap();
+        let r = db.schema().rel("R").unwrap();
+        let a = db.consts().get("a").unwrap();
+        let b = db.consts().get("b").unwrap();
+        let atom = Atom::new(r, [a, b]);
+        assert!(db.contains(&atom));
+        assert_eq!(db.id_of(&atom), Some(id));
+        let missing = Atom::new(r, [b, a]);
+        assert!(!db.contains(&missing));
+        assert_eq!(db.id_of(&missing), None);
+    }
+
+    #[test]
+    fn render_lists_atoms_in_insertion_order() {
+        let mut db = db_rs();
+        db.insert_named("R", &["a", "b"]).unwrap();
+        db.insert_named("S", &["a", "c"]).unwrap();
+        assert_eq!(db.render(), "R(a, b)\nS(a, c)\n");
+    }
+}

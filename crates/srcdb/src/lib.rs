@@ -1,0 +1,37 @@
+//! `obx-srcdb` — the relational *source layer* of an OBDM system.
+//!
+//! In the paper's architecture (Fig. 1), the data layer is an `S`-database
+//! `D`: a finite set of atoms `s(c̄)` over a source schema `S`. This crate
+//! implements that layer:
+//!
+//! * [`schema`] — relation declarations (`RelId`, arity) for the schema `S`;
+//! * [`consts`] — interned constants (`Const`) and tuples over `dom(D)`;
+//! * [`atom`] — ground atoms `s(c̄)` and their ids;
+//! * [`database`] — the atom store with three indexes: per-relation,
+//!   per-(relation, position, constant), and a constant→atom adjacency index
+//!   (the latter makes the border BFS of Definition 3.2 near-linear);
+//! * [`view`] — a database or a masked sub-database (a border) presented
+//!   uniformly to query evaluators;
+//! * [`border`] — reachability (Def. 3.1) and the border of radius `r`
+//!   `B_{t,r}(D)` (Def. 3.2), with the BFS-layer semantics fixed by the
+//!   paper's Example 3.3;
+//! * [`parse`] — a small text format for databases (`ENR(A10, Math, TV).`),
+//!   used by examples and tests.
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod border;
+pub mod consts;
+pub mod database;
+pub mod parse;
+pub mod schema;
+pub mod view;
+
+pub use atom::{Atom, AtomId};
+pub use border::{border, reachable_from, Border};
+pub use consts::{Const, ConstPool, Tuple};
+pub use database::Database;
+pub use parse::{add_facts, parse_database, parse_schema, split_atom, unquote, ParseError};
+pub use schema::{RelDecl, RelId, Schema, SchemaError};
+pub use view::View;

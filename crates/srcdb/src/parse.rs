@@ -1,0 +1,228 @@
+//! Text formats for schemas and databases.
+//!
+//! Schema: whitespace-separated `NAME/ARITY` items, `#` line comments.
+//!
+//! ```text
+//! # the paper's Example 3.6 source schema
+//! STUD/1 LOC/2 ENR/3
+//! ```
+//!
+//! Database: one fact per line, `NAME(arg, arg, ...)` with an optional
+//! trailing `.`; arguments may be bare identifiers or quoted strings.
+//!
+//! ```text
+//! ENR(A10, Math, TV).
+//! LOC("TV", "Rome")
+//! ```
+
+use crate::database::Database;
+use crate::schema::{Schema, SchemaError};
+use std::fmt;
+
+/// Errors from the schema/database text parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed syntax, with a 1-based line number and message.
+    Syntax {
+        /// Line where the problem was found.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A schema-level violation (unknown relation, arity mismatch, ...).
+    Schema(SchemaError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<SchemaError> for ParseError {
+    fn from(e: SchemaError) -> Self {
+        ParseError::Schema(e)
+    }
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parses a schema from `NAME/ARITY` items.
+pub fn parse_schema(text: &str) -> Result<Schema, ParseError> {
+    let mut schema = Schema::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        for item in line.split_whitespace() {
+            let (name, arity) = item
+                .split_once('/')
+                .ok_or_else(|| syntax(lineno + 1, format!("expected NAME/ARITY, got `{item}`")))?;
+            if name.is_empty() {
+                return Err(syntax(lineno + 1, "empty relation name"));
+            }
+            let arity: usize = arity
+                .parse()
+                .map_err(|_| syntax(lineno + 1, format!("bad arity in `{item}`")))?;
+            schema.declare(name, arity)?;
+        }
+    }
+    Ok(schema)
+}
+
+/// Splits `NAME(a, b, c)` into its name and raw argument strings.
+/// Also used by the query and mapping parsers in downstream crates.
+pub fn split_atom(line: &str) -> Option<(&str, Vec<&str>)> {
+    let open = line.find('(')?;
+    let close = line.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    let name = line[..open].trim();
+    if name.is_empty() || !line[close + 1..].trim().is_empty() {
+        return None;
+    }
+    let inner = &line[open + 1..close];
+    let args: Vec<&str> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(str::trim).collect()
+    };
+    Some((name, args))
+}
+
+/// Removes surrounding single or double quotes, if present.
+pub fn unquote(s: &str) -> &str {
+    let b = s.as_bytes();
+    if b.len() >= 2 && (b[0] == b'"' && b[b.len() - 1] == b'"' || b[0] == b'\'' && b[b.len() - 1] == b'\'')
+    {
+        &s[1..s.len() - 1]
+    } else {
+        s
+    }
+}
+
+/// Parses database facts into a fresh [`Database`] over `schema`.
+pub fn parse_database(schema: Schema, text: &str) -> Result<Database, ParseError> {
+    let mut db = Database::new(schema);
+    add_facts(&mut db, text)?;
+    Ok(db)
+}
+
+/// Parses facts and inserts them into an existing database.
+pub fn add_facts(db: &mut Database, text: &str) -> Result<(), ParseError> {
+    for (lineno, raw) in text.lines().enumerate() {
+        let mut line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        line = line.strip_suffix('.').unwrap_or(line).trim_end();
+        let (name, args) =
+            split_atom(line).ok_or_else(|| syntax(lineno + 1, format!("bad fact `{line}`")))?;
+        for a in &args {
+            if a.is_empty() {
+                return Err(syntax(lineno + 1, "empty argument"));
+            }
+        }
+        let args: Vec<&str> = args.iter().map(|a| unquote(a)).collect();
+        db.insert_named(name, &args)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_roundtrip() {
+        let s = parse_schema("STUD/1 LOC/2\n# comment\nENR/3").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.arity(s.rel("ENR").unwrap()), 3);
+    }
+
+    #[test]
+    fn schema_errors() {
+        assert!(matches!(parse_schema("R"), Err(ParseError::Syntax { .. })));
+        assert!(matches!(parse_schema("R/x"), Err(ParseError::Syntax { .. })));
+        assert!(matches!(
+            parse_schema("R/2 R/2"),
+            Err(ParseError::Schema(SchemaError::Duplicate(_)))
+        ));
+        assert!(matches!(
+            parse_schema("R/0"),
+            Err(ParseError::Schema(SchemaError::ZeroArity(_)))
+        ));
+    }
+
+    #[test]
+    fn database_facts_with_comments_quotes_periods() {
+        let schema = parse_schema("ENR/3 LOC/2").unwrap();
+        let db = parse_database(
+            schema,
+            r#"
+            # enrolment facts
+            ENR(A10, Math, TV).
+            LOC("TV", 'Rome')
+            "#,
+        )
+        .unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(db.consts().get("Rome").is_some());
+        assert!(db.consts().get("'Rome'").is_none());
+    }
+
+    #[test]
+    fn database_rejects_bad_facts() {
+        let schema = parse_schema("R/2").unwrap();
+        assert!(matches!(
+            parse_database(parse_schema("R/2").unwrap(), "R(a b)"),
+            Err(ParseError::Schema(SchemaError::ArityMismatch { .. }))
+        ));
+        assert!(matches!(
+            parse_database(schema, "R a, b"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_database(parse_schema("R/2").unwrap(), "Q(a, b)"),
+            Err(ParseError::Schema(SchemaError::Unknown(_)))
+        ));
+        assert!(matches!(
+            parse_database(parse_schema("R/2").unwrap(), "R(a,)"),
+            Err(ParseError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn split_atom_edge_cases() {
+        assert_eq!(split_atom("R(a, b)"), Some(("R", vec!["a", "b"])));
+        assert_eq!(split_atom("R()"), Some(("R", vec![])));
+        assert_eq!(split_atom("R(a) trailing"), None);
+        assert_eq!(split_atom("(a)"), None);
+        assert_eq!(split_atom("Ra, b)"), None);
+    }
+
+    #[test]
+    fn unquote_variants() {
+        assert_eq!(unquote("\"Rome\""), "Rome");
+        assert_eq!(unquote("'Rome'"), "Rome");
+        assert_eq!(unquote("Rome"), "Rome");
+        assert_eq!(unquote("\""), "\"");
+        assert_eq!(unquote(""), "");
+    }
+}

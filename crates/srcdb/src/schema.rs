@@ -1,0 +1,207 @@
+//! Source schemas.
+//!
+//! A schema `S` is a set of relation (predicate) declarations, each with a
+//! name and an arity. Relations are referred to by dense [`RelId`]s
+//! everywhere else in the workspace.
+
+use obx_util::FxHashMap;
+use std::fmt;
+
+/// Dense identifier of a relation within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The raw index of this relation in its schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single relation declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelDecl {
+    /// Relation name as written in the sources (e.g. `ENR`).
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+}
+
+/// Errors raised while building or using a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two declarations with the same name.
+    Duplicate(String),
+    /// A relation name that is not declared.
+    Unknown(String),
+    /// An atom or tuple whose arity does not match the declaration.
+    ArityMismatch {
+        /// Relation involved.
+        rel: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity actually supplied.
+        got: usize,
+    },
+    /// Relations must have at least one column.
+    ZeroArity(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Duplicate(n) => write!(f, "relation `{n}` declared twice"),
+            SchemaError::Unknown(n) => write!(f, "unknown relation `{n}`"),
+            SchemaError::ArityMismatch { rel, expected, got } => {
+                write!(f, "relation `{rel}` has arity {expected}, got {got} arguments")
+            }
+            SchemaError::ZeroArity(n) => write!(f, "relation `{n}` must have arity >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The schema `S` of the data source.
+#[derive(Default, Debug, Clone)]
+pub struct Schema {
+    rels: Vec<RelDecl>,
+    by_name: FxHashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relation, returning its id.
+    pub fn declare(&mut self, name: &str, arity: usize) -> Result<RelId, SchemaError> {
+        if arity == 0 {
+            return Err(SchemaError::ZeroArity(name.to_owned()));
+        }
+        if self.by_name.contains_key(name) {
+            return Err(SchemaError::Duplicate(name.to_owned()));
+        }
+        let id = RelId(self.rels.len() as u32);
+        self.rels.push(RelDecl {
+            name: name.to_owned(),
+            arity,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks up a relation by name.
+    pub fn rel(&self, name: &str) -> Result<RelId, SchemaError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SchemaError::Unknown(name.to_owned()))
+    }
+
+    /// Returns the declaration for `id`.
+    #[inline]
+    pub fn decl(&self, id: RelId) -> &RelDecl {
+        &self.rels[id.index()]
+    }
+
+    /// Arity of `id`.
+    #[inline]
+    pub fn arity(&self, id: RelId) -> usize {
+        self.rels[id.index()].arity
+    }
+
+    /// Name of `id`.
+    #[inline]
+    pub fn name(&self, id: RelId) -> &str {
+        &self.rels[id.index()].name
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterates over all relation ids.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.rels.len() as u32).map(RelId)
+    }
+
+    /// Checks that `got` matches the declared arity of `rel`.
+    pub fn check_arity(&self, rel: RelId, got: usize) -> Result<(), SchemaError> {
+        let expected = self.arity(rel);
+        if expected == got {
+            Ok(())
+        } else {
+            Err(SchemaError::ArityMismatch {
+                rel: self.name(rel).to_owned(),
+                expected,
+                got,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut s = Schema::new();
+        let enr = s.declare("ENR", 3).unwrap();
+        let loc = s.declare("LOC", 2).unwrap();
+        assert_eq!(s.rel("ENR").unwrap(), enr);
+        assert_eq!(s.rel("LOC").unwrap(), loc);
+        assert_eq!(s.arity(enr), 3);
+        assert_eq!(s.name(loc), "LOC");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_declaration_is_rejected() {
+        let mut s = Schema::new();
+        s.declare("R", 2).unwrap();
+        assert_eq!(
+            s.declare("R", 3).unwrap_err(),
+            SchemaError::Duplicate("R".into())
+        );
+    }
+
+    #[test]
+    fn zero_arity_is_rejected() {
+        let mut s = Schema::new();
+        assert_eq!(s.declare("R", 0).unwrap_err(), SchemaError::ZeroArity("R".into()));
+    }
+
+    #[test]
+    fn unknown_relation_lookup_fails() {
+        let s = Schema::new();
+        assert_eq!(s.rel("nope").unwrap_err(), SchemaError::Unknown("nope".into()));
+    }
+
+    #[test]
+    fn arity_check() {
+        let mut s = Schema::new();
+        let r = s.declare("R", 2).unwrap();
+        assert!(s.check_arity(r, 2).is_ok());
+        let err = s.check_arity(r, 3).unwrap_err();
+        assert!(matches!(err, SchemaError::ArityMismatch { expected: 2, got: 3, .. }));
+    }
+
+    #[test]
+    fn rel_ids_enumerates_all() {
+        let mut s = Schema::new();
+        s.declare("A", 1).unwrap();
+        s.declare("B", 1).unwrap();
+        let ids: Vec<RelId> = s.rel_ids().collect();
+        assert_eq!(ids, vec![RelId(0), RelId(1)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Fixed-point saturation helper.
+//!
+//! Several reasoning procedures in the workspace (TBox inclusion closure,
+//! chase saturation, PerfectRef's reduce loop) are "apply rules until nothing
+//! changes" loops. [`saturate`] centralizes the loop shape, the step budget,
+//! and the non-termination error.
+
+use std::fmt;
+
+/// Error returned when a saturation loop exceeds its step budget.
+///
+/// All saturation procedures in this workspace are theoretically terminating;
+/// the budget exists to convert an implementation bug into a diagnosable
+/// error instead of a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The budget that was exceeded.
+    pub budget: usize,
+    /// Human-readable name of the procedure that diverged.
+    pub what: &'static str,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} did not reach a fixed point within {} iterations",
+            self.what, self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// Runs `step` until it reports no change, or the budget is exhausted.
+///
+/// `step` should apply one round of rules to `state` and return `true` iff
+/// anything changed. Returns the number of productive rounds executed.
+pub fn saturate<S>(
+    what: &'static str,
+    budget: usize,
+    state: &mut S,
+    mut step: impl FnMut(&mut S) -> bool,
+) -> Result<usize, BudgetExhausted> {
+    for round in 0..budget {
+        if !step(state) {
+            return Ok(round);
+        }
+    }
+    Err(BudgetExhausted { budget, what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_fixed_point_and_counts_rounds() {
+        let mut v = 0u32;
+        let rounds = saturate("inc-to-5", 100, &mut v, |v| {
+            if *v < 5 {
+                *v += 1;
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap();
+        assert_eq!(v, 5);
+        assert_eq!(rounds, 5);
+    }
+
+    #[test]
+    fn zero_rounds_when_already_saturated() {
+        let mut v = ();
+        assert_eq!(saturate("noop", 10, &mut v, |_| false), Ok(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut v = ();
+        let err = saturate("diverge", 3, &mut v, |_| true).unwrap_err();
+        assert_eq!(err.budget, 3);
+        assert_eq!(err.what, "diverge");
+        assert!(err.to_string().contains("diverge"));
+    }
+}

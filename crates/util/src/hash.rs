@@ -1,0 +1,144 @@
+//! Fx-style hashing.
+//!
+//! The standard library's default SipHash is robust against HashDoS but slow
+//! for the short integer keys (interned symbols, atom ids) that dominate this
+//! workspace. All inputs here are trusted (no attacker-controlled keys reach
+//! long-lived tables), so we use the Fx mixing function popularized by the
+//! Rust compiler: `state = (state.rotate_left(5) ^ word) * K`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash (64-bit variant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Mix in the remainder length so that e.g. "a" and "a\0" differ.
+            self.mix(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.mix(n as u64);
+        self.mix((n >> 64) as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"border"), hash_of(&"border"));
+    }
+
+    #[test]
+    fn distinguishes_close_integers() {
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn distinguishes_prefix_strings() {
+        assert_ne!(hash_of(&"a"), hash_of(&"ab"));
+        assert_ne!(hash_of(&"abcdefgh"), hash_of(&"abcdefgh\0"));
+    }
+
+    #[test]
+    fn empty_input_hashes_to_initial_state() {
+        let mut h = FxHasher::default();
+        h.write(&[]);
+        assert_eq!(h.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("radius", 2);
+        assert_eq!(m.get("radius"), Some(&2));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn long_inputs_use_all_bytes() {
+        let a: Vec<u8> = (0..64).collect();
+        let mut b = a.clone();
+        b[63] ^= 1;
+        let mut ha = FxHasher::default();
+        ha.write(&a);
+        let mut hb = FxHasher::default();
+        hb.write(&b);
+        assert_ne!(ha.finish(), hb.finish());
+    }
+}

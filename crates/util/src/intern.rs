@@ -1,0 +1,208 @@
+//! String interning.
+//!
+//! Every name that flows through the system — source constants, source
+//! predicate names, ontology concept/role names — is interned once into a
+//! [`Symbol`] (a `u32` newtype). All downstream data structures (atoms,
+//! queries, TBox axioms, indexes) work on symbols, which makes equality a
+//! word compare and keeps hot structures small (see the type-size guidance in
+//! the Rust Performance Book).
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// An interned string. Cheap to copy, compare, and hash.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; mixing symbols from different interners is a logic error (but not
+/// memory-unsafe).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Strings are stored once in a `Vec<Box<str>>`; lookup goes through an
+/// [`FxHashMap`] from the string to its symbol. Resolution (`Symbol -> &str`)
+/// is an array index.
+#[derive(Default)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: FxHashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with room for `cap` distinct strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            strings: Vec::with_capacity(cap),
+            lookup: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Interns `s`, returning the existing symbol if already present.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(
+            u32::try_from(self.strings.len()).expect("interner overflow: more than 2^32 strings"),
+        );
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner (index out of range).
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolves a symbol, returning `None` for foreign symbols.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), &**s))
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.strings.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Rome");
+        let b = i.intern("Rome");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("Math");
+        let b = i.intern("Science");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "Math");
+        assert_eq!(i.resolve(b), "Science");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.len(), 0);
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+    }
+
+    #[test]
+    fn try_resolve_handles_foreign_symbols() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(Symbol(3)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut i = Interner::new();
+        let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
+        let collected: Vec<(Symbol, &str)> = i.iter().collect();
+        assert_eq!(
+            collected,
+            vec![(syms[0], "a"), (syms[1], "b"), (syms[2], "c")]
+        );
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let mut i = Interner::new();
+        let e = i.intern("");
+        assert_eq!(i.resolve(e), "");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(strings in proptest::collection::vec(".{0,16}", 0..64)) {
+            let mut i = Interner::new();
+            let syms: Vec<Symbol> = strings.iter().map(|s| i.intern(s)).collect();
+            for (s, sym) in strings.iter().zip(&syms) {
+                prop_assert_eq!(i.resolve(*sym), s.as_str());
+            }
+        }
+
+        #[test]
+        fn symbol_equality_mirrors_string_equality(
+            a in ".{0,12}",
+            b in ".{0,12}",
+        ) {
+            let mut i = Interner::new();
+            let sa = i.intern(&a);
+            let sb = i.intern(&b);
+            prop_assert_eq!(sa == sb, a == b);
+        }
+
+        #[test]
+        fn len_counts_distinct(strings in proptest::collection::vec("[a-c]{1,2}", 0..32)) {
+            let mut i = Interner::new();
+            for s in &strings {
+                i.intern(s);
+            }
+            let distinct: std::collections::BTreeSet<&String> = strings.iter().collect();
+            prop_assert_eq!(i.len(), distinct.len());
+        }
+    }
+}

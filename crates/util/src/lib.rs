@@ -1,0 +1,22 @@
+//! `obx-util` — shared low-level utilities for the `obx` workspace.
+//!
+//! This crate deliberately has **no** third-party dependencies. It provides:
+//!
+//! * [`hash`] — an Fx-style fast hasher plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases (the workspace policy forbids pulling `rustc-hash`, so the
+//!   64-bit Fx mixing function is reimplemented here);
+//! * [`intern`] — a compact string interner used for constants, predicate
+//!   names, concept names and role names across the whole stack;
+//! * [`table`] — a tiny fixed-width table printer used by the benchmark
+//!   harness to render paper-style tables;
+//! * [`fixpoint`] — a helper for running saturation loops to a fixed point.
+
+#![warn(missing_docs)]
+
+pub mod fixpoint;
+pub mod hash;
+pub mod intern;
+pub mod table;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, Symbol};

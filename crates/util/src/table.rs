@@ -1,0 +1,115 @@
+//! Minimal fixed-width table rendering.
+//!
+//! The benchmark harness (`obx-bench`, binary `tables`) prints one table per
+//! reproduced experiment; this module renders them without pulling a
+//! table-formatting dependency.
+
+use std::fmt::Write as _;
+
+/// A simple text table with a header row and left-aligned cells.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row. Short rows are padded with empty cells; rows
+    /// longer than the header are truncated.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string (trailing newline included).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(ncols).enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().take(ncols).enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "| {}{} ", cell, " ".repeat(pad));
+            }
+            out.push_str("|\n");
+        };
+        write_row(&self.header, &mut out);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i + 1 == ncols {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["query", "Z1"]);
+        t.row(["q1", "0.694"]);
+        t.row(["q3 (winner)", "0.833"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal display width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{s}");
+        assert!(s.contains("q3 (winner)"));
+    }
+
+    #[test]
+    fn short_rows_are_padded_and_long_rows_truncated() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-a"]);
+        t.row(["x", "y", "dropped"]);
+        let s = t.render();
+        assert!(!s.contains("dropped"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["col"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

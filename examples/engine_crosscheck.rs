@@ -1,0 +1,62 @@
+//! Cross-checking the two certain-answer engines on random OBDM systems.
+//!
+//! The rewriting engine (PerfectRef + unfold + evaluate) and the
+//! materialization engine (virtual ABox + bounded chase + evaluate) are
+//! independent implementations of the same semantics. This example runs
+//! both on random DL-Lite scenarios and random queries, reporting
+//! agreement and relative timing — the same check the property-test suite
+//! runs, here made observable.
+//!
+//! Run with: `cargo run --release --example engine_crosscheck`
+
+use obx_datagen::random_scenario::{random_query, random_system};
+use obx_datagen::RandomParams;
+use obx_obdm::ChaseConfig;
+use obx_srcdb::View;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut checked = 0usize;
+    let mut rewrite_time = std::time::Duration::ZERO;
+    let mut chase_time = std::time::Duration::ZERO;
+    for seed in 0..10u64 {
+        let params = RandomParams {
+            seed,
+            n_individuals: 40,
+            n_concept_facts: 60,
+            n_role_facts: 90,
+            ..RandomParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        let system = random_system(params, &mut rng);
+        for qi in 0..8 {
+            let q = random_query(&system, &mut rng, 1 + qi % 3);
+            let t0 = Instant::now();
+            let rewriting = match system.certain_answers(&q) {
+                Ok(ans) => ans,
+                Err(e) => {
+                    println!("seed {seed}, query {qi}: skipped ({e})");
+                    continue;
+                }
+            };
+            rewrite_time += t0.elapsed();
+            let t1 = Instant::now();
+            let materialized = system.certain_answers_materialized(
+                &q,
+                View::full(system.db()),
+                ChaseConfig::for_ucq(&q),
+            );
+            chase_time += t1.elapsed();
+            assert_eq!(
+                rewriting, materialized,
+                "ENGINES DISAGREE on seed {seed}, query {qi}"
+            );
+            checked += 1;
+        }
+    }
+    println!("checked {checked} (system, query) pairs: engines agree on all");
+    println!("total rewriting-engine time:       {rewrite_time:.2?}");
+    println!("total materialization-engine time: {chase_time:.2?}");
+}
