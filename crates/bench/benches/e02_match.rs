@@ -4,11 +4,16 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use obx_core::paper_example::PaperExample;
+use obx_core::ScoringEngine;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e02_match");
     let ex = PaperExample::new();
     let prepared = ex.prepared();
+    let engine = ScoringEngine::new();
+    for (_, q) in ex.queries() {
+        engine.stats_ucq(&prepared, q).unwrap(); // warm the memo cache
+    }
 
     for (name, q) in ex.queries() {
         group.bench_function(format!("compile_{name}"), |b| {
@@ -17,6 +22,9 @@ fn bench(c: &mut Criterion) {
         let compiled = ex.system.spec().compile(q).unwrap();
         group.bench_function(format!("match_all_borders_{name}"), |b| {
             b.iter(|| black_box(prepared.stats(&compiled)))
+        });
+        group.bench_function(format!("engine_cached_{name}"), |b| {
+            b.iter(|| black_box(engine.stats_ucq(&prepared, q).unwrap()))
         });
     }
     group.bench_function("full_match_matrix", |b| {

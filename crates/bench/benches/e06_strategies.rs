@@ -34,6 +34,13 @@ fn bench(c: &mut Criterion) {
                 black_box(strat.explain(&task).unwrap()[0].score)
             })
         });
+        // Warm variant: the task (and its scoring engine's memo cache)
+        // persists across iterations, so repeat searches hit the cache.
+        let task = ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+        strat.explain(&task).unwrap();
+        group.bench_function(format!("{}_warm", strat.name()), |b| {
+            b.iter(|| black_box(strat.explain(&task).unwrap()[0].score))
+        });
     }
     group.finish();
 }

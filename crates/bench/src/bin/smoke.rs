@@ -1,0 +1,119 @@
+//! Scoring-engine smoke benchmark.
+//!
+//! Runs a repeated-candidate scoring workload — the access pattern of the
+//! search strategies, which re-score the same CQs across rounds and union
+//! assemblies — once through the uncached [`PreparedLabels`] path and once
+//! through the shared [`ScoringEngine`], then writes a single-line JSON
+//! summary to `BENCH_scoring.json` at the workspace root.
+//!
+//! Usage: `cargo run --release -p obx-bench --bin smoke`
+
+use obx_core::explain::{ExplainTask, SearchLimits};
+use obx_core::score::Scoring;
+use obx_datagen::random_scenario::random_query;
+use obx_datagen::{university_scenario, UniversityParams};
+use obx_query::OntoUcq;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Distinct candidate queries in the pool (the 1–3-atom query space over
+/// the university vocabulary is small; 16 distinct shapes fill reliably).
+const POOL: usize = 16;
+/// How many times the workload cycles through the pool.
+const ROUNDS: usize = 12;
+
+fn main() {
+    let scenario = university_scenario(UniversityParams {
+        n_students: 60,
+        ..UniversityParams::default()
+    });
+    let scoring = Scoring::accuracy();
+    let task = ExplainTask::new(
+        &scenario.system,
+        &scenario.labels,
+        1,
+        &scoring,
+        SearchLimits::default(),
+    )
+    .expect("university scenario yields a valid task");
+
+    // A pool of distinct compilable candidates, then a workload that cycles
+    // through it ROUNDS times (strategies re-visit candidates like this when
+    // beam rounds overlap and GreedyUcq assembles unions).
+    let mut rng = StdRng::seed_from_u64(0xb0b);
+    let mut pool: Vec<OntoUcq> = Vec::new();
+    let mut draws = 0usize;
+    while pool.len() < POOL {
+        draws += 1;
+        assert!(draws < 10_000, "candidate pool failed to fill");
+        let q = random_query(&scenario.system, &mut rng, 1 + draws % 3);
+        if task.prepared().stats_of(&q).is_ok() && !pool.contains(&q) {
+            pool.push(q);
+        }
+    }
+    let workload: Vec<&OntoUcq> = (0..POOL * ROUNDS).map(|i| &pool[i % POOL]).collect();
+
+    // Baseline: compile + evaluate every candidate from scratch.
+    let t0 = Instant::now();
+    let mut checksum_uncached = 0usize;
+    for q in &workload {
+        let stats = task.prepared().stats_of(q).expect("pool is compilable");
+        checksum_uncached += stats.pos_matched + stats.neg_matched;
+    }
+    let uncached = t0.elapsed();
+
+    // Engine: canonical-form memo cache + bitset OR for unions.
+    let engine = task.engine();
+    let t1 = Instant::now();
+    let mut checksum_cached = 0usize;
+    for q in &workload {
+        let stats = engine
+            .stats_ucq(task.prepared(), q)
+            .expect("pool is compilable");
+        checksum_cached += stats.pos_matched + stats.neg_matched;
+    }
+    let cached = t1.elapsed();
+
+    assert_eq!(
+        checksum_uncached, checksum_cached,
+        "engine disagrees with the uncached scorer"
+    );
+
+    let n = workload.len() as f64;
+    let hits = engine.cache_hits();
+    let misses = engine.cache_misses();
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let speedup = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-12);
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"scoring_smoke\",\"candidates\":{},",
+            "\"uncached_ms\":{:.3},\"cached_ms\":{:.3},",
+            "\"uncached_cps\":{:.1},\"cached_cps\":{:.1},",
+            "\"speedup\":{:.2},\"cache_hit_rate\":{:.4},",
+            "\"eval_calls\":{},\"threads\":{}}}"
+        ),
+        workload.len(),
+        uncached.as_secs_f64() * 1e3,
+        cached.as_secs_f64() * 1e3,
+        n / uncached.as_secs_f64(),
+        n / cached.as_secs_f64().max(1e-12),
+        speedup,
+        hit_rate,
+        engine.eval_calls(),
+        engine.threads(),
+    );
+    println!("{json}");
+
+    // Resolve the workspace root from this crate's manifest dir so the
+    // output lands in the same place regardless of the invocation cwd.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_scoring.json");
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_scoring.json");
+    eprintln!("wrote {}", std::fs::canonicalize(&path).unwrap_or(path).display());
+
+    if speedup < 2.0 {
+        eprintln!("WARNING: speedup {speedup:.2}x below the 2x acceptance target");
+        std::process::exit(1);
+    }
+}

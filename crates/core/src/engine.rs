@@ -1,0 +1,514 @@
+//! The shared scoring engine: compiled-query memoization, per-label match
+//! bitsets, and a persistent parallel scorer.
+//!
+//! Every strategy ultimately asks the same question — *what are the match
+//! statistics of this candidate query against λ?* — and the answer
+//! decomposes per disjunct: PerfectRef, unfolding, and certain-membership
+//! all distribute over a UCQ's disjuncts, so a UCQ's statistics are fully
+//! determined by which labelled tuples each disjunct J-matches. The
+//! [`ScoringEngine`] exploits this three ways:
+//!
+//! 1. **Memo cache.** Each disjunct is keyed by its canonical form
+//!    ([`OntoCq::canonical`], which collapses variable renamings and atom
+//!    reorderings) and memoized as a [`DisjunctEntry`]: the compiled
+//!    query *and* its [`MatchBits`] — one bit per labelled tuple,
+//!    positives first, then negatives. Searches revisit the same
+//!    conjunctions constantly (beam refinement, greedy assembly,
+//!    exhaustive enumeration over overlapping rounds); each distinct
+//!    disjunct is compiled and evaluated exactly once per task.
+//!    Compilation failures (budget overruns) are cached too, so a
+//!    pathological candidate is not re-rewritten every round.
+//! 2. **Bitset algebra.** The stats of any UCQ are the popcounts of the
+//!    OR of its disjuncts' bitsets. Once the disjuncts are cached,
+//!    scoring a union — the inner loop of [`GreedyUcq`]'s `O(k²)`
+//!    assembly — is pure bit operations with **zero** evaluator calls
+//!    (asserted by `greedy_assembly_makes_no_evaluator_calls` below).
+//! 3. **Persistent worker pool.** Batches are scored on a pool built
+//!    once per engine (thread count from `OBX_THREADS`, else
+//!    [`std::thread::available_parallelism`], with no hard cap) and
+//!    parked between batches. Work is distributed dynamically: every
+//!    participant pulls candidates off a shared atomic cursor, so a slow
+//!    candidate no longer serializes a statically-assigned chunk.
+//!
+//! The engine is shared across [`ExplainTask::with_limits`] clones via
+//! `Arc`, so a meta-strategy's base run warms the cache for its assembly
+//! phase.
+//!
+//! [`GreedyUcq`]: crate::strategies::GreedyUcq
+//! [`ExplainTask::with_limits`]: crate::explain::ExplainTask::with_limits
+
+use crate::explain::{ExplainTask, Explanation};
+use crate::matcher::{MatchBits, MatchStats, PreparedLabels};
+use obx_obdm::{CompiledQuery, ObdmError};
+use obx_query::{OntoCq, OntoUcq};
+use obx_util::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+
+/// A memoized disjunct: its compilation and its match bitset.
+#[derive(Debug)]
+pub struct DisjunctEntry {
+    /// The PerfectRef + unfold compilation of the canonical CQ.
+    pub compiled: CompiledQuery,
+    /// Which labelled tuples the CQ J-matches (positives, then negatives).
+    pub bits: MatchBits,
+}
+
+/// Cached outcome per canonical disjunct; errors are cached so budget
+/// overruns are paid once, not once per round.
+type CacheSlot = Result<Arc<DisjunctEntry>, ObdmError>;
+
+/// Shared scoring state of one explanation task. See the module docs.
+pub struct ScoringEngine {
+    cache: RwLock<FxHashMap<OntoCq, CacheSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evals: AtomicU64,
+    threads: usize,
+    pool: OnceLock<WorkerPool>,
+}
+
+impl ScoringEngine {
+    /// An empty engine. Thread count comes from `OBX_THREADS` when set to
+    /// a positive integer, else from the machine's available parallelism.
+    pub fn new() -> Self {
+        Self {
+            cache: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evals: AtomicU64::new(0),
+            threads: configured_threads(),
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// The number of threads batches are scored on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Disjunct lookups answered from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Disjunct lookups that required compile + evaluation.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total J-match evaluator invocations (one per labelled tuple per
+    /// cache miss). Cached scoring — notably UCQ assembly over known
+    /// disjuncts — leaves this counter untouched.
+    pub fn eval_calls(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct disjuncts memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().unwrap().len()
+    }
+
+    /// The memoized entry for one disjunct, computing it on first sight.
+    pub fn disjunct(
+        &self,
+        prepared: &PreparedLabels<'_>,
+        cq: &OntoCq,
+    ) -> Result<Arc<DisjunctEntry>, ObdmError> {
+        let key = cq.canonical();
+        if let Some(slot) = self.cache.read().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return slot.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside any lock: compilation can be slow, and two
+        // threads racing on the same fresh key just do duplicate work
+        // (rare — batches are deduplicated upstream); first insert wins.
+        let computed: CacheSlot = prepared.system().spec().compile_cq(&key).map(|compiled| {
+            let bits = prepared.match_bits(&compiled);
+            self.evals
+                .fetch_add((prepared.num_pos() + prepared.num_neg()) as u64, Ordering::Relaxed);
+            Arc::new(DisjunctEntry { compiled, bits })
+        });
+        let mut cache = self.cache.write().unwrap();
+        cache.entry(key).or_insert(computed).clone()
+    }
+
+    /// Match bitset of a UCQ: the OR of its disjuncts' cached bitsets.
+    pub fn match_bits_ucq(
+        &self,
+        prepared: &PreparedLabels<'_>,
+        ucq: &OntoUcq,
+    ) -> Result<MatchBits, ObdmError> {
+        let mut acc = MatchBits::empty(prepared.num_pos(), prepared.num_neg());
+        for d in ucq.disjuncts() {
+            acc.union_with(&self.disjunct(prepared, d)?.bits);
+        }
+        Ok(acc)
+    }
+
+    /// Match statistics of a UCQ, via [`ScoringEngine::match_bits_ucq`].
+    pub fn stats_ucq(
+        &self,
+        prepared: &PreparedLabels<'_>,
+        ucq: &OntoUcq,
+    ) -> Result<MatchStats, ObdmError> {
+        Ok(self.match_bits_ucq(prepared, ucq)?.stats())
+    }
+
+    /// Scores a batch of CQ candidates on the worker pool. Candidates
+    /// whose compilation exceeds budgets are silently dropped (a
+    /// pathological candidate should not abort the whole search); order
+    /// follows the input.
+    pub fn score_batch(
+        &self,
+        task: &ExplainTask<'_>,
+        candidates: Vec<OntoCq>,
+    ) -> Vec<Explanation> {
+        let n = candidates.len();
+        if n < 4 || self.threads <= 1 {
+            return candidates.iter().filter_map(|cq| task.score_cq(cq).ok()).collect();
+        }
+        let pool = self.pool.get_or_init(|| WorkerPool::new(self.threads - 1));
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Option<Explanation>>> = (0..n).map(|_| OnceLock::new()).collect();
+        pool.run(&|| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let _ = slots[i].set(task.score_cq(&candidates[i]).ok());
+        });
+        slots.into_iter().filter_map(|s| s.into_inner().flatten()).collect()
+    }
+}
+
+impl Default for ScoringEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ScoringEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoringEngine")
+            .field("cached", &self.cache_len())
+            .field("hits", &self.cache_hits())
+            .field("misses", &self.cache_misses())
+            .field("evals", &self.eval_calls())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Thread count: `OBX_THREADS` (positive integer) wins; otherwise the
+/// machine's available parallelism. There is deliberately no upper clamp.
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("OBX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A persistent scoped worker pool. Threads are spawned once per engine
+/// and park on a condvar between batches. [`WorkerPool::run`] hands every
+/// participant (workers *and* the caller) the same closure, which pulls
+/// work items off a shared atomic cursor — dynamic distribution, so one
+/// slow item delays only the thread that drew it.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+#[derive(Clone)]
+struct Job {
+    // Lifetime-erased borrow of a batch closure. Soundness contract: the
+    // pusher (`WorkerPool::run`) waits on `latch` before returning, so
+    // every clone of this borrow is dead before the real closure's
+    // lifetime ends.
+    f: &'static (dyn Fn() + Sync),
+    latch: Arc<Latch>,
+}
+
+/// Countdown latch signalling that every worker finished a batch.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("obx-scorer-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn scorer thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Runs `f` on every pool worker and on the caller, returning once
+    /// every invocation has finished (which is what makes handing the
+    /// non-`'static` closure to the workers sound).
+    fn run<'env>(&self, f: &(dyn Fn() + Sync + 'env)) {
+        let n_workers = self.handles.len();
+        // SAFETY: the erased borrow is only used by worker invocations
+        // counted by `latch`, and `latch.wait()` below does not return
+        // until all of them are done — `f` outlives every use.
+        let f_static: &'static (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), _>(f) };
+        let latch = Arc::new(Latch::new(n_workers));
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            for _ in 0..n_workers {
+                state.jobs.push_back(Job {
+                    f: f_static,
+                    latch: Arc::clone(&latch),
+                });
+            }
+        }
+        self.shared.work_ready.notify_all();
+        // The caller participates instead of idling on the latch.
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+        latch.wait();
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if latch.panicked.load(Ordering::Relaxed) {
+            panic!("scoring worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_ready.wait(state).unwrap();
+            }
+        };
+        // A panicking batch must still count down, or `run` deadlocks
+        // and the erased borrow could dangle.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.f)())).is_err() {
+            job.latch.panicked.store(true, Ordering::Relaxed);
+        }
+        job.latch.count_down();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explain::SearchLimits;
+    use crate::labels::Labels;
+    use crate::score::Scoring;
+    use obx_obdm::example_3_6_system;
+    use obx_query::OntoUcq;
+
+    fn paper_task(sys: &mut obx_obdm::ObdmSystem) -> (Labels, Scoring) {
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        (labels, Scoring::paper_weighted(1.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn cached_stats_match_uncached_on_the_paper_example() {
+        let mut sys = example_3_6_system();
+        let (labels, scoring) = paper_task(&mut sys);
+        let queries = [
+            r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#,
+            r#"q(x) :- studies(x, "Math")"#,
+            r#"q(x) :- likes(x, "Science")"#,
+        ]
+        .map(|q| sys.parse_query(q).unwrap());
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        for q in &queries {
+            let cached = task.engine().stats_ucq(task.prepared(), q).unwrap();
+            let uncached = task.prepared().stats_of(q).unwrap();
+            assert_eq!(cached, uncached);
+        }
+        // Second pass is answered from the cache: no new evaluator calls.
+        let evals = task.engine().eval_calls();
+        for q in &queries {
+            let _ = task.engine().stats_ucq(task.prepared(), q).unwrap();
+        }
+        assert_eq!(task.engine().eval_calls(), evals);
+        assert!(task.engine().cache_hits() >= 3);
+    }
+
+    #[test]
+    fn ucq_assembly_makes_no_evaluator_calls_once_disjuncts_are_cached() {
+        // The GreedyUcq guarantee, by construction: scoring a union of
+        // already-seen disjuncts is pure bit algebra.
+        let mut sys = example_3_6_system();
+        let (labels, scoring) = paper_task(&mut sys);
+        let q2 = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let q3 = sys.parse_query(r#"q(x) :- likes(x, "Science")"#).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let s2 = task.score_ucq(&q2).unwrap().stats;
+        let s3 = task.score_ucq(&q3).unwrap().stats;
+        let evals = task.engine().eval_calls();
+
+        let union: OntoUcq = q2
+            .disjuncts()
+            .iter()
+            .chain(q3.disjuncts().iter())
+            .cloned()
+            .collect();
+        let su = task.score_ucq(&union).unwrap().stats;
+        assert_eq!(task.engine().eval_calls(), evals, "assembly must be evaluator-free");
+        // q2 matches {A10, B80} + E25; q3 matches {C12, D50}. Their union
+        // covers all of λ⁺ and still hits E25.
+        assert_eq!((s2.pos_matched, s2.neg_matched), (2, 1));
+        assert_eq!((s3.pos_matched, s3.neg_matched), (2, 0));
+        assert_eq!((su.pos_matched, su.neg_matched), (4, 1));
+    }
+
+    #[test]
+    fn compilation_failures_are_cached() {
+        let mut sys = example_3_6_system();
+        let (labels, scoring) = paper_task(&mut sys);
+        let q = sys
+            .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
+            .unwrap();
+        // A zero-disjunct rewrite budget makes every compilation fail.
+        sys.spec_mut().rewrite_budget.max_disjuncts = 0;
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        assert!(task.engine().stats_ucq(task.prepared(), &q).is_err());
+        let misses = task.engine().cache_misses();
+        assert!(task.engine().stats_ucq(task.prepared(), &q).is_err());
+        assert_eq!(task.engine().cache_misses(), misses, "failure answered from cache");
+        assert_eq!(task.engine().eval_calls(), 0, "failed compiles never evaluate");
+    }
+
+    #[test]
+    fn score_batch_parallel_path_matches_sequential() {
+        let mut sys = example_3_6_system();
+        let (labels, scoring) = paper_task(&mut sys);
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let vocab = sys.spec().tbox().vocab();
+        use obx_query::{OntoAtom, OntoCq, Term, VarId};
+        let mut candidates = Vec::new();
+        for role in ["studies", "likes", "taughtIn", "locatedIn"] {
+            let r = vocab.get_role(role).unwrap();
+            candidates.push(
+                OntoCq::new(
+                    vec![VarId(0)],
+                    vec![OntoAtom::Role(r, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+                )
+                .unwrap(),
+            );
+        }
+        let sequential: Vec<f64> = candidates
+            .iter()
+            .filter_map(|cq| task.score_cq(cq).ok())
+            .map(|e| e.score)
+            .collect();
+        let parallel: Vec<f64> = task
+            .engine()
+            .score_batch(&task, candidates)
+            .into_iter()
+            .map(|e| e.score)
+            .collect();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn obx_threads_overrides_detection() {
+        // Engines snapshot the variable at construction; probe via a
+        // scoped set/restore (tests in this binary run in one process, so
+        // restore even on success).
+        let prev = std::env::var("OBX_THREADS").ok();
+        std::env::set_var("OBX_THREADS", "3");
+        let n = ScoringEngine::new().threads();
+        match prev {
+            Some(v) => std::env::set_var("OBX_THREADS", v),
+            None => std::env::remove_var("OBX_THREADS"),
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn worker_pool_drains_a_counter_and_survives_reuse() {
+        let pool = WorkerPool::new(3);
+        for round in 1..=3u64 {
+            let cursor = AtomicUsize::new(0);
+            let hits = AtomicU64::new(0);
+            pool.run(&|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= 1000 {
+                    break;
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 1000, "round {round}");
+        }
+    }
+}

@@ -1,12 +1,14 @@
 //! The explanation task (Definition 3.7) and its strategy interface.
 
 use crate::criteria::CriterionCtx;
+use crate::engine::ScoringEngine;
 use crate::labels::Labels;
 use crate::matcher::{MatchStats, PreparedLabels};
 use crate::score::Scoring;
 use obx_obdm::{ObdmError, ObdmSystem};
 use obx_query::{OntoCq, OntoUcq};
 use std::fmt;
+use std::sync::Arc;
 
 /// Search failure.
 #[derive(Debug)]
@@ -110,6 +112,7 @@ pub struct ExplainTask<'a> {
     scoring: &'a Scoring,
     limits: SearchLimits,
     arity: usize,
+    engine: Arc<ScoringEngine>,
 }
 
 impl<'a> ExplainTask<'a> {
@@ -127,6 +130,7 @@ impl<'a> ExplainTask<'a> {
             scoring,
             limits,
             arity,
+            engine: Arc::new(ScoringEngine::new()),
         })
     }
 
@@ -155,20 +159,30 @@ impl<'a> ExplainTask<'a> {
         self.arity
     }
 
+    /// The shared scoring engine (memo cache + worker pool). Shared, not
+    /// cloned, by [`ExplainTask::with_limits`], so meta-strategies reuse
+    /// the base run's cache.
+    pub fn engine(&self) -> &ScoringEngine {
+        &self.engine
+    }
+
     /// A copy of this task with different limits (borders are cloned, not
-    /// recomputed). Used by meta-strategies that need a wider base pool.
+    /// recomputed; the scoring engine — and hence its memo cache — is
+    /// shared). Used by meta-strategies that need a wider base pool.
     pub fn with_limits(&self, limits: SearchLimits) -> ExplainTask<'a> {
         ExplainTask {
             prepared: self.prepared.clone(),
             scoring: self.scoring,
             limits,
             arity: self.arity,
+            engine: Arc::clone(&self.engine),
         }
     }
 
-    /// Scores one UCQ candidate end to end (compile + match + Z).
+    /// Scores one UCQ candidate end to end via the engine: one memoized
+    /// compile + bitset per distinct disjunct, stats by bitset OR, then Z.
     pub fn score_ucq(&self, ucq: &OntoUcq) -> Result<Explanation, ExplainError> {
-        let stats = self.prepared.stats_of(ucq)?;
+        let stats = self.engine.stats_ucq(&self.prepared, ucq)?;
         let num_atoms = ucq.disjuncts().iter().map(OntoCq::num_atoms).sum();
         let ctx = CriterionCtx {
             stats: &stats,
@@ -209,15 +223,22 @@ impl<'a> ExplainTask<'a> {
         let Some((t, border)) = entry else {
             return Ok(None);
         };
-        let compiled = self.system().spec().compile(query)?;
         let db = self.system().db();
-        let found = compiled.evidence(obx_srcdb::View::masked(db, border), t);
-        Ok(found.map(|(_, atoms)| {
-            atoms
-                .into_iter()
-                .map(|id| db.atom(id).render(db.schema(), db.consts()))
-                .collect()
-        }))
+        // Per-disjunct via the engine: matching distributes over the
+        // union, and the cached compilations are reused across calls.
+        for d in query.disjuncts() {
+            let entry = self.engine.disjunct(&self.prepared, d)?;
+            if let Some((_, atoms)) = entry.compiled.evidence(obx_srcdb::View::masked(db, border), t)
+            {
+                return Ok(Some(
+                    atoms
+                        .into_iter()
+                        .map(|id| db.atom(id).render(db.schema(), db.consts()))
+                        .collect(),
+                ));
+            }
+        }
+        Ok(None)
     }
 }
 

@@ -21,7 +21,11 @@
 //! 4. **Criteria and score** ([`criteria`], [`score`]) — the set `Δ` of
 //!    criteria (δ1–δ6 built in, custom ones pluggable), their functions
 //!    `F`, and the expression `Z` combining them into the Z-score (§3).
-//! 5. **Best-describing search** ([`explain`], [`strategies`]) —
+//! 5. **Scoring engine** ([`engine`]) — all candidate scoring funnels
+//!    through a shared per-task engine: each distinct disjunct is compiled
+//!    and matched once and memoized as a bitset; UCQ statistics are bit
+//!    ORs; batches run on a persistent worker pool (`OBX_THREADS`).
+//! 6. **Best-describing search** ([`explain`], [`strategies`]) —
 //!    Definition 3.7 asks for a query maximizing the Z-score in a language
 //!    `L_O`; four strategies are provided (exhaustive enumeration,
 //!    bottom-up generalization from positive borders, top-down beam
@@ -63,6 +67,7 @@
 
 pub mod baseline;
 pub mod criteria;
+pub mod engine;
 pub mod explain;
 pub mod labels;
 pub mod matcher;
@@ -71,7 +76,8 @@ pub mod score;
 pub mod strategies;
 
 pub use criteria::{Criterion, CriterionCtx};
+pub use engine::{DisjunctEntry, ScoringEngine};
 pub use explain::{ExplainError, ExplainTask, Explanation, SearchLimits, Strategy};
 pub use labels::{Labels, LabelsError};
-pub use matcher::{MatchStats, PreparedLabels};
+pub use matcher::{MatchBits, MatchStats, PreparedLabels};
 pub use score::{ScoreExpr, Scoring};

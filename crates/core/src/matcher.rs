@@ -77,6 +77,93 @@ impl MatchStats {
     }
 }
 
+/// Per-label match bitset of a query: one bit per labelled tuple, the
+/// positives first (bit `i` ↔ `pos()[i]`), then the negatives (bit
+/// `num_pos + j` ↔ `neg()[j]`).
+///
+/// This is the currency of the scoring engine (`crate::engine`): because
+/// J-matching distributes over a UCQ's disjuncts, the bitset of any union
+/// is the OR of its disjuncts' bitsets ([`MatchBits::union_with`]), and
+/// [`MatchStats`] fall out of two popcounts ([`MatchBits::stats`]) — no
+/// evaluator calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchBits {
+    num_pos: usize,
+    num_neg: usize,
+    words: Box<[u64]>,
+}
+
+impl MatchBits {
+    /// An all-zero bitset shaped for `num_pos` positives and `num_neg`
+    /// negatives.
+    pub fn empty(num_pos: usize, num_neg: usize) -> Self {
+        Self {
+            num_pos,
+            num_neg,
+            words: vec![0u64; (num_pos + num_neg).div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// Total number of labelled tuples tracked.
+    pub fn len(&self) -> usize {
+        self.num_pos + self.num_neg
+    }
+
+    /// Whether no tuple is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks tuple `idx` (layout order: positives, then negatives) matched.
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.len(), "bit {idx} out of range {}", self.len());
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Whether tuple `idx` is matched.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len(), "bit {idx} out of range {}", self.len());
+        self.words[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// ORs `other` in: afterwards this bitset matches the *union* of the
+    /// two queries. Panics when the shapes (label counts) differ.
+    pub fn union_with(&mut self, other: &MatchBits) {
+        assert_eq!(
+            (self.num_pos, self.num_neg),
+            (other.num_pos, other.num_neg),
+            "cannot union match bitsets of different label sets"
+        );
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+
+    /// The confusion counts: popcount of the positive region and of the
+    /// negative region.
+    pub fn stats(&self) -> MatchStats {
+        let mut pos_matched = 0usize;
+        let mut total_matched = 0usize;
+        for (i, &w) in self.words.iter().enumerate() {
+            total_matched += w.count_ones() as usize;
+            let base = i * 64;
+            if base + 64 <= self.num_pos {
+                pos_matched += w.count_ones() as usize;
+            } else if base < self.num_pos {
+                // The word straddling the pos/neg boundary.
+                let keep = self.num_pos - base;
+                pos_matched += (w & ((1u64 << keep) - 1)).count_ones() as usize;
+            }
+        }
+        MatchStats {
+            pos_matched,
+            pos_total: self.num_pos,
+            neg_matched: total_matched - pos_matched,
+            neg_total: self.num_neg,
+        }
+    }
+}
+
 /// Labelled tuples with their precomputed borders.
 #[derive(Clone)]
 pub struct PreparedLabels<'a> {
@@ -154,6 +241,29 @@ impl<'a> PreparedLabels<'a> {
             neg_matched: count(&self.neg),
             neg_total: self.neg.len(),
         }
+    }
+
+    /// Match bitset of a compiled query against λ: one [`matches`] call
+    /// (i.e. one evaluator invocation) per labelled tuple. The scoring
+    /// engine memoizes this per disjunct; [`stats`] is the uncached
+    /// reference the property tests compare against.
+    ///
+    /// [`matches`]: PreparedLabels::matches
+    /// [`stats`]: PreparedLabels::stats
+    pub fn match_bits(&self, compiled: &CompiledQuery) -> MatchBits {
+        let mut bits = MatchBits::empty(self.pos.len(), self.neg.len());
+        for (i, (t, b)) in self.pos.iter().enumerate() {
+            if self.matches(compiled, t, b) {
+                bits.set(i);
+            }
+        }
+        let offset = self.pos.len();
+        for (j, (t, b)) in self.neg.iter().enumerate() {
+            if self.matches(compiled, t, b) {
+                bits.set(offset + j);
+            }
+        }
+        bits
     }
 
     /// Compiles an ontology UCQ and computes its stats in one call.
@@ -249,6 +359,53 @@ mod tests {
         let s3 = prepared.stats_of(&q3).unwrap();
         assert_eq!((s3.pos_matched, s3.neg_matched), (2, 0), "q3: 2/4, none");
         assert!(!s1.perfect() && !s2.perfect() && !s3.perfect());
+    }
+
+    #[test]
+    fn match_bits_agree_with_stats_and_compose_by_or() {
+        let mut sys = example_3_6_system();
+        let labels = paper_labels(&mut sys);
+        let q2 = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let q3 = sys.parse_query(r#"q(x) :- likes(x, "Science")"#).unwrap();
+        let prepared = PreparedLabels::new(&sys, &labels, 1);
+        let c2 = sys.spec().compile(&q2).unwrap();
+        let c3 = sys.spec().compile(&q3).unwrap();
+        let b2 = prepared.match_bits(&c2);
+        let b3 = prepared.match_bits(&c3);
+        assert_eq!(b2.stats(), prepared.stats(&c2));
+        assert_eq!(b3.stats(), prepared.stats(&c3));
+        // OR-composition equals evaluating the union directly.
+        let union: obx_query::OntoUcq = q2
+            .disjuncts()
+            .iter()
+            .chain(q3.disjuncts().iter())
+            .cloned()
+            .collect();
+        let mut or = b2.clone();
+        or.union_with(&b3);
+        assert_eq!(or.stats(), prepared.stats_of(&union).unwrap());
+        assert_eq!((or.stats().pos_matched, or.stats().neg_matched), (4, 1));
+    }
+
+    #[test]
+    fn match_bits_popcount_handles_word_boundaries() {
+        // 70 positives straddle a 64-bit word; 5 negatives follow.
+        let mut b = MatchBits::empty(70, 5);
+        for idx in [0, 63, 64, 69, 70, 74] {
+            b.set(idx);
+        }
+        let s = b.stats();
+        assert_eq!((s.pos_matched, s.neg_matched), (4, 2));
+        assert_eq!((s.pos_total, s.neg_total), (70, 5));
+        assert!(b.get(63) && !b.get(1));
+        // Exact word-multiple boundary.
+        let mut e = MatchBits::empty(64, 2);
+        e.set(63);
+        e.set(64);
+        let se = e.stats();
+        assert_eq!((se.pos_matched, se.neg_matched), (1, 1));
+        assert_eq!(e.len(), 66);
+        assert!(MatchBits::empty(0, 0).is_empty());
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! | [`BeamSearch`] | general → specific | heuristic | `O(rounds · beam · branching)` | the workhorse (DL-Learner-style) |
 //! | [`GreedyUcq`] | assemble disjuncts | heuristic | base + `O(k²)` | λ⁺ is a union of heterogeneous clusters |
 //!
-//! All strategies share candidate scoring (one compile per candidate, one
-//! goal-directed evaluation per labelled border), parallelized across
-//! worker threads with `crossbeam`.
+//! All strategies score candidates through the task's shared
+//! [`ScoringEngine`](crate::engine::ScoringEngine): each *distinct*
+//! disjunct (by canonical form) is compiled and evaluated against the
+//! labelled borders exactly once and memoized as a match bitset; unions
+//! are scored by OR-ing cached bitsets with no evaluator calls; and
+//! batches run on a persistent worker pool whose size honours
+//! `OBX_THREADS` (defaulting to the machine's available parallelism).
 
 mod beam;
 mod bottom_up;
@@ -25,44 +29,16 @@ use crate::explain::{ExplainError, ExplainTask, Explanation};
 use obx_query::{OntoCq, OntoUcq};
 use obx_util::FxHashSet;
 
-/// Scores a batch of CQ candidates in parallel. Candidates whose
-/// compilation exceeds budgets are silently dropped (a pathological
+/// Scores a batch of CQ candidates on the task's scoring engine (memoized
+/// compilation + match bitsets, dynamic parallel distribution). Candidates
+/// whose compilation exceeds budgets are silently dropped (a pathological
 /// candidate should not abort the whole search); all other candidates are
 /// scored. Order follows the input.
 pub(crate) fn score_batch(
     task: &ExplainTask<'_>,
     candidates: Vec<OntoCq>,
 ) -> Vec<Explanation> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(1, 8);
-    if candidates.len() < 4 || threads == 1 {
-        return candidates
-            .iter()
-            .filter_map(|cq| task.score_cq(cq).ok())
-            .collect();
-    }
-    let chunk = candidates.len().div_ceil(threads);
-    let mut results: Vec<Vec<Explanation>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .filter_map(|cq| task.score_cq(cq).ok())
-                        .collect::<Vec<Explanation>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("scorer thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    results.into_iter().flatten().collect()
+    task.engine().score_batch(task, candidates)
 }
 
 /// Beam selection with a diversity cap: at most a few candidates per

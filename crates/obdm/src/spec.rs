@@ -93,6 +93,14 @@ impl ObdmSpec {
     pub fn compile(&self, ucq: &OntoUcq) -> Result<CompiledQuery, ObdmError> {
         CompiledQuery::compile(self, ucq)
     }
+
+    /// Compiles a single ontology CQ (as a one-disjunct UCQ). This is the
+    /// unit of memoization in `obx-core`'s scoring engine: compilation
+    /// distributes over a UCQ's disjuncts, so any union can be assembled
+    /// from per-CQ compilations.
+    pub fn compile_cq(&self, cq: &obx_query::OntoCq) -> Result<CompiledQuery, ObdmError> {
+        self.compile(&OntoUcq::from_cq(cq.clone()))
+    }
 }
 
 impl fmt::Debug for ObdmSpec {
@@ -120,6 +128,12 @@ impl ObdmSystem {
     /// The specification `J`.
     pub fn spec(&self) -> &ObdmSpec {
         &self.spec
+    }
+
+    /// Mutable access to the specification (e.g. to tighten the rewrite
+    /// and unfold budgets).
+    pub fn spec_mut(&mut self) -> &mut ObdmSpec {
+        &mut self.spec
     }
 
     /// The source database `D`.

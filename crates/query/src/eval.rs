@@ -40,24 +40,54 @@ impl Binding {
 }
 
 /// Estimated number of candidate database atoms for `atom` under the
-/// current binding (uses unmasked index sizes as the estimate).
+/// current binding, estimated against the **masked** view: index sizes are
+/// capped by the number of visible atoms, so on a border-sized mask a
+/// bound-argument index over a huge relation no longer looks worse than an
+/// unbound scan of a small one (the estimate that used to mis-order joins
+/// on masked views).
 fn selectivity(view: &View<'_>, atom: &SrcAtom, binding: &Binding) -> usize {
-    let mut best = view.db().atoms_of(atom.rel).len();
+    let mut best = view.size_hint_of(atom.rel);
     for (pos, &t) in atom.args.iter().enumerate() {
         if let Some(c) = binding.resolve(t) {
             best = best.min(view.db().atoms_with(atom.rel, pos, c).len());
         }
     }
-    best
+    // No index can contribute more atoms than the view makes visible.
+    best.min(view.len())
 }
 
-/// Iterates candidate atom ids for `atom` under `binding`, using the most
-/// selective index available.
-fn candidates<'v>(
-    view: &'v View<'v>,
-    atom: &SrcAtom,
-    binding: &Binding,
-) -> Box<dyn Iterator<Item = obx_srcdb::AtomId> + 'v> {
+/// Iterator over candidate atom ids for one atom: the most selective index
+/// slice, filtered by the view's mask. A concrete type (not a boxed
+/// `dyn Iterator`) so the per-node hot path of the backtracking search
+/// does not allocate; it borrows only the view, so the search can keep
+/// mutating the binding while iterating.
+struct CandidateIter<'v> {
+    ids: &'v [obx_srcdb::AtomId],
+    view: View<'v>,
+    next: usize,
+}
+
+impl Iterator for CandidateIter<'_> {
+    type Item = obx_srcdb::AtomId;
+
+    fn next(&mut self) -> Option<obx_srcdb::AtomId> {
+        while let Some(&id) = self.ids.get(self.next) {
+            self.next += 1;
+            if self.view.visible(id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.ids.len() - self.next))
+    }
+}
+
+/// Candidate atom ids for `atom` under `binding`, using the most selective
+/// index available.
+fn candidates<'v>(view: View<'v>, atom: &SrcAtom, binding: &Binding) -> CandidateIter<'v> {
     let mut best: Option<(usize, usize, Const)> = None; // (index size, pos, const)
     for (pos, &t) in atom.args.iter().enumerate() {
         if let Some(c) = binding.resolve(t) {
@@ -67,10 +97,11 @@ fn candidates<'v>(
             }
         }
     }
-    match best {
-        Some((_, pos, c)) => Box::new(view.atoms_with(atom.rel, pos, c)),
-        None => Box::new(view.atoms_of(atom.rel)),
-    }
+    let ids = match best {
+        Some((_, pos, c)) => view.db().atoms_with(atom.rel, pos, c),
+        None => view.db().atoms_of(atom.rel),
+    };
+    CandidateIter { ids, view, next: 0 }
 }
 
 /// Tries to match `atom` against the database atom `id`, extending
@@ -150,8 +181,7 @@ fn search(
     let atom = &atoms[pick];
     used[pick] = true;
     let mut keep_going = true;
-    let ids: Vec<obx_srcdb::AtomId> = candidates(view, atom, binding).collect();
-    for id in ids {
+    for id in candidates(*view, atom, binding) {
         if let Some(trail) = try_match(view, atom, id, binding) {
             keep_going = search(view, atoms, used, remaining - 1, binding, on_solution);
             undo(binding, &trail);
@@ -256,8 +286,7 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
         }
         let atom = &atoms[pick];
         used[pick] = true;
-        let ids: Vec<obx_srcdb::AtomId> = candidates(view, atom, binding).collect();
-        for id in ids {
+        for id in candidates(*view, atom, binding) {
             if let Some(trail) = try_match(view, atom, id, binding) {
                 matched[pick] = Some(id);
                 if go(view, atoms, used, matched, remaining - 1, binding) {

@@ -1,0 +1,200 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the Criterion
+//! benches compile against this minimal harness: it runs each benchmark
+//! closure through a short warm-up + timed loop and prints one mean
+//! nanoseconds-per-iteration line. No statistics, plots, or baselines —
+//! for tracked numbers the workspace uses the `smoke` binary's JSON
+//! output instead (see `obx-bench`).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (accepted, not reported by the stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (upstream derives the name from the group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` in a warm-up + timed loop and records the mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed();
+        // Enough iterations to fill the measurement window, bounded so
+        // pathological benches still finish.
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (self.measurement_time.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes its loop by
+    /// time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Caps the time spent per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Upstream spreads this across many samples; use a fraction so
+        // `cargo bench` stays quick offline.
+        self.measurement_time = d / 20;
+        self
+    }
+
+    /// Records a throughput annotation for subsequent benches (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            mean_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        println!("bench: {}/{id} ... {:.0} ns/iter", self.name, bencher.mean_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            measurement_time: Duration::from_millis(250),
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("single", f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10).measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    criterion_group!(shim_group, trivial);
+
+    #[test]
+    fn harness_runs() {
+        shim_group();
+    }
+}

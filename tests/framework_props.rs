@@ -17,7 +17,7 @@ fn random_db(seed: u64, n_consts: usize, n_atoms: usize) -> Database {
     let mut db = Database::new(schema);
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..n_atoms {
-        let rel = ["R", "S", "T"][rng.gen_range(0..3)];
+        let rel = ["R", "S", "T"][rng.gen_range(0usize..3)];
         let a = format!("c{}", rng.gen_range(0..n_consts));
         let b = format!("c{}", rng.gen_range(0..n_consts));
         db.insert_named(rel, &[&a, &b]).unwrap();

@@ -1,0 +1,149 @@
+//! Equivalence of the shared scoring engine with the uncached matcher.
+//!
+//! The [`ScoringEngine`] memoizes compiled disjuncts keyed by canonical
+//! form and derives UCQ stats by OR-ing per-disjunct match bitsets. These
+//! tests pin the contract that makes those shortcuts sound: on Example 3.6
+//! and on randomized generated scenarios, the engine's `MatchStats` are
+//! bit-identical to the uncached [`PreparedLabels`] path — including
+//! unions assembled purely from cached bitsets — and Proposition 3.5's
+//! radius monotonicity survives the caching layer.
+
+use obx_core::matcher::PreparedLabels;
+use obx_core::paper_example::PaperExample;
+use obx_core::ScoringEngine;
+use obx_datagen::random_scenario::random_query;
+use obx_datagen::{random_scenario, RandomParams};
+use obx_query::OntoUcq;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Engine stats equal uncached stats on the paper's three queries, and on
+/// every pairwise union of them (exercising bitset OR-composition).
+#[test]
+fn example_3_6_engine_matches_uncached() {
+    let ex = PaperExample::new();
+    let prepared = ex.prepared();
+    let engine = ScoringEngine::new();
+
+    for (name, q) in ex.queries() {
+        let cached = engine.stats_ucq(&prepared, q).unwrap();
+        let plain = prepared.stats_of(q).unwrap();
+        assert_eq!(cached, plain, "stats diverge on {name}");
+    }
+    for (na, qa) in ex.queries() {
+        for (nb, qb) in ex.queries() {
+            let mut union = qa.clone();
+            for d in qb.disjuncts() {
+                union.push(d.clone());
+            }
+            let cached = engine.stats_ucq(&prepared, &union).unwrap();
+            let plain = prepared.stats_of(&union).unwrap();
+            assert_eq!(cached, plain, "union stats diverge on {na} ∪ {nb}");
+        }
+    }
+    // Every disjunct was already cached by the singleton passes, so the
+    // union passes above ran entirely on bitset ORs: no new evaluations.
+    let evals_after_unions = engine.eval_calls();
+    for (_, q) in ex.queries() {
+        engine.stats_ucq(&prepared, q).unwrap();
+    }
+    assert_eq!(
+        engine.eval_calls(),
+        evals_after_unions,
+        "re-scoring cached queries must not re-evaluate"
+    );
+    assert!(engine.cache_hits() > 0);
+}
+
+fn scenario_params(seed: u64) -> RandomParams {
+    RandomParams {
+        seed,
+        n_individuals: 16,
+        n_concept_facts: 22,
+        n_role_facts: 26,
+        n_concepts: 4,
+        n_roles: 3,
+        ..RandomParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// On randomized scenarios (well past the ≥3 required), engine stats —
+    /// singleton and OR-composed — are identical to the uncached path.
+    #[test]
+    fn randomized_scenarios_engine_matches_uncached(seed in 0u64..500, atoms in 1usize..4) {
+        let s = random_scenario(scenario_params(seed));
+        let prepared = PreparedLabels::new(&s.system, &s.labels, 1);
+        let engine = ScoringEngine::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xeeee);
+        let mut queries: Vec<OntoUcq> = Vec::new();
+        for _ in 0..4 {
+            queries.push(random_query(&s.system, &mut rng, atoms));
+        }
+        if let Some(truth) = &s.ground_truth {
+            queries.push(truth.clone());
+        }
+
+        for q in &queries {
+            let (Ok(cached), Ok(plain)) =
+                (engine.stats_ucq(&prepared, q), prepared.stats_of(q))
+            else {
+                // Rewrite-budget failures must agree between the paths.
+                prop_assert!(
+                    engine.stats_ucq(&prepared, q).is_err()
+                        && prepared.stats_of(q).is_err()
+                );
+                continue;
+            };
+            prop_assert_eq!(cached, plain, "seed {} query {:?}", seed, q);
+        }
+        // OR-composition over the whole pool: the union's stats must come
+        // out identical whether derived from cached bitsets or recomputed.
+        let mut union = OntoUcq::default();
+        for q in &queries {
+            for d in q.disjuncts() {
+                union.push(d.clone());
+            }
+        }
+        if let (Ok(cached), Ok(plain)) =
+            (engine.stats_ucq(&prepared, &union), prepared.stats_of(&union))
+        {
+            prop_assert_eq!(cached, plain, "union diverges on seed {}", seed);
+        }
+
+        // Second pass over the pool is pure cache: zero new evaluations.
+        let evals = engine.eval_calls();
+        for q in &queries {
+            let _ = engine.stats_ucq(&prepared, q);
+        }
+        prop_assert_eq!(engine.eval_calls(), evals);
+    }
+}
+
+/// Proposition 3.5 through the engine: growing the border radius never
+/// loses a J-match, so matched counts are monotone non-decreasing in `r` —
+/// and at every radius the engine agrees with the uncached matcher.
+#[test]
+fn radius_monotonicity_survives_the_engine() {
+    let s = random_scenario(scenario_params(7));
+    let truth = s.ground_truth.as_ref().expect("scenario plants a query");
+    let mut prev_pos = 0;
+    let mut prev_neg = 0;
+    for r in 0..=4 {
+        let prepared = PreparedLabels::new(&s.system, &s.labels, r);
+        let engine = ScoringEngine::new();
+        let cached = engine.stats_ucq(&prepared, truth).unwrap();
+        let plain = prepared.stats_of(truth).unwrap();
+        assert_eq!(cached, plain, "engine diverges at radius {r}");
+        assert!(
+            cached.pos_matched >= prev_pos && cached.neg_matched >= prev_neg,
+            "match counts shrank from radius {} to {r}",
+            r.max(1) - 1,
+        );
+        prev_pos = cached.pos_matched;
+        prev_neg = cached.neg_matched;
+    }
+}
