@@ -1,12 +1,71 @@
-//! The `obx` binary: thin shell around [`obx_cli::run`].
+//! The `obx` binary: thin shell around [`obx_cli::run_cancellable`].
+//!
+//! Exit codes: `0` complete, `1` error, `2` the search stopped early
+//! (deadline / eval cap / Ctrl-C) or degraded — partial results were
+//! printed, `64` usage error.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use obx_cli::CancelToken;
+
+/// Bridges SIGINT onto the search's cancellation token. Pure-std: the
+/// handler may only touch async-signal-safe state, and a relaxed store to
+/// a process-global `AtomicBool` qualifies. The first Ctrl-C requests a
+/// graceful stop (best-so-far results); a second one hits the default
+/// disposition path below and kills the process.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static CANCEL_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    static SEEN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if SEEN.swap(true, Ordering::Relaxed) {
+            // Second Ctrl-C: restore the default disposition so the next
+            // one (or a re-raise) terminates immediately.
+            unsafe {
+                signal(SIGINT, SIG_DFL);
+            }
+        }
+        if let Some(flag) = CANCEL_FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    pub fn install(token: &super::CancelToken) {
+        let _ = CANCEL_FLAG.set(std::sync::Arc::clone(token.flag()));
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install(_token: &super::CancelToken) {}
+}
 
 fn main() {
+    let cancel = CancelToken::new();
+    sigint::install(&cancel);
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match obx_cli::run(&args) {
-        Ok(out) => println!("{out}"),
+    match obx_cli::run_cancellable(&args, &cancel) {
+        Ok(outcome) => {
+            println!("{}", outcome.stdout);
+            std::process::exit(outcome.exit_code);
+        }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

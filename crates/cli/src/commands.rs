@@ -1,30 +1,95 @@
 //! Command dispatch. [`run`] is a pure function from arguments to output
 //! text, so the whole CLI is testable without spawning processes.
 
-use crate::scenario_io::{load_dir, write_paper_example, LoadedScenario};
+use crate::scenario_io::{load_dir, write_paper_example, LoadError, LoadedScenario};
 use obx_core::baseline::DataLevelBeam;
-use obx_core::explain::{ExplainTask, SearchLimits, Strategy};
+use obx_core::budget::{CancelToken, SearchBudget};
+use obx_core::explain::{ExplainReport, ExplainTask, SearchLimits, Strategy};
 use obx_core::score::Scoring;
 use obx_core::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
 use obx_srcdb::Border;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 
-/// CLI failure, rendered to stderr by the binary.
+/// CLI failure, rendered to stderr by the binary. Each variant maps to a
+/// process exit code via [`CliError::exit_code`] (degraded-but-successful
+/// runs are *not* errors — see [`CliOutcome::exit_code`]).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub enum CliError {
+    /// The command line itself was malformed (unknown command or option,
+    /// missing value, wrong positional count).
+    Usage(String),
+    /// A scenario directory failed to load; the message names the file.
+    Load {
+        /// The directory being loaded.
+        dir: String,
+        /// What went wrong, file by file.
+        source: LoadError,
+    },
+    /// User-supplied input (query text, constant, strategy name) was
+    /// invalid against the loaded scenario.
+    Input(String),
+    /// The explanation machinery itself failed.
+    Search(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure: `64` (BSD `EX_USAGE`) for
+    /// malformed command lines, `1` for everything else. Exit code `2` is
+    /// reserved for runs that *succeeded* with degraded/partial results.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 64,
+            _ => 1,
+        }
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Load { dir, source } => write!(f, "loading {dir}: {source}"),
+            CliError::Input(msg) => write!(f, "{msg}"),
+            CliError::Search(msg) => write!(f, "{msg}"),
+        }
     }
 }
 
 impl std::error::Error for CliError {}
 
-fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn input_err(msg: impl Into<String>) -> CliError {
+    CliError::Input(msg.into())
+}
+
+fn search_err(msg: impl Into<String>) -> CliError {
+    CliError::Search(msg.into())
+}
+
+/// A successful CLI run: the text for stdout plus the process exit code
+/// (`0` = complete, `2` = the search ended early or degraded — partial,
+/// best-so-far results were printed).
+#[derive(Debug)]
+pub struct CliOutcome {
+    /// Text to print on stdout.
+    pub stdout: String,
+    /// Process exit code (0 complete, 2 degraded/partial).
+    pub exit_code: i32,
+}
+
+impl CliOutcome {
+    fn complete(stdout: String) -> Self {
+        Self {
+            stdout,
+            exit_code: 0,
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -45,6 +110,14 @@ OPTIONS:
   --strategy NAME     beam | bottom-up | exhaustive | greedy | data-level
   --weights A,B,G     paper Z weights for δ1, δ4, δ5 (default 1,1,1)
   --top K             how many explanations to print (default 5)
+  --timeout-ms N      wall-clock budget; on expiry the best-so-far
+                      explanations are printed and the exit code is 2
+  --max-evals N       cap on J-match evaluator calls (anytime, like
+                      --timeout-ms)
+
+Ctrl-C cancels a running search gracefully: best-so-far results are
+printed, exit code 2. Exit codes: 0 complete, 1 error, 2 partial/degraded
+results, 64 usage.
 
 Queries use the paper-style syntax: q(x) :- studies(x, \"Math\")";
 
@@ -53,6 +126,8 @@ struct Opts {
     strategy: String,
     weights: (f64, f64, f64),
     top: usize,
+    timeout_ms: Option<u64>,
+    max_evals: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
@@ -61,18 +136,21 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
         strategy: "beam".to_owned(),
         weights: (1.0, 1.0, 1.0),
         top: 5,
+        timeout_ms: None,
+        max_evals: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| -> Result<&String, CliError> {
-            it.next().ok_or_else(|| err(format!("{flag} needs a value")))
+            it.next()
+                .ok_or_else(|| usage_err(format!("{flag} needs a value")))
         };
         match a.as_str() {
             "--radius" => {
                 opts.radius = next("--radius")?
                     .parse()
-                    .map_err(|_| err("--radius must be a number"))?;
+                    .map_err(|_| usage_err("--radius must be a number"))?;
             }
             "--strategy" => {
                 opts.strategy = next("--strategy")?.clone();
@@ -80,7 +158,21 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
             "--top" => {
                 opts.top = next("--top")?
                     .parse()
-                    .map_err(|_| err("--top must be a number"))?;
+                    .map_err(|_| usage_err("--top must be a number"))?;
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(
+                    next("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| usage_err("--timeout-ms must be a number"))?,
+                );
+            }
+            "--max-evals" => {
+                opts.max_evals = Some(
+                    next("--max-evals")?
+                        .parse()
+                        .map_err(|_| usage_err("--max-evals must be a number"))?,
+                );
             }
             "--weights" => {
                 let raw = next("--weights")?;
@@ -88,14 +180,14 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
                     .split(',')
                     .map(|p| p.trim().parse())
                     .collect::<Result<_, _>>()
-                    .map_err(|_| err("--weights must be A,B,G"))?;
+                    .map_err(|_| usage_err("--weights must be A,B,G"))?;
                 if parts.len() != 3 {
-                    return Err(err("--weights must have three values"));
+                    return Err(usage_err("--weights must have three values"));
                 }
                 opts.weights = (parts[0], parts[1], parts[2]);
             }
             other if other.starts_with("--") => {
-                return Err(err(format!("unknown option `{other}`")));
+                return Err(usage_err(format!("unknown option `{other}`")));
             }
             other => positional.push(other.to_owned()),
         }
@@ -103,33 +195,62 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
     Ok((positional, opts))
 }
 
-/// Runs one CLI invocation; returns the text to print on stdout.
+/// The [`SearchBudget`] described by the command-line options plus the
+/// caller's cancellation token.
+fn budget_of(opts: &Opts, cancel: &CancelToken) -> SearchBudget {
+    let mut budget = SearchBudget::unlimited().with_cancel_token(cancel.clone());
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(cap) = opts.max_evals {
+        budget = budget.with_max_evals(cap);
+    }
+    budget
+}
+
+/// Runs one CLI invocation; returns the text to print on stdout. This is
+/// the compatibility wrapper over [`run_cancellable`] with a fresh (never
+/// fired) cancellation token, dropping the exit-code detail.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_cancellable(args, &CancelToken::new()).map(|o| o.stdout)
+}
+
+/// Runs one CLI invocation under a caller-owned [`CancelToken`] (the
+/// binary bridges SIGINT onto it). Long-running searches honour the token
+/// plus any `--timeout-ms` / `--max-evals` budget and return best-so-far
+/// results with [`CliOutcome::exit_code`] = 2 instead of failing.
+pub fn run_cancellable(args: &[String], cancel: &CancelToken) -> Result<CliOutcome, CliError> {
     let Some(command) = args.first() else {
-        return Ok(USAGE.to_owned());
+        return Ok(CliOutcome::complete(USAGE.to_owned()));
     };
     let (pos, opts) = parse_opts(&args[1..])?;
     match command.as_str() {
-        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "help" | "--help" | "-h" => Ok(CliOutcome::complete(USAGE.to_owned())),
         "init" => {
-            let dir = pos.first().ok_or_else(|| err("init needs a directory"))?;
-            write_paper_example(Path::new(dir)).map_err(|e| err(format!("init: {e}")))?;
-            Ok(format!("wrote the paper's Example 3.6 scenario to {dir}"))
+            let dir = pos
+                .first()
+                .ok_or_else(|| usage_err("init needs a directory"))?;
+            write_paper_example(Path::new(dir)).map_err(|e| search_err(format!("init: {e}")))?;
+            Ok(CliOutcome::complete(format!(
+                "wrote the paper's Example 3.6 scenario to {dir}"
+            )))
         }
         "explain" => {
-            let dir = pos.first().ok_or_else(|| err("explain needs a directory"))?;
+            let dir = pos
+                .first()
+                .ok_or_else(|| usage_err("explain needs a directory"))?;
             let loaded = load(dir)?;
-            explain(&loaded, &opts)
+            explain(&loaded, &opts, cancel)
         }
         "score" => {
             let [dir, query] = two(&pos, "score <dir> \"<query>\"")?;
             let mut loaded = load(dir)?;
             let ucq = parse_query(&mut loaded, query)?;
             let scoring = scoring_of(&opts);
-            let task = task_of(&loaded, &scoring, &opts)?;
+            let task = task_of(&loaded, &scoring, &opts, cancel)?;
             let e = task
                 .score_ucq(&ucq)
-                .map_err(|e| err(format!("score: {e}")))?;
+                .map_err(|e| search_err(format!("score: {e}")))?;
             let mut out = String::new();
             let _ = writeln!(out, "query:   {}", e.render(&loaded.system));
             let _ = writeln!(out, "Z-score: {:.4}", e.score);
@@ -139,7 +260,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 e.stats.pos_matched, e.stats.pos_total, e.stats.neg_matched, e.stats.neg_total
             );
             let _ = writeln!(out, "criteria (δ1, δ4, δ5): {:?}", e.criterion_values);
-            Ok(out)
+            Ok(CliOutcome::complete(out))
         }
         "certain" => {
             let [dir, query] = two(&pos, "certain <dir> \"<query>\"")?;
@@ -148,28 +269,39 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let answers = loaded
                 .system
                 .certain_answers(&ucq)
-                .map_err(|e| err(format!("certain: {e}")))?;
+                .map_err(|e| search_err(format!("certain: {e}")))?;
             let mut names: Vec<String> = answers
                 .iter()
                 .map(|t| loaded.system.db().consts().render_tuple(t))
                 .collect();
             names.sort();
-            Ok(format!("{} certain answer(s)\n{}\n", names.len(), names.join("\n")))
+            Ok(CliOutcome::complete(format!(
+                "{} certain answer(s)\n{}\n",
+                names.len(),
+                names.join("\n")
+            )))
         }
         "consistency" => {
-            let dir = pos.first().ok_or_else(|| err("consistency needs a directory"))?;
+            let dir = pos
+                .first()
+                .ok_or_else(|| usage_err("consistency needs a directory"))?;
             let loaded = load(dir)?;
             let violations = loaded.system.check_consistency();
             if violations.is_empty() {
-                Ok("consistent".to_owned())
+                Ok(CliOutcome::complete("consistent".to_owned()))
             } else {
-                Ok(format!("INCONSISTENT: {} violation(s)\n{violations:#?}", violations.len()))
+                Ok(CliOutcome::complete(format!(
+                    "INCONSISTENT: {} violation(s)\n{violations:#?}",
+                    violations.len()
+                )))
             }
         }
         "border" => {
             let [dir, consts, radius] = three(&pos, "border <dir> <consts> <radius>")?;
             let loaded = load(dir)?;
-            let radius: usize = radius.parse().map_err(|_| err("radius must be a number"))?;
+            let radius: usize = radius
+                .parse()
+                .map_err(|_| usage_err("radius must be a number"))?;
             let tuple: Vec<obx_srcdb::Const> = consts
                 .split(',')
                 .map(|c| {
@@ -178,7 +310,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         .db()
                         .consts()
                         .get(c.trim())
-                        .ok_or_else(|| err(format!("unknown constant `{}`", c.trim())))
+                        .ok_or_else(|| input_err(format!("unknown constant `{}`", c.trim())))
                 })
                 .collect::<Result<_, _>>()?;
             let border = Border::compute(loaded.system.db(), &tuple, radius);
@@ -187,15 +319,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             for j in 0..border.num_layers() {
                 let mut atoms: Vec<String> = border
                     .layer(j)
-                    .unwrap()
-                    .iter()
+                    .into_iter()
+                    .flatten()
                     .map(|&id| db.atom(id).render(db.schema(), db.consts()))
                     .collect();
                 atoms.sort();
                 let _ = writeln!(out, "W_{j}: {{{}}}", atoms.join(", "));
             }
             let _ = writeln!(out, "B_t,{radius}: {} atom(s)", border.len());
-            Ok(out)
+            Ok(CliOutcome::complete(out))
         }
         "evidence" => {
             let [dir, query, constant] = three(&pos, "evidence <dir> \"<query>\" <const>")?;
@@ -206,29 +338,32 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .db()
                 .consts()
                 .get(constant)
-                .ok_or_else(|| err(format!("unknown constant `{constant}`")))?;
+                .ok_or_else(|| input_err(format!("unknown constant `{constant}`")))?;
             let scoring = scoring_of(&opts);
-            let task = task_of(&loaded, &scoring, &opts)?;
+            let task = task_of(&loaded, &scoring, &opts, cancel)?;
             match task
                 .evidence(&ucq, &[c])
-                .map_err(|e| err(format!("evidence: {e}")))?
+                .map_err(|e| search_err(format!("evidence: {e}")))?
             {
-                Some(atoms) => Ok(format!(
+                Some(atoms) => Ok(CliOutcome::complete(format!(
                     "{constant} J-matches; grounded by:\n  {}",
                     atoms.join("\n  ")
-                )),
-                None => Ok(format!(
+                ))),
+                None => Ok(CliOutcome::complete(format!(
                     "{constant} does not J-match the query within radius {} (or is unlabelled)",
                     opts.radius
-                )),
+                ))),
             }
         }
-        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(usage_err(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
 fn load(dir: &str) -> Result<LoadedScenario, CliError> {
-    load_dir(Path::new(dir)).map_err(|e| err(format!("loading {dir}: {e}")))
+    load_dir(Path::new(dir)).map_err(|source| CliError::Load {
+        dir: dir.to_owned(),
+        source,
+    })
 }
 
 fn parse_query(
@@ -238,7 +373,7 @@ fn parse_query(
     loaded
         .system
         .parse_query(text)
-        .map_err(|e| err(format!("query: {e}")))
+        .map_err(|e| input_err(format!("query: {e}")))
 }
 
 fn scoring_of(opts: &Opts) -> Scoring {
@@ -249,23 +384,35 @@ fn task_of<'a>(
     loaded: &'a LoadedScenario,
     scoring: &'a Scoring,
     opts: &Opts,
+    cancel: &CancelToken,
 ) -> Result<ExplainTask<'a>, CliError> {
     let limits = SearchLimits {
         top_k: opts.top,
         ..SearchLimits::default()
     };
-    ExplainTask::new(&loaded.system, &loaded.labels, opts.radius, scoring, limits)
-        .map_err(|e| err(format!("task: {e}")))
+    ExplainTask::new_with_budget(
+        &loaded.system,
+        &loaded.labels,
+        opts.radius,
+        scoring,
+        limits,
+        budget_of(opts, cancel),
+    )
+    .map_err(|e| search_err(format!("task: {e}")))
 }
 
-fn explain(loaded: &LoadedScenario, opts: &Opts) -> Result<String, CliError> {
+fn explain(
+    loaded: &LoadedScenario,
+    opts: &Opts,
+    cancel: &CancelToken,
+) -> Result<CliOutcome, CliError> {
     let scoring = scoring_of(opts);
-    let task = task_of(loaded, &scoring, opts)?;
-    let mut out = String::new();
+    let task = task_of(loaded, &scoring, opts, cancel)?;
     if opts.strategy == "data-level" {
         let result = DataLevelBeam
             .explain(&task)
-            .map_err(|e| err(format!("explain: {e}")))?;
+            .map_err(|e| search_err(format!("explain: {e}")))?;
+        let mut out = String::new();
         for e in result {
             let _ = writeln!(
                 out,
@@ -277,19 +424,27 @@ fn explain(loaded: &LoadedScenario, opts: &Opts) -> Result<String, CliError> {
                 e.render(&task)
             );
         }
-        return Ok(out);
+        return Ok(CliOutcome::complete(out));
     }
     let strategy: Box<dyn Strategy> = match opts.strategy.as_str() {
         "beam" => Box::new(BeamSearch),
         "bottom-up" => Box::new(BottomUpGeneralize::default()),
         "exhaustive" => Box::new(ExhaustiveSearch::default()),
         "greedy" => Box::new(GreedyUcq::default()),
-        other => return Err(err(format!("unknown strategy `{other}`"))),
+        other => return Err(usage_err(format!("unknown strategy `{other}`"))),
     };
-    let result = strategy
-        .explain(&task)
-        .map_err(|e| err(format!("explain: {e}")))?;
-    for e in result {
+    let report = strategy
+        .explain_with_status(&task)
+        .map_err(|e| search_err(format!("explain: {e}")))?;
+    Ok(render_report(&report, &loaded.system))
+}
+
+/// Renders an [`ExplainReport`]: one ranked line per explanation, and —
+/// only when the run did not complete — a trailing status line. Complete
+/// runs keep the historical line-per-explanation output byte for byte.
+fn render_report(report: &ExplainReport, system: &obx_obdm::ObdmSystem) -> CliOutcome {
+    let mut out = String::new();
+    for e in &report.explanations {
         let _ = writeln!(
             out,
             "Z = {:.4}  [{}/{}+  {}-]  {}",
@@ -297,27 +452,40 @@ fn explain(loaded: &LoadedScenario, opts: &Opts) -> Result<String, CliError> {
             e.stats.pos_matched,
             e.stats.pos_total,
             e.stats.neg_matched,
-            e.render(&loaded.system)
+            e.render(system)
         );
     }
-    Ok(out)
+    if report.termination.is_complete() {
+        CliOutcome::complete(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "-- search stopped early: {} (showing best results so far)",
+            report.termination
+        );
+        CliOutcome {
+            stdout: out,
+            exit_code: 2,
+        }
+    }
 }
 
 fn two<'a>(pos: &'a [String], usage: &str) -> Result<[&'a str; 2], CliError> {
     match pos {
         [a, b] => Ok([a, b]),
-        _ => Err(err(format!("usage: obx {usage}"))),
+        _ => Err(usage_err(format!("usage: obx {usage}"))),
     }
 }
 
 fn three<'a>(pos: &'a [String], usage: &str) -> Result<[&'a str; 3], CliError> {
     match pos {
         [a, b, c] => Ok([a, b, c]),
-        _ => Err(err(format!("usage: obx {usage}"))),
+        _ => Err(usage_err(format!("usage: obx {usage}"))),
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

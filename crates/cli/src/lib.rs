@@ -15,9 +15,14 @@
 //! `consistency`, `border`, `evidence`.
 
 #![warn(missing_docs)]
+// User input must never crash the CLI with a panic message: every failure
+// path is a structured `CliError` with an exit code. Tests opt back in
+// (see the per-module allows).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod commands;
 pub mod scenario_io;
 
-pub use commands::{run, CliError};
+pub use commands::{run, run_cancellable, CliError, CliOutcome};
+pub use obx_core::budget::CancelToken;
 pub use scenario_io::{load_dir, write_paper_example, LoadedScenario};

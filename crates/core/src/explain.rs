@@ -1,5 +1,6 @@
 //! The explanation task (Definition 3.7) and its strategy interface.
 
+use crate::budget::{SearchBudget, Stop, Termination};
 use crate::criteria::CriterionCtx;
 use crate::engine::ScoringEngine;
 use crate::labels::Labels;
@@ -7,6 +8,7 @@ use crate::matcher::{MatchStats, PreparedLabels};
 use crate::score::Scoring;
 use obx_obdm::{ObdmError, ObdmSystem};
 use obx_query::{OntoCq, OntoUcq};
+use obx_util::Interrupt;
 use std::fmt;
 use std::sync::Arc;
 
@@ -35,6 +37,17 @@ impl fmt::Display for ExplainError {
                 write!(f, "strategy `{strategy}` does not support arity {arity}")
             }
         }
+    }
+}
+
+impl ExplainError {
+    /// Whether the failure is *transient* — caused by the search budget
+    /// firing mid-computation (deadline/cancellation interrupting
+    /// PerfectRef) rather than by anything wrong with the candidate
+    /// itself. Transient failures are "not reached" under the anytime
+    /// contract: they are skipped, not quarantined, and never memoized.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExplainError::Obdm(e) if e.is_transient())
     }
 }
 
@@ -104,6 +117,32 @@ impl Explanation {
     }
 }
 
+/// The result of one strategy run under the anytime contract: the ranked
+/// explanations found, plus how the run ended.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Best explanations found, ranked (best first). Non-empty whenever
+    /// the run scored at least one healthy candidate, even on early stop.
+    pub explanations: Vec<Explanation>,
+    /// How the run ended (complete / budget stop / degraded).
+    pub termination: Termination,
+    /// Candidates quarantined (scoring panicked or failed permanently).
+    /// Carried separately from [`Termination::Degraded`] so budget-stopped
+    /// runs still report their losses.
+    pub quarantined: usize,
+}
+
+impl ExplainReport {
+    /// A report for a run that covered its whole space losslessly.
+    pub fn complete(explanations: Vec<Explanation>) -> Self {
+        Self {
+            explanations,
+            termination: Termination::Complete,
+            quarantined: 0,
+        }
+    }
+}
+
 /// One fully-specified instance of the paper's Definition 3.7 problem:
 /// find `q ∈ L_O` maximizing `Z_F(q)` w.r.t. `Σ`, `r`, `Δ`, `F`, `Z`.
 #[derive(Clone)]
@@ -113,10 +152,15 @@ pub struct ExplainTask<'a> {
     limits: SearchLimits,
     arity: usize,
     engine: Arc<ScoringEngine>,
+    budget: SearchBudget,
+    /// Cached [`SearchBudget::interrupt`] projection, rebuilt whenever the
+    /// budget changes, so the hot scoring path does not re-assemble it.
+    interrupt: Interrupt,
 }
 
 impl<'a> ExplainTask<'a> {
-    /// Prepares a task: computes every labelled tuple's border once.
+    /// Prepares a task: computes every labelled tuple's border once. The
+    /// budget is unlimited; see [`ExplainTask::new_with_budget`].
     pub fn new(
         system: &'a ObdmSystem,
         labels: &Labels,
@@ -124,13 +168,31 @@ impl<'a> ExplainTask<'a> {
         scoring: &'a Scoring,
         limits: SearchLimits,
     ) -> Result<Self, ExplainError> {
+        Self::new_with_budget(system, labels, radius, scoring, limits, SearchBudget::unlimited())
+    }
+
+    /// [`ExplainTask::new`] under a [`SearchBudget`]: the budget's
+    /// deadline/cancellation already govern border preparation (a huge
+    /// dense neighbourhood BFS stops early, yielding truncated borders),
+    /// and every subsequent scoring call checks it cooperatively.
+    pub fn new_with_budget(
+        system: &'a ObdmSystem,
+        labels: &Labels,
+        radius: usize,
+        scoring: &'a Scoring,
+        limits: SearchLimits,
+        budget: SearchBudget,
+    ) -> Result<Self, ExplainError> {
         let arity = labels.arity().ok_or(ExplainError::NoLabels)?;
+        let interrupt = budget.interrupt();
         Ok(Self {
-            prepared: PreparedLabels::new(system, labels, radius),
+            prepared: PreparedLabels::new_interruptible(system, labels, radius, &interrupt),
             scoring,
             limits,
             arity,
             engine: Arc::new(ScoringEngine::new()),
+            budget,
+            interrupt,
         })
     }
 
@@ -168,7 +230,8 @@ impl<'a> ExplainTask<'a> {
 
     /// A copy of this task with different limits (borders are cloned, not
     /// recomputed; the scoring engine — and hence its memo cache — is
-    /// shared). Used by meta-strategies that need a wider base pool.
+    /// shared, and so is the budget). Used by meta-strategies that need a
+    /// wider base pool.
     pub fn with_limits(&self, limits: SearchLimits) -> ExplainTask<'a> {
         ExplainTask {
             prepared: self.prepared.clone(),
@@ -176,13 +239,50 @@ impl<'a> ExplainTask<'a> {
             limits,
             arity: self.arity,
             engine: Arc::clone(&self.engine),
+            budget: self.budget.clone(),
+            interrupt: self.interrupt.clone(),
         }
+    }
+
+    /// A copy of this task under a different budget (borders and engine
+    /// are shared). Note the engine's evaluator counter is cumulative
+    /// across sharing tasks, which is what a per-request eval cap wants.
+    pub fn with_budget(&self, budget: SearchBudget) -> ExplainTask<'a> {
+        let interrupt = budget.interrupt();
+        ExplainTask {
+            prepared: self.prepared.clone(),
+            scoring: self.scoring,
+            limits: self.limits,
+            arity: self.arity,
+            engine: Arc::clone(&self.engine),
+            budget,
+            interrupt,
+        }
+    }
+
+    /// The budget governing this task.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+
+    /// The kernel-level deadline/cancellation projection of the budget.
+    pub fn interrupt(&self) -> &Interrupt {
+        &self.interrupt
+    }
+
+    /// Whether the budget has fired, and why. Strategies poll this at
+    /// loop granularity (per batch, per round, per enumeration block) and
+    /// switch to returning best-so-far when it fires.
+    pub fn stop_reason(&self) -> Option<Stop> {
+        self.budget.stop_reason(self.engine.eval_calls())
     }
 
     /// Scores one UCQ candidate end to end via the engine: one memoized
     /// compile + bitset per distinct disjunct, stats by bitset OR, then Z.
     pub fn score_ucq(&self, ucq: &OntoUcq) -> Result<Explanation, ExplainError> {
-        let stats = self.engine.stats_ucq(&self.prepared, ucq)?;
+        let stats = self
+            .engine
+            .stats_ucq_interruptible(&self.prepared, ucq, &self.interrupt)?;
         let num_atoms = ucq.disjuncts().iter().map(OntoCq::num_atoms).sum();
         let ctx = CriterionCtx {
             stats: &stats,
@@ -245,12 +345,25 @@ impl<'a> ExplainTask<'a> {
 /// A search strategy for Definition 3.7. Implementations return their best
 /// explanations **sorted by descending score** (ties broken towards fewer
 /// atoms, then deterministically).
+///
+/// Strategies honour the task's [`SearchBudget`] under the **anytime
+/// contract**: when the budget fires mid-search they stop at the next
+/// checkpoint and return the best explanations found so far, tagging the
+/// report with the [`Termination`] reason instead of erroring.
 pub trait Strategy {
     /// The strategy's name (used in reports and the E6 table).
     fn name(&self) -> &'static str;
 
-    /// Runs the search.
+    /// Runs the search, returning the ranked explanations only.
     fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError>;
+
+    /// Runs the search and reports how it ended ([`ExplainReport`]). The
+    /// default wraps [`Strategy::explain`] as a complete run; the built-in
+    /// strategies override it with budget-aware anytime loops (and their
+    /// `explain` delegates here).
+    fn explain_with_status(&self, task: &ExplainTask<'_>) -> Result<ExplainReport, ExplainError> {
+        Ok(ExplainReport::complete(self.explain(task)?))
+    }
 }
 
 /// Final post-processing shared by all strategies: each explanation's
@@ -263,22 +376,30 @@ pub(crate) fn finalize(
     pool: Vec<Explanation>,
     top_k: usize,
 ) -> Vec<Explanation> {
-    let minimized: Vec<Explanation> = pool
-        .into_iter()
-        .map(|e| {
-            let cores: OntoUcq = e
-                .query
-                .disjuncts()
-                .iter()
-                .map(obx_query::minimize_onto_cq)
-                .collect();
-            if cores == e.query {
-                e
-            } else {
-                task.score_ucq(&cores).unwrap_or(e)
-            }
-        })
-        .collect();
+    // When the budget has already fired, skip core minimization: it can
+    // compile fresh (never-seen) core queries, and an anytime return
+    // should not start new work — and *must* not, for the cancellation
+    // cross-check that compares a cancelled run's ranking against the
+    // uncancelled run's scores.
+    let minimized: Vec<Explanation> = if task.stop_reason().is_some() {
+        pool
+    } else {
+        pool.into_iter()
+            .map(|e| {
+                let cores: OntoUcq = e
+                    .query
+                    .disjuncts()
+                    .iter()
+                    .map(obx_query::minimize_onto_cq)
+                    .collect();
+                if cores == e.query {
+                    e
+                } else {
+                    task.score_ucq(&cores).unwrap_or(e)
+                }
+            })
+            .collect()
+    };
     // Minimization can collapse distinct candidates onto the same core;
     // keep the best-ranked representative of each.
     let ranked = rank(minimized, usize::MAX);
@@ -295,11 +416,35 @@ pub(crate) fn finalize(
     out
 }
 
+/// [`finalize`] plus the anytime envelope: tags the ranked pool with the
+/// run's [`Termination`] (budget stop wins; otherwise quarantine losses;
+/// otherwise complete). All built-in strategies return through here.
+pub(crate) fn finalize_report(
+    task: &ExplainTask<'_>,
+    pool: Vec<Explanation>,
+    top_k: usize,
+    quarantined: usize,
+) -> ExplainReport {
+    let explanations = finalize(task, pool, top_k);
+    ExplainReport {
+        explanations,
+        termination: Termination::from_run(task.stop_reason(), quarantined),
+        quarantined,
+    }
+}
+
 /// Sorts + truncates a candidate pool into the final ranking. Ties on the
 /// Z-score break towards higher positive coverage (keeps "in-progress"
 /// conjunction chains alive in beam frontiers), then fewer atoms, then a
-/// deterministic textual order.
+/// deterministic structural order.
+///
+/// Explanations with a non-finite score (a custom criterion expression
+/// can produce NaN, e.g. `0/0`) are dropped *before* sorting: NaN makes
+/// `partial_cmp` non-total, and a comparator that answers `Equal` for
+/// incomparable pairs violates strict weak ordering — `sort_by` may then
+/// produce an arbitrary (platform-dependent) permutation.
 pub(crate) fn rank(mut explanations: Vec<Explanation>, top_k: usize) -> Vec<Explanation> {
+    explanations.retain(|e| e.score.is_finite());
     explanations.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -311,10 +456,56 @@ pub(crate) fn rank(mut explanations: Vec<Explanation>, top_k: usize) -> Vec<Expl
                 };
                 atoms(a).cmp(&atoms(b))
             })
-            .then_with(|| format!("{:?}", a.query).cmp(&format!("{:?}", b.query)))
+            .then_with(|| cmp_ucq_structural(&a.query, &b.query))
     });
     explanations.truncate(top_k);
     explanations
+}
+
+/// Deterministic total order on UCQs for tie-breaking, comparing structure
+/// directly (disjunct count, then per-disjunct heads and atoms) — replaces
+/// an earlier `format!("{:?}")` comparison that allocated two strings per
+/// comparator call, i.e. `O(n log n)` allocations per sort.
+fn cmp_ucq_structural(a: &OntoUcq, b: &OntoUcq) -> std::cmp::Ordering {
+    use obx_query::OntoAtom;
+    use std::cmp::Ordering;
+    fn cmp_atom(x: &OntoAtom, y: &OntoAtom) -> Ordering {
+        match (x, y) {
+            (OntoAtom::Concept(c1, t1), OntoAtom::Concept(c2, t2)) => {
+                c1.cmp(c2).then_with(|| t1.cmp(t2))
+            }
+            (OntoAtom::Concept(..), OntoAtom::Role(..)) => Ordering::Less,
+            (OntoAtom::Role(..), OntoAtom::Concept(..)) => Ordering::Greater,
+            (OntoAtom::Role(r1, s1, o1), OntoAtom::Role(r2, s2, o2)) => r1
+                .cmp(r2)
+                .then_with(|| s1.cmp(s2))
+                .then_with(|| o1.cmp(o2)),
+        }
+    }
+    fn cmp_cq(x: &OntoCq, y: &OntoCq) -> Ordering {
+        x.head()
+            .cmp(y.head())
+            .then_with(|| x.body().len().cmp(&y.body().len()))
+            .then_with(|| {
+                x.body()
+                    .iter()
+                    .zip(y.body())
+                    .map(|(p, q)| cmp_atom(p, q))
+                    .find(|o| *o != Ordering::Equal)
+                    .unwrap_or(Ordering::Equal)
+            })
+    }
+    a.disjuncts()
+        .len()
+        .cmp(&b.disjuncts().len())
+        .then_with(|| {
+            a.disjuncts()
+                .iter()
+                .zip(b.disjuncts())
+                .map(|(p, q)| cmp_cq(p, q))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
 }
 
 #[cfg(test)]
@@ -372,6 +563,41 @@ mod tests {
         // Unlabelled tuples have no border: no evidence either.
         let rome = sys.db().consts().get("Rome").unwrap();
         assert!(task.evidence(&q1, &[rome]).unwrap().is_none());
+    }
+
+    #[test]
+    fn rank_drops_non_finite_scores_before_sorting() {
+        // Regression: a custom criterion expression can produce NaN (0/0)
+        // or ±inf. NaN makes `partial_cmp` non-total; a comparator that
+        // maps incomparable pairs to Equal violates strict weak ordering,
+        // and `sort_by` may then return an arbitrary permutation — the
+        // "best" explanation of a run became platform-dependent. Non-finite
+        // scores must be filtered out before sorting.
+        let mut sys = example_3_6_system();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
+        let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        let q = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let task =
+            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let healthy = task.score_ucq(&q).unwrap();
+        let poisoned = |s: f64| Explanation {
+            score: s,
+            ..healthy.clone()
+        };
+        let ranked = rank(
+            vec![
+                poisoned(f64::NAN),
+                healthy.clone(),
+                poisoned(f64::INFINITY),
+                poisoned(f64::NEG_INFINITY),
+                poisoned(f64::NAN),
+            ],
+            10,
+        );
+        assert_eq!(ranked.len(), 1, "only the finite-scored survivor remains");
+        assert_eq!(ranked[0].score, healthy.score);
+        // All-poisoned pools rank to empty rather than garbage.
+        assert!(rank(vec![poisoned(f64::NAN)], 10).is_empty());
     }
 
     #[test]

@@ -32,6 +32,13 @@
 //!    search, and greedy UCQ assembly), plus a data-level baseline
 //!    ([`baseline`]) that ignores the ontology — quantifying exactly what
 //!    OBDM buys (the paper's motivation).
+//! 7. **Resilience** ([`budget`]) — every search carries a
+//!    [`budget::SearchBudget`] (wall-clock deadline, evaluator-call cap,
+//!    cancellation token) honoured cooperatively down to the rewriting
+//!    and chase kernels. Strategies are *anytime*: when the budget fires
+//!    they return best-so-far results tagged with a
+//!    [`budget::Termination`], and candidates whose scoring panics or
+//!    fails are quarantined instead of aborting the search.
 //!
 //! The worked example of the paper (students/Rome, Examples 3.3, 3.6, 3.8)
 //! is packaged in [`paper_example`] and reproduced down to the reported
@@ -66,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod budget;
 pub mod criteria;
 pub mod engine;
 pub mod explain;
@@ -75,9 +83,10 @@ pub mod paper_example;
 pub mod score;
 pub mod strategies;
 
+pub use budget::{CancelToken, SearchBudget, Stop, Termination};
 pub use criteria::{Criterion, CriterionCtx};
-pub use engine::{DisjunctEntry, ScoringEngine};
-pub use explain::{ExplainError, ExplainTask, Explanation, SearchLimits, Strategy};
+pub use engine::{BatchOutcome, DisjunctEntry, ScoringEngine};
+pub use explain::{ExplainError, ExplainReport, ExplainTask, Explanation, SearchLimits, Strategy};
 pub use labels::{Labels, LabelsError};
 pub use matcher::{MatchBits, MatchStats, PreparedLabels};
 pub use score::{ScoreExpr, Scoring};

@@ -176,11 +176,24 @@ pub struct PreparedLabels<'a> {
 impl<'a> PreparedLabels<'a> {
     /// Computes `B_{t,radius}(D)` for every labelled tuple.
     pub fn new(system: &'a ObdmSystem, labels: &Labels, radius: usize) -> Self {
+        Self::new_interruptible(system, labels, radius, &obx_util::Interrupt::none())
+    }
+
+    /// [`PreparedLabels::new`] with a cooperative stop signal threaded
+    /// into each border BFS. If `interrupt` fires, the remaining borders
+    /// come out truncated (a smaller effective radius for those tuples) —
+    /// still sound, just less complete, per the anytime contract.
+    pub fn new_interruptible(
+        system: &'a ObdmSystem,
+        labels: &Labels,
+        radius: usize,
+        interrupt: &obx_util::Interrupt,
+    ) -> Self {
         let compute = |tuples: &[Tuple]| -> Vec<(Tuple, FxHashSet<AtomId>)> {
             tuples
                 .iter()
                 .map(|t| {
-                    let border = Border::compute(system.db(), t, radius);
+                    let border = Border::compute_interruptible(system.db(), t, radius, interrupt);
                     (t.clone(), border.atoms().clone())
                 })
                 .collect()

@@ -18,8 +18,10 @@
 //! learning literature the paper cites (DL-Learner, DL-FOIL), lifted from
 //! concepts to conjunctive queries.
 
-use super::{dedup_candidates, require_unary, score_batch, select_beam};
-use crate::explain::{finalize, rank, ExplainError, ExplainTask, Explanation, Strategy};
+use super::{dedup_candidates, require_unary, score_batch_outcome, select_beam};
+use crate::explain::{
+    finalize_report, rank, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
+};
 use obx_ontology::{BasicConcept, Role};
 use obx_query::{OntoAtom, OntoCq, Term, VarId};
 use obx_srcdb::Const;
@@ -35,18 +37,32 @@ impl Strategy for BeamSearch {
     }
 
     fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError> {
+        self.explain_with_status(task).map(|r| r.explanations)
+    }
+
+    fn explain_with_status(&self, task: &ExplainTask<'_>) -> Result<ExplainReport, ExplainError> {
         require_unary(task, self.name())?;
         let limits = task.limits();
         let consts = task.prepared().relevant_constants(limits.max_constants);
         let mut seen: FxHashSet<OntoCq> = FxHashSet::default();
+        let mut quarantined = 0usize;
 
         let starts = dedup_candidates(start_candidates(task));
         seen.extend(starts.iter().cloned());
-        let scored = score_batch(task, starts);
+        let outcome = score_batch_outcome(task, starts);
+        quarantined += outcome.quarantined;
+        let scored = outcome.explanations;
         let mut pool: Vec<Explanation> = scored.clone();
         let mut beam: Vec<Explanation> = select_beam(scored, limits.beam_width);
 
         for _round in 1..limits.max_rounds {
+            // Budget checkpoint at round granularity: the pool already
+            // holds everything scored so far, so stopping here is exactly
+            // the anytime contract (the batch loop below also stops at
+            // candidate granularity for finer response).
+            if task.stop_reason().is_some() {
+                break;
+            }
             let mut next: Vec<OntoCq> = Vec::new();
             for e in &beam {
                 for d in e.query.disjuncts() {
@@ -60,7 +76,9 @@ impl Strategy for BeamSearch {
             if fresh.is_empty() {
                 break;
             }
-            let scored = score_batch(task, fresh);
+            let outcome = score_batch_outcome(task, fresh);
+            quarantined += outcome.quarantined;
+            let scored = outcome.explanations;
             if scored.is_empty() {
                 break;
             }
@@ -77,7 +95,7 @@ impl Strategy for BeamSearch {
                 }
             }
         }
-        Ok(finalize(task, pool, limits.top_k))
+        Ok(finalize_report(task, pool, limits.top_k, quarantined))
     }
 }
 

@@ -14,8 +14,10 @@
 //! general generalization), and the only built-in strategy that supports
 //! λ of arbitrary arity.
 
-use super::{dedup_candidates, score_batch, select_beam};
-use crate::explain::{finalize, rank, ExplainError, ExplainTask, Explanation, Strategy};
+use super::{dedup_candidates, score_batch_outcome, select_beam};
+use crate::explain::{
+    finalize_report, rank, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
+};
 use obx_mapping::virtual_abox;
 use obx_ontology::{BasicConcept, Role};
 use obx_query::{OntoAtom, OntoCq, Term, VarId};
@@ -48,6 +50,10 @@ impl Strategy for BottomUpGeneralize {
     }
 
     fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError> {
+        self.explain_with_status(task).map(|r| r.explanations)
+    }
+
+    fn explain_with_status(&self, task: &ExplainTask<'_>) -> Result<ExplainReport, ExplainError> {
         let limits = task.limits();
         let mut seeds: Vec<OntoCq> = Vec::new();
         for (tuple, border) in task.prepared().pos().iter().take(self.max_seeds) {
@@ -60,7 +66,10 @@ impl Strategy for BottomUpGeneralize {
         }
         let seeds = dedup_candidates(seeds);
         let mut seen: FxHashSet<OntoCq> = seeds.iter().cloned().collect();
-        let scored = score_batch(task, seeds);
+        let mut quarantined = 0usize;
+        let outcome = score_batch_outcome(task, seeds);
+        quarantined += outcome.quarantined;
+        let scored = outcome.explanations;
         let mut pool = scored.clone();
         let mut beam = select_beam(scored, limits.beam_width);
 
@@ -70,6 +79,11 @@ impl Strategy for BottomUpGeneralize {
         // top-down default.
         let rounds = limits.max_rounds.max(self.max_seed_atoms + 4);
         for _round in 0..rounds {
+            // Budget checkpoint at round granularity (anytime contract):
+            // return the best generalizations reached so far.
+            if task.stop_reason().is_some() {
+                break;
+            }
             let mut next: Vec<OntoCq> = Vec::new();
             for e in &beam {
                 for d in e.query.disjuncts() {
@@ -83,7 +97,9 @@ impl Strategy for BottomUpGeneralize {
             if fresh.is_empty() {
                 break;
             }
-            let scored = score_batch(task, fresh);
+            let outcome = score_batch_outcome(task, fresh);
+            quarantined += outcome.quarantined;
+            let scored = outcome.explanations;
             if scored.is_empty() {
                 break;
             }
@@ -91,7 +107,7 @@ impl Strategy for BottomUpGeneralize {
             pool = rank(pool, (limits.top_k * 4).max(limits.beam_width * 2));
             beam = select_beam(scored, limits.beam_width);
         }
-        Ok(finalize(task, pool, limits.top_k))
+        Ok(finalize_report(task, pool, limits.top_k, quarantined))
     }
 }
 

@@ -8,10 +8,12 @@
 //! the answer variable) and the relevant constants of the positive
 //! borders.
 
-use super::{dedup_candidates, require_unary, score_batch};
-use crate::explain::{finalize, ExplainError, ExplainTask, Explanation, Strategy};
+use super::{dedup_candidates, require_unary, score_batch_outcome};
+use crate::explain::{
+    finalize_report, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
+};
 use obx_query::{OntoAtom, OntoCq, Term, VarId};
-use obx_util::FxHashSet;
+use obx_util::{FxHashSet, Interrupt};
 
 /// Exhaustive search (see module docs).
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +38,10 @@ impl Strategy for ExhaustiveSearch {
     }
 
     fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError> {
+        self.explain_with_status(task).map(|r| r.explanations)
+    }
+
+    fn explain_with_status(&self, task: &ExplainTask<'_>) -> Result<ExplainReport, ExplainError> {
         require_unary(task, self.name())?;
         let limits = task.limits();
         let consts = task.prepared().relevant_constants(limits.max_constants);
@@ -66,19 +72,31 @@ impl Strategy for ExhaustiveSearch {
         }
 
         // Enumerate connected subsets containing x0, up to max_atoms.
+        // Enumeration itself makes no evaluator calls, so only the
+        // deadline/cancellation half of the budget can fire here; it is
+        // polled every `TICK_MASK + 1` recursion steps.
         let mut candidates: Vec<OntoCq> = Vec::new();
         let mut stack: Vec<OntoAtom> = Vec::new();
+        let mut poll = StopPoll::new(task.interrupt());
         enumerate(
             &pool,
             0,
             &mut stack,
             limits.max_atoms,
             self.max_candidates,
+            &mut poll,
             &mut candidates,
         );
         let candidates = dedup_candidates(candidates);
-        let scored = score_batch(task, candidates);
-        Ok(finalize(task, scored, limits.top_k))
+        // The batch loop stops at candidate granularity when the budget
+        // fires; whatever scored by then is ranked and returned anytime.
+        let outcome = score_batch_outcome(task, candidates);
+        Ok(finalize_report(
+            task,
+            outcome.explanations,
+            limits.top_k,
+            outcome.quarantined,
+        ))
     }
 }
 
@@ -116,18 +134,47 @@ fn connected_and_safe(body: &[OntoAtom]) -> bool {
     reached.iter().all(|&r| r)
 }
 
+/// Periodic interrupt poller for the enumeration recursion: checks the
+/// interrupt once per `TICK_MASK + 1` steps — cheap enough to bound
+/// overrun at microseconds, coarse enough that the clock read stays
+/// invisible next to candidate construction.
+struct StopPoll<'a> {
+    interrupt: &'a Interrupt,
+    ticks: u32,
+}
+
+impl<'a> StopPoll<'a> {
+    const TICK_MASK: u32 = 0x3FF;
+
+    fn new(interrupt: &'a Interrupt) -> Self {
+        Self { interrupt, ticks: 0 }
+    }
+
+    /// True when the interrupt fired (polled every `TICK_MASK + 1` calls).
+    fn fired(&mut self) -> bool {
+        self.ticks = self.ticks.wrapping_add(1);
+        self.ticks & Self::TICK_MASK == 0 && self.interrupt.is_triggered()
+    }
+}
+
 /// Enumerates bodies as ordered index combinations (i1 < i2 < …), pruning
-/// by the candidate budget.
+/// by the candidate budget. Returns `false` when the interrupt fired and
+/// the enumeration was abandoned early (candidates gathered so far stay
+/// valid — the space is simply not fully covered).
 fn enumerate(
     pool: &[OntoAtom],
     from: usize,
     stack: &mut Vec<OntoAtom>,
     max_atoms: usize,
     budget: usize,
+    poll: &mut StopPoll<'_>,
     out: &mut Vec<OntoCq>,
-) {
+) -> bool {
+    if poll.fired() {
+        return false;
+    }
     if out.len() >= budget {
-        return;
+        return true;
     }
     if !stack.is_empty() && connected_and_safe(stack) {
         if let Ok(cq) = OntoCq::new(vec![VarId(0)], stack.clone()) {
@@ -135,16 +182,20 @@ fn enumerate(
         }
     }
     if stack.len() == max_atoms {
-        return;
+        return true;
     }
     for i in from..pool.len() {
         stack.push(pool[i]);
-        enumerate(pool, i + 1, stack, max_atoms, budget, out);
+        let keep_going = enumerate(pool, i + 1, stack, max_atoms, budget, poll, out);
         stack.pop();
+        if !keep_going {
+            return false;
+        }
         if out.len() >= budget {
-            return;
+            return true;
         }
     }
+    true
 }
 
 /// Variable-normalized candidate count, exposed for the E6 table.

@@ -10,7 +10,9 @@
 //! when another disjunct stops paying for itself.
 
 use super::{base_cqs, ucq_of};
-use crate::explain::{finalize, ExplainError, ExplainTask, Explanation, Strategy};
+use crate::explain::{
+    finalize_report, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
+};
 use crate::strategies::BeamSearch;
 use obx_query::OntoCq;
 
@@ -42,39 +44,75 @@ impl Strategy for GreedyUcq {
     }
 
     fn explain(&self, task: &ExplainTask<'_>) -> Result<Vec<Explanation>, ExplainError> {
+        self.explain_with_status(task).map(|r| r.explanations)
+    }
+
+    fn explain_with_status(&self, task: &ExplainTask<'_>) -> Result<ExplainReport, ExplainError> {
         let mut base_limits = task.limits();
         base_limits.top_k = base_limits.top_k.max(self.base_pool);
         let base_task = task.with_limits(base_limits);
-        let base = self.base.explain(&base_task)?;
+        // The base strategy already runs under the shared budget (the
+        // budget travels with the task); its quarantine losses roll into
+        // this run's count.
+        let base_report = self.base.explain_with_status(&base_task)?;
+        let mut quarantined = base_report.quarantined;
+        let base = base_report.explanations;
         let candidates: Vec<OntoCq> = base_cqs(&base);
         if candidates.is_empty() {
-            return Ok(base);
+            return Ok(finalize_report(task, base, task.limits().top_k, quarantined));
         }
 
-        // Start from the best single CQ.
+        // Start from the best single CQ. A scoring failure here must not
+        // abort the run — the base results are still a valid answer.
         let mut chosen: Vec<OntoCq> = vec![candidates[0].clone()];
-        let mut best = task.score_ucq(&ucq_of(&chosen))?;
-        while chosen.len() < self.max_disjuncts {
+        let mut best: Option<Explanation> = match task.score_ucq(&ucq_of(&chosen)) {
+            Ok(e) => Some(e),
+            Err(e) => {
+                if !e.is_transient() {
+                    quarantined += 1;
+                }
+                None
+            }
+        };
+        while best.is_some() && chosen.len() < self.max_disjuncts {
+            // Budget checkpoint per assembly step (anytime contract).
+            if task.stop_reason().is_some() {
+                break;
+            }
             let mut improvement: Option<(OntoCq, Explanation)> = None;
             for cand in &candidates {
                 if chosen.contains(cand) {
                     continue;
                 }
+                if task.stop_reason().is_some() {
+                    break;
+                }
                 let mut trial = chosen.clone();
                 trial.push(cand.clone());
-                let scored = task.score_ucq(&ucq_of(&trial))?;
-                let better = match &improvement {
-                    None => scored.score > best.score + 1e-12,
-                    Some((_, cur)) => scored.score > cur.score + 1e-12,
+                // A disjunct whose scoring fails must not abort the whole
+                // assembly: skip it. Permanent failures are quarantined;
+                // transient (budget-fired) ones count as "not reached".
+                let scored = match task.score_ucq(&ucq_of(&trial)) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        if !e.is_transient() {
+                            quarantined += 1;
+                        }
+                        continue;
+                    }
                 };
-                if better {
+                let threshold = match &improvement {
+                    None => best.as_ref().map_or(f64::NEG_INFINITY, |b| b.score),
+                    Some((_, cur)) => cur.score,
+                };
+                if scored.score > threshold + 1e-12 {
                     improvement = Some((cand.clone(), scored));
                 }
             }
             match improvement {
                 Some((cand, scored)) => {
                     chosen.push(cand);
-                    best = scored;
+                    best = Some(scored);
                 }
                 None => break,
             }
@@ -82,8 +120,8 @@ impl Strategy for GreedyUcq {
 
         // Final ranking: the assembled UCQ plus the base results.
         let mut pool = base;
-        pool.push(best);
-        Ok(finalize(task, pool, task.limits().top_k))
+        pool.extend(best);
+        Ok(finalize_report(task, pool, task.limits().top_k, quarantined))
     }
 }
 

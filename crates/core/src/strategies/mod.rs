@@ -30,15 +30,18 @@ use obx_query::{OntoCq, OntoUcq};
 use obx_util::FxHashSet;
 
 /// Scores a batch of CQ candidates on the task's scoring engine (memoized
-/// compilation + match bitsets, dynamic parallel distribution). Candidates
-/// whose compilation exceeds budgets are silently dropped (a pathological
-/// candidate should not abort the whole search); all other candidates are
-/// scored. Order follows the input.
-pub(crate) fn score_batch(
+/// compilation + match bitsets, dynamic parallel distribution) and reports
+/// the anytime envelope: how many candidates were *quarantined* — their
+/// scoring panicked or failed permanently (a pathological candidate must
+/// not abort the whole search); transient budget interruptions do not
+/// count. The batch stops early at the next candidate boundary when the
+/// task's budget fires; unreached candidates are simply absent from the
+/// result. Order follows the input.
+pub(crate) fn score_batch_outcome(
     task: &ExplainTask<'_>,
     candidates: Vec<OntoCq>,
-) -> Vec<Explanation> {
-    task.engine().score_batch(task, candidates)
+) -> crate::engine::BatchOutcome {
+    task.engine().score_batch_outcome(task, candidates)
 }
 
 /// Beam selection with a diversity cap: at most a few candidates per
@@ -167,9 +170,10 @@ mod tests {
             )
             .unwrap()
         };
-        let scored = score_batch(&task, vec![mk(studies), mk(likes)]);
-        assert_eq!(scored.len(), 2);
-        assert!(scored.iter().all(|e| e.stats.pos_total == 1));
+        let outcome = score_batch_outcome(&task, vec![mk(studies), mk(likes)]);
+        assert_eq!(outcome.explanations.len(), 2);
+        assert_eq!(outcome.quarantined, 0);
+        assert!(outcome.explanations.iter().all(|e| e.stats.pos_total == 1));
     }
 
     #[test]

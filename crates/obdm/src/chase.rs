@@ -71,6 +71,21 @@ pub fn chase_abox(
     abox: &ABox<Const>,
     config: ChaseConfig,
 ) -> MaterializedAbox {
+    chase_abox_interruptible(tbox, reasoner, abox, config, &obx_util::Interrupt::none())
+}
+
+/// [`chase_abox`] with a cooperative stop signal, polled once per
+/// saturation round. If `interrupt` fires the chase stops early and the
+/// partially materialized ABox is returned — sound for the *positive*
+/// direction (everything derived is entailed) but possibly incomplete,
+/// which is the contract anytime callers accept.
+pub fn chase_abox_interruptible(
+    tbox: &TBox,
+    reasoner: &Reasoner,
+    abox: &ABox<Const>,
+    config: ChaseConfig,
+    interrupt: &obx_util::Interrupt,
+) -> MaterializedAbox {
     let mut chased: ABox<Ind> = ABox::new();
     for (c, i) in abox.concept_assertions() {
         chased.assert_concept(c, Ind::C(i));
@@ -87,6 +102,9 @@ pub fn chase_abox(
     // null-creating existential rules genuinely iterate — at most
     // `max_null_depth` productive rounds, plus one to detect quiescence.
     loop {
+        if interrupt.is_triggered() {
+            break;
+        }
         let mut changed = false;
 
         // Role subsumption: p(s, o) and p ⊑* q gives q-assertions.

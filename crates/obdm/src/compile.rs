@@ -8,7 +8,7 @@
 
 use crate::spec::{ObdmError, ObdmSpec};
 use obx_mapping::unfold;
-use obx_query::{eval, perfect_ref, OntoUcq, SrcUcq};
+use obx_query::{eval, perfect_ref_interruptible, OntoUcq, SrcUcq};
 use obx_srcdb::{Const, View};
 use obx_util::FxHashSet;
 
@@ -22,7 +22,19 @@ pub struct CompiledQuery {
 impl CompiledQuery {
     /// Runs the `PerfectRef → unfold` pipeline.
     pub fn compile(spec: &ObdmSpec, ucq: &OntoUcq) -> Result<Self, ObdmError> {
-        let rewritten = perfect_ref(ucq, spec.tbox(), spec.rewrite_budget)?;
+        Self::compile_interruptible(spec, ucq, &obx_util::Interrupt::none())
+    }
+
+    /// [`CompiledQuery::compile`] with a cooperative stop signal threaded
+    /// into PerfectRef (the unbounded-ish stage of the pipeline). On
+    /// trigger, fails with `RewriteError::Interrupted` — a *transient*
+    /// error that callers must not memoize as a property of the query.
+    pub fn compile_interruptible(
+        spec: &ObdmSpec,
+        ucq: &OntoUcq,
+        interrupt: &obx_util::Interrupt,
+    ) -> Result<Self, ObdmError> {
+        let rewritten = perfect_ref_interruptible(ucq, spec.tbox(), spec.rewrite_budget, interrupt)?;
         let src = unfold(spec.mapping(), &rewritten, spec.unfold_max)?;
         Ok(Self {
             src,

@@ -26,6 +26,6 @@ pub mod chase;
 pub mod compile;
 pub mod spec;
 
-pub use chase::{chase_abox, ChaseConfig, Ind, MaterializedAbox};
+pub use chase::{chase_abox, chase_abox_interruptible, ChaseConfig, Ind, MaterializedAbox};
 pub use compile::CompiledQuery;
 pub use spec::{example_3_6_system, ObdmError, ObdmSpec, ObdmSystem};

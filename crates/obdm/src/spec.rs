@@ -35,6 +35,16 @@ impl fmt::Display for ObdmError {
 
 impl std::error::Error for ObdmError {}
 
+impl ObdmError {
+    /// Whether this error was caused by the *caller's* deadline or
+    /// cancellation firing mid-compilation, rather than by the query
+    /// itself. Transient errors must not be cached as permanent compile
+    /// failures — a retry with a fresh interrupt may well succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ObdmError::Rewrite(RewriteError::Interrupted))
+    }
+}
+
 impl From<RewriteError> for ObdmError {
     fn from(e: RewriteError) -> Self {
         ObdmError::Rewrite(e)
@@ -100,6 +110,25 @@ impl ObdmSpec {
     /// from per-CQ compilations.
     pub fn compile_cq(&self, cq: &obx_query::OntoCq) -> Result<CompiledQuery, ObdmError> {
         self.compile(&OntoUcq::from_cq(cq.clone()))
+    }
+
+    /// [`ObdmSpec::compile`] with a cooperative stop signal threaded into
+    /// PerfectRef.
+    pub fn compile_interruptible(
+        &self,
+        ucq: &OntoUcq,
+        interrupt: &obx_util::Interrupt,
+    ) -> Result<CompiledQuery, ObdmError> {
+        CompiledQuery::compile_interruptible(self, ucq, interrupt)
+    }
+
+    /// [`ObdmSpec::compile_cq`] with a cooperative stop signal.
+    pub fn compile_cq_interruptible(
+        &self,
+        cq: &obx_query::OntoCq,
+        interrupt: &obx_util::Interrupt,
+    ) -> Result<CompiledQuery, ObdmError> {
+        self.compile_interruptible(&OntoUcq::from_cq(cq.clone()), interrupt)
     }
 }
 

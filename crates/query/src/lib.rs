@@ -36,6 +36,6 @@ pub use containment::{
 pub use eval::{answers, answers_ucq, satisfies, satisfies_ucq, witness, witness_ucq};
 pub use onto::{OntoAtom, OntoCq, OntoUcq, QueryError};
 pub use parse::{parse_onto_cq, parse_onto_ucq, parse_src_cq, QueryParseError};
-pub use rewrite::{perfect_ref, RewriteBudget, RewriteError};
+pub use rewrite::{perfect_ref, perfect_ref_interruptible, RewriteBudget, RewriteError};
 pub use src::{SrcAtom, SrcCq, SrcUcq};
 pub use term::{Term, VarId};

@@ -62,6 +62,12 @@ pub enum RewriteError {
         /// The limit that was hit.
         max_disjuncts: usize,
     },
+    /// The caller's [`Interrupt`](obx_util::Interrupt) fired (deadline or
+    /// cancellation) before the rewriting reached a fixed point. Unlike
+    /// [`RewriteError::BudgetExceeded`] this is not a property of the
+    /// query — retrying with a fresh interrupt may succeed — so callers
+    /// must not cache it as a permanent failure.
+    Interrupted,
 }
 
 impl fmt::Display for RewriteError {
@@ -70,6 +76,7 @@ impl fmt::Display for RewriteError {
             RewriteError::BudgetExceeded { max_disjuncts } => {
                 write!(f, "PerfectRef exceeded {max_disjuncts} disjuncts")
             }
+            RewriteError::Interrupted => write!(f, "PerfectRef interrupted"),
         }
     }
 }
@@ -224,6 +231,19 @@ pub fn perfect_ref(
     tbox: &TBox,
     budget: RewriteBudget,
 ) -> Result<OntoUcq, RewriteError> {
+    perfect_ref_interruptible(ucq, tbox, budget, &obx_util::Interrupt::none())
+}
+
+/// [`perfect_ref`] with a cooperative stop signal: the worklist loop polls
+/// `interrupt` once per popped CQ and returns [`RewriteError::Interrupted`]
+/// when it fires, so one pathological rewrite cannot pin a deadline-bound
+/// search. The inert interrupt makes this identical to [`perfect_ref`].
+pub fn perfect_ref_interruptible(
+    ucq: &OntoUcq,
+    tbox: &TBox,
+    budget: RewriteBudget,
+    interrupt: &obx_util::Interrupt,
+) -> Result<OntoUcq, RewriteError> {
     let pis: Vec<&Axiom> = tbox.positive_inclusions().collect();
     // The reduce step exists solely to turn bound variables unbound so
     // that PIs of the form `B ⊑ ∃R` become applicable (their
@@ -266,6 +286,9 @@ pub fn perfect_ref(
     }
 
     while let Some(cq) = queue.pop_front() {
+        if interrupt.is_triggered() {
+            return Err(RewriteError::Interrupted);
+        }
         let occ = cq.occurrences();
         let mut fresh = cq.max_var().map_or(0, |m| m + 1);
         // (a) atom rewriting.

@@ -60,6 +60,19 @@ pub struct Border {
 impl Border {
     /// Computes `B_{t,radius}(D)` for the tuple `t` (given as its constants).
     pub fn compute(db: &Database, tuple: &[Const], radius: usize) -> Self {
+        Self::compute_interruptible(db, tuple, radius, &obx_util::Interrupt::none())
+    }
+
+    /// [`Border::compute`] with a cooperative stop signal, polled once per
+    /// BFS layer. If `interrupt` fires the border is returned *truncated*
+    /// (fewer layers than requested) — still a valid border at its smaller
+    /// radius, which is exactly what an anytime search wants.
+    pub fn compute_interruptible(
+        db: &Database,
+        tuple: &[Const],
+        radius: usize,
+        interrupt: &obx_util::Interrupt,
+    ) -> Self {
         // Layer 0: atoms that mention a constant appearing in t.
         let mut seen_consts: FxHashSet<Const> = FxHashSet::default();
         let mut all: FxHashSet<AtomId> = FxHashSet::default();
@@ -90,14 +103,30 @@ impl Border {
             frontier,
             seen_consts,
         };
-        border.extend(db, radius);
+        border.extend_interruptible(db, radius, interrupt);
         border
     }
 
     /// Grows the border so that at least `radius + 1` layers exist
     /// (`W_0 ..= W_radius`). No-op if already large enough.
     pub fn extend(&mut self, db: &Database, radius: usize) {
+        self.extend_interruptible(db, radius, &obx_util::Interrupt::none());
+    }
+
+    /// [`Border::extend`] with a cooperative stop signal, polled once per
+    /// layer. Returns `true` if the requested radius was reached, `false`
+    /// if the interrupt fired first (the border stays valid at whatever
+    /// radius it got to).
+    pub fn extend_interruptible(
+        &mut self,
+        db: &Database,
+        radius: usize,
+        interrupt: &obx_util::Interrupt,
+    ) -> bool {
         while self.layers.len() <= radius {
+            if interrupt.is_triggered() {
+                return false;
+            }
             let mut layer: Vec<AtomId> = Vec::new();
             let mut next_frontier: Vec<Const> = Vec::new();
             for &c in &self.frontier {
@@ -117,6 +146,7 @@ impl Border {
             self.frontier = next_frontier;
             self.layers.push(layer);
         }
+        true
     }
 
     /// Radius currently covered (`layers.len() - 1`).

@@ -1,0 +1,118 @@
+//! A cheap cooperative-interruption primitive shared across the stack.
+//!
+//! Long-running kernels — PerfectRef rewriting, the chase, border BFS,
+//! candidate scoring — sit in crates that must not depend on the search
+//! layer, yet all of them need to honour the same "stop now" signal: a
+//! wall-clock deadline or an explicit cancellation (Ctrl-C, a caller
+//! tearing a request down). [`Interrupt`] packages both as a value that
+//! costs nothing when inactive: the inert [`Interrupt::none`] has no
+//! allocation and [`Interrupt::is_triggered`] on it is two branches on
+//! immediate data.
+//!
+//! Checks are *cooperative*: kernels poll at loop granularity (per popped
+//! rewrite candidate, per chase round, per BFS layer), so a trigger stops
+//! work at the next check, never mid-invariant.
+
+// The interruption primitive must itself be panic-free: it runs inside
+// every kernel's hot loop.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A deadline and/or a shared cancellation flag, checked cooperatively by
+/// long-running kernels. `Clone` is cheap and shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct Interrupt {
+    cancelled: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl Interrupt {
+    /// The inert interrupt: never triggers, costs nothing to check.
+    pub const fn none() -> Self {
+        Self {
+            cancelled: None,
+            deadline: None,
+        }
+    }
+
+    /// An interrupt that triggers once `deadline` passes.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// An interrupt that triggers once `flag` is set (the flag is shared:
+    /// any clone observes the store).
+    pub fn with_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancelled = Some(flag);
+        self
+    }
+
+    /// The shared cancellation flag, if any.
+    pub fn flag(&self) -> Option<&Arc<AtomicBool>> {
+        self.cancelled.as_ref()
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether nothing can ever trigger this interrupt. Kernels may use
+    /// this to skip per-iteration checks wholesale.
+    pub fn is_inert(&self) -> bool {
+        self.cancelled.is_none() && self.deadline.is_none()
+    }
+
+    /// Whether the interrupt has fired: the flag is set or the deadline has
+    /// passed. The flag is read with `Relaxed` ordering — the signal only
+    /// gates *when* a kernel stops, never what data it reads.
+    pub fn is_triggered(&self) -> bool {
+        if let Some(flag) = &self.cancelled {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn inert_interrupt_never_triggers() {
+        let i = Interrupt::none();
+        assert!(i.is_inert());
+        assert!(!i.is_triggered());
+        assert!(Interrupt::default().is_inert());
+    }
+
+    #[test]
+    fn flag_triggers_all_clones() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let i = Interrupt::none().with_flag(Arc::clone(&flag));
+        let j = i.clone();
+        assert!(!i.is_triggered() && !j.is_triggered());
+        flag.store(true, Ordering::Relaxed);
+        assert!(i.is_triggered() && j.is_triggered());
+    }
+
+    #[test]
+    fn deadline_triggers_after_it_passes() {
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(Interrupt::none().with_deadline(past).is_triggered());
+        let future = Instant::now() + Duration::from_secs(3600);
+        let i = Interrupt::none().with_deadline(future);
+        assert!(!i.is_triggered());
+        assert!(!i.is_inert());
+    }
+}

@@ -9,14 +9,18 @@
 //!   names, concept names and role names across the whole stack;
 //! * [`table`] — a tiny fixed-width table printer used by the benchmark
 //!   harness to render paper-style tables;
-//! * [`fixpoint`] — a helper for running saturation loops to a fixed point.
+//! * [`fixpoint`] — a helper for running saturation loops to a fixed point;
+//! * [`interrupt`] — a cooperative deadline/cancellation signal checked by
+//!   the workspace's long-running kernels (rewriting, chase, border BFS).
 
 #![warn(missing_docs)]
 
 pub mod fixpoint;
 pub mod hash;
 pub mod intern;
+pub mod interrupt;
 pub mod table;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
+pub use interrupt::Interrupt;
