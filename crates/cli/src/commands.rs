@@ -1,13 +1,16 @@
 //! Command dispatch. [`run`] is a pure function from arguments to output
 //! text, so the whole CLI is testable without spawning processes.
 
-use crate::scenario_io::{load_dir, write_paper_example, LoadError, LoadedScenario};
+use crate::scenario_io::{load_dir, load_dir_checked, write_paper_example, LoadError, LoadedScenario};
 use obx_core::baseline::DataLevelBeam;
 use obx_core::budget::{CancelToken, SearchBudget};
 use obx_core::explain::{ExplainReport, ExplainTask, SearchLimits, Strategy};
 use obx_core::score::Scoring;
 use obx_core::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
+use obx_core::validate_scenario;
 use obx_srcdb::Border;
+use obx_util::diag::render_with_source;
+use obx_util::{GuardLimits, GuardTrip};
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -97,6 +100,8 @@ obx — ontology-based explanation of classifiers (EDBT 2020 reproduction)
 
 USAGE:
   obx init <dir>                      write the paper's example scenario
+  obx validate <dir>                  check a scenario: every syntax and
+                                      semantic problem, with positions
   obx explain <dir> [opts]            find best-describing queries (Def. 3.7)
   obx score <dir> \"<query>\" [opts]    Z-score one ontology query
   obx certain <dir> \"<query>\"         certain answers over the full database
@@ -114,6 +119,10 @@ OPTIONS:
                       explanations are printed and the exit code is 2
   --max-evals N       cap on J-match evaluator calls (anytime, like
                       --timeout-ms)
+  --max-rewrite N     resource guard: cap cumulative PerfectRef disjuncts
+  --max-chase N       resource guard: cap cumulative chase facts
+  --max-border N      resource guard: cap cumulative border atoms
+                      (guards degrade the run to best-so-far, exit code 2)
 
 Ctrl-C cancels a running search gracefully: best-so-far results are
 printed, exit code 2. Exit codes: 0 complete, 1 error, 2 partial/degraded
@@ -128,6 +137,9 @@ struct Opts {
     top: usize,
     timeout_ms: Option<u64>,
     max_evals: Option<u64>,
+    max_rewrite: Option<usize>,
+    max_chase: Option<usize>,
+    max_border: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
@@ -138,6 +150,9 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
         top: 5,
         timeout_ms: None,
         max_evals: None,
+        max_rewrite: None,
+        max_chase: None,
+        max_border: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -174,6 +189,27 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
                         .map_err(|_| usage_err("--max-evals must be a number"))?,
                 );
             }
+            "--max-rewrite" => {
+                opts.max_rewrite = Some(
+                    next("--max-rewrite")?
+                        .parse()
+                        .map_err(|_| usage_err("--max-rewrite must be a number"))?,
+                );
+            }
+            "--max-chase" => {
+                opts.max_chase = Some(
+                    next("--max-chase")?
+                        .parse()
+                        .map_err(|_| usage_err("--max-chase must be a number"))?,
+                );
+            }
+            "--max-border" => {
+                opts.max_border = Some(
+                    next("--max-border")?
+                        .parse()
+                        .map_err(|_| usage_err("--max-border must be a number"))?,
+                );
+            }
             "--weights" => {
                 let raw = next("--weights")?;
                 let parts: Vec<f64> = raw
@@ -205,6 +241,19 @@ fn budget_of(opts: &Opts, cancel: &CancelToken) -> SearchBudget {
     if let Some(cap) = opts.max_evals {
         budget = budget.with_max_evals(cap);
     }
+    if opts.max_rewrite.is_some() || opts.max_chase.is_some() || opts.max_border.is_some() {
+        let mut limits = GuardLimits::unlimited();
+        if let Some(n) = opts.max_rewrite {
+            limits = limits.with_max_rewrite_disjuncts(n);
+        }
+        if let Some(n) = opts.max_chase {
+            limits = limits.with_max_chase_facts(n);
+        }
+        if let Some(n) = opts.max_border {
+            limits = limits.with_max_border_atoms(n);
+        }
+        budget = budget.with_guard_limits(limits);
+    }
     budget
 }
 
@@ -234,6 +283,12 @@ pub fn run_cancellable(args: &[String], cancel: &CancelToken) -> Result<CliOutco
             Ok(CliOutcome::complete(format!(
                 "wrote the paper's Example 3.6 scenario to {dir}"
             )))
+        }
+        "validate" => {
+            let dir = pos
+                .first()
+                .ok_or_else(|| usage_err("validate needs a directory"))?;
+            Ok(validate(dir))
         }
         "explain" => {
             let dir = pos
@@ -366,6 +421,40 @@ fn load(dir: &str) -> Result<LoadedScenario, CliError> {
     })
 }
 
+/// `obx validate <dir>`: best-effort load collecting every syntax problem,
+/// then — if the files were at least readable — the cross-artifact
+/// semantic checks (`OBX2xx`). Exit code 0 clean, 2 warnings only, 1 when
+/// any error was found (the diagnostics still go to stdout).
+fn validate(dir: &str) -> CliOutcome {
+    let mut checked = load_dir_checked(Path::new(dir));
+    if let Some(scenario) = &checked.scenario {
+        validate_scenario(&scenario.system, &scenario.labels, &mut checked.diagnostics);
+    }
+    let mut out = String::new();
+    for d in checked.diagnostics.iter() {
+        let _ = writeln!(out, "{}", render_with_source(d, checked.source_of(&d.file)));
+    }
+    let errors = checked.diagnostics.error_count();
+    let warnings = checked.diagnostics.warning_count();
+    if errors == 0 && warnings == 0 {
+        let _ = writeln!(out, "{dir}: ok — scenario is admissible");
+        return CliOutcome::complete(out);
+    }
+    let _ = writeln!(
+        out,
+        "{dir}: {errors} error(s), {warnings} warning(s){}",
+        if checked.scenario.is_none() {
+            " — scenario could not be assembled"
+        } else {
+            ""
+        }
+    );
+    CliOutcome {
+        stdout: out,
+        exit_code: if errors > 0 { 1 } else { 2 },
+    }
+}
+
 fn parse_query(
     loaded: &mut LoadedScenario,
     text: &str,
@@ -436,13 +525,18 @@ fn explain(
     let report = strategy
         .explain_with_status(&task)
         .map_err(|e| search_err(format!("explain: {e}")))?;
-    Ok(render_report(&report, &loaded.system))
+    Ok(render_report(&report, &loaded.system, task.budget().guard_trip()))
 }
 
 /// Renders an [`ExplainReport`]: one ranked line per explanation, and —
-/// only when the run did not complete — a trailing status line. Complete
-/// runs keep the historical line-per-explanation output byte for byte.
-fn render_report(report: &ExplainReport, system: &obx_obdm::ObdmSystem) -> CliOutcome {
+/// only when the run did not complete — a trailing status line (plus the
+/// tripped resource guard's detail, when one fired). Complete runs keep
+/// the historical line-per-explanation output byte for byte.
+fn render_report(
+    report: &ExplainReport,
+    system: &obx_obdm::ObdmSystem,
+    guard_trip: Option<GuardTrip>,
+) -> CliOutcome {
     let mut out = String::new();
     for e in &report.explanations {
         let _ = writeln!(
@@ -463,6 +557,9 @@ fn render_report(report: &ExplainReport, system: &obx_obdm::ObdmSystem) -> CliOu
             "-- search stopped early: {} (showing best results so far)",
             report.termination
         );
+        if let Some(trip) = guard_trip {
+            let _ = writeln!(out, "-- resource guard tripped: {trip}");
+        }
         CliOutcome {
             stdout: out,
             exit_code: 2,
@@ -605,6 +702,69 @@ mod tests {
             let out =
                 run(&args(&["explain", dir, "--strategy", "data-level", "--top", "2"])).unwrap();
             assert!(out.contains("ENR") || out.contains("STUD") || out.contains("LOC"), "{out}");
+        });
+    }
+
+    #[test]
+    fn validate_paper_example_reports_its_unused_relation() {
+        // The shipped example's mapping never reads STUD — validate finds
+        // exactly that warning and exits 2.
+        with_scenario("validate-ok", |dir| {
+            let out = run_cancellable(&args(&["validate", dir]), &CancelToken::new()).unwrap();
+            assert_eq!(out.exit_code, 2, "{}", out.stdout);
+            assert!(out.stdout.contains("OBX203"), "{}", out.stdout);
+            assert!(out.stdout.contains("STUD"), "{}", out.stdout);
+            assert!(out.stdout.contains("0 error(s), 1 warning(s)"), "{}", out.stdout);
+        });
+    }
+
+    #[test]
+    fn validate_broken_scenario_collects_every_problem() {
+        with_scenario("validate-bad", |dir| {
+            let d = Path::new(dir);
+            std::fs::write(d.join("ontology.obx"), "role studies\nstudies << likes\n").unwrap();
+            std::fs::write(d.join("labels.obx"), "+ A10\n? B80\n").unwrap();
+            let out = run_cancellable(&args(&["validate", dir]), &CancelToken::new()).unwrap();
+            assert_eq!(out.exit_code, 1, "{}", out.stdout);
+            // Problems from *both* files, each positioned, with a caret
+            // pointing into the offending source line.
+            assert!(out.stdout.contains("ontology.obx:2"), "{}", out.stdout);
+            assert!(out.stdout.contains("labels.obx:2"), "{}", out.stdout);
+            assert!(out.stdout.contains('^'), "{}", out.stdout);
+        });
+    }
+
+    #[test]
+    fn validate_missing_directory_reports_every_file() {
+        let out = run_cancellable(
+            &args(&["validate", "/nonexistent/obx-scenario"]),
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(out.exit_code, 1, "{}", out.stdout);
+        assert_eq!(out.stdout.matches("OBX001").count(), 5, "{}", out.stdout);
+        assert!(out.stdout.contains("could not be assembled"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn guarded_explain_degrades_to_best_so_far() {
+        with_scenario("guard", |dir| {
+            let out = run_cancellable(
+                &args(&["explain", dir, "--max-border", "1", "--top", "3"]),
+                &CancelToken::new(),
+            )
+            .unwrap();
+            assert_eq!(out.exit_code, 2, "{}", out.stdout);
+            // Best-so-far results still print, plus the stop-reason footer
+            // naming the tripped guard and its counts.
+            assert!(out.stdout.starts_with("Z = "), "{}", out.stdout);
+            assert!(out.stdout.contains("search stopped early"), "{}", out.stdout);
+            assert!(
+                out.stdout.contains("resource guard tripped: border atoms"),
+                "{}",
+                out.stdout
+            );
+            assert!(out.stdout.contains("(limit 1)"), "{}", out.stdout);
         });
     }
 

@@ -1,12 +1,27 @@
 //! Loading and saving scenario directories.
+//!
+//! Two loaders: [`load_dir`] stops at the first problem (the engine path —
+//! a scenario that parses is a scenario that runs), and [`load_dir_checked`]
+//! reads everything best-effort, collecting every problem as a structured
+//! [`Diagnostic`](obx_util::Diagnostic) for `obx validate`.
 
 use obx_core::labels::Labels;
-use obx_mapping::parse_mapping;
+use obx_mapping::{parse_mapping, parse_mapping_diag};
 use obx_obdm::{ObdmSpec, ObdmSystem};
-use obx_ontology::parse_tbox;
-use obx_srcdb::{parse_database, parse_schema};
+use obx_ontology::{parse_tbox, parse_tbox_diag};
+use obx_srcdb::{parse_database, parse_database_diag, parse_schema, parse_schema_diag};
+use obx_util::{Diagnostic, Diagnostics};
 use std::fmt;
 use std::path::Path;
+
+/// The five artifact files of a scenario directory, in load order.
+pub const SCENARIO_FILES: [&str; 5] = [
+    "schema.obx",
+    "data.obx",
+    "ontology.obx",
+    "mapping.obx",
+    "labels.obx",
+];
 
 /// A scenario loaded from disk: the system plus λ.
 #[derive(Debug)]
@@ -81,6 +96,141 @@ pub fn load_dir(dir: &Path) -> Result<LoadedScenario, LoadError> {
         system: ObdmSystem::new(ObdmSpec::new(tbox, mapping), db),
         labels,
     })
+}
+
+/// Result of a best-effort [`load_dir_checked`]: every problem found, the
+/// raw sources (for caret rendering), and — when all five files were at
+/// least readable — the scenario assembled from whatever parsed.
+#[derive(Debug)]
+pub struct CheckedLoad {
+    /// The assembled scenario (built best-effort from the artifacts that
+    /// parsed), or `None` when a file was unreadable.
+    pub scenario: Option<LoadedScenario>,
+    /// Every diagnostic, sorted by file/position with errors first.
+    pub diagnostics: Diagnostics,
+    /// `(file name, contents)` for each readable UTF-8 source file.
+    pub sources: Vec<(String, String)>,
+}
+
+impl CheckedLoad {
+    /// The source text of `file`, if it was readable.
+    pub fn source_of(&self, file: &str) -> Option<&str> {
+        self.sources
+            .iter()
+            .find(|(name, _)| name == file)
+            .map(|(_, text)| text.as_str())
+    }
+}
+
+/// Reads one artifact file, reporting unreadable (`OBX001`) and non-UTF-8
+/// (`OBX002`) files as diagnostics instead of errors.
+fn read_checked(dir: &Path, file: &str, diags: &mut Diagnostics) -> Option<String> {
+    let bytes = match std::fs::read(dir.join(file)) {
+        Ok(b) => b,
+        Err(e) => {
+            diags.push(
+                Diagnostic::error(file, 0, 0, "OBX001", format!("cannot read file: {e}"))
+                    .with_hint("a scenario directory needs all five .obx files"),
+            );
+            return None;
+        }
+    };
+    match String::from_utf8(bytes) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            let valid = e.utf8_error().valid_up_to();
+            let line = e.as_bytes()[..valid].iter().filter(|&&b| b == b'\n').count() + 1;
+            diags.push(
+                Diagnostic::error(
+                    file,
+                    line,
+                    0,
+                    "OBX002",
+                    format!("file is not valid UTF-8 (first bad byte at offset {valid})"),
+                )
+                .with_hint("scenario files are plain UTF-8 text"),
+            );
+            None
+        }
+    }
+}
+
+/// Best-effort load of a scenario directory: reads and parses all five
+/// artifacts, collecting *every* problem (io `OBX00x`, parse `OBX1xx`) in
+/// one pass instead of stopping at the first. The scenario is assembled
+/// from whatever parsed whenever all five files were readable — callers
+/// decide, via [`Diagnostics::has_errors`], whether to trust it.
+pub fn load_dir_checked(dir: &Path) -> CheckedLoad {
+    let mut diags = Diagnostics::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut texts: Vec<Option<String>> = Vec::new();
+    for file in SCENARIO_FILES {
+        let text = read_checked(dir, file, &mut diags);
+        if let Some(t) = &text {
+            sources.push((file.to_owned(), t.clone()));
+        }
+        texts.push(text);
+    }
+    let [schema_txt, data_txt, onto_txt, map_txt, labels_txt]: [Option<String>; 5] = match texts
+        .try_into()
+    {
+        Ok(a) => a,
+        Err(_) => unreachable!("SCENARIO_FILES has five entries"),
+    };
+
+    let all_readable = [&schema_txt, &data_txt, &onto_txt, &map_txt, &labels_txt]
+        .iter()
+        .all(|t| t.is_some());
+
+    // Artifacts whose prerequisite file was unreadable are not parsed —
+    // checking data against an empty stand-in schema would drown the real
+    // problem (the unreadable schema) in spurious unknown-relation errors.
+    let data_input = if schema_txt.is_some() {
+        data_txt.as_deref().unwrap_or("")
+    } else {
+        ""
+    };
+    let map_input = if schema_txt.is_some() && onto_txt.is_some() {
+        map_txt.as_deref().unwrap_or("")
+    } else {
+        ""
+    };
+
+    let schema = parse_schema_diag(
+        schema_txt.as_deref().unwrap_or(""),
+        "schema.obx",
+        &mut diags,
+    );
+    let mut db = parse_database_diag(schema, data_input, "data.obx", &mut diags);
+    let tbox = parse_tbox_diag(onto_txt.as_deref().unwrap_or(""), "ontology.obx", &mut diags);
+    let mapping = {
+        let (schema_ref, consts) = db.schema_and_consts_mut();
+        parse_mapping_diag(
+            schema_ref,
+            tbox.vocab(),
+            consts,
+            map_input,
+            "mapping.obx",
+            &mut diags,
+        )
+    };
+    let labels = Labels::parse_diag(
+        &mut db,
+        labels_txt.as_deref().unwrap_or(""),
+        "labels.obx",
+        &mut diags,
+    );
+
+    let scenario = all_readable.then(|| LoadedScenario {
+        system: ObdmSystem::new(ObdmSpec::new(tbox, mapping), db),
+        labels,
+    });
+    diags.sort();
+    CheckedLoad {
+        scenario,
+        diagnostics: diags,
+        sources,
+    }
 }
 
 /// Writes the paper's Example 3.6/3.8 scenario into `dir` (`obx init`).

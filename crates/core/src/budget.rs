@@ -16,7 +16,7 @@
 // panics would defeat the whole anytime contract.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use obx_util::Interrupt;
+use obx_util::{GuardLimits, GuardTrip, Interrupt, ResourceGuard};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,6 +57,11 @@ pub enum Stop {
     Cancelled,
     /// The wall-clock deadline passed.
     DeadlineExpired,
+    /// A [`ResourceGuard`] limit was reached inside a kernel (rewrite
+    /// disjuncts, chase facts, border atoms, or approximate allocation).
+    /// Unlike the other reasons this never halts the search loop — it is
+    /// reported at the end of the run via [`SearchBudget::final_stop`].
+    ResourceLimit(GuardTrip),
     /// The evaluator-call cap was reached.
     EvalBudgetExhausted,
 }
@@ -97,6 +102,10 @@ impl Termination {
             Some(Stop::Cancelled) => Termination::Cancelled,
             Some(Stop::DeadlineExpired) => Termination::DeadlineExpired,
             Some(Stop::EvalBudgetExhausted) => Termination::EvalBudgetExhausted,
+            // A tripped resource guard degrades the run: kernels truncated
+            // or skipped work, so results are best-so-far over what was
+            // actually reached.
+            Some(Stop::ResourceLimit(_)) => Termination::Degraded { quarantined },
             None if quarantined > 0 => Termination::Degraded { quarantined },
             None => Termination::Complete,
         }
@@ -125,6 +134,7 @@ pub struct SearchBudget {
     deadline: Option<Instant>,
     max_evals: Option<u64>,
     cancel: CancelToken,
+    guard: Option<Arc<ResourceGuard>>,
 }
 
 impl SearchBudget {
@@ -150,6 +160,29 @@ impl SearchBudget {
     pub fn with_max_evals(mut self, max_evals: u64) -> Self {
         self.max_evals = Some(max_evals);
         self
+    }
+
+    /// Attaches a [`ResourceGuard`] with the given limits. Kernels charge
+    /// the guard as they materialise rewrite disjuncts, chase facts, and
+    /// border atoms; once a limit trips, each kernel degrades (truncates or
+    /// skips) individually. The search loop keeps running over the
+    /// truncated structures — the trip surfaces in the final report as
+    /// [`Stop::ResourceLimit`] via [`SearchBudget::final_stop`], so the
+    /// run terminates [`Termination::Degraded`] with ranked best-so-far
+    /// results instead of stopping empty-handed.
+    pub fn with_guard_limits(mut self, limits: GuardLimits) -> Self {
+        self.guard = Some(Arc::new(ResourceGuard::new(limits)));
+        self
+    }
+
+    /// The attached resource guard, if any.
+    pub fn guard(&self) -> Option<&Arc<ResourceGuard>> {
+        self.guard.as_ref()
+    }
+
+    /// The first guard trip of the run, if one happened.
+    pub fn guard_trip(&self) -> Option<GuardTrip> {
+        self.guard.as_ref().and_then(|g| g.trip())
     }
 
     /// Attaches an externally-owned cancellation token (e.g. one also
@@ -182,6 +215,14 @@ impl SearchBudget {
 
     /// Whether the budget has fired, given the current evaluator-call
     /// count, and why. Precedence: cancel > deadline > eval cap.
+    ///
+    /// A tripped [`ResourceGuard`] deliberately does *not* appear here:
+    /// guards degrade the kernels (truncated chase/border, transiently
+    /// failing rewrites), and the search loop should keep ranking over
+    /// whatever was materialised rather than halt — otherwise a trip
+    /// during task preparation would end the run before the first
+    /// candidate is scored. The trip is folded in at report time by
+    /// [`SearchBudget::final_stop`].
     pub fn stop_reason(&self, evals: u64) -> Option<Stop> {
         if self.cancel.is_cancelled() {
             return Some(Stop::Cancelled);
@@ -199,6 +240,15 @@ impl SearchBudget {
         None
     }
 
+    /// The stop to *report* for a finished run: a loop-halting
+    /// [`stop_reason`](SearchBudget::stop_reason) wins; otherwise a
+    /// resource-guard trip surfaces as [`Stop::ResourceLimit`] so the
+    /// run's [`Termination`] records that results are degraded.
+    pub fn final_stop(&self, evals: u64) -> Option<Stop> {
+        self.stop_reason(evals)
+            .or_else(|| self.guard_trip().map(Stop::ResourceLimit))
+    }
+
     /// The deadline + cancellation projection of this budget, for the
     /// kernels below the search layer (PerfectRef, chase, border BFS).
     /// The evaluator cap is *not* part of it — only the scoring engine
@@ -208,11 +258,15 @@ impl SearchBudget {
         if let Some(d) = self.deadline {
             i = i.with_deadline(d);
         }
+        if let Some(g) = &self.guard {
+            i = i.with_guard(Arc::clone(g));
+        }
         i
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -245,6 +299,40 @@ mod tests {
         token.cancel();
         assert!(i.is_triggered());
         assert_eq!(b.stop_reason(0), Some(Stop::Cancelled));
+    }
+
+    #[test]
+    fn guard_trip_surfaces_as_resource_limit() {
+        use obx_util::GuardKind;
+        let b = SearchBudget::unlimited()
+            .with_guard_limits(GuardLimits::unlimited().with_max_chase_facts(10));
+        assert_eq!(b.stop_reason(0), None, "untripped guard does not stop");
+        let guard = Arc::clone(b.guard().unwrap());
+        let i = b.interrupt();
+        assert!(
+            i.guard().is_some(),
+            "interrupt carries the guard down to kernels"
+        );
+        assert!(!i.is_triggered(), "a guard alone does not trigger kernels");
+        assert!(!guard.charge(GuardKind::ChaseFacts, 11, 0));
+        // The loop keeps running on the truncated structures…
+        assert_eq!(b.stop_reason(0), None, "a trip does not halt the loop");
+        // …but the report records the trip with its counts.
+        match b.final_stop(0) {
+            Some(Stop::ResourceLimit(trip)) => {
+                assert_eq!(trip.kind, GuardKind::ChaseFacts);
+                assert_eq!(trip.observed, 11);
+                assert_eq!(trip.limit, 10);
+            }
+            other => panic!("expected ResourceLimit, got {other:?}"),
+        }
+        assert_eq!(
+            Termination::from_run(b.final_stop(0), 0),
+            Termination::Degraded { quarantined: 0 }
+        );
+        // An explicit loop stop (here the eval cap) outranks the trip.
+        let b = b.with_max_evals(0);
+        assert!(matches!(b.final_stop(5), Some(Stop::EvalBudgetExhausted)));
     }
 
     #[test]

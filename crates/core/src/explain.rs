@@ -277,6 +277,13 @@ impl<'a> ExplainTask<'a> {
         self.budget.stop_reason(self.engine.eval_calls())
     }
 
+    /// The stop to report for the finished run: a loop-halting
+    /// [`stop_reason`](ExplainTask::stop_reason), or — when the loop ran
+    /// to the end over guard-truncated kernels — the resource-guard trip.
+    pub fn final_stop(&self) -> Option<Stop> {
+        self.budget.final_stop(self.engine.eval_calls())
+    }
+
     /// Scores one UCQ candidate end to end via the engine: one memoized
     /// compile + bitset per distinct disjunct, stats by bitset OR, then Z.
     pub fn score_ucq(&self, ucq: &OntoUcq) -> Result<Explanation, ExplainError> {
@@ -376,12 +383,12 @@ pub(crate) fn finalize(
     pool: Vec<Explanation>,
     top_k: usize,
 ) -> Vec<Explanation> {
-    // When the budget has already fired, skip core minimization: it can
-    // compile fresh (never-seen) core queries, and an anytime return
-    // should not start new work — and *must* not, for the cancellation
-    // cross-check that compares a cancelled run's ranking against the
-    // uncancelled run's scores.
-    let minimized: Vec<Explanation> = if task.stop_reason().is_some() {
+    // When the budget has already fired (or a resource guard tripped),
+    // skip core minimization: it can compile fresh (never-seen) core
+    // queries, and an anytime return should not start new work — and
+    // *must* not, for the cancellation cross-check that compares a
+    // cancelled run's ranking against the uncancelled run's scores.
+    let minimized: Vec<Explanation> = if task.final_stop().is_some() {
         pool
     } else {
         pool.into_iter()
@@ -428,7 +435,7 @@ pub(crate) fn finalize_report(
     let explanations = finalize(task, pool, top_k);
     ExplainReport {
         explanations,
-        termination: Termination::from_run(task.stop_reason(), quarantined),
+        termination: Termination::from_run(task.final_stop(), quarantined),
         quarantined,
     }
 }

@@ -7,6 +7,7 @@
 //! machine", §1) can produce them.
 
 use obx_srcdb::{Const, ConstPool, Database, Tuple};
+use obx_util::diag::{col_of, Diagnostic, Diagnostics};
 use obx_util::FxHashSet;
 use std::fmt;
 
@@ -191,6 +192,90 @@ impl Labels {
         Ok(labels)
     }
 
+    /// Best-effort label parse: every problem becomes a [`Diagnostic`]
+    /// (`OBX15x`) in `diags`, the offending line is skipped, and the labels
+    /// that did parse are returned. Duplicate labels — silently collapsed by
+    /// [`Labels::parse`] — are additionally reported as `OBX155` warnings.
+    pub fn parse_diag(
+        db: &mut Database,
+        text: &str,
+        file: &str,
+        diags: &mut Diagnostics,
+    ) -> Self {
+        let mut labels = Self::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line_no = lineno + 1;
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let col = col_of(raw, line);
+            let bad_line = |msg: String, diags: &mut Diagnostics| {
+                diags.push(
+                    Diagnostic::error(file, line_no, col, "OBX151", msg).with_hint(
+                        "label lines are `+ c1, c2, ...` or `- c1, c2, ...`",
+                    ),
+                );
+            };
+            let Some((sign, rest)) = line.split_at_checked(1) else {
+                bad_line(format!("bad label line `{line}`"), diags);
+                continue;
+            };
+            if !matches!(sign, "+" | "-") {
+                bad_line(
+                    format!("bad label sign `{sign}` (expected `+` or `-`)"),
+                    diags,
+                );
+                continue;
+            }
+            if rest.trim().is_empty() {
+                bad_line(format!("label line `{line}` has no tuple"), diags);
+                continue;
+            }
+            let tuple: Tuple = rest.split(',').map(|c| db.constant(c.trim())).collect();
+            let dup = if sign == "+" {
+                labels.pos.contains(&tuple)
+            } else {
+                labels.neg.contains(&tuple)
+            };
+            if dup {
+                diags.push(Diagnostic::warning(
+                    file,
+                    line_no,
+                    col,
+                    "OBX155",
+                    format!("duplicate label `{line}` (already recorded)"),
+                ));
+                continue;
+            }
+            let added = if sign == "+" {
+                labels.add_pos(tuple)
+            } else {
+                labels.add_neg(tuple)
+            };
+            match added {
+                Ok(()) => {}
+                Err(e @ LabelsError::MixedArity { .. }) => {
+                    diags.push(Diagnostic::error(file, line_no, col, "OBX152", e.to_string()));
+                }
+                Err(e @ LabelsError::Conflict(_)) => {
+                    diags.push(
+                        Diagnostic::error(file, line_no, col, "OBX153", e.to_string())
+                            .with_hint("λ is a function: a tuple gets at most one label"),
+                    );
+                }
+                Err(e) => {
+                    diags.push(Diagnostic::error(file, line_no, col, "OBX151", e.to_string()));
+                }
+            }
+        }
+        labels
+    }
+
     /// Renders like `+ <A10>` per line, for diagnostics.
     pub fn render(&self, consts: &ConstPool) -> String {
         let mut s = String::new();
@@ -285,6 +370,28 @@ mod tests {
         assert!(Labels::parse(&mut db, "? A10").is_err());
         assert!(Labels::parse(&mut db, "+").is_err());
         assert!(Labels::parse(&mut db, "+ a\n- a").is_err());
+    }
+
+    #[test]
+    fn diag_parse_collects_every_problem() {
+        let mut db = db();
+        let mut diags = Diagnostics::new();
+        let labels = Labels::parse_diag(
+            &mut db,
+            "+ a\n? b\n+ a\n- a\n+ c, d\n+ e\n",
+            "labels.obx",
+            &mut diags,
+        );
+        // `+ a` and `+ e` survive; `+ c, d` is rejected (mixed arity).
+        assert_eq!(labels.pos().len(), 2);
+        assert!(labels.neg().is_empty());
+        let codes: Vec<(&str, usize)> = diags.iter().map(|d| (d.code, d.line)).collect();
+        assert_eq!(
+            codes,
+            vec![("OBX151", 2), ("OBX155", 3), ("OBX153", 4), ("OBX152", 5)]
+        );
+        assert_eq!(diags.error_count(), 3);
+        assert_eq!(diags.warning_count(), 1);
     }
 
     #[test]

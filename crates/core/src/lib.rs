@@ -82,6 +82,7 @@ pub mod matcher;
 pub mod paper_example;
 pub mod score;
 pub mod strategies;
+pub mod validate;
 
 pub use budget::{CancelToken, SearchBudget, Stop, Termination};
 pub use criteria::{Criterion, CriterionCtx};
@@ -90,3 +91,4 @@ pub use explain::{ExplainError, ExplainReport, ExplainTask, Explanation, SearchL
 pub use labels::{Labels, LabelsError};
 pub use matcher::{MatchBits, MatchStats, PreparedLabels};
 pub use score::{ScoreExpr, Scoring};
+pub use validate::validate_scenario;

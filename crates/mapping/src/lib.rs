@@ -30,6 +30,6 @@ pub mod unfold;
 pub mod vabox;
 
 pub use assertion::{Mapping, MappingAssertion, MappingError};
-pub use parse::parse_mapping;
+pub use parse::{parse_mapping, parse_mapping_diag};
 pub use unfold::{unfold, UnfoldError};
 pub use vabox::virtual_abox;

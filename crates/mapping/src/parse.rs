@@ -6,27 +6,59 @@
 //! ENR(x, y, z) ~> taughtIn(y, z)
 //! LOC(x, y)    ~> locatedIn(x, y)
 //! ```
+//!
+//! Two entry points: [`parse_mapping`] stops at the first problem, while
+//! [`parse_mapping_diag`] records every problem as a positioned
+//! [`Diagnostic`] (codes `OBX13x`), skips the offending line, and keeps
+//! going. Errors carry real line/column positions; columns inside the
+//! synthesized helper queries are rebased onto the original line.
+
+// Parsers run on untrusted user input: they must never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::assertion::{Mapping, MappingAssertion};
 use obx_query::{parse_onto_cq, parse_src_cq, OntoAtom, QueryParseError, Term, VarId};
 use obx_srcdb::{ConstPool, Schema};
 use obx_ontology::OntoVocab;
+use obx_util::diag::{col_of, Diagnostic, Diagnostics};
 use obx_util::FxHashMap;
 
 fn err(msg: impl Into<String>) -> QueryParseError {
-    QueryParseError { msg: msg.into() }
+    QueryParseError {
+        line: 0,
+        col: 0,
+        msg: msg.into(),
+    }
 }
 
-/// Parses a mapping. Constants are interned into `consts` (pass the
-/// database's pool).
-pub fn parse_mapping(
+/// Rebases an error from a synthesized helper query (`q(...) :- {seg}`)
+/// onto the original raw line: `seg` must be a subslice of `raw`, and
+/// `prefix_chars` is the synthesized prefix length in characters.
+fn rebase(raw: &str, seg: &str, prefix_chars: usize, mut e: QueryParseError, line: usize) -> QueryParseError {
+    e.line = line;
+    e.col = if e.col > prefix_chars {
+        col_of(raw, seg) + (e.col - prefix_chars - 1)
+    } else {
+        col_of(raw, seg)
+    };
+    e
+}
+
+/// How the driver reacts to one line's error (tagged with its diagnostic
+/// code): strict parsing propagates it, diagnostic parsing records it and
+/// skips the line.
+type Sink<'a> = dyn FnMut(&'static str, QueryParseError) -> Result<(), QueryParseError> + 'a;
+
+fn parse_mapping_with(
     schema: &Schema,
     vocab: &OntoVocab,
     consts: &mut ConstPool,
     text: &str,
+    sink: &mut Sink<'_>,
 ) -> Result<Mapping, QueryParseError> {
     let mut mapping = Mapping::new();
     for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
         let line = match raw.find('#') {
             Some(i) => &raw[..i],
             None => raw,
@@ -35,9 +67,13 @@ pub fn parse_mapping(
         if line.is_empty() {
             continue;
         }
-        let (body_txt, head_txt) = line
-            .split_once("~>")
-            .ok_or_else(|| err(format!("line {}: expected `body ~> head`", lineno + 1)))?;
+        let Some((body_txt, head_txt)) = line.split_once("~>") else {
+            let mut e = err("expected `body ~> head`");
+            e.line = line_no;
+            e.col = col_of(raw, line);
+            sink("OBX131", e)?;
+            continue;
+        };
 
         // Reuse the query parsers by synthesising heads. Variable names must
         // resolve identically on both sides, so collect the body's variable
@@ -45,24 +81,81 @@ pub fn parse_mapping(
         // The src parser numbers variables by first occurrence; we exploit
         // that by parsing `q(<all vars in order>) :- body` and
         // `q(<same vars>) :- body, and reading the head atom separately.
-        let var_names = collect_var_names(body_txt, head_txt)?;
-        let head_list = var_names.join(", ");
-        let body_cq = parse_src_cq(
-            schema,
-            consts,
-            &format!("q({head_list}) :- {body_txt}"),
-        )
-        .map_err(|e| err(format!("line {}: {}", lineno + 1, e.msg)))?;
-        // Parse the head as a 1-atom ontology CQ over the same variable
-        // order (vars not in the head are padded through the body text —
-        // instead we parse with an explicit scope built from var_names).
-        let head_atom = parse_head_atom(vocab, consts, &var_names, head_txt.trim())
-            .map_err(|e| err(format!("line {}: {}", lineno + 1, e.msg)))?;
-        let assertion = MappingAssertion::new(body_cq, head_atom)
-            .map_err(|e| err(format!("line {}: {}", lineno + 1, e)))?;
-        mapping.add(assertion);
+        let result = (|consts: &mut ConstPool| -> Result<MappingAssertion, (&'static str, QueryParseError)> {
+            let var_names = collect_var_names(body_txt, head_txt).map_err(|mut e| {
+                e.line = line_no;
+                e.col = col_of(raw, head_txt.trim_start());
+                ("OBX134", e)
+            })?;
+            let head_list = var_names.join(", ");
+            let body_prefix = head_list.chars().count() + 7; // `q(` + list + `) :- `
+            let body_cq = parse_src_cq(
+                schema,
+                consts,
+                &format!("q({head_list}) :- {body_txt}"),
+            )
+            .map_err(|e| ("OBX132", rebase(raw, body_txt, body_prefix, e, line_no)))?;
+            // parse_head_atom reports columns relative to the trimmed head
+            // text (0 = "the whole head"); shift them onto the raw line.
+            let head_seg = head_txt.trim_start();
+            let head_atom = parse_head_atom(vocab, consts, &var_names, head_txt.trim())
+                .map_err(|mut e| {
+                    e.line = line_no;
+                    e.col = col_of(raw, head_seg) + e.col.saturating_sub(1);
+                    ("OBX133", e)
+                })?;
+            MappingAssertion::new(body_cq, head_atom).map_err(|e| {
+                let mut qe = err(e.to_string());
+                qe.line = line_no;
+                qe.col = col_of(raw, line);
+                ("OBX134", qe)
+            })
+        })(consts);
+        match result {
+            Ok(assertion) => mapping.add(assertion),
+            Err((code, e)) => sink(code, e)?,
+        }
     }
     Ok(mapping)
+}
+
+/// Parses a mapping, stopping at the first error. Constants are interned
+/// into `consts` (pass the database's pool).
+pub fn parse_mapping(
+    schema: &Schema,
+    vocab: &OntoVocab,
+    consts: &mut ConstPool,
+    text: &str,
+) -> Result<Mapping, QueryParseError> {
+    parse_mapping_with(schema, vocab, consts, text, &mut |_, e| Err(e))
+}
+
+/// Best-effort mapping parse: every problem becomes a [`Diagnostic`]
+/// (`OBX131`–`OBX134`) in `diags`, the offending assertion is skipped, and
+/// the assertions that did parse are returned.
+pub fn parse_mapping_diag(
+    schema: &Schema,
+    vocab: &OntoVocab,
+    consts: &mut ConstPool,
+    text: &str,
+    file: &str,
+    diags: &mut Diagnostics,
+) -> Mapping {
+    let mut sink = |code: &'static str, e: QueryParseError| -> Result<(), QueryParseError> {
+        let hint = match code {
+            "OBX131" => Some("assertions are written `srcAtom, ... ~> ontoAtom`".to_owned()),
+            "OBX133" => Some("the head must be one atom over the ontology vocabulary".to_owned()),
+            _ => None,
+        };
+        let mut d = Diagnostic::error(file, e.line, e.col, code, e.msg);
+        if let Some(h) = hint {
+            d = d.with_hint(h);
+        }
+        diags.push(d);
+        Ok(())
+    };
+    // The sink never returns `Err`, so the driver cannot fail.
+    parse_mapping_with(schema, vocab, consts, text, &mut sink).unwrap_or_default()
 }
 
 /// Returns the distinct variable names of the body text, in first-occurrence
@@ -121,7 +214,8 @@ fn tokens(text: &str) -> Vec<String> {
     vars
 }
 
-/// Parses the head atom with an explicit variable scope.
+/// Parses the head atom with an explicit variable scope. Errors report the
+/// column within `head_txt` (the caller rebases onto the raw line).
 fn parse_head_atom(
     vocab: &OntoVocab,
     consts: &mut ConstPool,
@@ -137,7 +231,13 @@ fn parse_head_atom(
     } else {
         format!("q({}) :- {}", head_vars.join(", "), head_txt)
     };
-    let cq = parse_onto_cq(vocab, consts, &synth)?;
+    let prefix_chars = head_vars.join(", ").chars().count() + 7;
+    let cq = parse_onto_cq(vocab, consts, &synth).map_err(|mut e| {
+        // Keep the column relative to head_txt for the caller's rebase.
+        e.col = e.col.saturating_sub(prefix_chars);
+        e.line = 0;
+        e
+    })?;
     if cq.num_atoms() != 1 {
         return Err(err("mapping head must be a single ontology atom"));
     }
@@ -152,7 +252,7 @@ fn parse_head_atom(
     }
     let atom = cq.body()[0];
     let map = |t: Term| match t {
-        Term::Var(v) => Term::Var(remap[&v]),
+        Term::Var(v) => Term::Var(remap.get(&v).copied().unwrap_or(v)),
         c => c,
     };
     Ok(match atom {
@@ -162,6 +262,7 @@ fn parse_head_atom(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use obx_ontology::parse_tbox;
@@ -216,6 +317,27 @@ mod tests {
         let mut consts = ConstPool::new();
         let e = parse_mapping(&schema, tbox.vocab(), &mut consts, "R(x) ~> r(x, w)").unwrap_err();
         assert!(e.msg.contains("not bound"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let schema = parse_schema("R/1").unwrap();
+        let tbox = parse_tbox("role r").unwrap();
+        let mut consts = ConstPool::new();
+        let e = parse_mapping(
+            &schema,
+            tbox.vocab(),
+            &mut consts,
+            "R(x) ~> r(x, x)\nR(x) -> r(x, x)",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 2, "{e}");
+        assert!(e.to_string().starts_with("line 2"), "{e}");
+        // Body errors point into the body segment of the raw line.
+        let e = parse_mapping(&schema, tbox.vocab(), &mut consts, "NOPE(x) ~> r(x, x)")
+            .unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1), "{e}");
     }
 
     #[test]
@@ -235,6 +357,28 @@ mod tests {
                 "should reject `{bad}`"
             );
         }
+    }
+
+    #[test]
+    fn diag_parse_collects_every_problem() {
+        let schema = parse_schema("R/1 S/2").unwrap();
+        let tbox = parse_tbox("role r").unwrap();
+        let mut consts = ConstPool::new();
+        let mut diags = Diagnostics::new();
+        let m = parse_mapping_diag(
+            &schema,
+            tbox.vocab(),
+            &mut consts,
+            "R(x) ~> r(x, x)\nR(x) -> r(x, x)\nNOPE(x) ~> r(x, x)\nS(x, y) ~> r(x, w)",
+            "mapping.obx",
+            &mut diags,
+        );
+        assert_eq!(m.len(), 1, "the good assertion survives");
+        let codes: Vec<(&str, usize)> = diags.iter().map(|d| (d.code, d.line)).collect();
+        assert_eq!(
+            codes,
+            vec![("OBX131", 2), ("OBX132", 3), ("OBX134", 4)]
+        );
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub fn chase_abox(
 /// partially materialized ABox is returned — sound for the *positive*
 /// direction (everything derived is entailed) but possibly incomplete,
 /// which is the contract anytime callers accept.
+///
+/// When the interrupt carries a [`ResourceGuard`](obx_util::ResourceGuard),
+/// each saturation round charges the guard with the facts it generated;
+/// a tripped guard truncates the chase the same sound-but-incomplete way.
 pub fn chase_abox_interruptible(
     tbox: &TBox,
     reasoner: &Reasoner,
@@ -93,6 +97,19 @@ pub fn chase_abox_interruptible(
     for (r, s, o) in abox.role_assertions() {
         chased.assert_role(r, Ind::C(s), Ind::C(o));
     }
+
+    // Approximate per-fact footprint for the guard's allocation counter.
+    const FACT_BYTES: usize = std::mem::size_of::<(obx_ontology::RoleId, Ind, Ind)>();
+    let charge = |delta: usize| -> bool {
+        match interrupt.guard() {
+            Some(g) => g.charge(obx_util::GuardKind::ChaseFacts, delta, delta * FACT_BYTES),
+            None => true,
+        }
+    };
+    if !charge(chased.len()) {
+        return MaterializedAbox::build(tbox, &chased);
+    }
+    let mut last_len = chased.len();
 
     let mut depth: FxHashMap<Ind, usize> = FxHashMap::default();
     let mut next_null = 0u32;
@@ -157,6 +174,12 @@ pub fn chase_abox_interruptible(
         if !changed || chased.len() > config.max_facts {
             break;
         }
+        // Charge this round's new facts to the resource guard; a trip
+        // truncates the chase (sound, possibly incomplete).
+        if !charge(chased.len().saturating_sub(last_len)) {
+            break;
+        }
+        last_len = chased.len();
     }
 
     MaterializedAbox::build(tbox, &chased)
@@ -425,6 +448,64 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ChaseConfig::for_ucq(&q).max_null_depth, 4);
+    }
+
+    #[test]
+    fn resource_guard_truncates_the_chase() {
+        use obx_util::{GuardKind, GuardLimits, Interrupt, ResourceGuard};
+        use std::sync::Arc;
+        // Infinite-model fixture: without a depth/guard limit this chain
+        // would grow to max_null_depth; a 2-fact guard stops it early.
+        let schema = obx_srcdb::parse_schema("P/1").unwrap();
+        let mut db = obx_srcdb::parse_database(schema, "P(eve)").unwrap();
+        let tbox = obx_ontology::parse_tbox(
+            "concept Person\nrole hasParent\n\
+             Person < exists(hasParent)\nexists(inv(hasParent)) < Person",
+        )
+        .unwrap();
+        let (schema_ref, consts) = db.schema_and_consts_mut();
+        let mapping =
+            obx_mapping::parse_mapping(schema_ref, tbox.vocab(), consts, "P(x) ~> Person(x)")
+                .unwrap();
+        let reasoner = Reasoner::build(&tbox);
+        let abox = virtual_abox(&mapping, View::full(&db));
+        let guard = Arc::new(ResourceGuard::new(
+            GuardLimits::unlimited().with_max_chase_facts(2),
+        ));
+        let interrupt = Interrupt::none().with_guard(Arc::clone(&guard));
+        let chased = chase_abox_interruptible(
+            &tbox,
+            &reasoner,
+            &abox,
+            ChaseConfig {
+                max_null_depth: 50,
+                max_facts: 1_000_000,
+            },
+            &interrupt,
+        );
+        let unguarded = chase_abox(
+            &tbox,
+            &reasoner,
+            &abox,
+            ChaseConfig {
+                max_null_depth: 50,
+                max_facts: 1_000_000,
+            },
+        );
+        assert!(guard.is_tripped());
+        assert_eq!(guard.trip().unwrap().kind, GuardKind::ChaseFacts);
+        assert!(
+            chased.len() < unguarded.len(),
+            "guarded chase truncates: {} vs {}",
+            chased.len(),
+            unguarded.len()
+        );
+        // Sound: the guarded chase still only contains entailed facts, so
+        // membership answers it does give agree with the full chase.
+        let mut pool = obx_srcdb::ConstPool::new();
+        let eve = db.consts().get("eve").unwrap();
+        let q = parse_onto_ucq(tbox.vocab(), &mut pool, "q(x) :- Person(x)").unwrap();
+        assert!(chased.member(&q, &[eve]));
     }
 
     #[test]

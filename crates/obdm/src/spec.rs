@@ -36,12 +36,17 @@ impl fmt::Display for ObdmError {
 impl std::error::Error for ObdmError {}
 
 impl ObdmError {
-    /// Whether this error was caused by the *caller's* deadline or
-    /// cancellation firing mid-compilation, rather than by the query
-    /// itself. Transient errors must not be cached as permanent compile
-    /// failures — a retry with a fresh interrupt may well succeed.
+    /// Whether this error was caused by the *run's* budget — a deadline or
+    /// cancellation firing mid-compilation, or the run's resource guard
+    /// tripping — rather than by the query itself. Transient errors must
+    /// not be cached as permanent compile failures — a retry with a fresh
+    /// interrupt (or a fresh guard) may well succeed.
     pub fn is_transient(&self) -> bool {
-        matches!(self, ObdmError::Rewrite(RewriteError::Interrupted))
+        matches!(
+            self,
+            ObdmError::Rewrite(RewriteError::Interrupted)
+                | ObdmError::Rewrite(RewriteError::ResourceLimit(_))
+        )
     }
 }
 

@@ -34,7 +34,7 @@ pub mod vocab;
 
 pub use abox::{ABox, AboxViolation};
 pub use expr::{BasicConcept, ConceptRhs, Role, RoleRhs};
-pub use parse::{parse_tbox, OntoParseError};
+pub use parse::{parse_tbox, parse_tbox_diag, OntoParseError};
 pub use reasoner::Reasoner;
 pub use tbox::{Axiom, TBox};
 pub use vocab::{ConceptId, OntoVocab, RoleId};

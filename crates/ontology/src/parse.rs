@@ -19,9 +19,18 @@
 //! Declarations are mandatory: every name must be introduced by a
 //! `concept`/`role` line before use. This keeps concept/role namespaces
 //! unambiguous and makes typos hard errors instead of silent new names.
+//!
+//! Two entry points: [`parse_tbox`] stops at the first problem, while
+//! [`parse_tbox_diag`] records every problem as a positioned
+//! [`Diagnostic`] (codes `OBX12x`), skips the offending line, and keeps
+//! going.
+
+// Parsers run on untrusted user input: they must never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::expr::{BasicConcept, Role};
 use crate::tbox::TBox;
+use obx_util::diag::{col_of, Diagnostic, Diagnostics};
 use std::fmt;
 
 /// Errors from [`parse_tbox`].
@@ -29,22 +38,39 @@ use std::fmt;
 pub struct OntoParseError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based character column; `0` means the whole line.
+    pub col: usize,
     /// What went wrong.
     pub msg: String,
 }
 
 impl fmt::Display for OntoParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        if self.col > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
     }
 }
 
 impl std::error::Error for OntoParseError {}
 
-fn err(line: usize, msg: impl Into<String>) -> OntoParseError {
-    OntoParseError {
-        line,
-        msg: msg.into(),
+/// One line being parsed: its number and raw text, so errors about any
+/// subslice of it can be positioned via [`col_of`].
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    line: usize,
+    raw: &'a str,
+}
+
+impl Ctx<'_> {
+    fn err(&self, sub: &str, msg: impl Into<String>) -> OntoParseError {
+        OntoParseError {
+            line: self.line,
+            col: col_of(self.raw, sub),
+            msg: msg.into(),
+        }
     }
 }
 
@@ -54,50 +80,111 @@ enum Side {
     Role(Role),
 }
 
-fn parse_role(tbox: &TBox, line: usize, s: &str) -> Result<Role, OntoParseError> {
+fn parse_role(tbox: &TBox, ctx: Ctx<'_>, s: &str) -> Result<Role, OntoParseError> {
     let s = s.trim();
     if let Some(inner) = s.strip_prefix("inv(").and_then(|r| r.strip_suffix(')')) {
+        let inner = inner.trim();
         let id = tbox
             .vocab()
-            .get_role(inner.trim())
-            .ok_or_else(|| err(line, format!("undeclared role `{}`", inner.trim())))?;
+            .get_role(inner)
+            .ok_or_else(|| ctx.err(inner, format!("undeclared role `{inner}`")))?;
         Ok(Role::inv(id))
     } else {
         let id = tbox
             .vocab()
             .get_role(s)
-            .ok_or_else(|| err(line, format!("undeclared role `{s}`")))?;
+            .ok_or_else(|| ctx.err(s, format!("undeclared role `{s}`")))?;
         Ok(Role::direct(id))
     }
 }
 
-fn parse_side(tbox: &TBox, line: usize, s: &str) -> Result<Side, OntoParseError> {
+fn parse_side(tbox: &TBox, ctx: Ctx<'_>, s: &str) -> Result<Side, OntoParseError> {
     let s = s.trim();
     if s.is_empty() {
-        return Err(err(line, "empty expression"));
+        return Err(ctx.err(ctx.raw, "empty expression"));
     }
     if let Some(inner) = s.strip_prefix("exists(").and_then(|r| r.strip_suffix(')')) {
         return Ok(Side::Concept(BasicConcept::Exists(parse_role(
-            tbox, line, inner,
+            tbox, ctx, inner,
         )?)));
     }
     if s.starts_with("inv(") {
-        return Ok(Side::Role(parse_role(tbox, line, s)?));
+        return Ok(Side::Role(parse_role(tbox, ctx, s)?));
     }
     if let Some(c) = tbox.vocab().get_concept(s) {
         return Ok(Side::Concept(BasicConcept::Atomic(c)));
     }
     if tbox.vocab().get_role(s).is_some() {
-        return Ok(Side::Role(parse_role(tbox, line, s)?));
+        return Ok(Side::Role(parse_role(tbox, ctx, s)?));
     }
-    Err(err(line, format!("undeclared name `{s}`")))
+    Err(ctx.err(s, format!("undeclared name `{s}`")))
 }
 
-/// Parses the TBox text syntax described in the module docs.
-pub fn parse_tbox(text: &str) -> Result<TBox, OntoParseError> {
+/// How the driver reacts to one line's error: strict parsing propagates
+/// it, diagnostic parsing records it and skips the line.
+type Sink<'a> = dyn FnMut(OntoParseError) -> Result<(), OntoParseError> + 'a;
+
+fn parse_line(tbox: &mut TBox, ctx: Ctx<'_>, line: &str) -> Result<(), OntoParseError> {
+    if let Some(rest) = line.strip_prefix("concept ") {
+        for name in rest.split_whitespace() {
+            if tbox.vocab().get_role(name).is_some() {
+                return Err(ctx.err(name, format!("`{name}` already declared as role")));
+            }
+            tbox.vocab_mut().concept(name);
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("role ") {
+        for name in rest.split_whitespace() {
+            if tbox.vocab().get_concept(name).is_some() {
+                return Err(ctx.err(name, format!("`{name}` already declared as concept")));
+            }
+            tbox.vocab_mut().role(name);
+        }
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("funct ") {
+        let role = parse_role(tbox, ctx, rest)?;
+        tbox.funct(role);
+        return Ok(());
+    }
+    let (lhs_s, rhs_s) = line
+        .split_once('<')
+        .ok_or_else(|| ctx.err(line, format!("expected `LHS < RHS`, got `{line}`")))?;
+    let (negated, rhs_s) = match rhs_s.trim().strip_prefix("not ") {
+        Some(rest) => (true, rest),
+        None => (false, rhs_s.trim()),
+    };
+    let lhs = parse_side(tbox, ctx, lhs_s)?;
+    let rhs = parse_side(tbox, ctx, rhs_s)?;
+    match (lhs, rhs) {
+        (Side::Concept(l), Side::Concept(r)) => {
+            if negated {
+                tbox.concept_disjoint(l, r);
+            } else {
+                tbox.concept_incl(l, r);
+            }
+            Ok(())
+        }
+        (Side::Role(l), Side::Role(r)) => {
+            if negated {
+                tbox.role_disjoint(l, r);
+            } else {
+                tbox.role_incl(l, r);
+            }
+            Ok(())
+        }
+        _ => Err(ctx.err(line, "inclusion mixes a concept with a role".to_string())),
+    }
+}
+
+fn parse_tbox_with(text: &str, sink: &mut Sink<'_>) -> Result<TBox, OntoParseError> {
     let mut tbox = TBox::new();
     for (lineno, raw) in text.lines().enumerate() {
-        let line_no = lineno + 1;
+        let ctx = Ctx {
+            line: lineno + 1,
+            raw,
+        };
         let line = match raw.find('#') {
             Some(i) => &raw[..i],
             None => raw,
@@ -106,65 +193,59 @@ pub fn parse_tbox(text: &str) -> Result<TBox, OntoParseError> {
         if line.is_empty() {
             continue;
         }
-        if let Some(rest) = line.strip_prefix("concept ") {
-            for name in rest.split_whitespace() {
-                if tbox.vocab().get_role(name).is_some() {
-                    return Err(err(line_no, format!("`{name}` already declared as role")));
-                }
-                tbox.vocab_mut().concept(name);
-            }
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("role ") {
-            for name in rest.split_whitespace() {
-                if tbox.vocab().get_concept(name).is_some() {
-                    return Err(err(line_no, format!("`{name}` already declared as concept")));
-                }
-                tbox.vocab_mut().role(name);
-            }
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("funct ") {
-            let role = parse_role(&tbox, line_no, rest)?;
-            tbox.funct(role);
-            continue;
-        }
-        let (lhs_s, rhs_s) = line
-            .split_once('<')
-            .ok_or_else(|| err(line_no, format!("expected `LHS < RHS`, got `{line}`")))?;
-        let (negated, rhs_s) = match rhs_s.trim().strip_prefix("not ") {
-            Some(rest) => (true, rest),
-            None => (false, rhs_s.trim()),
-        };
-        let lhs = parse_side(&tbox, line_no, lhs_s)?;
-        let rhs = parse_side(&tbox, line_no, rhs_s)?;
-        match (lhs, rhs) {
-            (Side::Concept(l), Side::Concept(r)) => {
-                if negated {
-                    tbox.concept_disjoint(l, r);
-                } else {
-                    tbox.concept_incl(l, r);
-                }
-            }
-            (Side::Role(l), Side::Role(r)) => {
-                if negated {
-                    tbox.role_disjoint(l, r);
-                } else {
-                    tbox.role_incl(l, r);
-                }
-            }
-            _ => {
-                return Err(err(
-                    line_no,
-                    "inclusion mixes a concept with a role".to_string(),
-                ))
-            }
+        if let Err(e) = parse_line(&mut tbox, ctx, line) {
+            sink(e)?;
         }
     }
     Ok(tbox)
 }
 
+/// Parses the TBox text syntax described in the module docs, stopping at
+/// the first error.
+pub fn parse_tbox(text: &str) -> Result<TBox, OntoParseError> {
+    parse_tbox_with(text, &mut Err)
+}
+
+/// Maps an [`OntoParseError`] to its diagnostic code and optional hint.
+fn onto_code(e: &OntoParseError) -> (&'static str, Option<String>) {
+    if e.msg.contains("undeclared") {
+        (
+            "OBX121",
+            Some("introduce every name with a `concept`/`role` line before use".to_owned()),
+        )
+    } else if e.msg.contains("already declared") {
+        ("OBX122", None)
+    } else if e.msg.contains("expected `LHS < RHS`") {
+        (
+            "OBX123",
+            Some("axioms are written `LHS < RHS` (add `not` for disjointness)".to_owned()),
+        )
+    } else if e.msg.contains("mixes") {
+        ("OBX124", None)
+    } else {
+        ("OBX125", None)
+    }
+}
+
+/// Best-effort TBox parse: every problem becomes a [`Diagnostic`]
+/// (`OBX121`–`OBX125`) in `diags`, the offending line is skipped, and the
+/// axioms that did parse are returned.
+pub fn parse_tbox_diag(text: &str, file: &str, diags: &mut Diagnostics) -> TBox {
+    let mut sink = |e: OntoParseError| -> Result<(), OntoParseError> {
+        let (code, hint) = onto_code(&e);
+        let mut d = Diagnostic::error(file, e.line, e.col, code, e.msg);
+        if let Some(h) = hint {
+            d = d.with_hint(h);
+        }
+        diags.push(d);
+        Ok(())
+    };
+    // The sink never returns `Err`, so the driver cannot fail.
+    parse_tbox_with(text, &mut sink).unwrap_or_default()
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::expr::{ConceptRhs, RoleRhs};
@@ -226,11 +307,14 @@ mod tests {
         let e = parse_tbox("Student < Person").unwrap_err();
         assert!(e.msg.contains("undeclared"));
         assert_eq!(e.line, 1);
+        assert_eq!(e.col, 1, "points at the LHS name");
         let e = parse_tbox("role r\nr < s").unwrap_err();
         assert!(e.msg.contains("undeclared"));
         assert_eq!(e.line, 2);
+        assert_eq!(e.col, 5, "points at `s`");
         let e = parse_tbox("concept A\nA < exists(r)").unwrap_err();
         assert!(e.msg.contains("undeclared role"));
+        assert_eq!(e.col, 12, "points inside `exists(...)`");
     }
 
     #[test]
@@ -255,5 +339,20 @@ mod tests {
         let tbox = parse_tbox("# nothing\n\n   \nconcept A # trailing\n").unwrap();
         assert!(tbox.is_empty());
         assert!(tbox.vocab().get_concept("A").is_some());
+    }
+
+    #[test]
+    fn diag_parse_collects_every_problem() {
+        let mut diags = Diagnostics::new();
+        let text = "concept A\nrole r\nA < B\nA ⊑ A\nA < r\nA < exists(r)";
+        let tbox = parse_tbox_diag(text, "ontology.obx", &mut diags);
+        // The one good axiom survives the three bad lines.
+        assert_eq!(tbox.len(), 1);
+        let codes: Vec<(&str, usize)> = diags.iter().map(|d| (d.code, d.line)).collect();
+        assert_eq!(
+            codes,
+            vec![("OBX121", 3), ("OBX123", 4), ("OBX124", 5)]
+        );
+        assert!(diags.iter().all(|d| d.col > 0));
     }
 }

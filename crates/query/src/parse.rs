@@ -12,32 +12,75 @@
 //! * for ontology queries, unary atoms must name concepts and binary atoms
 //!   must name roles;
 //! * a UCQ is one CQ per non-empty line.
+//!
+//! Errors carry 1-based line/column positions (`0` = unknown): the CQ
+//! parsers position errors at the offending atom within their single
+//! line, and [`parse_onto_ucq`] rebases them onto the multi-line text.
+
+// Parsers run on untrusted user input: they must never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::onto::{OntoAtom, OntoCq, OntoUcq};
 use crate::src::{SrcAtom, SrcCq};
 use crate::term::{Term, VarId};
 use obx_srcdb::{parse::split_atom, parse::unquote, ConstPool, Schema};
 use obx_ontology::OntoVocab;
+use obx_util::diag::col_of;
 use obx_util::FxHashMap;
 use std::fmt;
 
 /// Errors from the query parsers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryParseError {
+    /// 1-based line number; `0` when unknown (single-query parses report
+    /// line 1).
+    pub line: usize,
+    /// 1-based character column; `0` when unknown.
+    pub col: usize,
     /// Description of the problem.
     pub msg: String,
 }
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.msg)
+        match (self.line, self.col) {
+            (0, _) => write!(f, "{}", self.msg),
+            (l, 0) => write!(f, "line {l}: {}", self.msg),
+            (l, c) => write!(f, "line {l}:{c}: {}", self.msg),
+        }
     }
 }
 
 impl std::error::Error for QueryParseError {}
 
+impl QueryParseError {
+    /// Fills in a position, keeping any already-set fields (inner parsers
+    /// position errors more precisely than their callers can).
+    pub fn at(mut self, line: usize, col: usize) -> Self {
+        if self.line == 0 {
+            self.line = line;
+        }
+        if self.col == 0 {
+            self.col = col;
+        }
+        self
+    }
+}
+
 fn err(msg: impl Into<String>) -> QueryParseError {
-    QueryParseError { msg: msg.into() }
+    QueryParseError {
+        line: 0,
+        col: 0,
+        msg: msg.into(),
+    }
+}
+
+fn err_at(col: usize, msg: impl Into<String>) -> QueryParseError {
+    QueryParseError {
+        line: 0,
+        col,
+        msg: msg.into(),
+    }
 }
 
 struct VarScope {
@@ -79,39 +122,51 @@ fn parse_term(scope: &mut VarScope, consts: &mut ConstPool, raw: &str) -> Result
     }
 }
 
-/// Splits `HEAD :- BODY` and returns (head atom text, body atom texts).
-fn split_rule(text: &str) -> Result<(&str, Vec<String>), QueryParseError> {
+/// Body atom texts paired with their 1-based character column within the rule.
+type BodyAtoms = Vec<(usize, String)>;
+
+/// Splits `HEAD :- BODY` and returns the head atom text plus the body atom
+/// texts, each with its 1-based character column within `text`.
+fn split_rule(text: &str) -> Result<(&str, BodyAtoms), QueryParseError> {
     let (head, body) = text
         .split_once(":-")
         .ok_or_else(|| err(format!("expected `head :- body` in `{text}`")))?;
+    let body_off = head.chars().count() + 2;
     // Split the body on commas at depth 0 (commas also appear inside atoms).
-    let mut atoms: Vec<String> = Vec::new();
-    let mut depth = 0usize;
+    let mut atoms: Vec<(usize, String)> = Vec::new();
+    let mut open_cols: Vec<usize> = Vec::new();
     let mut cur = String::new();
-    for ch in body.chars() {
+    let mut cur_col = 0usize;
+    for (i, ch) in body.chars().enumerate() {
+        let col = body_off + i + 1;
         match ch {
             '(' => {
-                depth += 1;
+                open_cols.push(col);
                 cur.push(ch);
             }
             ')' => {
-                depth = depth
-                    .checked_sub(1)
-                    .ok_or_else(|| err("unbalanced parentheses"))?;
+                if open_cols.pop().is_none() {
+                    return Err(err_at(col, "unbalanced parentheses"));
+                }
                 cur.push(ch);
             }
-            ',' if depth == 0 => {
-                atoms.push(cur.trim().to_owned());
-                cur.clear();
+            ',' if open_cols.is_empty() => {
+                atoms.push((cur_col, std::mem::take(&mut cur).trim().to_owned()));
+                cur_col = 0;
             }
-            _ => cur.push(ch),
+            _ => {
+                if cur_col == 0 && !ch.is_whitespace() {
+                    cur_col = col;
+                }
+                cur.push(ch);
+            }
         }
     }
-    if depth != 0 {
-        return Err(err("unbalanced parentheses"));
+    if let Some(&col) = open_cols.first() {
+        return Err(err_at(col, "unbalanced parentheses"));
     }
     if !cur.trim().is_empty() {
-        atoms.push(cur.trim().to_owned());
+        atoms.push((cur_col, cur.trim().to_owned()));
     }
     if atoms.is_empty() {
         return Err(err("empty body"));
@@ -120,62 +175,69 @@ fn split_rule(text: &str) -> Result<(&str, Vec<String>), QueryParseError> {
 }
 
 fn parse_head(scope: &mut VarScope, head: &str) -> Result<Vec<VarId>, QueryParseError> {
-    let (_, args) = split_atom(head).ok_or_else(|| err(format!("bad head `{head}`")))?;
+    let (_, args) = split_atom(head).ok_or_else(|| err_at(1, format!("bad head `{head}`")))?;
     let mut out = Vec::with_capacity(args.len());
     for a in args {
         if a.is_empty() || is_quoted(a) {
-            return Err(err(format!("head terms must be variables, got `{a}`")));
+            return Err(err_at(1, format!("head terms must be variables, got `{a}`")));
         }
         out.push(scope.var(a));
     }
     Ok(out)
 }
 
-/// Parses a CQ over the ontology vocabulary.
+/// Parses a CQ over the ontology vocabulary. Errors report line 1 plus the
+/// column of the offending atom.
 pub fn parse_onto_cq(
     vocab: &OntoVocab,
     consts: &mut ConstPool,
     text: &str,
 ) -> Result<OntoCq, QueryParseError> {
-    let (head_txt, atom_txts) = split_rule(text)?;
+    let (head_txt, atom_txts) = split_rule(text).map_err(|e| e.at(1, 0))?;
     let mut scope = VarScope::new();
-    let head = parse_head(&mut scope, head_txt)?;
+    let head = parse_head(&mut scope, head_txt).map_err(|e| e.at(1, 0))?;
     let mut body = Vec::with_capacity(atom_txts.len());
-    for atom_txt in &atom_txts {
-        let (name, args) =
-            split_atom(atom_txt).ok_or_else(|| err(format!("bad atom `{atom_txt}`")))?;
+    for (col, atom_txt) in &atom_txts {
+        let (name, args) = split_atom(atom_txt)
+            .ok_or_else(|| err_at(*col, format!("bad atom `{atom_txt}`")).at(1, 0))?;
         let terms: Vec<Term> = args
             .iter()
             .map(|a| parse_term(&mut scope, consts, a))
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.at(1, *col))?;
         match terms.len() {
             1 => {
                 let c = vocab
                     .get_concept(name)
-                    .ok_or_else(|| err(format!("unknown concept `{name}`")))?;
+                    .ok_or_else(|| err_at(*col, format!("unknown concept `{name}`")).at(1, 0))?;
                 body.push(OntoAtom::Concept(c, terms[0]));
             }
             2 => {
                 let r = vocab
                     .get_role(name)
-                    .ok_or_else(|| err(format!("unknown role `{name}`")))?;
+                    .ok_or_else(|| err_at(*col, format!("unknown role `{name}`")).at(1, 0))?;
                 body.push(OntoAtom::Role(r, terms[0], terms[1]));
             }
-            n => return Err(err(format!("ontology atom `{name}` has arity {n}, not 1/2"))),
+            n => {
+                return Err(
+                    err_at(*col, format!("ontology atom `{name}` has arity {n}, not 1/2")).at(1, 0),
+                )
+            }
         }
     }
-    OntoCq::new(head, body).map_err(|e| err(e.to_string()))
+    OntoCq::new(head, body).map_err(|e| err(e.to_string()).at(1, 0))
 }
 
 /// Parses a UCQ over the ontology vocabulary: one CQ per non-empty,
-/// non-comment line.
+/// non-comment line. Errors are rebased onto the multi-line text (real
+/// line number, column within the raw line).
 pub fn parse_onto_ucq(
     vocab: &OntoVocab,
     consts: &mut ConstPool,
     text: &str,
 ) -> Result<OntoUcq, QueryParseError> {
     let mut ucq = OntoUcq::empty();
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let line = match raw.find('#') {
             Some(i) => &raw[..i],
             None => raw,
@@ -184,7 +246,15 @@ pub fn parse_onto_ucq(
         if line.is_empty() {
             continue;
         }
-        ucq.push(parse_onto_cq(vocab, consts, line)?);
+        ucq.push(parse_onto_cq(vocab, consts, line).map_err(|mut e| {
+            e.line = lineno + 1;
+            if e.col > 0 {
+                // Rebase the within-line column onto the raw line (leading
+                // whitespace and indentation shift it right).
+                e.col += col_of(raw, line).saturating_sub(1);
+            }
+            e
+        })?);
     }
     if ucq.is_empty() {
         return Err(err("no disjuncts"));
@@ -192,39 +262,46 @@ pub fn parse_onto_ucq(
     Ok(ucq)
 }
 
-/// Parses a CQ over the source schema.
+/// Parses a CQ over the source schema. Errors report line 1 plus the
+/// column of the offending atom.
 pub fn parse_src_cq(
     schema: &Schema,
     consts: &mut ConstPool,
     text: &str,
 ) -> Result<SrcCq, QueryParseError> {
-    let (head_txt, atom_txts) = split_rule(text)?;
+    let (head_txt, atom_txts) = split_rule(text).map_err(|e| e.at(1, 0))?;
     let mut scope = VarScope::new();
-    let head = parse_head(&mut scope, head_txt)?;
+    let head = parse_head(&mut scope, head_txt).map_err(|e| e.at(1, 0))?;
     let mut body = Vec::with_capacity(atom_txts.len());
-    for atom_txt in &atom_txts {
-        let (name, args) =
-            split_atom(atom_txt).ok_or_else(|| err(format!("bad atom `{atom_txt}`")))?;
+    for (col, atom_txt) in &atom_txts {
+        let (name, args) = split_atom(atom_txt)
+            .ok_or_else(|| err_at(*col, format!("bad atom `{atom_txt}`")).at(1, 0))?;
         let rel = schema
             .rel(name)
-            .map_err(|e| err(e.to_string()))?;
+            .map_err(|e| err_at(*col, e.to_string()).at(1, 0))?;
         if schema.arity(rel) != args.len() {
-            return Err(err(format!(
-                "relation `{name}` has arity {}, got {}",
-                schema.arity(rel),
-                args.len()
-            )));
+            return Err(err_at(
+                *col,
+                format!(
+                    "relation `{name}` has arity {}, got {}",
+                    schema.arity(rel),
+                    args.len()
+                ),
+            )
+            .at(1, 0));
         }
         let terms: Vec<Term> = args
             .iter()
             .map(|a| parse_term(&mut scope, consts, a))
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.at(1, *col))?;
         body.push(SrcAtom::new(rel, terms));
     }
-    SrcCq::new(head, body).map_err(|e| err(e.to_string()))
+    SrcCq::new(head, body).map_err(|e| err(e.to_string()).at(1, 0))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use obx_ontology::parse_tbox;
@@ -280,6 +357,28 @@ mod tests {
     }
 
     #[test]
+    fn errors_point_at_the_offending_atom() {
+        let tbox = parse_tbox("concept Student\nrole studies").unwrap();
+        let mut consts = ConstPool::new();
+        let e = parse_onto_cq(
+            tbox.vocab(),
+            &mut consts,
+            "q(x) :- Student(x), Nope(x)",
+        )
+        .unwrap_err();
+        assert_eq!((e.line, e.col), (1, 21), "{e}");
+        assert_eq!(e.to_string(), "line 1:21: unknown concept `Nope`");
+        // UCQ parsing rebases onto the real line.
+        let e = parse_onto_ucq(
+            tbox.vocab(),
+            &mut consts,
+            "q(x) :- Student(x)\n  q(x) :- Nope(x)",
+        )
+        .unwrap_err();
+        assert_eq!((e.line, e.col), (2, 11), "{e}");
+    }
+
+    #[test]
     fn src_queries_check_schema_arity() {
         let schema = parse_schema("ENR/3 LOC/2").unwrap();
         let mut consts = ConstPool::new();
@@ -311,6 +410,9 @@ mod tests {
                 "should reject `{bad}`"
             );
         }
+        // Unbalanced parentheses point at the unclosed `(`.
+        let e = parse_onto_cq(tbox.vocab(), &mut consts, "q(x) :- r(x, y").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 10), "{e}");
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use crate::onto::{OntoAtom, OntoCq, OntoUcq};
 use crate::term::{Term, VarId};
 use obx_ontology::{Axiom, BasicConcept, ConceptRhs, Role, RoleRhs, TBox};
-use obx_util::{FxHashMap, FxHashSet};
+use obx_util::{FxHashMap, FxHashSet, GuardKind, GuardTrip};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -68,6 +68,12 @@ pub enum RewriteError {
     /// query — retrying with a fresh interrupt may succeed — so callers
     /// must not cache it as a permanent failure.
     Interrupted,
+    /// The run's [`ResourceGuard`](obx_util::ResourceGuard) tripped — this
+    /// or an earlier rewrite pushed a cumulative counter over its limit.
+    /// Like [`RewriteError::Interrupted`] this is *transient* (a property
+    /// of the run, not of the query): callers skip the candidate and must
+    /// not memoize the failure.
+    ResourceLimit(GuardTrip),
 }
 
 impl fmt::Display for RewriteError {
@@ -77,6 +83,9 @@ impl fmt::Display for RewriteError {
                 write!(f, "PerfectRef exceeded {max_disjuncts} disjuncts")
             }
             RewriteError::Interrupted => write!(f, "PerfectRef interrupted"),
+            RewriteError::ResourceLimit(trip) => {
+                write!(f, "PerfectRef stopped by resource guard: {trip}")
+            }
         }
     }
 }
@@ -274,6 +283,22 @@ pub fn perfect_ref_interruptible(
                 return Err(RewriteError::BudgetExceeded {
                     max_disjuncts: budget.max_disjuncts,
                 });
+            }
+            // Charge the run-wide resource guard per admitted disjunct: the
+            // counter is cumulative across every rewrite of the run, so a
+            // blown-up query space fails here (transiently) instead of
+            // exhausting memory.
+            if let Some(guard) = interrupt.guard() {
+                let approx_bytes = std::mem::size_of_val(canon.body())
+                    + std::mem::size_of_val(canon.head());
+                if !guard.charge(GuardKind::RewriteDisjuncts, 1, approx_bytes) {
+                    let trip = guard.trip().unwrap_or(GuardTrip {
+                        kind: GuardKind::RewriteDisjuncts,
+                        limit: 0,
+                        observed: 0,
+                    });
+                    return Err(RewriteError::ResourceLimit(trip));
+                }
             }
             queue.push_back(canon.clone());
             out.push(canon);
@@ -535,6 +560,41 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, RewriteError::BudgetExceeded { max_disjuncts: 2 });
+    }
+
+    #[test]
+    fn resource_guard_trips_transiently() {
+        use obx_util::{GuardLimits, Interrupt, ResourceGuard};
+        use std::sync::Arc;
+        let tbox = parse_tbox("concept A B C D\nA < B\nB < C\nC < D").unwrap();
+        let d = tbox.vocab().get_concept("D").unwrap();
+        let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(d, var(0))]).unwrap();
+        let guard = Arc::new(ResourceGuard::new(
+            GuardLimits::unlimited().with_max_rewrite_disjuncts(2),
+        ));
+        let interrupt = Interrupt::none().with_guard(Arc::clone(&guard));
+        let err = perfect_ref_interruptible(
+            &OntoUcq::from_cq(q.clone()),
+            &tbox,
+            RewriteBudget::default(),
+            &interrupt,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RewriteError::ResourceLimit(t) if t.kind == GuardKind::RewriteDisjuncts),
+            "{err:?}"
+        );
+        assert!(guard.is_tripped());
+        // The counter is cumulative: even a tiny follow-up rewrite now
+        // fails, so skipped candidates stay skipped for the whole run.
+        let err2 = perfect_ref_interruptible(
+            &OntoUcq::from_cq(q),
+            &tbox,
+            RewriteBudget::default(),
+            &interrupt,
+        )
+        .unwrap_err();
+        assert!(matches!(err2, RewriteError::ResourceLimit(_)));
     }
 
     #[test]

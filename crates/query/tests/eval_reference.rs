@@ -146,7 +146,7 @@ fn naive_answers(db: &Database, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn evaluator_agrees_with_naive_reference(

@@ -275,6 +275,7 @@ macro_rules! __proptest_fns {
                     $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
                     // Upstream proptest bodies run in a Result context so
                     // they can `return Ok(())` to skip a case early.
+                    #[allow(clippy::redundant_closure_call)]
                     let __outcome: ::core::result::Result<(), ::std::string::String> = (|| {
                         $body
                         ::core::result::Result::Ok(())

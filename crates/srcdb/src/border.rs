@@ -24,6 +24,21 @@ use crate::database::Database;
 use crate::view::View;
 use obx_util::FxHashSet;
 
+/// Charges one completed BFS layer (`atoms` new border atoms) to the
+/// interrupt's resource guard, if any. Returns `false` when the guard has
+/// tripped — callers stop extending the border, which stays valid at its
+/// current (smaller) radius.
+fn charge_layer(interrupt: &obx_util::Interrupt, atoms: usize) -> bool {
+    match interrupt.guard() {
+        Some(g) => g.charge(
+            obx_util::GuardKind::BorderAtoms,
+            atoms,
+            atoms * std::mem::size_of::<AtomId>(),
+        ),
+        None => true,
+    }
+}
+
 /// Definition 3.1: all atoms of `db` sharing a constant with some atom in
 /// `from` (including the atoms of `from` themselves, which trivially share
 /// their own constants). Exposed mostly for tests and documentation; the
@@ -97,13 +112,18 @@ impl Border {
                 }
             }
         }
+        let layer0_len = layer0.len();
         let mut border = Self {
             layers: vec![layer0],
             all,
             frontier,
             seen_consts,
         };
-        border.extend_interruptible(db, radius, interrupt);
+        // Layer 0 is already materialized, so it is charged either way; a
+        // trip just stops the border from growing past it.
+        if charge_layer(interrupt, layer0_len) {
+            border.extend_interruptible(db, radius, interrupt);
+        }
         border
     }
 
@@ -116,7 +136,9 @@ impl Border {
     /// [`Border::extend`] with a cooperative stop signal, polled once per
     /// layer. Returns `true` if the requested radius was reached, `false`
     /// if the interrupt fired first (the border stays valid at whatever
-    /// radius it got to).
+    /// radius it got to). An interrupt carrying a
+    /// [`ResourceGuard`](obx_util::ResourceGuard) is charged per completed
+    /// layer; a trip truncates the BFS the same way.
     pub fn extend_interruptible(
         &mut self,
         db: &Database,
@@ -125,6 +147,15 @@ impl Border {
     ) -> bool {
         while self.layers.len() <= radius {
             if interrupt.is_triggered() {
+                return false;
+            }
+            // A border-atom budget exhausted earlier in the run blocks
+            // further growth outright — no point materialising a layer
+            // whose charge is guaranteed to fail.
+            if interrupt
+                .guard()
+                .is_some_and(|g| g.is_exhausted(obx_util::GuardKind::BorderAtoms))
+            {
                 return false;
             }
             let mut layer: Vec<AtomId> = Vec::new();
@@ -144,7 +175,11 @@ impl Border {
                 }
             }
             self.frontier = next_frontier;
+            let charged = charge_layer(interrupt, layer.len());
             self.layers.push(layer);
+            if !charged {
+                return false;
+            }
         }
         true
     }
@@ -344,6 +379,32 @@ mod tests {
         let mut got: Vec<AtomId> = reachable_from(&db, &from).into_iter().collect();
         got.sort();
         assert_eq!(got, vec![AtomId(0), AtomId(1), AtomId(2)]);
+    }
+
+    #[test]
+    fn resource_guard_truncates_the_border() {
+        use obx_util::{GuardKind, GuardLimits, Interrupt, ResourceGuard};
+        use std::sync::Arc;
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        // Layer 0 already holds 2 atoms, so a 2-atom guard trips before any
+        // extension: the border truncates to radius 0 but stays valid.
+        let guard = Arc::new(ResourceGuard::new(
+            GuardLimits::unlimited().with_max_border_atoms(2),
+        ));
+        let interrupt = Interrupt::none().with_guard(Arc::clone(&guard));
+        let b = Border::compute_interruptible(&db, &[a], 3, &interrupt);
+        assert!(b.radius() < 3, "guarded border truncates");
+        let reference = Border::compute(&db, &[a], b.radius());
+        assert_eq!(
+            b.atoms_up_to(b.radius()),
+            reference.atoms_up_to(b.radius()),
+            "truncated border is the exact border at its smaller radius"
+        );
+        // Once over the limit, even extend() stops immediately.
+        let mut b2 = b;
+        assert!(!b2.extend_interruptible(&db, 3, &interrupt));
+        assert_eq!(guard.trip().unwrap().kind, GuardKind::BorderAtoms);
     }
 
     /// The union-of-layers border equals the "literal Definition 3.2"

@@ -32,6 +32,9 @@ pub use atom::{Atom, AtomId};
 pub use border::{border, reachable_from, Border};
 pub use consts::{Const, ConstPool, Tuple};
 pub use database::Database;
-pub use parse::{add_facts, parse_database, parse_schema, split_atom, unquote, ParseError};
+pub use parse::{
+    add_facts, add_facts_diag, parse_database, parse_database_diag, parse_schema,
+    parse_schema_diag, split_atom, unquote, ParseError,
+};
 pub use schema::{RelDecl, RelId, Schema, SchemaError};
 pub use view::View;

@@ -1,0 +1,305 @@
+//! Structured ingestion diagnostics.
+//!
+//! Every parser and the cross-artifact validator report problems as
+//! [`Diagnostic`]s — positioned, coded, many per file — instead of
+//! first-error strings. The CLI renders them with a source-line caret via
+//! [`render_with_source`]. Diagnostic codes are stable identifiers,
+//! grouped by area (see DESIGN.md for the full table):
+//!
+//! | range  | area                          |
+//! |--------|-------------------------------|
+//! | OBX0xx | I/O and encoding              |
+//! | OBX10x | source schema (`schema.obx`)  |
+//! | OBX11x | database facts (`data.obx`)   |
+//! | OBX12x | ontology TBox (`ontology.obx`)|
+//! | OBX13x | mapping (`mapping.obx`)       |
+//! | OBX14x | query syntax                  |
+//! | OBX15x | labels (`labels.obx`)         |
+//! | OBX2xx | cross-artifact validation     |
+
+// Diagnostics are built on user-input paths: they must never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but admissible; the scenario still loads.
+    Warning,
+    /// The artifact (or the scenario as a whole) is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One positioned, coded problem in one ingestion artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the problem is in (e.g. `schema.obx`).
+    pub file: String,
+    /// 1-based line; `0` means the whole file (I/O, semantic checks).
+    pub line: usize,
+    /// 1-based column (in characters); `0` means the whole line.
+    pub col: usize,
+    /// Stable code, e.g. `OBX103` (see the module table).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub msg: String,
+    /// Optional fix-it hint.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic without a hint.
+    pub fn error(
+        file: impl Into<String>,
+        line: usize,
+        col: usize,
+        code: &'static str,
+        msg: impl Into<String>,
+    ) -> Self {
+        Self {
+            file: file.into(),
+            line,
+            col,
+            code,
+            severity: Severity::Error,
+            msg: msg.into(),
+            hint: None,
+        }
+    }
+
+    /// A warning diagnostic without a hint.
+    pub fn warning(
+        file: impl Into<String>,
+        line: usize,
+        col: usize,
+        code: &'static str,
+        msg: impl Into<String>,
+    ) -> Self {
+        Self {
+            severity: Severity::Warning,
+            ..Self::error(file, line, col, code, msg)
+        }
+    }
+
+    /// Attaches a fix-it hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// One-line rendering: `error[OBX103] schema.obx:1:8: bad arity`.
+    pub fn header(&self) -> String {
+        let mut s = format!("{}[{}] {}", self.severity, self.code, self.file);
+        if self.line > 0 {
+            s.push_str(&format!(":{}", self.line));
+            if self.col > 0 {
+                s.push_str(&format!(":{}", self.col));
+            }
+        }
+        s.push_str(": ");
+        s.push_str(&self.msg);
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.header())
+    }
+}
+
+/// An ordered collection of diagnostics for one load.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Appends every diagnostic from `other`.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// All diagnostics, in the order recorded.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Stable sort by (file, line, col); errors before warnings on ties.
+    pub fn sort(&mut self) {
+        self.items.sort_by(|a, b| {
+            a.file
+                .cmp(&b.file)
+                .then(a.line.cmp(&b.line))
+                .then(a.col.cmp(&b.col))
+                .then(b.severity.cmp(&a.severity))
+        });
+    }
+
+    /// Consumes the collection, yielding the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+}
+
+/// Renders `d` with a source-line excerpt and a caret under the column:
+///
+/// ```text
+/// error[OBX103] schema.obx:1:8: bad arity in `LOC/x`
+///   1 | STUD/1 LOC/x ENR/3
+///     |        ^
+///   hint: write `name/arity`, e.g. `LOC/2`
+/// ```
+///
+/// `source` is the full text of `d.file`; pass `None` when it is
+/// unavailable (the header still renders). Out-of-range positions degrade
+/// to the header-only form rather than panicking.
+pub fn render_with_source(d: &Diagnostic, source: Option<&str>) -> String {
+    let mut out = d.header();
+    if let (Some(text), true) = (source, d.line > 0) {
+        if let Some(line) = text.lines().nth(d.line - 1) {
+            // Binary garbage can survive lossy decoding; keep excerpts on
+            // one visual line.
+            let excerpt: String = line
+                .chars()
+                .take(120)
+                .map(|c| if c.is_control() { '\u{FFFD}' } else { c })
+                .collect();
+            let lineno = d.line.to_string();
+            out.push_str(&format!("\n  {lineno} | {excerpt}"));
+            if d.col > 0 && d.col <= excerpt.chars().count() + 1 {
+                let pad = " ".repeat(lineno.chars().count());
+                let dots = " ".repeat(d.col - 1);
+                out.push_str(&format!("\n  {pad} | {dots}^"));
+            }
+        }
+    }
+    if let Some(hint) = &d.hint {
+        out.push_str(&format!("\n  hint: {hint}"));
+    }
+    out
+}
+
+/// 1-based character column of the subslice `sub` within the line `raw`.
+/// `sub` **must** be a subslice of `raw` (same allocation); returns `0`
+/// (meaning "whole line") when it is not, rather than panicking.
+pub fn col_of(raw: &str, sub: &str) -> usize {
+    let raw_start = raw.as_ptr() as usize;
+    let sub_start = sub.as_ptr() as usize;
+    if sub_start < raw_start || sub_start > raw_start + raw.len() {
+        return 0;
+    }
+    let byte_off = sub_start - raw_start;
+    raw.get(..byte_off)
+        .map(|prefix| prefix.chars().count() + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_includes_position_and_code() {
+        let d = Diagnostic::error("schema.obx", 3, 8, "OBX103", "bad arity");
+        assert_eq!(d.header(), "error[OBX103] schema.obx:3:8: bad arity");
+        let w = Diagnostic::warning("x.obx", 0, 0, "OBX201", "whole file");
+        assert_eq!(w.header(), "warning[OBX201] x.obx: whole file");
+        assert_eq!(w.to_string(), w.header());
+    }
+
+    #[test]
+    fn caret_rendering_points_at_the_column() {
+        let d = Diagnostic::error("s.obx", 2, 8, "OBX103", "bad arity in `LOC/x`")
+            .with_hint("write `name/arity`");
+        let text = "STUD/1\nSTUD/1 LOC/x\n";
+        let r = render_with_source(&d, Some(text));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1], "  2 | STUD/1 LOC/x");
+        assert_eq!(lines[2], "    |        ^");
+        assert_eq!(lines[3], "  hint: write `name/arity`");
+        // Out-of-range line: header only, no panic.
+        let far = Diagnostic::error("s.obx", 99, 1, "OBX103", "x");
+        assert_eq!(render_with_source(&far, Some(text)), far.header());
+        assert_eq!(render_with_source(&d, None).lines().count(), 2);
+    }
+
+    #[test]
+    fn collection_counts_and_sorts() {
+        let mut ds = Diagnostics::new();
+        assert!(ds.is_empty());
+        ds.push(Diagnostic::warning("b.obx", 1, 1, "OBX201", "w"));
+        ds.push(Diagnostic::error("a.obx", 2, 1, "OBX111", "e"));
+        ds.push(Diagnostic::error("a.obx", 1, 5, "OBX111", "e2"));
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.error_count(), 2);
+        assert_eq!(ds.warning_count(), 1);
+        assert!(ds.has_errors());
+        ds.sort();
+        let files: Vec<(&str, usize)> = ds.iter().map(|d| (d.file.as_str(), d.line)).collect();
+        assert_eq!(files, vec![("a.obx", 1), ("a.obx", 2), ("b.obx", 1)]);
+    }
+
+    #[test]
+    fn col_of_locates_subslices() {
+        let raw = "alpha beta gamma";
+        let sub = &raw[6..10];
+        assert_eq!(sub, "beta");
+        assert_eq!(col_of(raw, sub), 7);
+        assert_eq!(col_of(raw, "unrelated"), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Resource guards: size/memory bounds on the combinatorial kernels.
+//!
+//! PR 2's [`crate::Interrupt`] bounds *time* (deadline, cancellation). This
+//! module bounds *space*: PerfectRef rewritings grow exponentially in the
+//! worst case, the restricted chase can materialize unboundedly many
+//! facts, and a dense neighbourhood makes border BFS layers explode. A
+//! [`ResourceGuard`] carries one cumulative counter per guarded dimension
+//! plus an approximate byte estimate; kernels *charge* it where they
+//! allocate, and a failed charge tells that kernel to degrade (stop
+//! admitting rewritings, stop chasing, stop growing the border) while the
+//! search layer folds the first trip into the run's final report.
+//!
+//! Semantics vs. [`crate::Interrupt`]: a tripped guard does **not** flip
+//! `is_triggered` — only the kernel whose dimension tripped degrades;
+//! time-based interruption still stops everything. Degradation is
+//! **per-dimension**: a border trip does not fail rewrite charges, so the
+//! search keeps scoring candidates over the truncated borders (the one
+//! exception is [`GuardKind::AllocBytes`], which fails every charge,
+//! because the byte estimate protects memory shared by all kernels).
+//! Counters are cumulative across the whole run (all candidates, all
+//! tuples), because the resource being protected is shared across them.
+
+// Guards run inside every kernel's allocation path: they must be
+// panic-free themselves.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The guarded dimensions, one per blow-up kernel plus the byte estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardKind {
+    /// Distinct CQs admitted by PerfectRef across the run.
+    RewriteDisjuncts,
+    /// Facts materialized by the restricted chase across the run.
+    ChaseFacts,
+    /// Atoms collected into border layers across the run.
+    BorderAtoms,
+    /// Approximate bytes attributed to guarded allocations.
+    AllocBytes,
+}
+
+impl fmt::Display for GuardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardKind::RewriteDisjuncts => write!(f, "rewrite disjuncts"),
+            GuardKind::ChaseFacts => write!(f, "chase facts"),
+            GuardKind::BorderAtoms => write!(f, "border atoms"),
+            GuardKind::AllocBytes => write!(f, "estimated bytes"),
+        }
+    }
+}
+
+/// Per-dimension limits; `None` leaves that dimension unbounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardLimits {
+    /// Cap on total rewritten disjuncts admitted by PerfectRef.
+    pub max_rewrite_disjuncts: Option<usize>,
+    /// Cap on total facts materialized by the chase.
+    pub max_chase_facts: Option<usize>,
+    /// Cap on total atoms across all border layers.
+    pub max_border_atoms: Option<usize>,
+    /// Cap on the approximate byte estimate across all dimensions.
+    pub max_alloc_bytes: Option<usize>,
+}
+
+impl GuardLimits {
+    /// No limits: a guard built from this never trips.
+    pub const fn unlimited() -> Self {
+        Self {
+            max_rewrite_disjuncts: None,
+            max_chase_facts: None,
+            max_border_atoms: None,
+            max_alloc_bytes: None,
+        }
+    }
+
+    /// Sets the rewrite-disjunct cap.
+    pub fn with_max_rewrite_disjuncts(mut self, cap: usize) -> Self {
+        self.max_rewrite_disjuncts = Some(cap);
+        self
+    }
+
+    /// Sets the chase-fact cap.
+    pub fn with_max_chase_facts(mut self, cap: usize) -> Self {
+        self.max_chase_facts = Some(cap);
+        self
+    }
+
+    /// Sets the border-atom cap.
+    pub fn with_max_border_atoms(mut self, cap: usize) -> Self {
+        self.max_border_atoms = Some(cap);
+        self
+    }
+
+    /// Sets the approximate allocation cap in bytes.
+    pub fn with_max_alloc_bytes(mut self, cap: usize) -> Self {
+        self.max_alloc_bytes = Some(cap);
+        self
+    }
+
+    /// Whether every dimension is unbounded.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::unlimited()
+    }
+
+    fn limit_of(&self, kind: GuardKind) -> Option<usize> {
+        match kind {
+            GuardKind::RewriteDisjuncts => self.max_rewrite_disjuncts,
+            GuardKind::ChaseFacts => self.max_chase_facts,
+            GuardKind::BorderAtoms => self.max_border_atoms,
+            GuardKind::AllocBytes => self.max_alloc_bytes,
+        }
+    }
+}
+
+/// The record of a fired guard: which dimension, its limit, and the count
+/// that breached it. First trip wins; later charges keep failing but do
+/// not overwrite it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardTrip {
+    /// The dimension that fired.
+    pub kind: GuardKind,
+    /// The configured limit.
+    pub limit: usize,
+    /// The cumulative count observed when the limit was breached.
+    pub observed: usize,
+}
+
+impl fmt::Display for GuardTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reached {} (limit {})",
+            self.kind, self.observed, self.limit
+        )
+    }
+}
+
+/// Cumulative resource accounting for one run, shared by all kernels via
+/// `Arc`. See the module docs for the charge/degrade protocol.
+#[derive(Debug, Default)]
+pub struct ResourceGuard {
+    limits: GuardLimits,
+    rewrite_disjuncts: AtomicUsize,
+    chase_facts: AtomicUsize,
+    border_atoms: AtomicUsize,
+    alloc_bytes: AtomicUsize,
+    peak_alloc_bytes: AtomicUsize,
+    tripped: AtomicBool,
+    trip: Mutex<Option<GuardTrip>>,
+}
+
+impl ResourceGuard {
+    /// A guard enforcing `limits` (all counters start at zero).
+    pub fn new(limits: GuardLimits) -> Self {
+        Self {
+            limits,
+            ..Self::default()
+        }
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> &GuardLimits {
+        &self.limits
+    }
+
+    /// Charges `units` of `kind` plus `approx_bytes` to the byte estimate.
+    /// Returns `false` — and records the first [`GuardTrip`] — when this
+    /// dimension's limit or the byte limit is (or already was) breached;
+    /// the caller must then degrade. Other dimensions tripping does *not*
+    /// fail this charge (degradation is per-kernel; see module docs).
+    /// Counting is monotone: a failed charge still updates the counters,
+    /// so `observed` reflects what was actually reached.
+    pub fn charge(&self, kind: GuardKind, units: usize, approx_bytes: usize) -> bool {
+        let count = self.counter_of(kind).fetch_add(units, Ordering::Relaxed) + units;
+        let bytes = self.alloc_bytes.fetch_add(approx_bytes, Ordering::Relaxed) + approx_bytes;
+        self.peak_alloc_bytes.fetch_max(bytes, Ordering::Relaxed);
+        if let Some(limit) = self.limits.limit_of(kind) {
+            if count > limit {
+                self.record_trip(kind, limit, count);
+                return false;
+            }
+        }
+        if let Some(limit) = self.limits.max_alloc_bytes {
+            if bytes > limit {
+                self.record_trip(GuardKind::AllocBytes, limit, bytes);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `approx_bytes` to the estimate (e.g. a freed scratch
+    /// buffer). The peak is unaffected.
+    pub fn release_bytes(&self, approx_bytes: usize) {
+        let _ = self
+            .alloc_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(approx_bytes))
+            });
+    }
+
+    /// Whether any limit has been breached.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Whether charges of `kind` would fail right now: its own cumulative
+    /// count or the byte estimate is past its limit. Kernels use this to
+    /// skip work cheaply once their dimension has degraded.
+    pub fn is_exhausted(&self, kind: GuardKind) -> bool {
+        let count_over = self
+            .limits
+            .limit_of(kind)
+            .is_some_and(|l| self.counter_of(kind).load(Ordering::Relaxed) > l);
+        let bytes_over = self
+            .limits
+            .max_alloc_bytes
+            .is_some_and(|l| self.alloc_bytes.load(Ordering::Relaxed) > l);
+        count_over || bytes_over
+    }
+
+    /// The first recorded trip, if any.
+    pub fn trip(&self) -> Option<GuardTrip> {
+        *self.trip.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The cumulative count for `kind`.
+    pub fn count(&self, kind: GuardKind) -> usize {
+        self.counter_of(kind).load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark of the approximate byte estimate.
+    pub fn peak_alloc_bytes(&self) -> usize {
+        self.peak_alloc_bytes.load(Ordering::Relaxed)
+    }
+
+    fn counter_of(&self, kind: GuardKind) -> &AtomicUsize {
+        match kind {
+            GuardKind::RewriteDisjuncts => &self.rewrite_disjuncts,
+            GuardKind::ChaseFacts => &self.chase_facts,
+            GuardKind::BorderAtoms => &self.border_atoms,
+            GuardKind::AllocBytes => &self.alloc_bytes,
+        }
+    }
+
+    fn record_trip(&self, kind: GuardKind, limit: usize, observed: usize) {
+        self.tripped.store(true, Ordering::Relaxed);
+        let mut slot = self.trip.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(GuardTrip {
+                kind,
+                limit,
+                observed,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = ResourceGuard::new(GuardLimits::unlimited());
+        assert!(g.limits().is_unlimited());
+        for _ in 0..1000 {
+            assert!(g.charge(GuardKind::RewriteDisjuncts, 10, 100));
+        }
+        assert!(!g.is_tripped());
+        assert!(g.trip().is_none());
+        assert_eq!(g.count(GuardKind::RewriteDisjuncts), 10_000);
+        assert_eq!(g.peak_alloc_bytes(), 100_000);
+    }
+
+    #[test]
+    fn first_trip_wins_and_degradation_is_per_dimension() {
+        let limits = GuardLimits::unlimited()
+            .with_max_chase_facts(5)
+            .with_max_border_atoms(3);
+        let g = ResourceGuard::new(limits);
+        assert!(g.charge(GuardKind::ChaseFacts, 5, 0));
+        assert!(!g.charge(GuardKind::ChaseFacts, 1, 0));
+        let trip = g.trip().unwrap();
+        assert_eq!(trip.kind, GuardKind::ChaseFacts);
+        assert_eq!(trip.limit, 5);
+        assert_eq!(trip.observed, 6);
+        assert!(g.is_exhausted(GuardKind::ChaseFacts));
+        // Other dimensions are unaffected: the search keeps working on
+        // whatever the degraded kernel already materialised.
+        assert!(!g.is_exhausted(GuardKind::BorderAtoms));
+        assert!(g.charge(GuardKind::RewriteDisjuncts, 1, 0));
+        // A second dimension breaching does not overwrite the record.
+        assert!(!g.charge(GuardKind::BorderAtoms, 4, 0));
+        assert_eq!(g.trip().unwrap().kind, GuardKind::ChaseFacts);
+        assert!(g.is_tripped());
+    }
+
+    #[test]
+    fn byte_estimate_trips_and_tracks_peak() {
+        let g = ResourceGuard::new(GuardLimits::unlimited().with_max_alloc_bytes(1000));
+        assert!(g.charge(GuardKind::RewriteDisjuncts, 1, 600));
+        g.release_bytes(500);
+        assert!(g.charge(GuardKind::RewriteDisjuncts, 1, 600));
+        assert_eq!(g.peak_alloc_bytes(), 700);
+        assert!(!g.charge(GuardKind::RewriteDisjuncts, 1, 600));
+        assert_eq!(g.trip().unwrap().kind, GuardKind::AllocBytes);
+        assert!(format!("{}", g.trip().unwrap()).contains("estimated bytes"));
+    }
+
+    #[test]
+    fn display_names_the_dimension_and_counts() {
+        let t = GuardTrip {
+            kind: GuardKind::RewriteDisjuncts,
+            limit: 20,
+            observed: 21,
+        };
+        assert_eq!(t.to_string(), "rewrite disjuncts reached 21 (limit 20)");
+    }
+}

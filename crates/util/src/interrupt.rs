@@ -17,16 +17,20 @@
 // every kernel's hot loop.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::guard::ResourceGuard;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// A deadline and/or a shared cancellation flag, checked cooperatively by
-/// long-running kernels. `Clone` is cheap and shares the flag.
+/// long-running kernels, plus an optional [`ResourceGuard`] the kernels
+/// charge where they allocate. `Clone` is cheap and shares the flag and
+/// the guard.
 #[derive(Debug, Clone, Default)]
 pub struct Interrupt {
     cancelled: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
+    guard: Option<Arc<ResourceGuard>>,
 }
 
 impl Interrupt {
@@ -35,6 +39,7 @@ impl Interrupt {
         Self {
             cancelled: None,
             deadline: None,
+            guard: None,
         }
     }
 
@@ -61,10 +66,26 @@ impl Interrupt {
         self.deadline
     }
 
-    /// Whether nothing can ever trigger this interrupt. Kernels may use
-    /// this to skip per-iteration checks wholesale.
+    /// Attaches a [`ResourceGuard`] for kernels to charge. A tripped guard
+    /// does **not** flip [`Interrupt::is_triggered`]: only the kernel whose
+    /// dimension tripped degrades (see the `guard` module docs), while the
+    /// search layer reports the trip at its next budget poll.
+    pub fn with_guard(mut self, guard: Arc<ResourceGuard>) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// The shared resource guard, if any. Kernels call
+    /// [`ResourceGuard::charge`] through this where they allocate.
+    pub fn guard(&self) -> Option<&Arc<ResourceGuard>> {
+        self.guard.as_ref()
+    }
+
+    /// Whether nothing can ever trigger this interrupt *and* no resource
+    /// guard needs charging. Kernels may use this to skip per-iteration
+    /// checks wholesale.
     pub fn is_inert(&self) -> bool {
-        self.cancelled.is_none() && self.deadline.is_none()
+        self.cancelled.is_none() && self.deadline.is_none() && self.guard.is_none()
     }
 
     /// Whether the interrupt has fired: the flag is set or the deadline has
@@ -104,6 +125,26 @@ mod tests {
         assert!(!i.is_triggered() && !j.is_triggered());
         flag.store(true, Ordering::Relaxed);
         assert!(i.is_triggered() && j.is_triggered());
+    }
+
+    #[test]
+    fn guard_rides_along_without_triggering() {
+        use crate::guard::{GuardKind, GuardLimits, ResourceGuard};
+        let g = Arc::new(ResourceGuard::new(
+            GuardLimits::unlimited().with_max_border_atoms(1),
+        ));
+        let i = Interrupt::none().with_guard(Arc::clone(&g));
+        assert!(!i.is_inert(), "a guard needs charging");
+        assert!(!i.is_triggered());
+        let charged = i
+            .guard()
+            .map(|g| g.charge(GuardKind::BorderAtoms, 2, 0))
+            .unwrap_or(true);
+        assert!(!charged, "over-limit charge fails");
+        // Tripped guard degrades its kernel only; time interruption is
+        // separate.
+        assert!(!i.is_triggered());
+        assert!(g.is_tripped());
     }
 
     #[test]

@@ -11,16 +11,24 @@
 //!   harness to render paper-style tables;
 //! * [`fixpoint`] — a helper for running saturation loops to a fixed point;
 //! * [`interrupt`] — a cooperative deadline/cancellation signal checked by
-//!   the workspace's long-running kernels (rewriting, chase, border BFS).
+//!   the workspace's long-running kernels (rewriting, chase, border BFS);
+//! * [`guard`] — cumulative size/memory guards charged by those kernels
+//!   (max rewrite disjuncts, chase facts, border atoms, byte estimate);
+//! * [`diag`] — structured, positioned ingestion diagnostics with a
+//!   source-line caret renderer.
 
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod fixpoint;
+pub mod guard;
 pub mod hash;
 pub mod intern;
 pub mod interrupt;
 pub mod table;
 
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use guard::{GuardKind, GuardLimits, GuardTrip, ResourceGuard};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use interrupt::Interrupt;

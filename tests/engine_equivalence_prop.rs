@@ -16,7 +16,6 @@ use rand::SeedableRng;
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24, // each case runs several queries over a fresh system
-        ..ProptestConfig::default()
     })]
 
     #[test]

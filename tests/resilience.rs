@@ -262,7 +262,7 @@ fn transient_budget_failures_are_not_memoized() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// Cancelling (via an eval cap standing in for "cancel after k evals" —
     /// on the sequential scoring path the two stop identically, at the

@@ -69,7 +69,7 @@ fn scenario_params(seed: u64) -> RandomParams {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 8 })]
 
     /// On randomized scenarios (well past the ≥3 required), engine stats —
     /// singleton and OR-composed — are identical to the uncached path.
