@@ -9,6 +9,7 @@
 //! [`Criterion::Custom`].
 
 use crate::matcher::MatchStats;
+use crate::prune::{Interval, RefineDir};
 use std::fmt;
 use std::sync::Arc;
 
@@ -90,6 +91,39 @@ impl Criterion {
                 }
             }
             Criterion::Custom { f, .. } => f(ctx),
+        }
+    }
+
+    /// The range of values `f_δ` can take over every `dir`-refinement
+    /// descendant of a parent with context `parent`.
+    ///
+    /// The built-ins follow from refinement monotonicity: specializing can
+    /// only *lose* matches (positive coverage can only drop, negative
+    /// avoidance can only rise), generalizing can only *gain* them. δ5/δ6
+    /// stay at the full `[0, 1]` codomain — canonicalization can merge
+    /// duplicate atoms, so a "specialized" child may end up with *fewer*
+    /// atoms than its parent, and any tighter atom-count bound would be
+    /// inadmissible. [`Criterion::Custom`] has no structure the engine can
+    /// trust, so it yields [`Interval::UNKNOWN`], which disables bound
+    /// pruning for any scoring that uses it (delta evaluation still
+    /// applies).
+    pub fn range_under(&self, dir: RefineDir, parent: &CriterionCtx<'_>) -> Interval {
+        let s = parent.stats;
+        match (self, dir) {
+            (Criterion::PosCoverage | Criterion::PosMissPenalty, RefineDir::Specialize) => {
+                Interval::new(0.0, s.pos_fraction())
+            }
+            (Criterion::PosCoverage | Criterion::PosMissPenalty, RefineDir::Generalize) => {
+                Interval::new(s.pos_fraction(), 1.0)
+            }
+            (Criterion::NegAvoidance | Criterion::NegHitPenalty, RefineDir::Specialize) => {
+                Interval::new(1.0 - s.neg_fraction(), 1.0)
+            }
+            (Criterion::NegAvoidance | Criterion::NegHitPenalty, RefineDir::Generalize) => {
+                Interval::new(0.0, 1.0 - s.neg_fraction())
+            }
+            (Criterion::AtomParsimony | Criterion::DisjunctParsimony, _) => Interval::new(0.0, 1.0),
+            (Criterion::Custom { .. }, _) => Interval::UNKNOWN,
         }
     }
 }
@@ -188,5 +222,72 @@ mod tests {
         assert_eq!(perfect.value(&ctx(&s, 2, 1)), 1.0);
         assert_eq!(perfect.name(), "perfect-separation");
         assert!(format!("{perfect:?}").contains("perfect-separation"));
+    }
+
+    #[test]
+    fn range_under_contains_every_reachable_child_value() {
+        let parent = MatchStats {
+            pos_matched: 3,
+            pos_total: 4,
+            neg_matched: 1,
+            neg_total: 2,
+        };
+        let pctx = ctx(&parent, 2, 1);
+        let built_ins = [
+            Criterion::PosCoverage,
+            Criterion::PosMissPenalty,
+            Criterion::NegAvoidance,
+            Criterion::NegHitPenalty,
+            Criterion::AtomParsimony,
+            Criterion::DisjunctParsimony,
+        ];
+        // Specialize children: matches are any subset of the parent's.
+        for pos in 0..=parent.pos_matched {
+            for neg in 0..=parent.neg_matched {
+                let child = MatchStats {
+                    pos_matched: pos,
+                    neg_matched: neg,
+                    ..parent
+                };
+                for atoms in 1..=4 {
+                    let cctx = ctx(&child, atoms, 1);
+                    for c in &built_ins {
+                        let r = c.range_under(RefineDir::Specialize, &pctx);
+                        assert!(
+                            r.contains(c.value(&cctx)),
+                            "{} value {} outside [{}, {}]",
+                            c.name(),
+                            c.value(&cctx),
+                            r.lo,
+                            r.hi
+                        );
+                    }
+                }
+            }
+        }
+        // Generalize children: matches are any superset.
+        for pos in parent.pos_matched..=parent.pos_total {
+            for neg in parent.neg_matched..=parent.neg_total {
+                let child = MatchStats {
+                    pos_matched: pos,
+                    neg_matched: neg,
+                    ..parent
+                };
+                let cctx = ctx(&child, 1, 1);
+                for c in &built_ins {
+                    let r = c.range_under(RefineDir::Generalize, &pctx);
+                    assert!(r.contains(c.value(&cctx)), "{} generalize", c.name());
+                }
+            }
+        }
+        // Custom criteria carry no structure: the range is unbounded.
+        let custom = Criterion::Custom {
+            name: "opaque",
+            f: Arc::new(|_| 0.5),
+        };
+        assert_eq!(
+            custom.range_under(RefineDir::Specialize, &pctx),
+            Interval::UNKNOWN
+        );
     }
 }

@@ -29,6 +29,18 @@
 //!    parked between batches. Work is distributed dynamically: every
 //!    participant pulls candidates off a shared atomic cursor, so a slow
 //!    candidate no longer serializes a statically-assigned chunk.
+//! 4. **Refinement monotonicity** (`crate::prune`). Candidates arriving
+//!    with a [`ParentHandle`] — the canonical key and stats of the query
+//!    they were refined from — are **delta-evaluated**: only the tuples
+//!    whose match status can differ from the parent's are run through the
+//!    evaluator ([`PreparedLabels::match_bits_restricted`]). The same
+//!    provenance yields an admissible score bound per candidate, and
+//!    [`ScoringEngine::score_batch_planned`] skips compile + eval outright
+//!    for candidates provably outside both the caller's selection window
+//!    and its ranked pool. Both paths are exact: output is byte-identical
+//!    to full evaluation, enforced by the equivalence property suite.
+//!    Toggled by `OBX_INCREMENTAL` (default on) or
+//!    [`ScoringEngine::with_config`].
 //!
 //! The engine is shared across [`ExplainTask::with_limits`] clones via
 //! `Arc`, so a meta-strategy's base run warms the cache for its assembly
@@ -37,8 +49,13 @@
 //! [`GreedyUcq`]: crate::strategies::GreedyUcq
 //! [`ExplainTask::with_limits`]: crate::explain::ExplainTask::with_limits
 
+// The engine sits under every strategy's hot loop and inside the worker
+// pool; stray unwinds here would defeat the quarantine contract.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::explain::{ExplainTask, Explanation};
 use crate::matcher::{MatchBits, MatchStats, PreparedLabels};
+use crate::prune::ParentHandle;
 use obx_obdm::{CompiledQuery, ObdmError};
 use obx_query::{OntoCq, OntoUcq};
 use obx_util::{FxHashMap, Interrupt};
@@ -139,6 +156,24 @@ pub struct BatchOutcome {
     pub explanations: Vec<Explanation>,
     /// Candidates dropped by panic or permanent compile failure.
     pub quarantined: usize,
+    /// Candidates skipped by monotone bound pruning: their admissible
+    /// optimistic score bound proved they cannot enter the caller's
+    /// selection window or ranked pool, so they were never compiled or
+    /// evaluated. Always 0 on the non-incremental path.
+    pub pruned: usize,
+}
+
+/// A batch candidate with optional refinement provenance. Candidates with
+/// a parent are eligible for delta evaluation and bound pruning; those
+/// without (search roots, seeds, candidates whose parent was a union) are
+/// scored in full.
+#[derive(Debug, Clone)]
+pub struct PlannedCq {
+    /// The candidate conjunctive query.
+    pub cq: OntoCq,
+    /// The query this candidate was refined from, when it is a single
+    /// disjunct whose entry the engine may already hold.
+    pub parent: Option<ParentHandle>,
 }
 
 /// A memoized disjunct: its compilation and its match bitset.
@@ -160,7 +195,9 @@ pub struct ScoringEngine {
     hits: AtomicU64,
     misses: AtomicU64,
     evals: AtomicU64,
+    evals_saved: AtomicU64,
     threads: usize,
+    incremental: bool,
     pool: OnceLock<WorkerPool>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: fault::FaultState,
@@ -168,9 +205,11 @@ pub struct ScoringEngine {
 
 impl ScoringEngine {
     /// An empty engine. Thread count comes from `OBX_THREADS` when set to
-    /// a positive integer, else from the machine's available parallelism.
+    /// a positive integer, else from the machine's available parallelism;
+    /// the incremental (delta + pruning) path is on unless
+    /// `OBX_INCREMENTAL` disables it.
     pub fn new() -> Self {
-        Self::with_threads(configured_threads())
+        Self::with_config(configured_threads(), configured_incremental())
     }
 
     /// An empty engine scoring batches on exactly `threads` threads
@@ -178,12 +217,27 @@ impl ScoringEngine {
     /// is the injectable path — tests use it instead of mutating the
     /// process-global environment, which races across test threads.
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_config(threads, configured_incremental())
+    }
+
+    /// An empty engine with the environment-configured thread count and
+    /// an explicit incremental toggle — the A/B hook the search bench and
+    /// the equivalence property tests use.
+    pub fn with_incremental(incremental: bool) -> Self {
+        Self::with_config(configured_threads(), incremental)
+    }
+
+    /// The fully injectable constructor: exact thread count (clamped to
+    /// ≥ 1) and incremental toggle, ignoring the environment entirely.
+    pub fn with_config(threads: usize, incremental: bool) -> Self {
         Self {
             cache: RwLock::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evals: AtomicU64::new(0),
+            evals_saved: AtomicU64::new(0),
             threads: threads.max(1),
+            incremental,
             pool: OnceLock::new(),
             #[cfg(any(test, feature = "fault-injection"))]
             fault: fault::FaultState::new(),
@@ -221,9 +275,34 @@ impl ScoringEngine {
         self.evals.load(Ordering::Relaxed)
     }
 
+    /// Whether the incremental path (parent-delta evaluation + bound
+    /// pruning) is enabled on this engine.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Evaluator invocations *avoided* by parent-delta evaluation: for
+    /// each delta-evaluated disjunct, the number of labelled tuples whose
+    /// status was settled by monotonicity instead of the evaluator.
+    pub fn evals_saved(&self) -> u64 {
+        self.evals_saved.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct disjuncts memoized.
     pub fn cache_len(&self) -> usize {
         lock_recover!(self.cache.read()).len()
+    }
+
+    /// The healthy cached entry for a disjunct's canonical form, if any.
+    /// Strategies use this to attach refinement provenance to candidates
+    /// whose parent was already scored (e.g. exhaustive enumeration
+    /// prefixes) without ever triggering compilation.
+    pub fn cached_entry(&self, cq: &OntoCq) -> Option<Arc<DisjunctEntry>> {
+        let key = cq.canonical();
+        match lock_recover!(self.cache.read()).get(&key) {
+            Some(Ok(entry)) => Some(Arc::clone(entry)),
+            _ => None,
+        }
     }
 
     /// The memoized entry for one disjunct, computing it on first sight.
@@ -246,6 +325,27 @@ impl ScoringEngine {
         cq: &OntoCq,
         interrupt: &Interrupt,
     ) -> Result<Arc<DisjunctEntry>, ObdmError> {
+        self.disjunct_with_parent(prepared, cq, interrupt, None)
+    }
+
+    /// [`ScoringEngine::disjunct_interruptible`] with refinement
+    /// provenance: when the incremental path is on and the parent's entry
+    /// is already cached (and healthy), the candidate's bitset is computed
+    /// by **delta evaluation** — only the tuples whose status can differ
+    /// from the parent's go through the evaluator
+    /// ([`PreparedLabels::match_bits_restricted`]). Any other situation
+    /// (no parent, parent not cached, parent's compilation failed,
+    /// incremental off) falls back to full evaluation; the resulting entry
+    /// is identical either way. [`ScoringEngine::eval_calls`] counts only
+    /// tuples actually evaluated, and the remainder accrues to
+    /// [`ScoringEngine::evals_saved`].
+    pub fn disjunct_with_parent(
+        &self,
+        prepared: &PreparedLabels<'_>,
+        cq: &OntoCq,
+        interrupt: &Interrupt,
+        parent: Option<&ParentHandle>,
+    ) -> Result<Arc<DisjunctEntry>, ObdmError> {
         let key = cq.canonical();
         if let Some(slot) = lock_recover!(self.cache.read()).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -254,17 +354,32 @@ impl ScoringEngine {
         self.misses.fetch_add(1, Ordering::Relaxed);
         #[cfg(any(test, feature = "fault-injection"))]
         self.fault.check()?;
+        // Resolve the parent's cached bits before compiling; a missing or
+        // failed parent entry simply means full evaluation.
+        let parent_entry = if self.incremental {
+            parent.and_then(|h| match lock_recover!(self.cache.read()).get(h.key()) {
+                Some(Ok(entry)) => Some((Arc::clone(entry), h.dir())),
+                _ => None,
+            })
+        } else {
+            None
+        };
         // Compute outside any lock: compilation can be slow, and two
         // threads racing on the same fresh key just do duplicate work
         // (rare — batches are deduplicated upstream); first insert wins.
+        let total = prepared.num_pos() + prepared.num_neg();
         let computed: CacheSlot = prepared
             .system()
             .spec()
             .compile_cq_interruptible(&key, interrupt)
             .map(|compiled| {
-                let bits = prepared.match_bits(&compiled);
-                self.evals
-                    .fetch_add((prepared.num_pos() + prepared.num_neg()) as u64, Ordering::Relaxed);
+                let (bits, evaluated) = match &parent_entry {
+                    Some((pe, dir)) => prepared.match_bits_restricted(&compiled, &pe.bits, *dir),
+                    None => (prepared.match_bits(&compiled), total),
+                };
+                self.evals.fetch_add(evaluated as u64, Ordering::Relaxed);
+                self.evals_saved
+                    .fetch_add((total - evaluated) as u64, Ordering::Relaxed);
                 Arc::new(DisjunctEntry { compiled, bits })
             });
         if let Err(e) = &computed {
@@ -346,11 +461,110 @@ impl ScoringEngine {
         task: &ExplainTask<'_>,
         candidates: Vec<OntoCq>,
     ) -> BatchOutcome {
-        let n = candidates.len();
+        let planned = candidates
+            .into_iter()
+            .map(|cq| PlannedCq { cq, parent: None })
+            .collect();
+        self.score_batch_planned(task, planned, usize::MAX, f64::NEG_INFINITY)
+    }
+
+    /// [`ScoringEngine::score_batch_outcome`] over candidates carrying
+    /// refinement provenance, with monotone bound pruning.
+    ///
+    /// `window` is the number of ranked batch candidates downstream
+    /// selection can ever inspect (e.g. the beam's diversity window);
+    /// `pool_floor` is the score a candidate must beat to survive the
+    /// caller's ranked-pool truncation (`-∞` while the pool is unfilled).
+    ///
+    /// The engine scores the `window` candidates with the highest
+    /// admissible bounds first (candidates without provenance have bound
+    /// `+∞` and always score). A remaining candidate is **pruned** —
+    /// skipped before compile and eval — only when its bound is *strictly*
+    /// below both (a) the scores of all `window` candidates of that first
+    /// phase and (b) `pool_floor`: such a candidate provably ranks outside
+    /// every window-sized selection over this batch and outside the pool,
+    /// so dropping it cannot change the output. `window == 0` asserts the
+    /// caller selects on the pool floor alone, disabling guard (a). If the
+    /// budget stops the first phase early, no pruning happens at all — the
+    /// anytime contract is untouched. The bound sort is stable, so on the
+    /// non-incremental path (all bounds `+∞`) candidates score in input
+    /// order, exactly as before.
+    pub fn score_batch_planned(
+        &self,
+        task: &ExplainTask<'_>,
+        planned: Vec<PlannedCq>,
+        window: usize,
+        pool_floor: f64,
+    ) -> BatchOutcome {
+        let n = planned.len();
         let quarantined = AtomicUsize::new(0);
-        let score_one = |cq: &OntoCq| -> Option<Explanation> {
+        let bounds: Vec<f64> = planned
+            .iter()
+            .map(|p| {
+                if self.incremental {
+                    p.parent
+                        .as_ref()
+                        .map_or(f64::INFINITY, |h| h.bound(task.scoring()))
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            bounds[b]
+                .partial_cmp(&bounds[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let cut = n.min(window);
+        let mut explanations = self.score_indices(task, &planned, &order[..cut], &quarantined);
+        // The in-batch guard: once `window` candidates actually scored, a
+        // bound below all of them is outside every window-sized selection.
+        // An underfilled first phase (stop or quarantine) never prunes.
+        let w_guard = if window == 0 {
+            f64::INFINITY
+        } else if explanations.len() >= window {
+            explanations
+                .iter()
+                .map(|e| e.score)
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut pruned = 0usize;
+        let phase2: Vec<usize> = order[cut..]
+            .iter()
+            .copied()
+            .filter(|&i| {
+                if bounds[i] < w_guard && bounds[i] < pool_floor {
+                    pruned += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        explanations.extend(self.score_indices(task, &planned, &phase2, &quarantined));
+        BatchOutcome {
+            explanations,
+            quarantined: quarantined.into_inner(),
+            pruned,
+        }
+    }
+
+    /// Scores `planned[indices]` (in `indices` order) under the
+    /// quarantine + budget contract, sequentially or on the worker pool.
+    fn score_indices(
+        &self,
+        task: &ExplainTask<'_>,
+        planned: &[PlannedCq],
+        indices: &[usize],
+        quarantined: &AtomicUsize,
+    ) -> Vec<Explanation> {
+        let n = indices.len();
+        let score_one = |p: &PlannedCq| -> Option<Explanation> {
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                task.score_cq(cq)
+                task.score_cq_with_parent(&p.cq, p.parent.as_ref())
             }));
             match attempt {
                 Ok(Ok(e)) => Some(e),
@@ -366,13 +580,13 @@ impl ScoringEngine {
                 }
             }
         };
-        let explanations = if n < 4 || self.threads <= 1 {
+        if n < 4 || self.threads <= 1 {
             let mut out = Vec::new();
-            for cq in &candidates {
+            for &i in indices {
                 if task.stop_reason().is_some() {
                     break;
                 }
-                out.extend(score_one(cq));
+                out.extend(score_one(&planned[i]));
             }
             out
         } else {
@@ -381,17 +595,16 @@ impl ScoringEngine {
             let slots: Vec<OnceLock<Option<Explanation>>> =
                 (0..n).map(|_| OnceLock::new()).collect();
             pool.run(&|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n || task.stop_reason().is_some() {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n || task.stop_reason().is_some() {
                     break;
                 }
-                let _ = slots[i].set(score_one(&candidates[i]));
+                let _ = slots[k].set(score_one(&planned[indices[k]]));
             });
-            slots.into_iter().filter_map(|s| s.into_inner().flatten()).collect()
-        };
-        BatchOutcome {
-            explanations,
-            quarantined: quarantined.into_inner(),
+            slots
+                .into_iter()
+                .filter_map(|s| s.into_inner().flatten())
+                .collect()
         }
     }
 }
@@ -409,7 +622,9 @@ impl std::fmt::Debug for ScoringEngine {
             .field("hits", &self.cache_hits())
             .field("misses", &self.cache_misses())
             .field("evals", &self.eval_calls())
+            .field("evals_saved", &self.evals_saved())
             .field("threads", &self.threads)
+            .field("incremental", &self.incremental)
             .finish()
     }
 }
@@ -425,6 +640,21 @@ fn configured_threads() -> usize {
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Incremental toggle: `OBX_INCREMENTAL` set to `0`, `off`, `false`, or
+/// `no` (any case) disables parent-delta evaluation and bound pruning;
+/// anything else — including unset — leaves them on. The kill switch
+/// exists so a suspected pruning bug can be ruled out in the field
+/// without a rebuild.
+fn configured_incremental() -> bool {
+    match std::env::var("OBX_INCREMENTAL") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => true,
+    }
 }
 
 /// A persistent scoped worker pool. Threads are spawned once per engine
@@ -564,10 +794,15 @@ impl WorkerPool {
 
 fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> std::thread::JoinHandle<()> {
     let shared = Arc::clone(shared);
-    std::thread::Builder::new()
+    match std::thread::Builder::new()
         .name(format!("obx-scorer-{i}"))
         .spawn(move || worker_loop(&shared))
-        .expect("spawn scorer thread")
+    {
+        Ok(handle) => handle,
+        // OS-level spawn failure is unrecoverable resource exhaustion;
+        // panicking keeps the message without the linted shorthand.
+        Err(e) => panic!("spawn scorer thread: {e}"),
+    }
 }
 
 fn worker_loop(shared: &PoolShared) {
@@ -604,6 +839,7 @@ impl Drop for WorkerPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::explain::SearchLimits;
@@ -729,6 +965,124 @@ mod tests {
         assert_eq!(ScoringEngine::with_threads(0).threads(), 1, "clamped to >= 1");
         // `new` resolves to *some* positive count whatever the env says.
         assert!(ScoringEngine::new().threads() >= 1);
+    }
+
+    #[test]
+    fn delta_evaluation_saves_evaluator_calls_and_matches_full() {
+        use crate::prune::{ParentHandle, RefineDir};
+        let mut sys = example_3_6_system();
+        let (labels, scoring) = paper_task(&mut sys);
+        // The parent matches only C12 and D50, so a Specialize child needs
+        // just those two of the five labelled tuples re-evaluated.
+        let parent_q = sys.parse_query(r#"q(x) :- likes(x, "Science")"#).unwrap();
+        let child_q = sys
+            .parse_query(r#"q(x) :- likes(x, "Science"), studies(x, y)"#)
+            .unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+
+        let on = Arc::new(ScoringEngine::with_config(1, true));
+        let task_on = task.with_engine(Arc::clone(&on));
+        let parent = task_on.score_cq(&parent_q.disjuncts()[0]).unwrap();
+        let handle = ParentHandle::from_explanation(RefineDir::Specialize, &parent).unwrap();
+        let child = task_on
+            .score_cq_with_parent(&child_q.disjuncts()[0], Some(&handle))
+            .unwrap();
+        assert!(
+            on.evals_saved() > 0,
+            "restricted evaluation must skip the parent's zero bits"
+        );
+
+        let off = Arc::new(ScoringEngine::with_config(1, false));
+        let task_off = task.with_engine(off);
+        let full = task_off.score_cq(&child_q.disjuncts()[0]).unwrap();
+        assert_eq!(child.stats, full.stats);
+        assert_eq!(child.score.to_bits(), full.score.to_bits());
+        assert_eq!(child.criterion_values, full.criterion_values);
+    }
+
+    #[test]
+    fn planned_batches_prune_below_window_and_floor() {
+        use crate::matcher::MatchStats;
+        use crate::prune::{ParentHandle, RefineDir};
+        let mut sys = example_3_6_system();
+        let (labels, scoring) = paper_task(&mut sys);
+        let strong_q = sys.parse_query(r#"q(x) :- likes(x, "Science")"#).unwrap();
+        let weak_q = sys.parse_query("q(x) :- studies(x, y)").unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        // A parent that matched no positives: every Specialize descendant
+        // is bounded by (0 + 1 + 1) / 3 under the paper weighting, well
+        // below the strong candidate's 0.833.
+        let hopeless = ParentHandle::new(
+            RefineDir::Specialize,
+            weak_q.disjuncts()[0].clone(),
+            MatchStats {
+                pos_matched: 0,
+                pos_total: 4,
+                neg_matched: 1,
+                neg_total: 1,
+            },
+            1,
+        );
+        let planned = |parent: Option<ParentHandle>| -> Vec<PlannedCq> {
+            vec![
+                PlannedCq {
+                    cq: strong_q.disjuncts()[0].clone(),
+                    parent: None,
+                },
+                PlannedCq {
+                    cq: weak_q.disjuncts()[0].clone(),
+                    parent,
+                },
+            ]
+        };
+
+        // Incremental engine, window guard 1, floor above every bound: the
+        // bounded candidate is provably outside both and is skipped.
+        let on = Arc::new(ScoringEngine::with_config(1, true));
+        let task_on = task.with_engine(Arc::clone(&on));
+        let outcome =
+            on.score_batch_planned(&task_on, planned(Some(hopeless.clone())), 1, f64::INFINITY);
+        assert_eq!(outcome.pruned, 1);
+        assert_eq!(outcome.explanations.len(), 1);
+        assert!((outcome.explanations[0].score - 0.8333).abs() < 1e-3);
+
+        // Baseline engine: bounds are all +∞, nothing is pruned, and the
+        // stable sort keeps the input order exactly.
+        let off = Arc::new(ScoringEngine::with_config(1, false));
+        let task_off = task.with_engine(Arc::clone(&off));
+        let outcome =
+            off.score_batch_planned(&task_off, planned(Some(hopeless)), 1, f64::INFINITY);
+        assert_eq!(outcome.pruned, 0);
+        let queries: Vec<_> = outcome
+            .explanations
+            .iter()
+            .map(|e| e.query.clone())
+            .collect();
+        assert_eq!(queries, vec![strong_q.clone(), weak_q.clone()]);
+
+        // A -∞ floor disables pruning even under the window guard (the
+        // candidate might still enter the pool).
+        let outcome = on.score_batch_planned(
+            &task_on,
+            vec![PlannedCq {
+                cq: weak_q.disjuncts()[0].clone(),
+                parent: Some(ParentHandle::new(
+                    RefineDir::Specialize,
+                    weak_q.disjuncts()[0].clone(),
+                    MatchStats {
+                        pos_matched: 0,
+                        pos_total: 4,
+                        neg_matched: 1,
+                        neg_total: 1,
+                    },
+                    1,
+                )),
+            }],
+            0,
+            f64::NEG_INFINITY,
+        );
+        assert_eq!(outcome.pruned, 0);
+        assert_eq!(outcome.explanations.len(), 1);
     }
 
     #[test]

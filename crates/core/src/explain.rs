@@ -130,6 +130,11 @@ pub struct ExplainReport {
     /// Carried separately from [`Termination::Degraded`] so budget-stopped
     /// runs still report their losses.
     pub quarantined: usize,
+    /// Candidates skipped by monotone bound pruning (`crate::prune`):
+    /// their admissible score bound proved they cannot appear in this
+    /// ranking, so they were never compiled or evaluated. Informational —
+    /// pruning never changes the explanations above.
+    pub pruned: usize,
 }
 
 impl ExplainReport {
@@ -139,6 +144,7 @@ impl ExplainReport {
             explanations,
             termination: Termination::Complete,
             quarantined: 0,
+            pruned: 0,
         }
     }
 }
@@ -260,6 +266,23 @@ impl<'a> ExplainTask<'a> {
         }
     }
 
+    /// A copy of this task scoring through a different engine (fresh
+    /// cache and counters; borders and budget are shared). This is the
+    /// A/B hook: pair it with [`ScoringEngine::with_config`] to compare
+    /// the incremental path against the baseline on identical borders
+    /// without touching the process environment.
+    pub fn with_engine(&self, engine: Arc<ScoringEngine>) -> ExplainTask<'a> {
+        ExplainTask {
+            prepared: self.prepared.clone(),
+            scoring: self.scoring,
+            limits: self.limits,
+            arity: self.arity,
+            engine,
+            budget: self.budget.clone(),
+            interrupt: self.interrupt.clone(),
+        }
+    }
+
     /// The budget governing this task.
     pub fn budget(&self) -> &SearchBudget {
         &self.budget
@@ -308,7 +331,37 @@ impl<'a> ExplainTask<'a> {
 
     /// Scores a single CQ candidate.
     pub fn score_cq(&self, cq: &OntoCq) -> Result<Explanation, ExplainError> {
-        self.score_ucq(&OntoUcq::from_cq(cq.clone()))
+        self.score_cq_with_parent(cq, None)
+    }
+
+    /// [`ExplainTask::score_cq`] with refinement provenance: when the
+    /// parent disjunct is cached, the candidate's bits come from
+    /// parent-delta evaluation
+    /// ([`ScoringEngine::disjunct_with_parent`]). Field-for-field
+    /// identical to the plain path — only the number of evaluator calls
+    /// differs.
+    pub fn score_cq_with_parent(
+        &self,
+        cq: &OntoCq,
+        parent: Option<&crate::prune::ParentHandle>,
+    ) -> Result<Explanation, ExplainError> {
+        let entry = self
+            .engine
+            .disjunct_with_parent(&self.prepared, cq, &self.interrupt, parent)?;
+        let stats = entry.bits.stats();
+        let ctx = CriterionCtx {
+            stats: &stats,
+            num_atoms: cq.num_atoms(),
+            num_disjuncts: 1,
+        };
+        let criterion_values = self.scoring.values(&ctx);
+        let score = self.scoring.expr().eval(&criterion_values);
+        Ok(Explanation {
+            query: OntoUcq::from_cq(cq.clone()),
+            score,
+            stats,
+            criterion_values,
+        })
     }
 
     /// Evidence for why `query` J-matches the labelled tuple `tuple`: the
@@ -431,12 +484,14 @@ pub(crate) fn finalize_report(
     pool: Vec<Explanation>,
     top_k: usize,
     quarantined: usize,
+    pruned: usize,
 ) -> ExplainReport {
     let explanations = finalize(task, pool, top_k);
     ExplainReport {
         explanations,
         termination: Termination::from_run(task.final_stop(), quarantined),
         quarantined,
+        pruned,
     }
 }
 

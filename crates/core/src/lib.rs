@@ -25,6 +25,10 @@
 //!    through a shared per-task engine: each distinct disjunct is compiled
 //!    and matched once and memoized as a bitset; UCQ statistics are bit
 //!    ORs; batches run on a persistent worker pool (`OBX_THREADS`).
+//!    Refinement children are delta-evaluated against their parent's bits
+//!    and bound-pruned via interval arithmetic over `Z` ([`prune`],
+//!    toggled by `OBX_INCREMENTAL`), returning byte-identical rankings at
+//!    a fraction of the evaluator calls.
 //! 6. **Best-describing search** ([`explain`], [`strategies`]) —
 //!    Definition 3.7 asks for a query maximizing the Z-score in a language
 //!    `L_O`; four strategies are provided (exhaustive enumeration,
@@ -80,15 +84,17 @@ pub mod explain;
 pub mod labels;
 pub mod matcher;
 pub mod paper_example;
+pub mod prune;
 pub mod score;
 pub mod strategies;
 pub mod validate;
 
 pub use budget::{CancelToken, SearchBudget, Stop, Termination};
 pub use criteria::{Criterion, CriterionCtx};
-pub use engine::{BatchOutcome, DisjunctEntry, ScoringEngine};
+pub use engine::{BatchOutcome, DisjunctEntry, PlannedCq, ScoringEngine};
 pub use explain::{ExplainError, ExplainReport, ExplainTask, Explanation, SearchLimits, Strategy};
 pub use labels::{Labels, LabelsError};
 pub use matcher::{MatchBits, MatchStats, PreparedLabels};
+pub use prune::{Interval, ParentHandle, RefineDir};
 pub use score::{ScoreExpr, Scoring};
 pub use validate::validate_scenario;

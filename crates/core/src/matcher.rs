@@ -139,6 +139,27 @@ impl MatchBits {
         }
     }
 
+    /// Number of matched tuples (positives and negatives together).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every tuple matched here is also matched by `other` — the
+    /// refinement-monotonicity invariant (`crate::prune`): a
+    /// specialization child's bits are a subset of its parent's, a
+    /// generalization child's a superset. Panics when the shapes differ.
+    pub fn is_subset_of(&self, other: &MatchBits) -> bool {
+        assert_eq!(
+            (self.num_pos, self.num_neg),
+            (other.num_pos, other.num_neg),
+            "cannot compare match bitsets of different label sets"
+        );
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(w, o)| w & !o == 0)
+    }
+
     /// The confusion counts: popcount of the positive region and of the
     /// negative region.
     pub fn stats(&self) -> MatchStats {
@@ -277,6 +298,52 @@ impl<'a> PreparedLabels<'a> {
             }
         }
         bits
+    }
+
+    /// Parent-delta variant of [`PreparedLabels::match_bits`]: exploits
+    /// refinement monotonicity (`crate::prune`) to evaluate only the
+    /// tuples whose match status can differ from the parent's.
+    ///
+    /// * [`RefineDir::Specialize`] — the child's matches are a subset of
+    ///   `parent`'s, so only the parent's **set** bits are evaluated; the
+    ///   rest stay zero.
+    /// * [`RefineDir::Generalize`] — the child's matches are a superset,
+    ///   so the parent's set bits are inherited and only its **zero** bits
+    ///   are evaluated.
+    ///
+    /// Returns the bits plus the number of evaluator invocations actually
+    /// made (≤ the label count; the difference is the work saved). The
+    /// result is identical to `match_bits(compiled)` whenever `parent` is
+    /// the bitset of a query of which `compiled` is a `dir`-refinement on
+    /// these same borders. Panics when `parent`'s shape differs from λ's.
+    pub fn match_bits_restricted(
+        &self,
+        compiled: &CompiledQuery,
+        parent: &MatchBits,
+        dir: crate::prune::RefineDir,
+    ) -> (MatchBits, usize) {
+        assert_eq!(
+            (parent.num_pos, parent.num_neg),
+            (self.pos.len(), self.neg.len()),
+            "parent bitset shaped for a different label set"
+        );
+        let (mut bits, eval_when) = match dir {
+            crate::prune::RefineDir::Specialize => {
+                (MatchBits::empty(self.pos.len(), self.neg.len()), true)
+            }
+            crate::prune::RefineDir::Generalize => (parent.clone(), false),
+        };
+        let mut evaluated = 0usize;
+        for (idx, (t, b)) in self.pos.iter().chain(self.neg.iter()).enumerate() {
+            if parent.get(idx) != eval_when {
+                continue;
+            }
+            evaluated += 1;
+            if self.matches(compiled, t, b) {
+                bits.set(idx);
+            }
+        }
+        (bits, evaluated)
     }
 
     /// Compiles an ontology UCQ and computes its stats in one call.
@@ -419,6 +486,49 @@ mod tests {
         assert_eq!((se.pos_matched, se.neg_matched), (1, 1));
         assert_eq!(e.len(), 66);
         assert!(MatchBits::empty(0, 0).is_empty());
+    }
+
+    #[test]
+    fn subset_and_popcount_helpers() {
+        let mut a = MatchBits::empty(70, 5);
+        let mut b = MatchBits::empty(70, 5);
+        for idx in [0, 63, 64, 74] {
+            b.set(idx);
+        }
+        a.set(63);
+        a.set(74);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert_eq!(a.count_ones(), 2);
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn restricted_match_bits_equal_full_evaluation() {
+        use crate::prune::RefineDir;
+        let mut sys = example_3_6_system();
+        let labels = paper_labels(&mut sys);
+        // Parent: studies(x, y). Specialization child: studies(x, "Math").
+        let parent_q = sys.parse_query("q(x) :- studies(x, y)").unwrap();
+        let child_q = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
+        let pc = sys.spec().compile(&parent_q).unwrap();
+        let cc = sys.spec().compile(&child_q).unwrap();
+        let prepared = PreparedLabels::new(&sys, &labels, 2);
+        let parent_bits = prepared.match_bits(&pc);
+        let full = prepared.match_bits(&cc);
+        let (restricted, evaluated) =
+            prepared.match_bits_restricted(&cc, &parent_bits, RefineDir::Specialize);
+        assert_eq!(restricted, full);
+        assert_eq!(evaluated, parent_bits.count_ones());
+        assert!(full.is_subset_of(&parent_bits));
+        // Dually: generalizing the child back to the parent evaluates only
+        // the child's zero bits and inherits the rest.
+        let child_bits = full;
+        let (up, up_evaluated) =
+            prepared.match_bits_restricted(&pc, &child_bits, RefineDir::Generalize);
+        assert_eq!(up, parent_bits);
+        assert_eq!(up_evaluated, child_bits.len() - child_bits.count_ones());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! constructor.
 
 use crate::criteria::{Criterion, CriterionCtx};
+use crate::prune::{Interval, RefineDir};
 use std::fmt;
 
 /// An arithmetic expression over criterion variables `z_δ`.
@@ -61,6 +62,41 @@ impl ScoreExpr {
                 .iter()
                 .map(|e| e.eval(values))
                 .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Interval extension of [`ScoreExpr::eval`]: with `ranges[i]`
+    /// enclosing every value `Var(i)` can take, the result encloses every
+    /// value the expression can take. Shares `eval`'s conventions (a zero
+    /// denominator yields zero; empty `Min`/`Max` fold from ±∞), so the
+    /// enclosure is sound for the engine's admissible bound pruning. `Z`
+    /// itself need not be monotone in any criterion — interval arithmetic
+    /// needs no such assumption.
+    ///
+    /// # Panics
+    /// Panics if a `Var` index is out of range (a mis-built [`Scoring`]).
+    pub fn eval_interval(&self, ranges: &[Interval]) -> Interval {
+        match self {
+            ScoreExpr::Var(i) => ranges[*i],
+            ScoreExpr::Const(k) => Interval::point(*k),
+            ScoreExpr::Sum(es) => es
+                .iter()
+                .map(|e| e.eval_interval(ranges))
+                .fold(Interval::point(0.0), Interval::add),
+            ScoreExpr::Product(es) => es
+                .iter()
+                .map(|e| e.eval_interval(ranges))
+                .fold(Interval::point(1.0), Interval::mul),
+            ScoreExpr::Scale(k, e) => e.eval_interval(ranges).scale(*k),
+            ScoreExpr::Div(a, b) => a.eval_interval(ranges).div(b.eval_interval(ranges)),
+            ScoreExpr::Min(es) => es
+                .iter()
+                .map(|e| e.eval_interval(ranges))
+                .fold(Interval::point(f64::INFINITY), Interval::min_with),
+            ScoreExpr::Max(es) => es
+                .iter()
+                .map(|e| e.eval_interval(ranges))
+                .fold(Interval::point(f64::NEG_INFINITY), Interval::max_with),
         }
     }
 
@@ -145,6 +181,26 @@ impl Scoring {
     /// The Z-score `Z_F(q)`.
     pub fn score(&self, ctx: &CriterionCtx<'_>) -> f64 {
         self.expr.eval(&self.values(ctx))
+    }
+
+    /// The enclosure of `Z` over per-criterion value ranges (one per
+    /// criterion, in the criteria's order).
+    pub fn range(&self, ranges: &[Interval]) -> Interval {
+        self.expr.eval_interval(ranges)
+    }
+
+    /// The best Z-score any `dir`-refinement descendant of a parent with
+    /// context `parent` can reach. Admissible upper bound: combining
+    /// [`Criterion::range_under`] per criterion with
+    /// [`ScoreExpr::eval_interval`] over `Z`. `+∞` (never prunes) whenever
+    /// a [`Criterion::Custom`] appears in the criteria.
+    pub fn optimistic_bound(&self, dir: RefineDir, parent: &CriterionCtx<'_>) -> f64 {
+        let ranges: Vec<Interval> = self
+            .criteria
+            .iter()
+            .map(|c| c.range_under(dir, parent))
+            .collect();
+        self.expr.eval_interval(&ranges).hi
     }
 }
 
@@ -273,5 +329,96 @@ mod tests {
     fn display_lists_criteria() {
         let z = Scoring::paper_weighted(1.0, 1.0, 1.0);
         assert_eq!(format!("{z}"), "Z over {δ1, δ4, δ5}");
+    }
+
+    #[test]
+    fn eval_interval_encloses_pointwise_eval() {
+        use crate::prune::Interval;
+        // Exercise every AST node against a grid of points inside the
+        // variable ranges: the interval must contain each point value.
+        let exprs = vec![
+            ScoreExpr::weighted_average(&[3.0, 1.0]),
+            ScoreExpr::Product(vec![ScoreExpr::Var(0), ScoreExpr::Var(1)]),
+            ScoreExpr::Div(Box::new(ScoreExpr::Var(0)), Box::new(ScoreExpr::Var(1))),
+            ScoreExpr::Min(vec![ScoreExpr::Var(0), ScoreExpr::Const(0.4)]),
+            ScoreExpr::Max(vec![ScoreExpr::Var(1), ScoreExpr::Scale(-1.0, Box::new(ScoreExpr::Var(0)))]),
+            ScoreExpr::Sum(vec![
+                ScoreExpr::Var(0),
+                ScoreExpr::Scale(0.5, Box::new(ScoreExpr::Var(1))),
+            ]),
+        ];
+        let r0 = Interval::new(0.1, 0.9);
+        let r1 = Interval::new(0.25, 0.75);
+        for e in &exprs {
+            let enc = e.eval_interval(&[r0, r1]);
+            for i in 0..=8 {
+                for j in 0..=8 {
+                    let v0 = r0.lo + (r0.hi - r0.lo) * i as f64 / 8.0;
+                    let v1 = r1.lo + (r1.hi - r1.lo) * j as f64 / 8.0;
+                    let v = e.eval(&[v0, v1]);
+                    assert!(
+                        enc.contains(v),
+                        "{e:?} at ({v0}, {v1}) = {v} escapes [{}, {}]",
+                        enc.lo,
+                        enc.hi
+                    );
+                }
+            }
+        }
+        // Empty Min/Max keep eval's ±∞ identities.
+        assert_eq!(
+            ScoreExpr::Min(vec![]).eval_interval(&[]),
+            Interval::point(f64::INFINITY)
+        );
+        assert_eq!(
+            ScoreExpr::Max(vec![]).eval_interval(&[]),
+            Interval::point(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn optimistic_bound_dominates_every_descendant_score() {
+        use crate::prune::RefineDir;
+        let parent = MatchStats {
+            pos_matched: 3,
+            pos_total: 5,
+            neg_matched: 2,
+            neg_total: 4,
+        };
+        let pctx = q_ctx(&parent, 2);
+        for scoring in [
+            Scoring::paper_weighted(1.0, 1.0, 1.0),
+            Scoring::paper_weighted(3.0, 1.0, 1.0),
+            Scoring::balanced(),
+            Scoring::accuracy(),
+        ] {
+            let down = scoring.optimistic_bound(RefineDir::Specialize, &pctx);
+            for pos in 0..=parent.pos_matched {
+                for neg in 0..=parent.neg_matched {
+                    for atoms in 1..=4 {
+                        let child = MatchStats { pos_matched: pos, neg_matched: neg, ..parent };
+                        let s = scoring.score(&q_ctx(&child, atoms));
+                        assert!(s <= down + 1e-12, "specialize {s} > bound {down}");
+                    }
+                }
+            }
+            let up = scoring.optimistic_bound(RefineDir::Generalize, &pctx);
+            for pos in parent.pos_matched..=parent.pos_total {
+                for neg in parent.neg_matched..=parent.neg_total {
+                    let child = MatchStats { pos_matched: pos, neg_matched: neg, ..parent };
+                    let s = scoring.score(&q_ctx(&child, 1));
+                    assert!(s <= up + 1e-12, "generalize {s} > bound {up}");
+                }
+            }
+        }
+        // A custom criterion disables the bound entirely.
+        let opaque = Scoring::new(
+            vec![Criterion::Custom { name: "opaque", f: std::sync::Arc::new(|_| 0.5) }],
+            ScoreExpr::Var(0),
+        );
+        assert_eq!(
+            opaque.optimistic_bound(RefineDir::Specialize, &pctx),
+            f64::INFINITY
+        );
     }
 }

@@ -18,10 +18,15 @@
 //! learning literature the paper cites (DL-Learner, DL-FOIL), lifted from
 //! concepts to conjunctive queries.
 
-use super::{dedup_candidates, require_unary, score_batch_outcome, select_beam};
+use super::{
+    beam_window, dedup_candidates, dedup_planned, pool_cap, pool_floor_of, require_unary,
+    score_batch_outcome, score_batch_planned, select_beam,
+};
+use crate::engine::PlannedCq;
 use crate::explain::{
     finalize_report, rank, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
 };
+use crate::prune::{ParentHandle, RefineDir};
 use obx_ontology::{BasicConcept, Role};
 use obx_query::{OntoAtom, OntoCq, Term, VarId};
 use obx_srcdb::Const;
@@ -46,13 +51,19 @@ impl Strategy for BeamSearch {
         let consts = task.prepared().relevant_constants(limits.max_constants);
         let mut seen: FxHashSet<OntoCq> = FxHashSet::default();
         let mut quarantined = 0usize;
+        let mut pruned = 0usize;
+        let cap = pool_cap(&limits);
 
         let starts = dedup_candidates(start_candidates(task));
         seen.extend(starts.iter().cloned());
         let outcome = score_batch_outcome(task, starts);
         quarantined += outcome.quarantined;
         let scored = outcome.explanations;
-        let mut pool: Vec<Explanation> = scored.clone();
+        // Rank the starting pool immediately: the per-round prune floor is
+        // the cap-th pool score, so the pool must be rank-sorted from the
+        // first round on. Starts are single-atom queries, which finalization
+        // cannot lower, so the truncation is loss-free.
+        let mut pool: Vec<Explanation> = rank(scored.clone(), cap);
         let mut beam: Vec<Explanation> = select_beam(scored, limits.beam_width);
 
         for _round in 1..limits.max_rounds {
@@ -63,27 +74,40 @@ impl Strategy for BeamSearch {
             if task.stop_reason().is_some() {
                 break;
             }
-            let mut next: Vec<OntoCq> = Vec::new();
+            let mut next: Vec<PlannedCq> = Vec::new();
             for e in &beam {
+                // Every child below is a one-step specialization of `e`,
+                // so `e`'s match bits over-approximate the child's and its
+                // stats give an admissible optimistic bound (crate::prune).
+                let parent = ParentHandle::from_explanation(RefineDir::Specialize, e);
                 for d in e.query.disjuncts() {
-                    next.extend(refine(task, d, &consts));
+                    for cq in refine(task, d, &consts) {
+                        next.push(PlannedCq {
+                            cq,
+                            parent: parent.clone(),
+                        });
+                    }
                 }
             }
-            let fresh: Vec<OntoCq> = dedup_candidates(next)
-                .into_iter()
-                .filter(|cq| seen.insert(cq.clone()))
-                .collect();
+            let fresh = dedup_planned(next, &mut seen);
             if fresh.is_empty() {
                 break;
             }
-            let outcome = score_batch_outcome(task, fresh);
+            // Floor before extending: a candidate bounded below both the
+            // in-batch beam window and the current pool floor cannot enter
+            // the beam or survive the pool truncation, so skipping it is
+            // output-invariant.
+            let floor = pool_floor_of(&pool, cap);
+            let outcome =
+                score_batch_planned(task, fresh, beam_window(limits.beam_width), floor);
             quarantined += outcome.quarantined;
+            pruned += outcome.pruned;
             let scored = outcome.explanations;
             if scored.is_empty() {
                 break;
             }
             pool.extend(scored.clone());
-            pool = rank(pool, (limits.top_k * 4).max(limits.beam_width * 2));
+            pool = rank(pool, cap);
             beam = select_beam(scored, limits.beam_width);
             if std::env::var_os("OBX_DEBUG_BEAM").is_some() {
                 eprintln!("-- round {_round}: beam --");
@@ -95,7 +119,7 @@ impl Strategy for BeamSearch {
                 }
             }
         }
-        Ok(finalize_report(task, pool, limits.top_k, quarantined))
+        Ok(finalize_report(task, pool, limits.top_k, quarantined, pruned))
     }
 }
 
@@ -128,7 +152,7 @@ fn vars_of(cq: &OntoCq) -> Vec<VarId> {
 }
 
 /// All one-step specializations of `cq`.
-fn refine(task: &ExplainTask<'_>, cq: &OntoCq, consts: &[Const]) -> Vec<OntoCq> {
+pub(super) fn refine(task: &ExplainTask<'_>, cq: &OntoCq, consts: &[Const]) -> Vec<OntoCq> {
     let limits = task.limits();
     let vocab = task.system().spec().tbox().vocab();
     let reasoner = task.system().spec().reasoner();

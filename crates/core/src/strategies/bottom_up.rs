@@ -14,10 +14,15 @@
 //! general generalization), and the only built-in strategy that supports
 //! λ of arbitrary arity.
 
-use super::{dedup_candidates, score_batch_outcome, select_beam};
+use super::{
+    beam_window, dedup_candidates, dedup_planned, pool_cap, pool_floor_of, score_batch_outcome,
+    score_batch_planned, select_beam,
+};
+use crate::engine::PlannedCq;
 use crate::explain::{
     finalize_report, rank, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
 };
+use crate::prune::{ParentHandle, RefineDir};
 use obx_mapping::virtual_abox;
 use obx_ontology::{BasicConcept, Role};
 use obx_query::{OntoAtom, OntoCq, Term, VarId};
@@ -67,10 +72,14 @@ impl Strategy for BottomUpGeneralize {
         let seeds = dedup_candidates(seeds);
         let mut seen: FxHashSet<OntoCq> = seeds.iter().cloned().collect();
         let mut quarantined = 0usize;
+        let mut pruned = 0usize;
+        let cap = pool_cap(&limits);
         let outcome = score_batch_outcome(task, seeds);
         quarantined += outcome.quarantined;
         let scored = outcome.explanations;
-        let mut pool = scored.clone();
+        // Rank-truncate immediately so the per-round prune floor (the
+        // cap-th pool score) is well defined from the first round.
+        let mut pool = rank(scored.clone(), cap);
         let mut beam = select_beam(scored, limits.beam_width);
 
         // Generalization must be able to strip a full-size seed down to a
@@ -84,30 +93,40 @@ impl Strategy for BottomUpGeneralize {
             if task.stop_reason().is_some() {
                 break;
             }
-            let mut next: Vec<OntoCq> = Vec::new();
+            let mut next: Vec<PlannedCq> = Vec::new();
             for e in &beam {
+                // Children are one-step generalizations: the parent's match
+                // bits under-approximate each child's, which is the dual
+                // monotonicity the engine's delta evaluation and bound
+                // pruning need (crate::prune).
+                let parent = ParentHandle::from_explanation(RefineDir::Generalize, e);
                 for d in e.query.disjuncts() {
-                    next.extend(generalize(task, d));
+                    for cq in generalize(task, d) {
+                        next.push(PlannedCq {
+                            cq,
+                            parent: parent.clone(),
+                        });
+                    }
                 }
             }
-            let fresh: Vec<OntoCq> = dedup_candidates(next)
-                .into_iter()
-                .filter(|cq| seen.insert(cq.clone()))
-                .collect();
+            let fresh = dedup_planned(next, &mut seen);
             if fresh.is_empty() {
                 break;
             }
-            let outcome = score_batch_outcome(task, fresh);
+            let floor = pool_floor_of(&pool, cap);
+            let outcome =
+                score_batch_planned(task, fresh, beam_window(limits.beam_width), floor);
             quarantined += outcome.quarantined;
+            pruned += outcome.pruned;
             let scored = outcome.explanations;
             if scored.is_empty() {
                 break;
             }
             pool.extend(scored.clone());
-            pool = rank(pool, (limits.top_k * 4).max(limits.beam_width * 2));
+            pool = rank(pool, cap);
             beam = select_beam(scored, limits.beam_width);
         }
-        Ok(finalize_report(task, pool, limits.top_k, quarantined))
+        Ok(finalize_report(task, pool, limits.top_k, quarantined, pruned))
     }
 }
 
@@ -154,7 +173,7 @@ fn most_specific_query(
 }
 
 /// All one-step generalizations of `cq`.
-fn generalize(task: &ExplainTask<'_>, cq: &OntoCq) -> Vec<OntoCq> {
+pub(super) fn generalize(task: &ExplainTask<'_>, cq: &OntoCq) -> Vec<OntoCq> {
     let reasoner = task.system().spec().reasoner();
     let mut out: Vec<OntoCq> = Vec::new();
     let fresh = VarId(cq.max_var().map_or(0, |m| m + 1));

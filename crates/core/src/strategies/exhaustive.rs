@@ -8,10 +8,12 @@
 //! the answer variable) and the relevant constants of the positive
 //! borders.
 
-use super::{dedup_candidates, require_unary, score_batch_outcome};
+use super::{pool_floor_of, require_unary, score_batch_planned};
+use crate::engine::PlannedCq;
 use crate::explain::{
-    finalize_report, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
+    finalize_report, rank, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
 };
+use crate::prune::{ParentHandle, RefineDir};
 use obx_query::{OntoAtom, OntoCq, Term, VarId};
 use obx_util::{FxHashSet, Interrupt};
 
@@ -75,7 +77,7 @@ impl Strategy for ExhaustiveSearch {
         // Enumeration itself makes no evaluator calls, so only the
         // deadline/cancellation half of the budget can fire here; it is
         // polled every `TICK_MASK + 1` recursion steps.
-        let mut candidates: Vec<OntoCq> = Vec::new();
+        let mut candidates: Vec<(OntoCq, Option<OntoCq>)> = Vec::new();
         let mut stack: Vec<OntoAtom> = Vec::new();
         let mut poll = StopPoll::new(task.interrupt());
         enumerate(
@@ -85,17 +87,71 @@ impl Strategy for ExhaustiveSearch {
             limits.max_atoms,
             self.max_candidates,
             &mut poll,
+            None,
             &mut candidates,
         );
-        let candidates = dedup_candidates(candidates);
-        // The batch loop stops at candidate granularity when the budget
-        // fires; whatever scored by then is ranked and returned anytime.
-        let outcome = score_batch_outcome(task, candidates);
+        // Dedup by canonical form; the first occurrence keeps its emitted
+        // ancestor (the nearest connected prefix), which is a subset of the
+        // body and hence a valid Specialize parent for delta evaluation.
+        let mut seen: FxHashSet<OntoCq> = FxHashSet::default();
+        let mut deduped: Vec<(OntoCq, Option<OntoCq>)> = Vec::with_capacity(candidates.len());
+        for (cq, parent) in candidates {
+            let canon = cq.canonical();
+            if seen.insert(canon.clone()) {
+                deduped.push((canon, parent));
+            }
+        }
+
+        // Score in chunks, keeping a rank-truncated running pool. Chunking
+        // lets later candidates (a) resolve their ancestor's already-cached
+        // match bits for delta evaluation and (b) be bound-pruned against
+        // the pool floor. `window = 0` disables the in-batch beam guard —
+        // exhaustive search has no beam; only provably-below-floor
+        // candidates may be skipped. The truncation to `cap` is loss-free
+        // for the final top-k because every minimized core finalization
+        // could produce is itself an enumerated, scored candidate.
+        const CHUNK: usize = 256;
+        let cap = (limits.top_k * 4).max(1);
+        let engine = task.engine();
+        let mut ranked_pool: Vec<Explanation> = Vec::new();
+        let mut quarantined = 0usize;
+        let mut pruned = 0usize;
+        for chunk in deduped.chunks(CHUNK) {
+            // The batch loop below also stops at candidate granularity when
+            // the budget fires; whatever scored by then is ranked and
+            // returned anytime.
+            if task.stop_reason().is_some() {
+                break;
+            }
+            let planned: Vec<PlannedCq> = chunk
+                .iter()
+                .map(|(cq, parent)| PlannedCq {
+                    cq: cq.clone(),
+                    parent: parent.as_ref().and_then(|k| {
+                        engine.cached_entry(k).map(|entry| {
+                            ParentHandle::new(
+                                RefineDir::Specialize,
+                                k.clone(),
+                                entry.bits.stats(),
+                                k.num_atoms(),
+                            )
+                        })
+                    }),
+                })
+                .collect();
+            let floor = pool_floor_of(&ranked_pool, cap);
+            let outcome = score_batch_planned(task, planned, 0, floor);
+            quarantined += outcome.quarantined;
+            pruned += outcome.pruned;
+            ranked_pool.extend(outcome.explanations);
+            ranked_pool = rank(ranked_pool, cap);
+        }
         Ok(finalize_report(
             task,
-            outcome.explanations,
+            ranked_pool,
             limits.top_k,
-            outcome.quarantined,
+            quarantined,
+            pruned,
         ))
     }
 }
@@ -161,6 +217,12 @@ impl<'a> StopPoll<'a> {
 /// by the candidate budget. Returns `false` when the interrupt fired and
 /// the enumeration was abandoned early (candidates gathered so far stay
 /// valid — the space is simply not fully covered).
+///
+/// Each emitted candidate is paired with its nearest emitted ancestor on
+/// the recursion path (`parent`): the ancestor's body is a strict subset
+/// of the candidate's, making it a sound Specialize parent for the
+/// engine's delta evaluation and bound pruning.
+#[allow(clippy::too_many_arguments)]
 fn enumerate(
     pool: &[OntoAtom],
     from: usize,
@@ -168,7 +230,8 @@ fn enumerate(
     max_atoms: usize,
     budget: usize,
     poll: &mut StopPoll<'_>,
-    out: &mut Vec<OntoCq>,
+    parent: Option<&OntoCq>,
+    out: &mut Vec<(OntoCq, Option<OntoCq>)>,
 ) -> bool {
     if poll.fired() {
         return false;
@@ -176,9 +239,11 @@ fn enumerate(
     if out.len() >= budget {
         return true;
     }
+    let mut this_level: Option<OntoCq> = None;
     if !stack.is_empty() && connected_and_safe(stack) {
         if let Ok(cq) = OntoCq::new(vec![VarId(0)], stack.clone()) {
-            out.push(cq);
+            out.push((cq.clone(), parent.cloned()));
+            this_level = Some(cq);
         }
     }
     if stack.len() == max_atoms {
@@ -186,7 +251,16 @@ fn enumerate(
     }
     for i in from..pool.len() {
         stack.push(pool[i]);
-        let keep_going = enumerate(pool, i + 1, stack, max_atoms, budget, poll, out);
+        let keep_going = enumerate(
+            pool,
+            i + 1,
+            stack,
+            max_atoms,
+            budget,
+            poll,
+            this_level.as_ref().or(parent),
+            out,
+        );
         stack.pop();
         if !keep_going {
             return false;

@@ -10,9 +10,12 @@
 //! when another disjunct stops paying for itself.
 
 use super::{base_cqs, ucq_of};
+use crate::criteria::Criterion;
 use crate::explain::{
     finalize_report, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
 };
+use crate::matcher::MatchStats;
+use crate::prune::Interval;
 use crate::strategies::BeamSearch;
 use obx_query::OntoCq;
 
@@ -59,8 +62,16 @@ impl Strategy for GreedyUcq {
         let base = base_report.explanations;
         let candidates: Vec<OntoCq> = base_cqs(&base);
         if candidates.is_empty() {
-            return Ok(finalize_report(task, base, task.limits().top_k, quarantined));
+            return Ok(finalize_report(
+                task,
+                base,
+                task.limits().top_k,
+                quarantined,
+                base_report.pruned,
+            ));
         }
+        let engine = task.engine();
+        let mut bound_skipped = 0usize;
 
         // Start from the best single CQ. A scoring failure here must not
         // abort the run — the base results are still a valid answer.
@@ -89,6 +100,33 @@ impl Strategy for GreedyUcq {
                 }
                 let mut trial = chosen.clone();
                 trial.push(cand.clone());
+                let threshold = match &improvement {
+                    None => best.as_ref().map_or(f64::NEG_INFINITY, |b| b.score),
+                    Some((_, cur)) => cur.score,
+                };
+                // Bound gate: union stats are exact bit ORs, so the trial's
+                // matched counts live in a known interval around the chosen
+                // union's and the candidate's cached stats. When even the
+                // best Z in that interval cannot beat the acceptance
+                // threshold, the trial provably fails `score > threshold`
+                // and scoring it is pure waste. Skips are counted as
+                // `pruned` in the report.
+                if engine.incremental() {
+                    if let (Some(b), Some(entry)) = (best.as_ref(), engine.cached_entry(cand)) {
+                        let trial_atoms = trial.iter().map(OntoCq::num_atoms).sum();
+                        let bound = union_bound(
+                            task,
+                            &b.stats,
+                            &entry.bits.stats(),
+                            trial_atoms,
+                            trial.len(),
+                        );
+                        if bound <= threshold + 1e-12 {
+                            bound_skipped += 1;
+                            continue;
+                        }
+                    }
+                }
                 // A disjunct whose scoring fails must not abort the whole
                 // assembly: skip it. Permanent failures are quarantined;
                 // transient (budget-fired) ones count as "not reached".
@@ -100,10 +138,6 @@ impl Strategy for GreedyUcq {
                         }
                         continue;
                     }
-                };
-                let threshold = match &improvement {
-                    None => best.as_ref().map_or(f64::NEG_INFINITY, |b| b.score),
-                    Some((_, cur)) => cur.score,
                 };
                 if scored.score > threshold + 1e-12 {
                     improvement = Some((cand.clone(), scored));
@@ -121,8 +155,71 @@ impl Strategy for GreedyUcq {
         // Final ranking: the assembled UCQ plus the base results.
         let mut pool = base;
         pool.extend(best);
-        Ok(finalize_report(task, pool, task.limits().top_k, quarantined))
+        Ok(finalize_report(
+            task,
+            pool,
+            task.limits().top_k,
+            quarantined,
+            base_report.pruned + bound_skipped,
+        ))
     }
+}
+
+/// Admissible upper bound on the Z-score of the trial union
+/// `chosen ∪ {cand}`, from the chosen union's exact stats and the
+/// candidate disjunct's cached stats.
+///
+/// UCQ statistics are bit ORs, so the trial's matched count over each
+/// label set is exactly in `[max(a, b), min(total, a + b)]`; δ5 and δ6
+/// are known points (the trial's atom and disjunct counts are fixed);
+/// [`Criterion::Custom`] yields [`Interval::UNKNOWN`], disabling the gate
+/// for scorings that use it.
+fn union_bound(
+    task: &ExplainTask<'_>,
+    chosen: &MatchStats,
+    cand: &MatchStats,
+    trial_atoms: usize,
+    trial_disjuncts: usize,
+) -> f64 {
+    // Matched-count interval → fraction interval, mirroring the
+    // `MatchStats` empty-set conventions (coverage of an empty λ⁺ is 0,
+    // avoidance of an empty λ⁻ is 1).
+    let pos = if chosen.pos_total == 0 {
+        Interval::point(0.0)
+    } else {
+        let t = chosen.pos_total as f64;
+        let lo = chosen.pos_matched.max(cand.pos_matched) as f64;
+        let hi = (chosen.pos_matched + cand.pos_matched).min(chosen.pos_total) as f64;
+        Interval::new(lo / t, hi / t)
+    };
+    let neg = if chosen.neg_total == 0 {
+        Interval::point(1.0)
+    } else {
+        let t = chosen.neg_total as f64;
+        let lo = chosen.neg_matched.max(cand.neg_matched) as f64;
+        let hi = (chosen.neg_matched + cand.neg_matched).min(chosen.neg_total) as f64;
+        Interval::new(1.0 - hi / t, 1.0 - lo / t)
+    };
+    let point_recip = |n: usize| {
+        if n == 0 {
+            Interval::point(0.0)
+        } else {
+            Interval::point(1.0 / n as f64)
+        }
+    };
+    let ranges: Vec<Interval> = task
+        .scoring()
+        .criteria()
+        .iter()
+        .map(|c| match c {
+            Criterion::PosCoverage | Criterion::PosMissPenalty => pos,
+            Criterion::NegAvoidance | Criterion::NegHitPenalty => neg,
+            Criterion::AtomParsimony => point_recip(trial_atoms),
+            Criterion::DisjunctParsimony => point_recip(trial_disjuncts),
+            Criterion::Custom { .. } => Interval::UNKNOWN,
+        })
+        .collect();
+    task.scoring().range(&ranges).hi
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ pub use bottom_up::BottomUpGeneralize;
 pub use exhaustive::{candidate_space_size, ExhaustiveSearch};
 pub use greedy_ucq::GreedyUcq;
 
+use crate::engine::PlannedCq;
 use crate::explain::{ExplainError, ExplainTask, Explanation};
 use obx_query::{OntoCq, OntoUcq};
 use obx_util::FxHashSet;
@@ -44,6 +45,45 @@ pub(crate) fn score_batch_outcome(
     task.engine().score_batch_outcome(task, candidates)
 }
 
+/// [`score_batch_outcome`] over provenance-carrying candidates, with the
+/// engine's monotone bound pruning (see
+/// [`ScoringEngine::score_batch_planned`](crate::engine::ScoringEngine::score_batch_planned)).
+pub(crate) fn score_batch_planned(
+    task: &ExplainTask<'_>,
+    planned: Vec<PlannedCq>,
+    window: usize,
+    pool_floor: f64,
+) -> crate::engine::BatchOutcome {
+    task.engine()
+        .score_batch_planned(task, planned, window, pool_floor)
+}
+
+/// The number of ranked batch candidates beam selection may ever inspect
+/// ([`select_beam`] truncates to this window); the engine's in-batch prune
+/// guard is sized to match.
+pub(crate) fn beam_window(width: usize) -> usize {
+    width.saturating_mul(2)
+}
+
+/// The size the round-loop strategies rank-truncate their candidate pool
+/// to between rounds (and before finalization).
+pub(crate) fn pool_cap(limits: &crate::explain::SearchLimits) -> usize {
+    (limits.top_k * 4).max(limits.beam_width * 2)
+}
+
+/// The score a new candidate must *strictly* beat to survive the ranked
+/// pool's truncation at `cap`: the cap-th best score, or `-∞` while the
+/// pool has not filled. `pool` must already be [`rank`]-sorted descending.
+///
+/// [`rank`]: crate::explain::rank
+pub(crate) fn pool_floor_of(pool: &[Explanation], cap: usize) -> f64 {
+    if pool.len() >= cap {
+        pool[cap - 1].score
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
 /// Beam selection with a diversity cap: at most a few candidates per
 /// *signature* (multiset of predicates + confusion counts) enter the
 /// frontier. Without this, plateaus of equal-scored rewordings of one idea
@@ -52,7 +92,11 @@ pub(crate) fn score_batch_outcome(
 /// `locatedIn(z, "Rome")` pays off in the paper's example).
 pub(crate) fn select_beam(scored: Vec<Explanation>, width: usize) -> Vec<Explanation> {
     use obx_query::OntoAtom;
-    let ranked = crate::explain::rank(scored, usize::MAX);
+    // Selection only ever looks at the top `beam_window(width)` ranked
+    // candidates (the diversity overflow refill included): making the
+    // window explicit here is what lets the engine prune batch candidates
+    // that provably rank below it without changing the selected beam.
+    let ranked = crate::explain::rank(scored, beam_window(width));
     let per_sig = (width / 6).max(2);
     let mut counts: obx_util::FxHashMap<(Vec<u64>, usize, usize), usize> =
         obx_util::FxHashMap::default();
@@ -103,6 +147,60 @@ pub(crate) fn dedup_candidates(candidates: Vec<OntoCq>) -> Vec<OntoCq> {
         }
     }
     out
+}
+
+/// [`dedup_candidates`] over provenance-carrying candidates: collapses
+/// canonical-form duplicates (first occurrence — and hence its parent —
+/// wins) and filters out anything already in `seen`, inserting the
+/// survivors. Shared by the round-loop strategies so the `seen` history
+/// and the batch-internal dedup agree bit for bit between the incremental
+/// and the baseline engine.
+pub(crate) fn dedup_planned(
+    candidates: Vec<PlannedCq>,
+    seen: &mut FxHashSet<OntoCq>,
+) -> Vec<PlannedCq> {
+    let mut out = Vec::with_capacity(candidates.len());
+    for p in candidates {
+        let canon = p.cq.canonical();
+        if seen.insert(canon.clone()) {
+            out.push(PlannedCq {
+                cq: canon,
+                parent: p.parent,
+            });
+        }
+    }
+    out
+}
+
+/// The refinement lattice's one-step operators, exposed for property
+/// testing and tooling. The invariant the engine's delta evaluation and
+/// bound pruning rest on (`crate::prune`): on any fixed set of borders,
+/// every [`specializations`](refinement::specializations) child's match
+/// bits are a **subset** of its parent's, and every
+/// [`generalizations`](refinement::generalizations) child's a
+/// **superset**.
+pub mod refinement {
+    use super::{beam, bottom_up};
+    use crate::explain::ExplainTask;
+    use obx_query::OntoCq;
+    use obx_srcdb::Const;
+
+    /// One-step specializations of `cq`: beam search's downward operator
+    /// (add atom, bind constant, merge variables, Hasse-down), bounded by
+    /// the task's limits. `consts` is the constant pool for binding.
+    pub fn specializations(
+        task: &ExplainTask<'_>,
+        cq: &OntoCq,
+        consts: &[Const],
+    ) -> Vec<OntoCq> {
+        beam::refine(task, cq, consts)
+    }
+
+    /// One-step generalizations of `cq`: bottom-up's upward operator
+    /// (drop atom, constant → fresh variable, Hasse-up).
+    pub fn generalizations(task: &ExplainTask<'_>, cq: &OntoCq) -> Vec<OntoCq> {
+        bottom_up::generalize(task, cq)
+    }
 }
 
 /// Runs a base strategy and returns its distinct single-CQ candidates (the

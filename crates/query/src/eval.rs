@@ -105,34 +105,37 @@ fn candidates<'v>(view: View<'v>, atom: &SrcAtom, binding: &Binding) -> Candidat
 }
 
 /// Tries to match `atom` against the database atom `id`, extending
-/// `binding`. On success returns the list of variables newly bound (the
-/// trail to undo on backtrack); on failure returns `None` with `binding`
-/// unchanged.
+/// `binding`. Newly bound variables are pushed onto `trail` (the caller
+/// records the trail length before the call and rewinds with [`undo_to`]
+/// on backtrack). On failure the binding and trail are restored before
+/// returning. The trail is a single per-search scratch buffer, so the hot
+/// per-node path of the backtracking join performs no allocation.
 fn try_match(
     view: &View<'_>,
     atom: &SrcAtom,
     id: obx_srcdb::AtomId,
     binding: &mut Binding,
-) -> Option<Vec<VarId>> {
+    trail: &mut Vec<VarId>,
+) -> bool {
     let fact = view.atom(id);
     debug_assert_eq!(fact.rel, atom.rel);
     if fact.args.len() != atom.args.len() {
-        return None;
+        return false;
     }
-    let mut trail: Vec<VarId> = Vec::new();
+    let mark = trail.len();
     for (&t, &c) in atom.args.iter().zip(fact.args.iter()) {
         match t {
             Term::Const(qc) => {
                 if qc != c {
-                    undo(binding, &trail);
-                    return None;
+                    undo_to(binding, trail, mark);
+                    return false;
                 }
             }
             Term::Var(v) => match binding.get(v) {
                 Some(bound) => {
                     if bound != c {
-                        undo(binding, &trail);
-                        return None;
+                        undo_to(binding, trail, mark);
+                        return false;
                     }
                 }
                 None => {
@@ -142,31 +145,39 @@ fn try_match(
             },
         }
     }
-    Some(trail)
+    true
 }
 
-fn undo(binding: &mut Binding, trail: &[VarId]) {
-    for &v in trail {
+/// Unbinds every variable recorded after `mark` and truncates the trail
+/// back to it.
+#[inline]
+fn undo_to(binding: &mut Binding, trail: &mut Vec<VarId>, mark: usize) {
+    for &v in &trail[mark..] {
         binding.slots[v.index()] = None;
     }
+    trail.truncate(mark);
 }
 
-/// Depth-first search over the remaining atoms. `on_solution` returns
-/// `true` to keep searching, `false` to stop early. Returns `false` iff the
-/// search was stopped early.
-fn search(
+/// Picks the next atom to join: the most selective unjoined atom — except
+/// when exactly one atom remains, where the selectivity estimates cannot
+/// change a choice of one and are skipped outright (on deep joins the
+/// final level dominates the node count, so this halves the estimator
+/// work).
+fn pick_unjoined(
     view: &View<'_>,
     atoms: &[SrcAtom],
-    used: &mut [bool],
+    used: &[bool],
+    binding: &Binding,
     remaining: usize,
-    binding: &mut Binding,
-    on_solution: &mut dyn FnMut(&Binding) -> bool,
-) -> bool {
-    if remaining == 0 {
-        return on_solution(binding);
+) -> usize {
+    if remaining == 1 {
+        for (i, &u) in used.iter().enumerate() {
+            if !u {
+                return i;
+            }
+        }
     }
-    // Pick the most selective unjoined atom.
-    let mut pick = usize::MAX;
+    let mut pick = 0;
     let mut pick_size = usize::MAX;
     for (i, atom) in atoms.iter().enumerate() {
         if used[i] {
@@ -178,13 +189,33 @@ fn search(
             pick = i;
         }
     }
+    pick
+}
+
+/// Depth-first search over the remaining atoms. `on_solution` returns
+/// `true` to keep searching, `false` to stop early. Returns `false` iff the
+/// search was stopped early.
+fn search(
+    view: &View<'_>,
+    atoms: &[SrcAtom],
+    used: &mut [bool],
+    remaining: usize,
+    binding: &mut Binding,
+    trail: &mut Vec<VarId>,
+    on_solution: &mut dyn FnMut(&Binding) -> bool,
+) -> bool {
+    if remaining == 0 {
+        return on_solution(binding);
+    }
+    let pick = pick_unjoined(view, atoms, used, binding, remaining);
     let atom = &atoms[pick];
     used[pick] = true;
     let mut keep_going = true;
     for id in candidates(*view, atom, binding) {
-        if let Some(trail) = try_match(view, atom, id, binding) {
-            keep_going = search(view, atoms, used, remaining - 1, binding, on_solution);
-            undo(binding, &trail);
+        let mark = trail.len();
+        if try_match(view, atom, id, binding, trail) {
+            keep_going = search(view, atoms, used, remaining - 1, binding, trail, on_solution);
+            undo_to(binding, trail, mark);
             if !keep_going {
                 break;
             }
@@ -202,9 +233,10 @@ fn num_vars(cq: &SrcCq) -> usize {
 pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
     let mut out: FxHashSet<Box<[Const]>> = FxHashSet::default();
     let mut binding = Binding::new(num_vars(cq));
+    let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut used = vec![false; cq.body().len()];
     let n = cq.body().len();
-    search(&view, cq.body(), &mut used, n, &mut binding, &mut |b| {
+    search(&view, cq.body(), &mut used, n, &mut binding, &mut trail, &mut |b| {
         let tuple: Box<[Const]> = cq
             .head()
             .iter()
@@ -233,10 +265,11 @@ pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
             _ => binding.slots[v.index()] = Some(c),
         }
     }
+    let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut used = vec![false; cq.body().len()];
     let n = cq.body().len();
     let mut found = false;
-    search(&view, cq.body(), &mut used, n, &mut binding, &mut |_| {
+    search(&view, cq.body(), &mut used, n, &mut binding, &mut trail, &mut |_| {
         found = true;
         false // stop at the first witness
     });
@@ -268,32 +301,23 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
         matched: &mut [Option<obx_srcdb::AtomId>],
         remaining: usize,
         binding: &mut Binding,
+        trail: &mut Vec<VarId>,
     ) -> bool {
         if remaining == 0 {
             return true;
         }
-        let mut pick = usize::MAX;
-        let mut pick_size = usize::MAX;
-        for (i, atom) in atoms.iter().enumerate() {
-            if used[i] {
-                continue;
-            }
-            let s = selectivity(view, atom, binding);
-            if s < pick_size {
-                pick_size = s;
-                pick = i;
-            }
-        }
+        let pick = pick_unjoined(view, atoms, used, binding, remaining);
         let atom = &atoms[pick];
         used[pick] = true;
         for id in candidates(*view, atom, binding) {
-            if let Some(trail) = try_match(view, atom, id, binding) {
+            let mark = trail.len();
+            if try_match(view, atom, id, binding, trail) {
                 matched[pick] = Some(id);
-                if go(view, atoms, used, matched, remaining - 1, binding) {
+                if go(view, atoms, used, matched, remaining - 1, binding, trail) {
                     return true;
                 }
                 matched[pick] = None;
-                undo(binding, &trail);
+                undo_to(binding, trail, mark);
             }
         }
         used[pick] = false;
@@ -301,8 +325,9 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
     }
     let n = cq.body().len();
     let mut used = vec![false; n];
+    let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut matched: Vec<Option<obx_srcdb::AtomId>> = vec![None; n];
-    if go(&view, cq.body(), &mut used, &mut matched, n, &mut binding) {
+    if go(&view, cq.body(), &mut used, &mut matched, n, &mut binding, &mut trail) {
         Some(matched.into_iter().map(|m| m.expect("all atoms matched")).collect())
     } else {
         None
