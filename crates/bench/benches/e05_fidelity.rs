@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e05_fidelity");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for noise in [0.0f64, 0.1, 0.3] {
         let s = university_scenario(UniversityParams {
             n_students: 40,
@@ -23,8 +25,7 @@ fn bench(c: &mut Criterion) {
         };
         group.bench_function(format!("beam_explain_noise_{noise:.1}"), |b| {
             b.iter(|| {
-                let task =
-                    ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+                let task = ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
                 black_box(BeamSearch.explain(&task).unwrap()[0].score)
             })
         });

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e06_strategies");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     let s = university_scenario(UniversityParams {
         n_students: 30,
         ..UniversityParams::default()
@@ -29,8 +31,7 @@ fn bench(c: &mut Criterion) {
     for strat in strategies {
         group.bench_function(strat.name(), |b| {
             b.iter(|| {
-                let task =
-                    ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
+                let task = ExplainTask::new(&s.system, &s.labels, 1, &scoring, limits).unwrap();
                 black_box(strat.explain(&task).unwrap()[0].score)
             })
         });

@@ -7,7 +7,11 @@ use obx_query::{perfect_ref, OntoAtom, OntoCq, OntoUcq, RewriteBudget, Term, Var
 fn query_on(tbox: &obx_ontology::TBox, name: &str) -> OntoUcq {
     let c = tbox.vocab().get_concept(name).unwrap();
     OntoUcq::from_cq(
-        OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(c, Term::Var(VarId(0)))]).unwrap(),
+        OntoCq::new(
+            vec![VarId(0)],
+            vec![OntoAtom::Concept(c, Term::Var(VarId(0)))],
+        )
+        .unwrap(),
     )
 }
 
@@ -17,14 +21,26 @@ fn bench(c: &mut Criterion) {
         let tbox = concept_chain(depth);
         let q = query_on(&tbox, &format!("C{depth}"));
         group.bench_function(format!("chain_depth_{depth}"), |b| {
-            b.iter(|| black_box(perfect_ref(&q, &tbox, RewriteBudget::default()).unwrap().len()))
+            b.iter(|| {
+                black_box(
+                    perfect_ref(&q, &tbox, RewriteBudget::default())
+                        .unwrap()
+                        .len(),
+                )
+            })
         });
     }
     for (depth, branching) in [(3usize, 2usize), (4, 2), (4, 3)] {
         let tbox = concept_tree(depth, branching);
         let q = query_on(&tbox, "C0");
         group.bench_function(format!("tree_d{depth}_b{branching}"), |b| {
-            b.iter(|| black_box(perfect_ref(&q, &tbox, RewriteBudget::default()).unwrap().len()))
+            b.iter(|| {
+                black_box(
+                    perfect_ref(&q, &tbox, RewriteBudget::default())
+                        .unwrap()
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e09_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let s = recidivism_scenario(RecidivismParams {
         n_defendants: 60,
         ..RecidivismParams::default()

@@ -74,7 +74,12 @@ fn assert_identical(strategy: &str, sys: &obx_obdm::ObdmSystem, off: &ModeRun, o
         on.report.explanations.len(),
         "{strategy}: explanation counts diverge"
     );
-    for (a, b) in off.report.explanations.iter().zip(on.report.explanations.iter()) {
+    for (a, b) in off
+        .report
+        .explanations
+        .iter()
+        .zip(on.report.explanations.iter())
+    {
         assert_eq!(
             a.render(sys),
             b.render(sys),
@@ -146,8 +151,24 @@ fn main() {
         );
     }
 
+    // One extra (untimed) profiled run: a recorder rides down the beam
+    // search and the pipeline profile — per-round spans, engine batch
+    // counters, kernel wall times — is embedded in the bench JSON so a
+    // regression can be read down to the phase that caused it.
+    let recorder = obx_util::obs::Recorder::new();
+    {
+        let budget =
+            obx_core::budget::SearchBudget::unlimited().with_recorder(Arc::clone(&recorder));
+        let profiled = task
+            .with_budget(budget)
+            .with_engine(Arc::new(ScoringEngine::with_incremental(true)));
+        let _phase = recorder.enter_phase("search");
+        let _ = BeamSearch.explain_with_status(&profiled);
+    }
+    let profile = recorder.profile().to_json();
+
     let json = format!(
-        "{{\"bench\":\"search\",\"radius\":2,\"n_students\":600,\"beam_width\":12,{fields}\"identical_output\":true}}"
+        "{{\"bench\":\"search\",\"radius\":2,\"n_students\":600,\"beam_width\":12,{fields}\"identical_output\":true,\"profile\":{profile}}}"
     );
     println!("{json}");
 
@@ -156,7 +177,10 @@ fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = std::path::Path::new(root).join("BENCH_search.json");
     std::fs::write(&path, format!("{json}\n")).expect("write BENCH_search.json");
-    eprintln!("wrote {}", std::fs::canonicalize(&path).unwrap_or(path).display());
+    eprintln!(
+        "wrote {}",
+        std::fs::canonicalize(&path).unwrap_or(path).display()
+    );
 
     if beam_speedup < 2.0 {
         eprintln!("WARNING: beam speedup {beam_speedup:.2}x below the 2x acceptance target");

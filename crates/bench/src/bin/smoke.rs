@@ -15,6 +15,7 @@ use obx_datagen::{university_scenario, UniversityParams};
 use obx_query::OntoUcq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Distinct candidate queries in the pool (the 1–3-atom query space over
@@ -85,13 +86,32 @@ fn main() {
     let misses = engine.cache_misses();
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
     let speedup = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-12);
+
+    // One extra (untimed) profiled pass over the pool through a fresh
+    // engine: the recorder rides the task's budget down into the compile
+    // kernels, and the resulting pipeline profile is embedded in the
+    // bench JSON.
+    let recorder = obx_util::obs::Recorder::new();
+    {
+        let budget =
+            obx_core::budget::SearchBudget::unlimited().with_recorder(Arc::clone(&recorder));
+        let profiled = task
+            .with_budget(budget)
+            .with_engine(Arc::new(obx_core::ScoringEngine::new()));
+        let _phase = recorder.enter_phase("scoring");
+        for q in &pool {
+            let _ = profiled.score_ucq(q);
+        }
+    }
+    let profile = recorder.profile().to_json();
+
     let json = format!(
         concat!(
             "{{\"bench\":\"scoring_smoke\",\"candidates\":{},",
             "\"uncached_ms\":{:.3},\"cached_ms\":{:.3},",
             "\"uncached_cps\":{:.1},\"cached_cps\":{:.1},",
             "\"speedup\":{:.2},\"cache_hit_rate\":{:.4},",
-            "\"eval_calls\":{},\"threads\":{}}}"
+            "\"eval_calls\":{},\"threads\":{},\"profile\":{}}}"
         ),
         workload.len(),
         uncached.as_secs_f64() * 1e3,
@@ -102,6 +122,7 @@ fn main() {
         hit_rate,
         engine.eval_calls(),
         engine.threads(),
+        profile,
     );
     println!("{json}");
 
@@ -110,7 +131,10 @@ fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = std::path::Path::new(root).join("BENCH_scoring.json");
     std::fs::write(&path, format!("{json}\n")).expect("write BENCH_scoring.json");
-    eprintln!("wrote {}", std::fs::canonicalize(&path).unwrap_or(path).display());
+    eprintln!(
+        "wrote {}",
+        std::fs::canonicalize(&path).unwrap_or(path).display()
+    );
 
     if speedup < 2.0 {
         eprintln!("WARNING: speedup {speedup:.2}x below the 2x acceptance target");

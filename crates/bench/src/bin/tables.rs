@@ -18,14 +18,46 @@ fn main() {
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
     let all: Vec<Experiment> = vec![
-        ("e1", "E1 — Example 3.3: border of radius 2", ex::e01_border_layers),
-        ("e2", "E2 — Example 3.6: J-match matrix (r = 1)", ex::e02_match_matrix),
-        ("e3", "E3 — Example 3.8: Z-scores (* = paper erratum, see EXPERIMENTS.md)", ex::e03_scores),
-        ("e4", "E4 — Proposition 3.5: matches vs radius", ex::e04_radius_curve),
-        ("e5", "E5 — fidelity vs label noise (university, beam)", ex::e05_fidelity_vs_noise),
-        ("e6", "E6 — strategy comparison (university, 40 students)", ex::e06_strategies),
-        ("e7", "E7 — PerfectRef scaling vs TBox shape", ex::e07_rewrite_scaling),
-        ("e8", "E8 — border computation scaling", ex::e08_border_scaling),
+        (
+            "e1",
+            "E1 — Example 3.3: border of radius 2",
+            ex::e01_border_layers,
+        ),
+        (
+            "e2",
+            "E2 — Example 3.6: J-match matrix (r = 1)",
+            ex::e02_match_matrix,
+        ),
+        (
+            "e3",
+            "E3 — Example 3.8: Z-scores (* = paper erratum, see EXPERIMENTS.md)",
+            ex::e03_scores,
+        ),
+        (
+            "e4",
+            "E4 — Proposition 3.5: matches vs radius",
+            ex::e04_radius_curve,
+        ),
+        (
+            "e5",
+            "E5 — fidelity vs label noise (university, beam)",
+            ex::e05_fidelity_vs_noise,
+        ),
+        (
+            "e6",
+            "E6 — strategy comparison (university, 40 students)",
+            ex::e06_strategies,
+        ),
+        (
+            "e7",
+            "E7 — PerfectRef scaling vs TBox shape",
+            ex::e07_rewrite_scaling,
+        ),
+        (
+            "e8",
+            "E8 — border computation scaling",
+            ex::e08_border_scaling,
+        ),
         ("e9", "E9 — ontology-value ablation", ex::e09_ablation),
         ("e10", "E10 — certain-answer engines", ex::e10_engines),
     ];

@@ -2,8 +2,8 @@
 
 use obx_core::baseline::DataLevelBeam;
 use obx_core::explain::{ExplainTask, SearchLimits, Strategy};
-use obx_core::paper_example::{PaperExample, PAPER_RADIUS};
 use obx_core::matcher::PreparedLabels;
+use obx_core::paper_example::{PaperExample, PAPER_RADIUS};
 use obx_core::score::Scoring;
 use obx_core::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
 use obx_datagen::{
@@ -24,11 +24,7 @@ pub fn e01_border_layers() -> Table {
     let a = db.consts().get("a").unwrap();
     let border = Border::compute(&db, &[a], 2);
     let mut t = Table::new(["layer", "paper", "computed"]);
-    let paper = [
-        "R(a, b), S(a, c)",
-        "Z(c, d)",
-        "W(d, e)",
-    ];
+    let paper = ["R(a, b), S(a, c)", "Z(c, d)", "W(d, e)"];
     for (j, expected) in paper.iter().enumerate() {
         let mut atoms: Vec<String> = border
             .layer(j)
@@ -62,7 +58,13 @@ pub fn e02_match_matrix() -> Table {
     let ex = PaperExample::new();
     let matrix = ex.match_matrix();
     let prepared = ex.prepared();
-    let mut t = Table::new(["query", "matches (paper)", "matches (computed)", "λ⁺ frac", "λ⁻ frac"]);
+    let mut t = Table::new([
+        "query",
+        "matches (paper)",
+        "matches (computed)",
+        "λ⁺ frac",
+        "λ⁻ frac",
+    ]);
     let paper = [
         ("q1", "A10, B80, D50"),
         ("q2", "A10, B80, E25"),
@@ -88,8 +90,18 @@ pub fn e03_scores() -> Table {
     let ex = PaperExample::new();
     let z1 = ex.scores(&ex.z1());
     let z2 = ex.scores(&ex.z2());
-    let mut t = Table::new(["query", "Z1 (paper)", "Z1 (ours)", "Z2 (paper)", "Z2 (ours)"]);
-    let paper = [("q1", "0.693", "0.716"), ("q2", "0.333*", "0.5"), ("q3", "0.833", "0.7")];
+    let mut t = Table::new([
+        "query",
+        "Z1 (paper)",
+        "Z1 (ours)",
+        "Z2 (paper)",
+        "Z2 (ours)",
+    ]);
+    let paper = [
+        ("q1", "0.693", "0.716"),
+        ("q2", "0.333*", "0.5"),
+        ("q3", "0.833", "0.7"),
+    ];
     for (name, p1, p2) in paper {
         let s1 = z1.iter().find(|(n, _)| *n == name).unwrap().1.score;
         let s2 = z2.iter().find(|(n, _)| *n == name).unwrap().1.score;
@@ -138,7 +150,14 @@ pub fn e04_radius_curve() -> Table {
 
 /// E5 — explanation fidelity vs label noise (university, beam search).
 pub fn e05_fidelity_vs_noise() -> Table {
-    let mut t = Table::new(["noise", "best Z", "coverage", "false pos", "fidelity F1", "time"]);
+    let mut t = Table::new([
+        "noise",
+        "best Z",
+        "coverage",
+        "false pos",
+        "fidelity F1",
+        "time",
+    ]);
     for noise in [0.0, 0.05, 0.1, 0.2, 0.3] {
         let s = university_scenario(UniversityParams {
             n_students: 60,
@@ -209,11 +228,13 @@ pub fn e07_rewrite_scaling() -> Table {
     for depth in [2usize, 4, 8, 16, 32] {
         let tbox = obx_datagen::hierarchy::concept_chain(depth);
         let c = tbox.vocab().get_concept(&format!("C{depth}")).unwrap();
-        let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(c, Term::Var(VarId(0)))])
-            .unwrap();
+        let q = OntoCq::new(
+            vec![VarId(0)],
+            vec![OntoAtom::Concept(c, Term::Var(VarId(0)))],
+        )
+        .unwrap();
         let t0 = Instant::now();
-        let rewritten =
-            perfect_ref(&OntoUcq::from_cq(q), &tbox, RewriteBudget::default()).unwrap();
+        let rewritten = perfect_ref(&OntoUcq::from_cq(q), &tbox, RewriteBudget::default()).unwrap();
         let elapsed = t0.elapsed();
         t.row([
             format!("chain depth {depth}"),
@@ -225,11 +246,13 @@ pub fn e07_rewrite_scaling() -> Table {
     for (depth, branching) in [(2usize, 2usize), (3, 2), (4, 2), (3, 3), (4, 3)] {
         let tbox = obx_datagen::hierarchy::concept_tree(depth, branching);
         let c = tbox.vocab().get_concept("C0").unwrap();
-        let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(c, Term::Var(VarId(0)))])
-            .unwrap();
+        let q = OntoCq::new(
+            vec![VarId(0)],
+            vec![OntoAtom::Concept(c, Term::Var(VarId(0)))],
+        )
+        .unwrap();
         let t0 = Instant::now();
-        let rewritten =
-            perfect_ref(&OntoUcq::from_cq(q), &tbox, RewriteBudget::default()).unwrap();
+        let rewritten = perfect_ref(&OntoUcq::from_cq(q), &tbox, RewriteBudget::default()).unwrap();
         let elapsed = t0.elapsed();
         t.row([
             format!("tree d={depth} b={branching}"),
@@ -287,7 +310,13 @@ pub fn e08_border_scaling() -> Table {
 
 /// E9 — ontology-value ablation: ontology-level vs data-level search.
 pub fn e09_ablation() -> Table {
-    let mut t = Table::new(["scenario", "level", "best Z", "perfect?", "explanation (vocabulary)"]);
+    let mut t = Table::new([
+        "scenario",
+        "level",
+        "best Z",
+        "perfect?",
+        "explanation (vocabulary)",
+    ]);
     // (a) the paper's λ.
     let ex = PaperExample::new();
     let z1 = ex.z1();
@@ -347,8 +376,19 @@ pub fn e09_ablation() -> Table {
 
 /// E10 — certain-answer engines: rewriting vs materialization.
 pub fn e10_engines() -> Table {
-    let mut t = Table::new(["scenario", "query atoms", "answers", "rewrite", "materialize", "agree"]);
-    for (label, n_ind, n_facts) in [("small", 30usize, 80usize), ("medium", 100, 300), ("large", 250, 800)] {
+    let mut t = Table::new([
+        "scenario",
+        "query atoms",
+        "answers",
+        "rewrite",
+        "materialize",
+        "agree",
+    ]);
+    for (label, n_ind, n_facts) in [
+        ("small", 30usize, 80usize),
+        ("medium", 100, 300),
+        ("large", 250, 800),
+    ] {
         let params = RandomParams {
             seed: 5,
             n_individuals: n_ind,

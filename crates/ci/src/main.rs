@@ -1,0 +1,396 @@
+//! `obx-ci` — the workspace's CI runner.
+//!
+//! One binary, runnable locally and in CI with identical behaviour:
+//!
+//! ```text
+//! cargo run --release -p obx-ci
+//! ```
+//!
+//! Runs the gate steps in order — `fmt --check`, workspace clippy with
+//! warnings denied, a release build, the test suite, and both bench
+//! bins — then compares the fresh bench numbers against the committed
+//! `BENCH_scoring.json` / `BENCH_search.json` baselines and fails on a
+//! wall-time regression above 20% that is also more than 5 ms absolute
+//! (sub-millisecond benches jitter past 20% on a loaded machine; the
+//! bench bins' own hard floors, e.g. the 2× search speedup, stay in
+//! force because a bin exiting nonzero fails its step). Every step is
+//! timed on the observability recorder and the whole run is written to
+//! `CI_REPORT.json` at the workspace root.
+//!
+//! The baseline files are snapshotted *before* the bench bins overwrite
+//! them, so the gate always compares against the committed state of the
+//! working tree.
+
+use obx_util::obs::Recorder;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+/// Relative wall-time increase that fails the regression gate.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Absolute slack (ms) a gated delta must also exceed to fail. The
+/// scoring smoke bench finishes in single-digit milliseconds, where
+/// 20% is machine noise; a regression must be both relatively and
+/// absolutely large to count.
+const REGRESSION_MIN_ABS_MS: f64 = 5.0;
+
+struct StepResult {
+    name: &'static str,
+    command: String,
+    status: &'static str,
+    wall_ms: f64,
+}
+
+fn workspace_root() -> PathBuf {
+    // ci lives at <root>/crates/ci.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Runs one cargo step, streaming its output, and records it.
+fn run_step(
+    rec: &Recorder,
+    results: &mut Vec<StepResult>,
+    name: &'static str,
+    args: &[&str],
+    root: &Path,
+) -> bool {
+    let command = format!("cargo {}", args.join(" "));
+    eprintln!("== {name}: {command}");
+    let mut span = rec.kernel(name);
+    let start = Instant::now();
+    let status = Command::new("cargo").args(args).current_dir(root).status();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let ok = status.as_ref().map(|s| s.success()).unwrap_or(false);
+    span.count("ok", u64::from(ok));
+    drop(span);
+    results.push(StepResult {
+        name,
+        command,
+        status: if ok { "pass" } else { "fail" },
+        wall_ms,
+    });
+    eprintln!(
+        "== {name}: {} ({wall_ms:.0} ms)",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
+}
+
+/// Extracts the top-level numeric fields of a flat-ish JSON object,
+/// skipping nested objects/arrays (the embedded `"profile"`). Good
+/// enough for the bench files this workspace writes; not a general
+/// JSON parser.
+fn top_level_numbers(json: &str) -> Vec<(String, f64)> {
+    let bytes = json.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut depth = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b'"' if depth == 1 => {
+                // Parse "key" : value at the top level.
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += if bytes[j] == b'\\' { 2 } else { 1 };
+                }
+                let key = &json[start..j.min(json.len())];
+                i = j + 1;
+                while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b':' {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                        i += 1;
+                    }
+                    let vstart = i;
+                    if i < bytes.len()
+                        && (bytes[i].is_ascii_digit() || bytes[i] == b'-' || bytes[i] == b'+')
+                    {
+                        while i < bytes.len()
+                            && (bytes[i].is_ascii_digit()
+                                || matches!(bytes[i], b'.' | b'-' | b'+' | b'e' | b'E'))
+                        {
+                            i += 1;
+                        }
+                        if let Ok(v) = json[vstart..i].parse::<f64>() {
+                            out.push((key.to_owned(), v));
+                        }
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+struct Delta {
+    file: &'static str,
+    key: String,
+    base: f64,
+    fresh: f64,
+    /// Relative change, sign-adjusted so positive = worse.
+    worse_frac: f64,
+    gated: bool,
+}
+
+/// Compares one fresh bench file against its pre-run baseline. Gated
+/// keys are wall-times (`*_ms`: higher is worse); speedup keys are
+/// reported but left to the bench bins' own hard floors.
+fn bench_deltas(file: &'static str, baseline: &str, fresh: &str) -> Vec<Delta> {
+    let base: Vec<(String, f64)> = top_level_numbers(baseline);
+    let new: Vec<(String, f64)> = top_level_numbers(fresh);
+    let mut deltas = Vec::new();
+    for (key, b) in &base {
+        let Some((_, f)) = new.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        let gated = key.ends_with("_ms");
+        let worse_frac = if key.ends_with("_ms") {
+            (f - b) / b.max(1e-9)
+        } else if key.contains("speedup") || key.ends_with("_cps") {
+            (b - f) / b.max(1e-9)
+        } else {
+            0.0
+        };
+        deltas.push(Delta {
+            file,
+            key: key.clone(),
+            base: *b,
+            fresh: *f,
+            worse_frac,
+            gated,
+        });
+    }
+    deltas
+}
+
+fn fails_gate(d: &Delta) -> bool {
+    d.gated && d.worse_frac > REGRESSION_TOLERANCE && (d.fresh - d.base) > REGRESSION_MIN_ABS_MS
+}
+
+fn print_delta_table(deltas: &[Delta]) {
+    eprintln!(
+        "{:<18} {:<28} {:>12} {:>12} {:>9}  gate",
+        "file", "key", "baseline", "fresh", "delta"
+    );
+    for d in deltas {
+        if d.worse_frac == 0.0 && !d.gated {
+            continue; // ungated counters: noise in the table
+        }
+        let verdict = if !d.gated {
+            "info"
+        } else if fails_gate(d) {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "{:<18} {:<28} {:>12.3} {:>12.3} {:>+8.1}%  {verdict}",
+            d.file,
+            d.key,
+            d.base,
+            d.fresh,
+            d.worse_frac * 100.0
+        );
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let root = workspace_root();
+    let rec = Recorder::new();
+    let run_span = rec.enter("ci");
+    let started = Instant::now();
+    let mut results: Vec<StepResult> = Vec::new();
+
+    // Snapshot the committed bench baselines before anything overwrites
+    // them.
+    let bench_files: [&'static str; 2] = ["BENCH_scoring.json", "BENCH_search.json"];
+    let baselines: Vec<Option<String>> = bench_files
+        .iter()
+        .map(|f| std::fs::read_to_string(root.join(f)).ok())
+        .collect();
+
+    let steps: [(&'static str, &[&str]); 6] = [
+        ("fmt", &["fmt", "--all", "--", "--check"]),
+        (
+            "clippy",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--release",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+        ("build", &["build", "--release", "--workspace"]),
+        ("test", &["test", "-q", "--release"]),
+        (
+            "bench-scoring",
+            &["run", "--release", "-p", "obx-bench", "--bin", "smoke"],
+        ),
+        (
+            "bench-search",
+            &["run", "--release", "-p", "obx-bench", "--bin", "search"],
+        ),
+    ];
+
+    let mut all_ok = true;
+    for (name, args) in steps {
+        let ok = run_step(&rec, &mut results, name, args, &root);
+        all_ok &= ok;
+        // A broken build makes every later step noise; stop early there.
+        if !ok && matches!(name, "fmt" | "clippy" | "build") {
+            eprintln!("== aborting after failed {name} step");
+            break;
+        }
+    }
+
+    // Bench regression gate: fresh numbers vs the committed baseline.
+    let mut deltas: Vec<Delta> = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
+    if results.iter().any(|r| r.name.starts_with("bench-")) {
+        let mut gate_span = rec.kernel("regression-gate");
+        for (file, baseline) in bench_files.iter().zip(&baselines) {
+            let Some(baseline) = baseline else {
+                eprintln!("== regression gate: no committed {file}, skipping");
+                continue;
+            };
+            let Ok(fresh) = std::fs::read_to_string(root.join(file)) else {
+                continue;
+            };
+            deltas.extend(bench_deltas(file, baseline, &fresh));
+        }
+        for d in &deltas {
+            if fails_gate(d) {
+                regressions.push(format!(
+                    "{}:{} {:.3} -> {:.3} (+{:.1}%)",
+                    d.file,
+                    d.key,
+                    d.base,
+                    d.fresh,
+                    d.worse_frac * 100.0
+                ));
+            }
+        }
+        gate_span.count("compared", deltas.len() as u64);
+        gate_span.count("regressions", regressions.len() as u64);
+        drop(gate_span);
+        eprintln!(
+            "== regression gate (tolerance {:.0}%)",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        print_delta_table(&deltas);
+        let gate_ok = regressions.is_empty();
+        results.push(StepResult {
+            name: "regression-gate",
+            command: format!(
+                "compare fresh benches vs committed baselines (>{:.0}% _ms fails)",
+                REGRESSION_TOLERANCE * 100.0
+            ),
+            status: if gate_ok { "pass" } else { "fail" },
+            wall_ms: 0.0,
+        });
+        if !gate_ok {
+            all_ok = false;
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+        }
+    }
+
+    drop(run_span);
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // CI_REPORT.json: per-step status/timings plus the recorder profile.
+    let mut steps_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            steps_json.push(',');
+        }
+        steps_json.push_str(&format!(
+            "{{\"name\":\"{}\",\"command\":\"{}\",\"status\":\"{}\",\"wall_ms\":{:.1}}}",
+            json_escape(r.name),
+            json_escape(&r.command),
+            r.status,
+            r.wall_ms
+        ));
+    }
+    let mut regressions_json = String::new();
+    for (i, r) in regressions.iter().enumerate() {
+        if i > 0 {
+            regressions_json.push(',');
+        }
+        regressions_json.push_str(&format!("\"{}\"", json_escape(r)));
+    }
+    let report = format!(
+        "{{\"ok\":{all_ok},\"total_ms\":{total_ms:.1},\"steps\":[{steps_json}],\
+         \"regressions\":[{regressions_json}],\"profile\":{}}}\n",
+        rec.profile().to_json()
+    );
+    let report_path = root.join("CI_REPORT.json");
+    if let Err(e) = std::fs::write(&report_path, &report) {
+        eprintln!("failed to write {}: {e}", report_path.display());
+    } else {
+        eprintln!("== wrote {}", report_path.display());
+    }
+
+    eprintln!(
+        "== CI {} in {:.1}s",
+        if all_ok { "PASSED" } else { "FAILED" },
+        total_ms / 1e3
+    );
+    std::process::exit(i32::from(!all_ok));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_level_numbers_skips_nested_profile() {
+        let json = r#"{"a_ms":12.5,"name":"x","profile":{"spans":[{"wall_ms":9.0}]},"b":3}"#;
+        let got = top_level_numbers(json);
+        assert_eq!(
+            got,
+            vec![("a_ms".to_owned(), 12.5), ("b".to_owned(), 3.0)],
+            "nested profile numbers must not leak into the baseline set"
+        );
+    }
+
+    #[test]
+    fn gate_requires_relative_and_absolute_regression() {
+        let d = |base: f64, fresh: f64, gated: bool| Delta {
+            file: "BENCH_test.json",
+            key: "x_ms".to_owned(),
+            base,
+            fresh,
+            worse_frac: (fresh - base) / base,
+            gated,
+        };
+        // 48% worse but only 0.85 ms absolute: machine noise, passes.
+        assert!(!fails_gate(&d(1.772, 2.620, true)));
+        // 25% worse and 100 ms absolute: real regression, fails.
+        assert!(fails_gate(&d(400.0, 500.0, true)));
+        // Huge absolute delta but within 20% relative: passes.
+        assert!(!fails_gate(&d(1000.0, 1100.0, true)));
+        // Ungated keys never fail regardless of magnitude.
+        assert!(!fails_gate(&d(10.0, 1000.0, false)));
+    }
+}

@@ -1,7 +1,9 @@
 //! Command dispatch. [`run`] is a pure function from arguments to output
 //! text, so the whole CLI is testable without spawning processes.
 
-use crate::scenario_io::{load_dir, load_dir_checked, write_paper_example, LoadError, LoadedScenario};
+use crate::scenario_io::{
+    load_dir, load_dir_checked, write_paper_example, LoadError, LoadedScenario,
+};
 use obx_core::baseline::DataLevelBeam;
 use obx_core::budget::{CancelToken, SearchBudget};
 use obx_core::explain::{ExplainReport, ExplainTask, SearchLimits, Strategy};
@@ -10,10 +12,12 @@ use obx_core::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, Gre
 use obx_core::validate_scenario;
 use obx_srcdb::Border;
 use obx_util::diag::render_with_source;
-use obx_util::{GuardLimits, GuardTrip};
+use obx_util::obs::Recorder;
+use obx_util::{GuardLimits, GuardTrip, PipelineProfile};
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// CLI failure, rendered to stderr by the binary. Each variant maps to a
@@ -123,12 +127,26 @@ OPTIONS:
   --max-chase N       resource guard: cap cumulative chase facts
   --max-border N      resource guard: cap cumulative border atoms
                       (guards degrade the run to best-so-far, exit code 2)
+  --profile[=FMT]     (explain) append a pipeline profile: per-phase wall
+                      times and kernel counters. FMT is `tree` (default)
+                      or `json`. Profiling never changes the results;
+                      OBX_OBS=0 disables recording and yields an empty
+                      profile
 
 Ctrl-C cancels a running search gracefully: best-so-far results are
 printed, exit code 2. Exit codes: 0 complete, 1 error, 2 partial/degraded
 results, 64 usage.
 
 Queries use the paper-style syntax: q(x) :- studies(x, \"Math\")";
+
+/// Output format of `--profile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProfileFormat {
+    /// Indented span tree (human-oriented, the default).
+    Tree,
+    /// Single-line JSON (machine-oriented; what the bench bins embed).
+    Json,
+}
 
 struct Opts {
     radius: usize,
@@ -140,6 +158,7 @@ struct Opts {
     max_rewrite: Option<usize>,
     max_chase: Option<usize>,
     max_border: Option<usize>,
+    profile: Option<ProfileFormat>,
 }
 
 fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
@@ -153,6 +172,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
         max_rewrite: None,
         max_chase: None,
         max_border: None,
+        profile: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -221,6 +241,20 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
                     return Err(usage_err("--weights must have three values"));
                 }
                 opts.weights = (parts[0], parts[1], parts[2]);
+            }
+            "--profile" => {
+                opts.profile = Some(ProfileFormat::Tree);
+            }
+            other if other.starts_with("--profile=") => {
+                opts.profile = Some(match &other["--profile=".len()..] {
+                    "tree" => ProfileFormat::Tree,
+                    "json" => ProfileFormat::Json,
+                    v => {
+                        return Err(usage_err(format!(
+                            "--profile must be `tree` or `json`, got `{v}`"
+                        )))
+                    }
+                });
             }
             other if other.starts_with("--") => {
                 return Err(usage_err(format!("unknown option `{other}`")));
@@ -302,7 +336,7 @@ pub fn run_cancellable(args: &[String], cancel: &CancelToken) -> Result<CliOutco
             let mut loaded = load(dir)?;
             let ucq = parse_query(&mut loaded, query)?;
             let scoring = scoring_of(&opts);
-            let task = task_of(&loaded, &scoring, &opts, cancel)?;
+            let task = task_of(&loaded, &scoring, &opts, cancel, None)?;
             let e = task
                 .score_ucq(&ucq)
                 .map_err(|e| search_err(format!("score: {e}")))?;
@@ -395,7 +429,7 @@ pub fn run_cancellable(args: &[String], cancel: &CancelToken) -> Result<CliOutco
                 .get(constant)
                 .ok_or_else(|| input_err(format!("unknown constant `{constant}`")))?;
             let scoring = scoring_of(&opts);
-            let task = task_of(&loaded, &scoring, &opts, cancel)?;
+            let task = task_of(&loaded, &scoring, &opts, cancel, None)?;
             match task
                 .evidence(&ucq, &[c])
                 .map_err(|e| search_err(format!("evidence: {e}")))?
@@ -455,10 +489,7 @@ fn validate(dir: &str) -> CliOutcome {
     }
 }
 
-fn parse_query(
-    loaded: &mut LoadedScenario,
-    text: &str,
-) -> Result<obx_query::OntoUcq, CliError> {
+fn parse_query(loaded: &mut LoadedScenario, text: &str) -> Result<obx_query::OntoUcq, CliError> {
     loaded
         .system
         .parse_query(text)
@@ -474,18 +505,23 @@ fn task_of<'a>(
     scoring: &'a Scoring,
     opts: &Opts,
     cancel: &CancelToken,
+    recorder: Option<&Arc<Recorder>>,
 ) -> Result<ExplainTask<'a>, CliError> {
     let limits = SearchLimits {
         top_k: opts.top,
         ..SearchLimits::default()
     };
+    let mut budget = budget_of(opts, cancel);
+    if let Some(rec) = recorder {
+        budget = budget.with_recorder(Arc::clone(rec));
+    }
     ExplainTask::new_with_budget(
         &loaded.system,
         &loaded.labels,
         opts.radius,
         scoring,
         limits,
-        budget_of(opts, cancel),
+        budget,
     )
     .map_err(|e| search_err(format!("task: {e}")))
 }
@@ -495,12 +531,26 @@ fn explain(
     opts: &Opts,
     cancel: &CancelToken,
 ) -> Result<CliOutcome, CliError> {
+    // `--profile` attaches a recorder to the budget; it rides down into
+    // every kernel via the task's interrupt. The run is structured into
+    // sequential phases — prepare (border BFS for every labelled tuple,
+    // inside task construction), search (the strategy), audit (a
+    // profiling-only chase cross-check) — so the phase wall times sum to
+    // the run's total.
+    let recorder = opts.profile.map(|_| Recorder::new());
     let scoring = scoring_of(opts);
-    let task = task_of(loaded, &scoring, opts, cancel)?;
+    let outer = recorder.as_ref().map(|r| r.enter("explain"));
+    let task = {
+        let _prepare = recorder.as_ref().map(|r| r.enter_phase("explain/prepare"));
+        task_of(loaded, &scoring, opts, cancel, recorder.as_ref())?
+    };
     if opts.strategy == "data-level" {
-        let result = DataLevelBeam
-            .explain(&task)
-            .map_err(|e| search_err(format!("explain: {e}")))?;
+        let result = {
+            let _search = recorder.as_ref().map(|r| r.enter_phase("explain/search"));
+            DataLevelBeam
+                .explain(&task)
+                .map_err(|e| search_err(format!("explain: {e}")))?
+        };
         let mut out = String::new();
         for e in result {
             let _ = writeln!(
@@ -513,6 +563,14 @@ fn explain(
                 e.render(&task)
             );
         }
+        drop(outer);
+        if let Some(fmt) = opts.profile {
+            append_profile(
+                &mut out,
+                &recorder.as_ref().map(|r| r.profile()).unwrap_or_default(),
+                fmt,
+            );
+        }
         return Ok(CliOutcome::complete(out));
     }
     let strategy: Box<dyn Strategy> = match opts.strategy.as_str() {
@@ -522,10 +580,54 @@ fn explain(
         "greedy" => Box::new(GreedyUcq::default()),
         other => return Err(usage_err(format!("unknown strategy `{other}`"))),
     };
-    let report = strategy
-        .explain_with_status(&task)
-        .map_err(|e| search_err(format!("explain: {e}")))?;
-    Ok(render_report(&report, &loaded.system, task.budget().guard_trip()))
+    let report = {
+        let _search = recorder.as_ref().map(|r| r.enter_phase("explain/search"));
+        strategy
+            .explain_with_status(&task)
+            .map_err(|e| search_err(format!("explain: {e}")))?
+    };
+    // Audit (profiling only): run the top explanation through the
+    // materialization engine — virtual ABox + chase — as an independent
+    // oracle. Never on the non-profiled path: the chase is deliberately
+    // not part of explain's hot loop.
+    if let Some(rec) = &recorder {
+        let _audit = rec.enter_phase("explain/audit");
+        if let Some(best) = report.explanations.first() {
+            let _ = loaded.system.certain_answers_materialized_interruptible(
+                &best.query,
+                obx_srcdb::View::full(loaded.system.db()),
+                obx_obdm::ChaseConfig::for_ucq(&best.query),
+                task.interrupt(),
+            );
+        }
+    }
+    drop(outer);
+    let mut outcome = render_report(&report, &loaded.system, task.budget().guard_trip());
+    if let Some(fmt) = opts.profile {
+        // Snapshot after the audit phase so it is included (the report's
+        // own `profile` field was frozen at the end of the search).
+        append_profile(
+            &mut outcome.stdout,
+            &recorder.as_ref().map(|r| r.profile()).unwrap_or_default(),
+            fmt,
+        );
+    }
+    Ok(outcome)
+}
+
+/// Appends a [`PipelineProfile`] to the command output in the requested
+/// format: a `-- profile --` header plus the indented span tree, or one
+/// line of JSON.
+fn append_profile(out: &mut String, profile: &PipelineProfile, fmt: ProfileFormat) {
+    match fmt {
+        ProfileFormat::Json => {
+            let _ = writeln!(out, "{}", profile.to_json());
+        }
+        ProfileFormat::Tree => {
+            let _ = writeln!(out, "-- profile --");
+            out.push_str(&profile.render_tree());
+        }
+    }
 }
 
 /// Renders an [`ExplainReport`]: one ranked line per explanation, and —
@@ -613,12 +715,7 @@ mod tests {
     #[test]
     fn score_reproduces_example_3_8() {
         with_scenario("score", |dir| {
-            let out = run(&args(&[
-                "score",
-                dir,
-                r#"q(x) :- likes(x, "Science")"#,
-            ]))
-            .unwrap();
+            let out = run(&args(&["score", dir, r#"q(x) :- likes(x, "Science")"#])).unwrap();
             assert!(out.contains("0.8333"), "{out}");
             assert!(out.contains("2/4 of λ⁺"), "{out}");
         });
@@ -699,9 +796,19 @@ mod tests {
     #[test]
     fn data_level_strategy_is_reachable() {
         with_scenario("datalevel", |dir| {
-            let out =
-                run(&args(&["explain", dir, "--strategy", "data-level", "--top", "2"])).unwrap();
-            assert!(out.contains("ENR") || out.contains("STUD") || out.contains("LOC"), "{out}");
+            let out = run(&args(&[
+                "explain",
+                dir,
+                "--strategy",
+                "data-level",
+                "--top",
+                "2",
+            ]))
+            .unwrap();
+            assert!(
+                out.contains("ENR") || out.contains("STUD") || out.contains("LOC"),
+                "{out}"
+            );
         });
     }
 
@@ -714,7 +821,11 @@ mod tests {
             assert_eq!(out.exit_code, 2, "{}", out.stdout);
             assert!(out.stdout.contains("OBX203"), "{}", out.stdout);
             assert!(out.stdout.contains("STUD"), "{}", out.stdout);
-            assert!(out.stdout.contains("0 error(s), 1 warning(s)"), "{}", out.stdout);
+            assert!(
+                out.stdout.contains("0 error(s), 1 warning(s)"),
+                "{}",
+                out.stdout
+            );
         });
     }
 
@@ -743,7 +854,11 @@ mod tests {
         .unwrap();
         assert_eq!(out.exit_code, 1, "{}", out.stdout);
         assert_eq!(out.stdout.matches("OBX001").count(), 5, "{}", out.stdout);
-        assert!(out.stdout.contains("could not be assembled"), "{}", out.stdout);
+        assert!(
+            out.stdout.contains("could not be assembled"),
+            "{}",
+            out.stdout
+        );
     }
 
     #[test]
@@ -758,7 +873,11 @@ mod tests {
             // Best-so-far results still print, plus the stop-reason footer
             // naming the tripped guard and its counts.
             assert!(out.stdout.starts_with("Z = "), "{}", out.stdout);
-            assert!(out.stdout.contains("search stopped early"), "{}", out.stdout);
+            assert!(
+                out.stdout.contains("search stopped early"),
+                "{}",
+                out.stdout
+            );
             assert!(
                 out.stdout.contains("resource guard tripped: border atoms"),
                 "{}",

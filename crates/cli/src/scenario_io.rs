@@ -79,12 +79,10 @@ fn parse_err(file: &str, msg: impl ToString) -> LoadError {
 /// Loads `schema.obx`, `data.obx`, `ontology.obx`, `mapping.obx`,
 /// `labels.obx` from `dir` and assembles the system.
 pub fn load_dir(dir: &Path) -> Result<LoadedScenario, LoadError> {
-    let schema =
-        parse_schema(&read(dir, "schema.obx")?).map_err(|e| parse_err("schema.obx", e))?;
-    let mut db = parse_database(schema, &read(dir, "data.obx")?)
-        .map_err(|e| parse_err("data.obx", e))?;
-    let tbox =
-        parse_tbox(&read(dir, "ontology.obx")?).map_err(|e| parse_err("ontology.obx", e))?;
+    let schema = parse_schema(&read(dir, "schema.obx")?).map_err(|e| parse_err("schema.obx", e))?;
+    let mut db =
+        parse_database(schema, &read(dir, "data.obx")?).map_err(|e| parse_err("data.obx", e))?;
+    let tbox = parse_tbox(&read(dir, "ontology.obx")?).map_err(|e| parse_err("ontology.obx", e))?;
     let mapping = {
         let (schema_ref, consts) = db.schema_and_consts_mut();
         parse_mapping(schema_ref, tbox.vocab(), consts, &read(dir, "mapping.obx")?)
@@ -139,7 +137,11 @@ fn read_checked(dir: &Path, file: &str, diags: &mut Diagnostics) -> Option<Strin
         Ok(s) => Some(s),
         Err(e) => {
             let valid = e.utf8_error().valid_up_to();
-            let line = e.as_bytes()[..valid].iter().filter(|&&b| b == b'\n').count() + 1;
+            let line = e.as_bytes()[..valid]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+                + 1;
             diags.push(
                 Diagnostic::error(
                     file,
@@ -171,12 +173,11 @@ pub fn load_dir_checked(dir: &Path) -> CheckedLoad {
         }
         texts.push(text);
     }
-    let [schema_txt, data_txt, onto_txt, map_txt, labels_txt]: [Option<String>; 5] = match texts
-        .try_into()
-    {
-        Ok(a) => a,
-        Err(_) => unreachable!("SCENARIO_FILES has five entries"),
-    };
+    let [schema_txt, data_txt, onto_txt, map_txt, labels_txt]: [Option<String>; 5] =
+        match texts.try_into() {
+            Ok(a) => a,
+            Err(_) => unreachable!("SCENARIO_FILES has five entries"),
+        };
 
     let all_readable = [&schema_txt, &data_txt, &onto_txt, &map_txt, &labels_txt]
         .iter()
@@ -202,7 +203,11 @@ pub fn load_dir_checked(dir: &Path) -> CheckedLoad {
         &mut diags,
     );
     let mut db = parse_database_diag(schema, data_input, "data.obx", &mut diags);
-    let tbox = parse_tbox_diag(onto_txt.as_deref().unwrap_or(""), "ontology.obx", &mut diags);
+    let tbox = parse_tbox_diag(
+        onto_txt.as_deref().unwrap_or(""),
+        "ontology.obx",
+        &mut diags,
+    );
     let mapping = {
         let (schema_ref, consts) = db.schema_and_consts_mut();
         parse_mapping_diag(

@@ -30,10 +30,8 @@ pub struct SrcExplanation {
 impl SrcExplanation {
     /// Renders with the system's schema/constants.
     pub fn render(&self, task: &ExplainTask<'_>) -> String {
-        self.query.render(
-            task.system().db().schema(),
-            task.system().db().consts(),
-        )
+        self.query
+            .render(task.system().db().schema(), task.system().db().consts())
     }
 }
 
@@ -78,9 +76,8 @@ impl DataLevelBeam {
                         }
                     })
                     .collect();
-                starts.push(
-                    SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(rel, args)]).expect("safe"),
-                );
+                starts
+                    .push(SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(rel, args)]).expect("safe"));
             }
         }
 
@@ -129,7 +126,11 @@ impl DataLevelBeam {
             num_disjuncts: 1,
         };
         let score = task.scoring().score(&ctx);
-        SrcExplanation { query: cq, score, stats }
+        SrcExplanation {
+            query: cq,
+            score,
+            stats,
+        }
     }
 }
 
@@ -184,7 +185,11 @@ fn refine(task: &ExplainTask<'_>, cq: &SrcCq, consts: &[Const]) -> Vec<SrcCq> {
             if cq.head().contains(&v1) && cq.head().contains(&v2) {
                 continue;
             }
-            let (keep, gone) = if cq.head().contains(&v2) { (v2, v1) } else { (v1, v2) };
+            let (keep, gone) = if cq.head().contains(&v2) {
+                (v2, v1)
+            } else {
+                (v1, v2)
+            };
             let mut subst = obx_util::FxHashMap::default();
             subst.insert(gone, Term::Var(keep));
             let body = cq.body().iter().map(|a| a.substitute(&subst)).collect();
@@ -230,9 +235,9 @@ fn refine(task: &ExplainTask<'_>, cq: &SrcCq, consts: &[Const]) -> Vec<SrcCq> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explain::SearchLimits;
     use crate::labels::Labels;
     use crate::score::Scoring;
-    use crate::explain::SearchLimits;
     use obx_obdm::example_3_6_system;
 
     #[test]
@@ -241,8 +246,7 @@ mod tests {
         // λ⁺ = Math students; data-level can nail this via ENR(x,"Math",z).
         let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ E25\n- C12\n- D50").unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let result = DataLevelBeam.explain(&task).unwrap();
         assert!(!result.is_empty());
         let best = &result[0];
@@ -261,8 +265,7 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ C12\n+ D50\n- A10\n- B80\n- E25").unwrap();
         let scoring = Scoring::accuracy();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let result = DataLevelBeam.explain(&task).unwrap();
         let best = &result[0];
         assert!(best.stats.perfect(), "{}", best.render(&task));
@@ -274,8 +277,7 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ A10, Math").unwrap();
         let scoring = Scoring::accuracy();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         assert!(matches!(
             DataLevelBeam.explain(&task),
             Err(ExplainError::UnsupportedArity { .. })

@@ -16,6 +16,7 @@
 // panics would defeat the whole anytime contract.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use obx_util::obs::Recorder;
 use obx_util::{GuardLimits, GuardTrip, Interrupt, ResourceGuard};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -135,6 +136,7 @@ pub struct SearchBudget {
     max_evals: Option<u64>,
     cancel: CancelToken,
     guard: Option<Arc<ResourceGuard>>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl SearchBudget {
@@ -183,6 +185,24 @@ impl SearchBudget {
     /// The first guard trip of the run, if one happened.
     pub fn guard_trip(&self) -> Option<GuardTrip> {
         self.guard.as_ref().and_then(|g| g.trip())
+    }
+
+    /// Attaches an observability [`Recorder`]: the whole run — task
+    /// preparation, every strategy round, every kernel invocation — records
+    /// spans and counters into it, and [`finalize_report`] snapshots it
+    /// into [`ExplainReport::profile`]. Recording never changes results;
+    /// without a recorder (the default) the profile stays empty.
+    ///
+    /// [`finalize_report`]: crate::explain::finalize_report
+    /// [`ExplainReport::profile`]: crate::explain::ExplainReport::profile
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// Attaches an externally-owned cancellation token (e.g. one also
@@ -260,6 +280,9 @@ impl SearchBudget {
         }
         if let Some(g) = &self.guard {
             i = i.with_guard(Arc::clone(g));
+        }
+        if let Some(r) = &self.recorder {
+            i = i.with_recorder(Arc::clone(r));
         }
         i
     }

@@ -439,11 +439,7 @@ impl ScoringEngine {
     /// the input. Candidates whose compilation fails are dropped (a
     /// pathological candidate should not abort the whole search) — use
     /// [`ScoringEngine::score_batch_outcome`] to observe the losses.
-    pub fn score_batch(
-        &self,
-        task: &ExplainTask<'_>,
-        candidates: Vec<OntoCq>,
-    ) -> Vec<Explanation> {
+    pub fn score_batch(&self, task: &ExplainTask<'_>, candidates: Vec<OntoCq>) -> Vec<Explanation> {
         self.score_batch_outcome(task, candidates).explanations
     }
 
@@ -497,6 +493,12 @@ impl ScoringEngine {
         pool_floor: f64,
     ) -> BatchOutcome {
         let n = planned.len();
+        let t0 = std::time::Instant::now();
+        let mut sp = obx_util::span!(self.recorder_of(task), "score_batch");
+        sp.count("candidates", n as u64);
+        if pool_floor.is_finite() {
+            sp.count("floor_active", 1);
+        }
         let quarantined = AtomicUsize::new(0);
         let bounds: Vec<f64> = planned
             .iter()
@@ -545,11 +547,23 @@ impl ScoringEngine {
             })
             .collect();
         explanations.extend(self.score_indices(task, &planned, &phase2, &quarantined));
+        sp.count("scored", explanations.len() as u64);
+        sp.count("pruned", pruned as u64);
+        BATCH_NS.record_duration(t0.elapsed());
         BatchOutcome {
             explanations,
             quarantined: quarantined.into_inner(),
             pruned,
         }
+    }
+
+    /// The recorder riding on `task`'s budget, if any — the hook every
+    /// engine span goes through (absent recorder ⇒ all spans are no-ops).
+    fn recorder_of<'t>(
+        &self,
+        task: &'t ExplainTask<'_>,
+    ) -> Option<&'t std::sync::Arc<obx_util::obs::Recorder>> {
+        task.budget().recorder()
     }
 
     /// Scores `planned[indices]` (in `indices` order) under the
@@ -590,16 +604,28 @@ impl ScoringEngine {
             }
             out
         } else {
+            let rec = self.recorder_of(task);
             let pool = self.pool.get_or_init(|| WorkerPool::new(self.threads - 1));
             let cursor = AtomicUsize::new(0);
             let slots: Vec<OnceLock<Option<Explanation>>> =
                 (0..n).map(|_| OnceLock::new()).collect();
-            pool.run(&|| loop {
-                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                if k >= n || task.stop_reason().is_some() {
-                    break;
+            pool.run(&|| {
+                // One span per participating worker, all at the same path:
+                // entry count = workers that pulled work, `tasks` sums the
+                // pulls, `max_tasks` is the heaviest worker's share —
+                // together the batch's utilization picture.
+                let mut wsp = obx_util::span!(rec, "score_workers");
+                let mut pulled = 0u64;
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n || task.stop_reason().is_some() {
+                        break;
+                    }
+                    let _ = slots[k].set(score_one(&planned[indices[k]]));
+                    pulled += 1;
                 }
-                let _ = slots[k].set(score_one(&planned[indices[k]]));
+                wsp.count("tasks", pulled);
+                wsp.count_max("max_tasks", pulled);
             });
             slots
                 .into_iter()
@@ -608,6 +634,13 @@ impl ScoringEngine {
         }
     }
 }
+
+/// Process-wide latency histogram of [`ScoringEngine::score_batch_planned`]
+/// calls, in nanoseconds — the p50/p95/p99 line of `obx_util::obs::
+/// metrics_json`. A relaxed atomic per sample; free when observability is
+/// off.
+static BATCH_NS: std::sync::LazyLock<&'static obx_util::obs::Histogram> =
+    std::sync::LazyLock::new(|| obx_util::obs::histogram("obx.engine.batch_ns"));
 
 impl Default for ScoringEngine {
     fn default() -> Self {
@@ -639,7 +672,9 @@ fn configured_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Incremental toggle: `OBX_INCREMENTAL` set to `0`, `off`, `false`, or
@@ -733,9 +768,7 @@ impl WorkerPool {
             }),
             work_ready: Condvar::new(),
         });
-        let handles = (0..workers)
-            .map(|i| spawn_worker(&shared, i))
-            .collect();
+        let handles = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
         Self {
             shared,
             handles: Mutex::new(handles),
@@ -898,7 +931,11 @@ mod tests {
             .cloned()
             .collect();
         let su = task.score_ucq(&union).unwrap().stats;
-        assert_eq!(task.engine().eval_calls(), evals, "assembly must be evaluator-free");
+        assert_eq!(
+            task.engine().eval_calls(),
+            evals,
+            "assembly must be evaluator-free"
+        );
         // q2 matches {A10, B80} + E25; q3 matches {C12, D50}. Their union
         // covers all of λ⁺ and still hits E25.
         assert_eq!((s2.pos_matched, s2.neg_matched), (2, 1));
@@ -919,8 +956,16 @@ mod tests {
         assert!(task.engine().stats_ucq(task.prepared(), &q).is_err());
         let misses = task.engine().cache_misses();
         assert!(task.engine().stats_ucq(task.prepared(), &q).is_err());
-        assert_eq!(task.engine().cache_misses(), misses, "failure answered from cache");
-        assert_eq!(task.engine().eval_calls(), 0, "failed compiles never evaluate");
+        assert_eq!(
+            task.engine().cache_misses(),
+            misses,
+            "failure answered from cache"
+        );
+        assert_eq!(
+            task.engine().eval_calls(),
+            0,
+            "failed compiles never evaluate"
+        );
     }
 
     #[test]
@@ -962,7 +1007,11 @@ mod tests {
         // set/remove of OBX_THREADS, so the global-env path is only
         // exercised for its parse logic, never by mutating the env.
         assert_eq!(ScoringEngine::with_threads(3).threads(), 3);
-        assert_eq!(ScoringEngine::with_threads(0).threads(), 1, "clamped to >= 1");
+        assert_eq!(
+            ScoringEngine::with_threads(0).threads(),
+            1,
+            "clamped to >= 1"
+        );
         // `new` resolves to *some* positive count whatever the env says.
         assert!(ScoringEngine::new().threads() >= 1);
     }
@@ -1050,8 +1099,7 @@ mod tests {
         // stable sort keeps the input order exactly.
         let off = Arc::new(ScoringEngine::with_config(1, false));
         let task_off = task.with_engine(Arc::clone(&off));
-        let outcome =
-            off.score_batch_planned(&task_off, planned(Some(hopeless)), 1, f64::INFINITY);
+        let outcome = off.score_batch_planned(&task_off, planned(Some(hopeless)), 1, f64::INFINITY);
         assert_eq!(outcome.pruned, 0);
         let queries: Vec<_> = outcome
             .explanations

@@ -8,7 +8,7 @@ use crate::matcher::{MatchStats, PreparedLabels};
 use crate::score::Scoring;
 use obx_obdm::{ObdmError, ObdmSystem};
 use obx_query::{OntoCq, OntoUcq};
-use obx_util::Interrupt;
+use obx_util::{Interrupt, PipelineProfile};
 use std::fmt;
 use std::sync::Arc;
 
@@ -135,6 +135,12 @@ pub struct ExplainReport {
     /// ranking, so they were never compiled or evaluated. Informational —
     /// pruning never changes the explanations above.
     pub pruned: usize,
+    /// The run's observability snapshot: per-phase wall times and kernel
+    /// counters, captured from the recorder riding on the task's budget
+    /// ([`SearchBudget::with_recorder`]). Empty when no recorder was
+    /// attached or observability is off (`OBX_OBS=0`). Informational —
+    /// never consulted by the search itself.
+    pub profile: PipelineProfile,
 }
 
 impl ExplainReport {
@@ -145,6 +151,7 @@ impl ExplainReport {
             termination: Termination::Complete,
             quarantined: 0,
             pruned: 0,
+            profile: PipelineProfile::default(),
         }
     }
 }
@@ -174,7 +181,14 @@ impl<'a> ExplainTask<'a> {
         scoring: &'a Scoring,
         limits: SearchLimits,
     ) -> Result<Self, ExplainError> {
-        Self::new_with_budget(system, labels, radius, scoring, limits, SearchBudget::unlimited())
+        Self::new_with_budget(
+            system,
+            labels,
+            radius,
+            scoring,
+            limits,
+            SearchBudget::unlimited(),
+        )
     }
 
     /// [`ExplainTask::new`] under a [`SearchBudget`]: the budget's
@@ -345,9 +359,9 @@ impl<'a> ExplainTask<'a> {
         cq: &OntoCq,
         parent: Option<&crate::prune::ParentHandle>,
     ) -> Result<Explanation, ExplainError> {
-        let entry = self
-            .engine
-            .disjunct_with_parent(&self.prepared, cq, &self.interrupt, parent)?;
+        let entry =
+            self.engine
+                .disjunct_with_parent(&self.prepared, cq, &self.interrupt, parent)?;
         let stats = entry.bits.stats();
         let ctx = CriterionCtx {
             stats: &stats,
@@ -388,7 +402,9 @@ impl<'a> ExplainTask<'a> {
         // union, and the cached compilations are reused across calls.
         for d in query.disjuncts() {
             let entry = self.engine.disjunct(&self.prepared, d)?;
-            if let Some((_, atoms)) = entry.compiled.evidence(obx_srcdb::View::masked(db, border), t)
+            if let Some((_, atoms)) = entry
+                .compiled
+                .evidence(obx_srcdb::View::masked(db, border), t)
             {
                 return Ok(Some(
                     atoms
@@ -487,11 +503,25 @@ pub(crate) fn finalize_report(
     pruned: usize,
 ) -> ExplainReport {
     let explanations = finalize(task, pool, top_k);
+    let profile = match task.budget().recorder() {
+        Some(rec) if rec.is_enabled() => {
+            // Cumulative engine totals are *gauges* (overwrite): a
+            // meta-strategy finalizes twice (base run + its own) over one
+            // shared engine, and additive merging would double-count.
+            rec.gauge_in_phase("engine", "cache_hits", task.engine().cache_hits());
+            rec.gauge_in_phase("engine", "cache_misses", task.engine().cache_misses());
+            rec.gauge_in_phase("engine", "evals", task.engine().eval_calls());
+            rec.gauge_in_phase("engine", "evals_saved", task.engine().evals_saved());
+            rec.profile()
+        }
+        _ => PipelineProfile::default(),
+    };
     ExplainReport {
         explanations,
         termination: Termination::from_run(task.final_stop(), quarantined),
         quarantined,
         pruned,
+        profile,
     }
 }
 
@@ -538,10 +568,9 @@ fn cmp_ucq_structural(a: &OntoUcq, b: &OntoUcq) -> std::cmp::Ordering {
             }
             (OntoAtom::Concept(..), OntoAtom::Role(..)) => Ordering::Less,
             (OntoAtom::Role(..), OntoAtom::Concept(..)) => Ordering::Greater,
-            (OntoAtom::Role(r1, s1, o1), OntoAtom::Role(r2, s2, o2)) => r1
-                .cmp(r2)
-                .then_with(|| s1.cmp(s2))
-                .then_with(|| o1.cmp(o2)),
+            (OntoAtom::Role(r1, s1, o1), OntoAtom::Role(r2, s2, o2)) => {
+                r1.cmp(r2).then_with(|| s1.cmp(s2)).then_with(|| o1.cmp(o2))
+            }
         }
     }
     fn cmp_cq(x: &OntoCq, y: &OntoCq) -> Ordering {
@@ -557,17 +586,14 @@ fn cmp_ucq_structural(a: &OntoUcq, b: &OntoUcq) -> std::cmp::Ordering {
                     .unwrap_or(Ordering::Equal)
             })
     }
-    a.disjuncts()
-        .len()
-        .cmp(&b.disjuncts().len())
-        .then_with(|| {
-            a.disjuncts()
-                .iter()
-                .zip(b.disjuncts())
-                .map(|(p, q)| cmp_cq(p, q))
-                .find(|o| *o != std::cmp::Ordering::Equal)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+    a.disjuncts().len().cmp(&b.disjuncts().len()).then_with(|| {
+        a.disjuncts()
+            .iter()
+            .zip(b.disjuncts())
+            .map(|(p, q)| cmp_cq(p, q))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 #[cfg(test)]
@@ -583,8 +609,7 @@ mod tests {
             .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
             .unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let e = task.score_ucq(&q1).unwrap();
         assert!((e.score - 0.6944).abs() < 1e-3);
         assert_eq!(e.stats.pos_matched, 3);
@@ -612,8 +637,7 @@ mod tests {
             .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
             .unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let a10 = sys.db().consts().get("A10").unwrap();
         let ev = task.evidence(&q1, &[a10]).unwrap().expect("A10 matches q1");
         // The grounding facts: A10's enrolment and the Rome location.
@@ -639,8 +663,7 @@ mod tests {
         let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
         let q = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let healthy = task.score_ucq(&q).unwrap();
         let poisoned = |s: f64| Explanation {
             score: s,
@@ -671,14 +694,16 @@ mod tests {
         let q_big = sys
             .parse_query(r#"q(x) :- studies(x, "Math"), likes(x, "Math")"#)
             .unwrap();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let e_small = task.score_ucq(&q_small).unwrap();
         let e_big = task.score_ucq(&q_big).unwrap();
         let ranked = rank(vec![e_big.clone(), e_small.clone()], 10);
         assert!(ranked[0].score >= ranked[1].score);
         // Same coverage: the smaller query must rank first via δ5.
-        assert!(ranked[0].query.disjuncts()[0].num_atoms() <= ranked[1].query.disjuncts()[0].num_atoms());
+        assert!(
+            ranked[0].query.disjuncts()[0].num_atoms()
+                <= ranked[1].query.disjuncts()[0].num_atoms()
+        );
         // top_k truncation.
         assert_eq!(rank(vec![e_small, e_big], 1).len(), 1);
     }

@@ -176,10 +176,7 @@ impl Labels {
             let (sign, rest) = line
                 .split_at_checked(1)
                 .ok_or_else(|| LabelsError::Parse(line.to_owned()))?;
-            let tuple: Tuple = rest
-                .split(',')
-                .map(|c| db.constant(c.trim()))
-                .collect();
+            let tuple: Tuple = rest.split(',').map(|c| db.constant(c.trim())).collect();
             if tuple.is_empty() || rest.trim().is_empty() {
                 return Err(LabelsError::Parse(line.to_owned()));
             }
@@ -196,12 +193,7 @@ impl Labels {
     /// (`OBX15x`) in `diags`, the offending line is skipped, and the labels
     /// that did parse are returned. Duplicate labels — silently collapsed by
     /// [`Labels::parse`] — are additionally reported as `OBX155` warnings.
-    pub fn parse_diag(
-        db: &mut Database,
-        text: &str,
-        file: &str,
-        diags: &mut Diagnostics,
-    ) -> Self {
+    pub fn parse_diag(db: &mut Database, text: &str, file: &str, diags: &mut Diagnostics) -> Self {
         let mut labels = Self::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line_no = lineno + 1;
@@ -216,9 +208,8 @@ impl Labels {
             let col = col_of(raw, line);
             let bad_line = |msg: String, diags: &mut Diagnostics| {
                 diags.push(
-                    Diagnostic::error(file, line_no, col, "OBX151", msg).with_hint(
-                        "label lines are `+ c1, c2, ...` or `- c1, c2, ...`",
-                    ),
+                    Diagnostic::error(file, line_no, col, "OBX151", msg)
+                        .with_hint("label lines are `+ c1, c2, ...` or `- c1, c2, ...`"),
                 );
             };
             let Some((sign, rest)) = line.split_at_checked(1) else {
@@ -260,7 +251,13 @@ impl Labels {
             match added {
                 Ok(()) => {}
                 Err(e @ LabelsError::MixedArity { .. }) => {
-                    diags.push(Diagnostic::error(file, line_no, col, "OBX152", e.to_string()));
+                    diags.push(Diagnostic::error(
+                        file,
+                        line_no,
+                        col,
+                        "OBX152",
+                        e.to_string(),
+                    ));
                 }
                 Err(e @ LabelsError::Conflict(_)) => {
                     diags.push(
@@ -269,7 +266,13 @@ impl Labels {
                     );
                 }
                 Err(e) => {
-                    diags.push(Diagnostic::error(file, line_no, col, "OBX151", e.to_string()));
+                    diags.push(Diagnostic::error(
+                        file,
+                        line_no,
+                        col,
+                        "OBX151",
+                        e.to_string(),
+                    ));
                 }
             }
         }
@@ -303,11 +306,9 @@ mod tests {
         let mut db = db();
         let a = db.constant("a");
         let b = db.constant("b");
-        let labels = Labels::from_tuples(
-            [vec![a].into_boxed_slice()],
-            [vec![b].into_boxed_slice()],
-        )
-        .unwrap();
+        let labels =
+            Labels::from_tuples([vec![a].into_boxed_slice()], [vec![b].into_boxed_slice()])
+                .unwrap();
         assert_eq!(labels.pos().len(), 1);
         assert_eq!(labels.neg().len(), 1);
         assert_eq!(labels.arity(), Some(1));
@@ -346,7 +347,13 @@ mod tests {
         let mut labels = Labels::new();
         labels.add_pos(vec![a].into_boxed_slice()).unwrap();
         let err = labels.add_pos(vec![a, b].into_boxed_slice()).unwrap_err();
-        assert!(matches!(err, LabelsError::MixedArity { expected: 1, got: 2 }));
+        assert!(matches!(
+            err,
+            LabelsError::MixedArity {
+                expected: 1,
+                got: 2
+            }
+        ));
     }
 
     #[test]

@@ -258,7 +258,12 @@ impl<'a> PreparedLabels<'a> {
     }
 
     /// Whether the compiled query J-matches one tuple's border.
-    pub fn matches(&self, compiled: &CompiledQuery, tuple: &[Const], border: &FxHashSet<AtomId>) -> bool {
+    pub fn matches(
+        &self,
+        compiled: &CompiledQuery,
+        tuple: &[Const],
+        border: &FxHashSet<AtomId>,
+    ) -> bool {
         compiled.member(View::masked(self.system.db(), border), tuple)
     }
 

@@ -34,9 +34,8 @@ impl PaperExample {
     /// Builds the scenario.
     pub fn new() -> Self {
         let mut system = example_3_6_system();
-        let labels =
-            Labels::parse(system.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25")
-                .expect("static labels");
+        let labels = Labels::parse(system.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25")
+            .expect("static labels");
         let q1 = system
             .parse_query(r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#)
             .expect("static q1");

@@ -109,7 +109,10 @@ impl ScoreExpr {
             .enumerate()
             .map(|(i, &w)| ScoreExpr::Scale(w, Box::new(ScoreExpr::Var(i))))
             .collect();
-        ScoreExpr::Scale(if total == 0.0 { 0.0 } else { 1.0 / total }, Box::new(ScoreExpr::Sum(terms)))
+        ScoreExpr::Scale(
+            if total == 0.0 { 0.0 } else { 1.0 / total },
+            Box::new(ScoreExpr::Sum(terms)),
+        )
     }
 }
 
@@ -235,9 +238,24 @@ mod tests {
     /// Z1(q2); see EXPERIMENTS.md).
     #[test]
     fn example_3_8_scores() {
-        let s1 = MatchStats { pos_matched: 3, pos_total: 4, neg_matched: 0, neg_total: 1 };
-        let s2 = MatchStats { pos_matched: 2, pos_total: 4, neg_matched: 1, neg_total: 1 };
-        let s3 = MatchStats { pos_matched: 2, pos_total: 4, neg_matched: 0, neg_total: 1 };
+        let s1 = MatchStats {
+            pos_matched: 3,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 1,
+        };
+        let s2 = MatchStats {
+            pos_matched: 2,
+            pos_total: 4,
+            neg_matched: 1,
+            neg_total: 1,
+        };
+        let s3 = MatchStats {
+            pos_matched: 2,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 1,
+        };
         let z1 = Scoring::paper_weighted(1.0, 1.0, 1.0);
         let z2 = Scoring::paper_weighted(3.0, 1.0, 1.0);
 
@@ -319,9 +337,19 @@ mod tests {
                 ),
             ]),
         );
-        let bad = MatchStats { pos_matched: 4, pos_total: 4, neg_matched: 1, neg_total: 1 };
+        let bad = MatchStats {
+            pos_matched: 4,
+            pos_total: 4,
+            neg_matched: 1,
+            neg_total: 1,
+        };
         assert_eq!(z.score(&q_ctx(&bad, 1)), 0.0);
-        let good = MatchStats { pos_matched: 4, pos_total: 4, neg_matched: 0, neg_total: 1 };
+        let good = MatchStats {
+            pos_matched: 4,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 1,
+        };
         assert_eq!(z.score(&q_ctx(&good, 1)), 1.0);
     }
 
@@ -341,7 +369,10 @@ mod tests {
             ScoreExpr::Product(vec![ScoreExpr::Var(0), ScoreExpr::Var(1)]),
             ScoreExpr::Div(Box::new(ScoreExpr::Var(0)), Box::new(ScoreExpr::Var(1))),
             ScoreExpr::Min(vec![ScoreExpr::Var(0), ScoreExpr::Const(0.4)]),
-            ScoreExpr::Max(vec![ScoreExpr::Var(1), ScoreExpr::Scale(-1.0, Box::new(ScoreExpr::Var(0)))]),
+            ScoreExpr::Max(vec![
+                ScoreExpr::Var(1),
+                ScoreExpr::Scale(-1.0, Box::new(ScoreExpr::Var(0))),
+            ]),
             ScoreExpr::Sum(vec![
                 ScoreExpr::Var(0),
                 ScoreExpr::Scale(0.5, Box::new(ScoreExpr::Var(1))),
@@ -396,7 +427,11 @@ mod tests {
             for pos in 0..=parent.pos_matched {
                 for neg in 0..=parent.neg_matched {
                     for atoms in 1..=4 {
-                        let child = MatchStats { pos_matched: pos, neg_matched: neg, ..parent };
+                        let child = MatchStats {
+                            pos_matched: pos,
+                            neg_matched: neg,
+                            ..parent
+                        };
                         let s = scoring.score(&q_ctx(&child, atoms));
                         assert!(s <= down + 1e-12, "specialize {s} > bound {down}");
                     }
@@ -405,7 +440,11 @@ mod tests {
             let up = scoring.optimistic_bound(RefineDir::Generalize, &pctx);
             for pos in parent.pos_matched..=parent.pos_total {
                 for neg in parent.neg_matched..=parent.neg_total {
-                    let child = MatchStats { pos_matched: pos, neg_matched: neg, ..parent };
+                    let child = MatchStats {
+                        pos_matched: pos,
+                        neg_matched: neg,
+                        ..parent
+                    };
                     let s = scoring.score(&q_ctx(&child, 1));
                     assert!(s <= up + 1e-12, "generalize {s} > bound {up}");
                 }
@@ -413,7 +452,10 @@ mod tests {
         }
         // A custom criterion disables the bound entirely.
         let opaque = Scoring::new(
-            vec![Criterion::Custom { name: "opaque", f: std::sync::Arc::new(|_| 0.5) }],
+            vec![Criterion::Custom {
+                name: "opaque",
+                f: std::sync::Arc::new(|_| 0.5),
+            }],
             ScoreExpr::Var(0),
         );
         assert_eq!(

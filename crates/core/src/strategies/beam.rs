@@ -20,7 +20,7 @@
 
 use super::{
     beam_window, dedup_candidates, dedup_planned, pool_cap, pool_floor_of, require_unary,
-    score_batch_outcome, score_batch_planned, select_beam,
+    round_span, score_batch_outcome, score_batch_planned, select_beam,
 };
 use crate::engine::PlannedCq;
 use crate::explain::{
@@ -97,9 +97,20 @@ impl Strategy for BeamSearch {
             // in-batch beam window and the current pool floor cannot enter
             // the beam or survive the pool truncation, so skipping it is
             // output-invariant.
+            //
+            // Note on `pruned == 0` runs (e.g. the bundled search bench):
+            // the pruning *is* wired — every round goes through
+            // `score_batch_planned` with both guards — but Specialize
+            // bounds are the parent's optimistic score, and under
+            // coverage-style scorings a high-coverage parent bounds near
+            // the maximum, so no child is *provably* below both floors.
+            // Zero prunes there means "bounds never excluded anyone", not
+            // "pruning disconnected"; `strategy_pruning.rs` pins the
+            // distinction with a scenario where prunes must be nonzero.
             let floor = pool_floor_of(&pool, cap);
-            let outcome =
-                score_batch_planned(task, fresh, beam_window(limits.beam_width), floor);
+            let mut rsp = round_span(task, "beam_round", _round, fresh.len(), floor);
+            let outcome = score_batch_planned(task, fresh, beam_window(limits.beam_width), floor);
+            rsp.count("pruned", outcome.pruned as u64);
             quarantined += outcome.quarantined;
             pruned += outcome.pruned;
             let scored = outcome.explanations;
@@ -109,17 +120,14 @@ impl Strategy for BeamSearch {
             pool.extend(scored.clone());
             pool = rank(pool, cap);
             beam = select_beam(scored, limits.beam_width);
-            if std::env::var_os("OBX_DEBUG_BEAM").is_some() {
-                eprintln!("-- round {_round}: beam --");
-                for e in &beam {
-                    eprintln!(
-                        "  {:.4} pos{} neg{} {:?}",
-                        e.score, e.stats.pos_matched, e.stats.neg_matched, e.query
-                    );
-                }
-            }
         }
-        Ok(finalize_report(task, pool, limits.top_k, quarantined, pruned))
+        Ok(finalize_report(
+            task,
+            pool,
+            limits.top_k,
+            quarantined,
+            pruned,
+        ))
     }
 }
 
@@ -267,7 +275,11 @@ pub(super) fn refine(task: &ExplainTask<'_>, cq: &OntoCq, consts: &[Const]) -> V
             if cq.head().contains(&v1) && cq.head().contains(&v2) {
                 continue;
             }
-            let (keep, gone) = if cq.head().contains(&v2) { (v2, v1) } else { (v1, v2) };
+            let (keep, gone) = if cq.head().contains(&v2) {
+                (v2, v1)
+            } else {
+                (v1, v2)
+            };
             let mut subst = obx_util::FxHashMap::default();
             subst.insert(gone, Term::Var(keep));
             out.push(cq.substitute_body(&subst));
@@ -280,19 +292,17 @@ pub(super) fn refine(task: &ExplainTask<'_>, cq: &OntoCq, consts: &[Const]) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explain::SearchLimits;
     use crate::labels::Labels;
     use crate::score::Scoring;
-    use crate::explain::SearchLimits;
     use obx_obdm::example_3_6_system;
 
     #[test]
     fn beam_finds_a_high_scoring_explanation_on_the_paper_example() {
         let mut sys = example_3_6_system();
-        let labels =
-            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let result = BeamSearch.explain(&task).unwrap();
         assert!(!result.is_empty());
         // Example 3.8 shows q3 reaches 0.833 under these weights; the beam
@@ -330,8 +340,7 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ A10, B80").unwrap();
         let scoring = Scoring::balanced();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         assert!(matches!(
             BeamSearch.explain(&task),
             Err(ExplainError::UnsupportedArity { .. })
@@ -343,13 +352,16 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
         let scoring = Scoring::balanced();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let vocab = sys.spec().tbox().vocab();
         let studies = vocab.get_role("studies").unwrap();
         let cq = OntoCq::new(
             vec![VarId(0)],
-            vec![OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+            vec![OntoAtom::Role(
+                studies,
+                Term::Var(VarId(0)),
+                Term::Var(VarId(1)),
+            )],
         )
         .unwrap();
         let consts = task.prepared().relevant_constants(4);

@@ -15,8 +15,8 @@
 //! λ of arbitrary arity.
 
 use super::{
-    beam_window, dedup_candidates, dedup_planned, pool_cap, pool_floor_of, score_batch_outcome,
-    score_batch_planned, select_beam,
+    beam_window, dedup_candidates, dedup_planned, pool_cap, pool_floor_of, round_span,
+    score_batch_outcome, score_batch_planned, select_beam,
 };
 use crate::engine::PlannedCq;
 use crate::explain::{
@@ -114,8 +114,9 @@ impl Strategy for BottomUpGeneralize {
                 break;
             }
             let floor = pool_floor_of(&pool, cap);
-            let outcome =
-                score_batch_planned(task, fresh, beam_window(limits.beam_width), floor);
+            let mut rsp = round_span(task, "bottom_up_round", _round, fresh.len(), floor);
+            let outcome = score_batch_planned(task, fresh, beam_window(limits.beam_width), floor);
+            rsp.count("pruned", outcome.pruned as u64);
             quarantined += outcome.quarantined;
             pruned += outcome.pruned;
             let scored = outcome.explanations;
@@ -126,7 +127,13 @@ impl Strategy for BottomUpGeneralize {
             pool = rank(pool, cap);
             beam = select_beam(scored, limits.beam_width);
         }
-        Ok(finalize_report(task, pool, limits.top_k, quarantined, pruned))
+        Ok(finalize_report(
+            task,
+            pool,
+            limits.top_k,
+            quarantined,
+            pruned,
+        ))
     }
 }
 
@@ -140,10 +147,7 @@ fn most_specific_query(
     max_seed_atoms: usize,
 ) -> Option<OntoCq> {
     let system = task.system();
-    let abox = virtual_abox(
-        system.spec().mapping(),
-        View::masked(system.db(), border),
-    );
+    let abox = virtual_abox(system.spec().mapping(), View::masked(system.db(), border));
     // Tuple constants ↦ answer variables; everything else stays constant.
     let var_of: FxHashMap<Const, VarId> = tuple
         .iter()
@@ -201,7 +205,13 @@ pub(super) fn generalize(task: &ExplainTask<'_>, cq: &OntoCq) -> Vec<OntoCq> {
             .body()
             .iter()
             .map(|a| {
-                let map = |t: Term| if t == Term::Const(c) { Term::Var(fresh) } else { t };
+                let map = |t: Term| {
+                    if t == Term::Const(c) {
+                        Term::Var(fresh)
+                    } else {
+                        t
+                    }
+                };
                 match *a {
                     OntoAtom::Concept(k, t) => OntoAtom::Concept(k, map(t)),
                     OntoAtom::Role(r, t1, t2) => OntoAtom::Role(r, map(t1), map(t2)),
@@ -243,9 +253,9 @@ pub(super) fn generalize(task: &ExplainTask<'_>, cq: &OntoCq) -> Vec<OntoCq> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explain::SearchLimits;
     use crate::labels::Labels;
     use crate::score::Scoring;
-    use crate::explain::SearchLimits;
     use obx_obdm::example_3_6_system;
 
     #[test]
@@ -253,8 +263,7 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
         let scoring = Scoring::accuracy();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let (tuple, border) = &task.prepared().pos()[0];
         let seed = most_specific_query(&task, tuple, border, 24).unwrap();
         let e = task.score_cq(&seed).unwrap();
@@ -264,8 +273,7 @@ mod tests {
     #[test]
     fn generalization_reaches_a_good_explanation() {
         let mut sys = example_3_6_system();
-        let labels =
-            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
         let limits = SearchLimits {
             max_rounds: 10,
@@ -288,8 +296,7 @@ mod tests {
         // λ over (student, subject) pairs.
         let labels = Labels::parse(sys.db_mut(), "+ A10, Math\n- C12, Math").unwrap();
         let scoring = Scoring::accuracy();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let result = BottomUpGeneralize::default().explain(&task).unwrap();
         assert!(!result.is_empty());
         let best = &result[0];
@@ -302,14 +309,17 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ A10").unwrap();
         let scoring = Scoring::accuracy();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let vocab = sys.spec().tbox().vocab();
         let studies = vocab.get_role("studies").unwrap();
         let likes = vocab.get_role("likes").unwrap();
         let cq = OntoCq::new(
             vec![VarId(0)],
-            vec![OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+            vec![OntoAtom::Role(
+                studies,
+                Term::Var(VarId(0)),
+                Term::Var(VarId(1)),
+            )],
         )
         .unwrap();
         let gens = generalize(&task, &cq);

@@ -8,7 +8,7 @@
 //! the answer variable) and the relevant constants of the positive
 //! borders.
 
-use super::{pool_floor_of, require_unary, score_batch_planned};
+use super::{pool_floor_of, require_unary, round_span, score_batch_planned};
 use crate::engine::PlannedCq;
 use crate::explain::{
     finalize_report, rank, ExplainError, ExplainReport, ExplainTask, Explanation, Strategy,
@@ -116,13 +116,20 @@ impl Strategy for ExhaustiveSearch {
         let mut ranked_pool: Vec<Explanation> = Vec::new();
         let mut quarantined = 0usize;
         let mut pruned = 0usize;
-        for chunk in deduped.chunks(CHUNK) {
+        for (ci, chunk) in deduped.chunks(CHUNK).enumerate() {
             // The batch loop below also stops at candidate granularity when
             // the budget fires; whatever scored by then is ranked and
             // returned anytime.
             if task.stop_reason().is_some() {
                 break;
             }
+            let mut rsp = round_span(
+                task,
+                "exhaustive_chunk",
+                ci,
+                chunk.len(),
+                pool_floor_of(&ranked_pool, cap),
+            );
             let planned: Vec<PlannedCq> = chunk
                 .iter()
                 .map(|(cq, parent)| PlannedCq {
@@ -141,6 +148,7 @@ impl Strategy for ExhaustiveSearch {
                 .collect();
             let floor = pool_floor_of(&ranked_pool, cap);
             let outcome = score_batch_planned(task, planned, 0, floor);
+            rsp.count("pruned", outcome.pruned as u64);
             quarantined += outcome.quarantined;
             pruned += outcome.pruned;
             ranked_pool.extend(outcome.explanations);
@@ -169,7 +177,9 @@ fn connected_and_safe(body: &[OntoAtom]) -> bool {
     // holding x0.
     let n = body.len();
     let mut reached = vec![false; n];
-    let mut frontier: Vec<usize> = (0..n).filter(|&i| mentions_var(&body[i], VarId(0))).collect();
+    let mut frontier: Vec<usize> = (0..n)
+        .filter(|&i| mentions_var(&body[i], VarId(0)))
+        .collect();
     for &i in &frontier {
         reached[i] = true;
     }
@@ -178,9 +188,7 @@ fn connected_and_safe(body: &[OntoAtom]) -> bool {
             if reached[j] {
                 continue;
             }
-            let shares = body[i]
-                .terms()
-                .any(|t| body[j].terms().any(|u| u == t));
+            let shares = body[i].terms().any(|t| body[j].terms().any(|u| u == t));
             if shares {
                 reached[j] = true;
                 frontier.push(j);
@@ -203,7 +211,10 @@ impl<'a> StopPoll<'a> {
     const TICK_MASK: u32 = 0x3FF;
 
     fn new(interrupt: &'a Interrupt) -> Self {
-        Self { interrupt, ticks: 0 }
+        Self {
+            interrupt,
+            ticks: 0,
+        }
     }
 
     /// True when the interrupt fired (polled every `TICK_MASK + 1` calls).
@@ -279,7 +290,8 @@ pub fn candidate_space_size(task: &ExplainTask<'_>) -> usize {
     let vocab = task.system().spec().tbox().vocab();
     let v = limits.max_vars;
     let t = v + consts.len();
-    let atoms = vocab.num_concepts() * v + vocab.num_roles() * (t * t - consts.len() * consts.len());
+    let atoms =
+        vocab.num_concepts() * v + vocab.num_roles() * (t * t - consts.len() * consts.len());
     // Upper bound: subsets up to max_atoms.
     (0..=limits.max_atoms).map(|k| binom(atoms, k)).sum()
 }
@@ -302,9 +314,9 @@ type Seen = FxHashSet<OntoCq>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explain::SearchLimits;
     use crate::labels::Labels;
     use crate::score::Scoring;
-    use crate::explain::SearchLimits;
     use obx_obdm::example_3_6_system;
 
     fn small_limits() -> SearchLimits {
@@ -320,15 +332,18 @@ mod tests {
     #[test]
     fn exhaustive_one_atom_finds_q3_like_query() {
         let mut sys = example_3_6_system();
-        let labels =
-            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
         let task = ExplainTask::new(&sys, &labels, 1, &scoring, small_limits()).unwrap();
         let result = ExhaustiveSearch::default().explain(&task).unwrap();
         assert!(!result.is_empty());
         // The 1-atom optimum under Z1 is 0.833 (q3 in the paper, or the
         // equivalent studies(x, "Science")).
-        assert!((result[0].score - 0.8333).abs() < 1e-3, "{}", result[0].score);
+        assert!(
+            (result[0].score - 0.8333).abs() < 1e-3,
+            "{}",
+            result[0].score
+        );
     }
 
     #[test]
@@ -347,7 +362,11 @@ mod tests {
             OntoAtom::Role(likes, Term::Var(VarId(2)), Term::Var(VarId(3))),
         ];
         assert!(!connected_and_safe(&disconnected));
-        let no_head = vec![OntoAtom::Role(studies, Term::Var(VarId(1)), Term::Var(VarId(2)))];
+        let no_head = vec![OntoAtom::Role(
+            studies,
+            Term::Var(VarId(1)),
+            Term::Var(VarId(2)),
+        )];
         assert!(!connected_and_safe(&no_head));
         let _ = sys.db_mut();
     }

@@ -90,6 +90,11 @@ impl Strategy for GreedyUcq {
             if task.stop_reason().is_some() {
                 break;
             }
+            // One span per assembly step, all under one path: `trials`
+            // counts unions actually scored, `bound_skipped` the interval
+            // gate's rejections, `disjuncts` the deepest union reached.
+            let mut sp = obx_util::span!(task.budget().recorder(), "greedy_step");
+            sp.count_max("disjuncts", chosen.len() as u64);
             let mut improvement: Option<(OntoCq, Explanation)> = None;
             for cand in &candidates {
                 if chosen.contains(cand) {
@@ -123,6 +128,7 @@ impl Strategy for GreedyUcq {
                         );
                         if bound <= threshold + 1e-12 {
                             bound_skipped += 1;
+                            sp.count("bound_skipped", 1);
                             continue;
                         }
                     }
@@ -130,6 +136,7 @@ impl Strategy for GreedyUcq {
                 // A disjunct whose scoring fails must not abort the whole
                 // assembly: skip it. Permanent failures are quarantined;
                 // transient (budget-fired) ones count as "not reached".
+                sp.count("trials", 1);
                 let scored = match task.score_ucq(&ucq_of(&trial)) {
                     Ok(e) => e,
                     Err(e) => {
@@ -226,9 +233,9 @@ fn union_bound(
 mod tests {
     use super::*;
     use crate::criteria::Criterion;
+    use crate::explain::SearchLimits;
     use crate::labels::Labels;
     use crate::score::{ScoreExpr, Scoring};
-    use crate::explain::SearchLimits;
     use obx_obdm::example_3_6_system;
 
     /// With coverage weighted heavily and δ6 light, the union
@@ -236,8 +243,7 @@ mod tests {
     #[test]
     fn greedy_union_covers_heterogeneous_positives() {
         let mut sys = example_3_6_system();
-        let labels =
-            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
         let scoring = Scoring::new(
             vec![
                 Criterion::PosCoverage,
@@ -254,7 +260,8 @@ mod tests {
         let result = GreedyUcq::default().explain(&task).unwrap();
         let best = &result[0];
         assert_eq!(
-            best.stats.pos_matched, 4,
+            best.stats.pos_matched,
+            4,
             "the union should cover all positives: {}",
             best.render(&sys)
         );
@@ -265,8 +272,7 @@ mod tests {
     #[test]
     fn greedy_stops_when_disjuncts_stop_paying() {
         let mut sys = example_3_6_system();
-        let labels =
-            Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        let labels = Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
         // δ6 dominates: additional disjuncts are punished hard, so greedy
         // must keep the union small.
         let scoring = Scoring::new(
@@ -277,8 +283,7 @@ mod tests {
             ],
             ScoreExpr::weighted_average(&[1.0, 1.0, 10.0]),
         );
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let result = GreedyUcq::default().explain(&task).unwrap();
         assert!(result[0].query.len() <= 2);
     }

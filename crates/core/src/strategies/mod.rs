@@ -58,6 +58,33 @@ pub(crate) fn score_batch_planned(
         .score_batch_planned(task, planned, window, pool_floor)
 }
 
+/// Opens the per-round observability span of a round-loop strategy. All
+/// rounds aggregate under one path per strategy (nested under the current
+/// recorder phase, e.g. `"explain/search/beam_round"`): `candidates` sums
+/// the batch sizes, `depth` is the deepest round reached, and the prune
+/// floor's evolution is captured as `floor_milli` — the highest finite
+/// floor seen, in thousandths of a score unit (span counters are
+/// integers) — plus `floor_active`, the number of rounds the floor was
+/// finite. Callers add `pruned` after scoring; dropping the span records
+/// the round's wall time. A no-op when the task's budget carries no
+/// recorder.
+pub(crate) fn round_span<'t>(
+    task: &'t ExplainTask<'_>,
+    name: &str,
+    round: usize,
+    candidates: usize,
+    floor: f64,
+) -> obx_util::obs::Span<'t> {
+    let mut sp = obx_util::span!(task.budget().recorder(), name);
+    sp.count("candidates", candidates as u64);
+    sp.count_max("depth", round as u64);
+    if floor.is_finite() {
+        sp.count("floor_active", 1);
+        sp.count_max("floor_milli", (floor.max(0.0) * 1000.0) as u64);
+    }
+    sp
+}
+
 /// The number of ranked batch candidates beam selection may ever inspect
 /// ([`select_beam`] truncates to this window); the engine's in-batch prune
 /// guard is sized to match.
@@ -188,11 +215,7 @@ pub mod refinement {
     /// One-step specializations of `cq`: beam search's downward operator
     /// (add atom, bind constant, merge variables, Hasse-down), bounded by
     /// the task's limits. `consts` is the constant pool for binding.
-    pub fn specializations(
-        task: &ExplainTask<'_>,
-        cq: &OntoCq,
-        consts: &[Const],
-    ) -> Vec<OntoCq> {
+    pub fn specializations(task: &ExplainTask<'_>, cq: &OntoCq, consts: &[Const]) -> Vec<OntoCq> {
         beam::refine(task, cq, consts)
     }
 
@@ -245,9 +268,9 @@ pub(crate) fn require_unary(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explain::SearchLimits;
     use crate::labels::Labels;
     use crate::score::Scoring;
-    use crate::explain::SearchLimits;
     use obx_obdm::example_3_6_system;
     use obx_query::{OntoAtom, Term, VarId};
 
@@ -256,8 +279,7 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ A10\n- E25").unwrap();
         let scoring = Scoring::balanced();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         let vocab = sys.spec().tbox().vocab();
         let studies = vocab.get_role("studies").unwrap();
         let likes = vocab.get_role("likes").unwrap();
@@ -281,12 +303,20 @@ mod tests {
         let studies = vocab.get_role("studies").unwrap();
         let a = OntoCq::new(
             vec![VarId(0)],
-            vec![OntoAtom::Role(studies, Term::Var(VarId(0)), Term::Var(VarId(1)))],
+            vec![OntoAtom::Role(
+                studies,
+                Term::Var(VarId(0)),
+                Term::Var(VarId(1)),
+            )],
         )
         .unwrap();
         let b = OntoCq::new(
             vec![VarId(3)],
-            vec![OntoAtom::Role(studies, Term::Var(VarId(3)), Term::Var(VarId(7)))],
+            vec![OntoAtom::Role(
+                studies,
+                Term::Var(VarId(3)),
+                Term::Var(VarId(7)),
+            )],
         )
         .unwrap();
         assert_eq!(dedup_candidates(vec![a, b]).len(), 1);
@@ -298,8 +328,7 @@ mod tests {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), "+ A10, B80").unwrap();
         let scoring = Scoring::balanced();
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         assert!(matches!(
             require_unary(&task, "beam"),
             Err(ExplainError::UnsupportedArity { arity: 2, .. })

@@ -72,8 +72,11 @@ mod tests {
 
     fn rewrite_concept(tbox: &TBox, name: &str) -> usize {
         let c = tbox.vocab().get_concept(name).unwrap();
-        let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(c, Term::Var(VarId(0)))])
-            .unwrap();
+        let q = OntoCq::new(
+            vec![VarId(0)],
+            vec![OntoAtom::Concept(c, Term::Var(VarId(0)))],
+        )
+        .unwrap();
         perfect_ref(&OntoUcq::from_cq(q), tbox, RewriteBudget::default())
             .unwrap()
             .len()
@@ -96,8 +99,7 @@ mod tests {
             vec![OntoAtom::Role(r, Term::Var(VarId(0)), Term::Var(VarId(1)))],
         )
         .unwrap();
-        let rewritten =
-            perfect_ref(&OntoUcq::from_cq(q), &tbox, RewriteBudget::default()).unwrap();
+        let rewritten = perfect_ref(&OntoUcq::from_cq(q), &tbox, RewriteBudget::default()).unwrap();
         assert_eq!(rewritten.len(), 6);
     }
 

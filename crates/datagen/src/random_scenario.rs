@@ -107,7 +107,8 @@ pub fn random_system(params: RandomParams, rng: &mut StdRng) -> ObdmSystem {
     for _ in 0..params.n_concept_facts {
         let c = rng.gen_range(0..params.n_concepts);
         let i = rng.gen_range(0..params.n_individuals);
-        db.insert_named(&format!("TC{c}"), &[&ind(i)]).expect("fits");
+        db.insert_named(&format!("TC{c}"), &[&ind(i)])
+            .expect("fits");
     }
     for _ in 0..params.n_role_facts {
         let r = rng.gen_range(0..params.n_roles);
@@ -120,7 +121,8 @@ pub fn random_system(params: RandomParams, rng: &mut StdRng) -> ObdmSystem {
     // are fine, absent constants are not).
     for i in 0..params.n_individuals {
         let c = rng.gen_range(0..params.n_concepts);
-        db.insert_named(&format!("TC{c}"), &[&ind(i)]).expect("fits");
+        db.insert_named(&format!("TC{c}"), &[&ind(i)])
+            .expect("fits");
     }
 
     let (schema_ref, consts) = db.schema_and_consts_mut();

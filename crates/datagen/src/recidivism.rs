@@ -152,6 +152,9 @@ mod tests {
             "bias not surfaced by `{rendered}` (score {})",
             best.score
         );
-        assert!(best.stats.perfect(), "planted rule is learnable: {rendered}");
+        assert!(
+            best.stats.perfect(),
+            "planted rule is learnable: {rendered}"
+        );
     }
 }

@@ -41,8 +41,16 @@ pub fn fidelity(
     let a = system.certain_answers(learned)?;
     let b = system.certain_answers(truth)?;
     let inter = a.intersection(&b).count() as f64;
-    let precision = if a.is_empty() { 0.0 } else { inter / a.len() as f64 };
-    let recall = if b.is_empty() { 0.0 } else { inter / b.len() as f64 };
+    let precision = if a.is_empty() {
+        0.0
+    } else {
+        inter / a.len() as f64
+    };
+    let recall = if b.is_empty() {
+        0.0
+    } else {
+        inter / b.len() as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -93,7 +101,14 @@ mod tests {
         let mut sys = example_3_6_system();
         let q = sys.parse_query(r#"q(x) :- studies(x, "Math")"#).unwrap();
         let f = fidelity(&sys, &q, &q).unwrap();
-        assert_eq!(f, Fidelity { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            f,
+            Fidelity {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
     }
 
     #[test]

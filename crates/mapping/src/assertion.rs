@@ -1,8 +1,8 @@
 //! GAV mapping assertions.
 
+use obx_ontology::OntoVocab;
 use obx_query::{OntoAtom, SrcCq, Term, VarId};
 use obx_srcdb::{ConstPool, Schema};
-use obx_ontology::OntoVocab;
 use std::fmt;
 
 /// Errors constructing a mapping assertion.
@@ -16,7 +16,11 @@ impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MappingError::UnboundHeadVar(v) => {
-                write!(f, "mapping head uses variable x{} not bound by the body", v.0)
+                write!(
+                    f,
+                    "mapping head uses variable x{} not bound by the body",
+                    v.0
+                )
             }
         }
     }
@@ -37,10 +41,7 @@ impl MappingAssertion {
     pub fn new(body: SrcCq, head: OntoAtom) -> Result<Self, MappingError> {
         for t in head.terms() {
             if let Term::Var(v) = t {
-                let bound = body
-                    .body()
-                    .iter()
-                    .any(|a| a.args.contains(&Term::Var(v)));
+                let bound = body.body().iter().any(|a| a.args.contains(&Term::Var(v)));
                 if !bound {
                     return Err(MappingError::UnboundHeadVar(v));
                 }
@@ -60,12 +61,7 @@ impl MappingAssertion {
     }
 
     /// Renders like `ENR(x0, x1, x2) ~> studies(x0, x1)`.
-    pub fn render(
-        &self,
-        schema: &Schema,
-        vocab: &OntoVocab,
-        consts: &ConstPool,
-    ) -> String {
+    pub fn render(&self, schema: &Schema, vocab: &OntoVocab, consts: &ConstPool) -> String {
         let body = self
             .body
             .body()
@@ -125,8 +121,8 @@ impl Mapping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use obx_query::SrcAtom;
     use obx_ontology::parse_tbox;
+    use obx_query::SrcAtom;
     use obx_srcdb::parse_schema;
 
     #[test]
@@ -139,7 +135,11 @@ mod tests {
             vec![VarId(0), VarId(1)],
             vec![SrcAtom::new(
                 enr,
-                [Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Var(VarId(2))],
+                [
+                    Term::Var(VarId(0)),
+                    Term::Var(VarId(1)),
+                    Term::Var(VarId(2)),
+                ],
             )],
         )
         .unwrap();
@@ -166,7 +166,11 @@ mod tests {
             vec![VarId(0), VarId(1)],
             vec![SrcAtom::new(
                 enr,
-                [Term::Var(VarId(0)), Term::Var(VarId(1)), Term::Var(VarId(2))],
+                [
+                    Term::Var(VarId(0)),
+                    Term::Var(VarId(1)),
+                    Term::Var(VarId(2)),
+                ],
             )],
         )
         .unwrap();

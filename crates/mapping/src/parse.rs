@@ -17,9 +17,9 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::assertion::{Mapping, MappingAssertion};
+use obx_ontology::OntoVocab;
 use obx_query::{parse_onto_cq, parse_src_cq, OntoAtom, QueryParseError, Term, VarId};
 use obx_srcdb::{ConstPool, Schema};
-use obx_ontology::OntoVocab;
 use obx_util::diag::{col_of, Diagnostic, Diagnostics};
 use obx_util::FxHashMap;
 
@@ -34,7 +34,13 @@ fn err(msg: impl Into<String>) -> QueryParseError {
 /// Rebases an error from a synthesized helper query (`q(...) :- {seg}`)
 /// onto the original raw line: `seg` must be a subslice of `raw`, and
 /// `prefix_chars` is the synthesized prefix length in characters.
-fn rebase(raw: &str, seg: &str, prefix_chars: usize, mut e: QueryParseError, line: usize) -> QueryParseError {
+fn rebase(
+    raw: &str,
+    seg: &str,
+    prefix_chars: usize,
+    mut e: QueryParseError,
+    line: usize,
+) -> QueryParseError {
     e.line = line;
     e.col = if e.col > prefix_chars {
         col_of(raw, seg) + (e.col - prefix_chars - 1)
@@ -307,7 +313,10 @@ mod tests {
         assert_eq!(m.len(), 1);
         let a = &m.assertions()[0];
         assert_eq!(a.body().num_atoms(), 2);
-        assert!(matches!(a.head(), OntoAtom::Concept(_, Term::Var(VarId(0)))));
+        assert!(matches!(
+            a.head(),
+            OntoAtom::Concept(_, Term::Var(VarId(0)))
+        ));
     }
 
     #[test]
@@ -335,8 +344,8 @@ mod tests {
         assert_eq!(e.line, 2, "{e}");
         assert!(e.to_string().starts_with("line 2"), "{e}");
         // Body errors point into the body segment of the raw line.
-        let e = parse_mapping(&schema, tbox.vocab(), &mut consts, "NOPE(x) ~> r(x, x)")
-            .unwrap_err();
+        let e =
+            parse_mapping(&schema, tbox.vocab(), &mut consts, "NOPE(x) ~> r(x, x)").unwrap_err();
         assert_eq!((e.line, e.col), (1, 1), "{e}");
     }
 
@@ -346,11 +355,11 @@ mod tests {
         let tbox = parse_tbox("role r\nconcept A").unwrap();
         let mut consts = ConstPool::new();
         for bad in [
-            "R(x) -> r(x, x)",                  // wrong arrow
-            "R(x) ~> r(x, y), A(x)",            // two head atoms
-            "R(x) ~> unknown(x, x)",            // unknown role
-            "R(x, y) ~> r(x, y)",               // body arity mismatch
-            r#"R(x) ~> r("a", "b")"#,           // no head variable
+            "R(x) -> r(x, x)",        // wrong arrow
+            "R(x) ~> r(x, y), A(x)",  // two head atoms
+            "R(x) ~> unknown(x, x)",  // unknown role
+            "R(x, y) ~> r(x, y)",     // body arity mismatch
+            r#"R(x) ~> r("a", "b")"#, // no head variable
         ] {
             assert!(
                 parse_mapping(&schema, tbox.vocab(), &mut consts, bad).is_err(),
@@ -375,10 +384,7 @@ mod tests {
         );
         assert_eq!(m.len(), 1, "the good assertion survives");
         let codes: Vec<(&str, usize)> = diags.iter().map(|d| (d.code, d.line)).collect();
-        assert_eq!(
-            codes,
-            vec![("OBX131", 2), ("OBX132", 3), ("OBX134", 4)]
-        );
+        assert_eq!(codes, vec![("OBX131", 2), ("OBX132", 3), ("OBX134", 4)]);
     }
 
     #[test]

@@ -156,7 +156,10 @@ impl Unfolder<'_> {
             }
             if ok {
                 for a in assertion.body().body() {
-                    body.push(SrcAtom::new(a.rel, a.args.iter().map(|&t| shift(t, offset))));
+                    body.push(SrcAtom::new(
+                        a.rel,
+                        a.args.iter().map(|&t| shift(t, offset)),
+                    ));
                 }
                 self.dfs(cq, atom_idx + 1, fresh, body, subst)?;
             }
@@ -191,25 +194,20 @@ pub fn unfold(
 mod tests {
     use super::*;
     use crate::parse::parse_mapping;
+    use obx_ontology::parse_tbox;
     use obx_query::{eval, parse_onto_cq};
     use obx_srcdb::{parse_database, parse_schema, View};
-    use obx_ontology::parse_tbox;
 
-    fn fixture() -> (
-        obx_srcdb::Database,
-        obx_ontology::TBox,
-        Mapping,
-    ) {
+    fn fixture() -> (obx_srcdb::Database, obx_ontology::TBox, Mapping) {
         let schema = parse_schema("STUD/1 LOC/2 ENR/3").unwrap();
         let mut db = parse_database(
             schema,
             "STUD(A10)\nLOC(TV, Rome)\nENR(A10, Math, TV)\nENR(E25, Math, Pol)\nLOC(Pol, Milan)",
         )
         .unwrap();
-        let tbox = parse_tbox(
-            "concept Student\nrole studies taughtIn locatedIn likes\nstudies < likes",
-        )
-        .unwrap();
+        let tbox =
+            parse_tbox("concept Student\nrole studies taughtIn locatedIn likes\nstudies < likes")
+                .unwrap();
         let (schema, consts) = db.schema_and_consts_mut();
         let mapping = parse_mapping(
             schema,
@@ -302,13 +300,8 @@ mod tests {
         let mut db = parse_database(schema, "R(a)").unwrap();
         let tbox = parse_tbox("role r").unwrap();
         let (schema, consts) = db.schema_and_consts_mut();
-        let mapping = parse_mapping(
-            schema,
-            tbox.vocab(),
-            consts,
-            r#"R(x) ~> r(x, "home")"#,
-        )
-        .unwrap();
+        let mapping =
+            parse_mapping(schema, tbox.vocab(), consts, r#"R(x) ~> r(x, "home")"#).unwrap();
         // q(x) :- r(x, y): y unifies with "home".
         let q = parse_onto_cq(tbox.vocab(), db.consts_mut(), "q(x) :- r(x, y)").unwrap();
         let src = unfold(&mapping, &OntoUcq::from_cq(q), 1000).unwrap();
@@ -316,8 +309,7 @@ mod tests {
         let ans = eval::answers_ucq(View::full(&db), &src);
         assert_eq!(ans.len(), 1);
         // But an *answer* variable cannot be bound to a constant: dropped.
-        let q2 =
-            parse_onto_cq(tbox.vocab(), db.consts_mut(), "q(x, y) :- r(x, y)").unwrap();
+        let q2 = parse_onto_cq(tbox.vocab(), db.consts_mut(), "q(x, y) :- r(x, y)").unwrap();
         let src2 = unfold(&mapping, &OntoUcq::from_cq(q2), 1000).unwrap();
         assert!(src2.is_empty());
         // A mismatching constant in the query also drops the disjunct.
@@ -330,8 +322,7 @@ mod tests {
         let src3 = unfold(&mapping, &OntoUcq::from_cq(q3), 1000).unwrap();
         assert!(src3.is_empty());
         // While the matching constant keeps it.
-        let q4 = parse_onto_cq(tbox.vocab(), db.consts_mut(), r#"q(x) :- r(x, "home")"#)
-            .unwrap();
+        let q4 = parse_onto_cq(tbox.vocab(), db.consts_mut(), r#"q(x) :- r(x, "home")"#).unwrap();
         let src4 = unfold(&mapping, &OntoUcq::from_cq(q4), 1000).unwrap();
         assert_eq!(src4.len(), 1);
     }

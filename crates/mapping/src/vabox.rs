@@ -8,9 +8,9 @@
 //! rewriting engine.
 
 use crate::assertion::Mapping;
+use obx_ontology::ABox;
 use obx_query::{eval, OntoAtom, SrcCq, Term, VarId};
 use obx_srcdb::{Const, Database, View};
-use obx_ontology::ABox;
 use obx_util::FxHashMap;
 
 /// Materializes the virtual ABox `M(D)` over `view` (pass a full view for
@@ -64,8 +64,8 @@ pub fn virtual_abox_with_stats(mapping: &Mapping, db: &Database) -> (ABox<Const>
             vs.dedup();
             vs
         };
-        let proj = SrcCq::new(head_vars, assertion.body().body().to_vec())
-            .expect("assertion invariant");
+        let proj =
+            SrcCq::new(head_vars, assertion.body().body().to_vec()).expect("assertion invariant");
         if !eval::answers(View::full(db), &proj).is_empty() {
             productive += 1;
         }
@@ -162,13 +162,7 @@ mod tests {
         let mut db = parse_database(schema, "R(a, b)\nR(a, c)").unwrap();
         let tbox = parse_tbox("concept A").unwrap();
         let (schema, consts) = db.schema_and_consts_mut();
-        let mapping = parse_mapping(
-            schema,
-            tbox.vocab(),
-            consts,
-            "R(x, y) ~> A(x)",
-        )
-        .unwrap();
+        let mapping = parse_mapping(schema, tbox.vocab(), consts, "R(x, y) ~> A(x)").unwrap();
         let abox = virtual_abox(&mapping, View::full(&db));
         assert_eq!(abox.len(), 1, "A(a) asserted once despite two witnesses");
     }
@@ -201,13 +195,8 @@ mod tests {
         let mut db = parse_database(schema, "R(a)").unwrap();
         let tbox = parse_tbox("role r").unwrap();
         let (schema, consts) = db.schema_and_consts_mut();
-        let mapping = parse_mapping(
-            schema,
-            tbox.vocab(),
-            consts,
-            r#"R(x) ~> r(x, "home")"#,
-        )
-        .unwrap();
+        let mapping =
+            parse_mapping(schema, tbox.vocab(), consts, r#"R(x) ~> r(x, "home")"#).unwrap();
         let abox = virtual_abox(&mapping, View::full(&db));
         let r = tbox.vocab().get_role("r").unwrap();
         let a = db.consts().get("a").unwrap();

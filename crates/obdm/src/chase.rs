@@ -90,6 +90,7 @@ pub fn chase_abox_interruptible(
     config: ChaseConfig,
     interrupt: &obx_util::Interrupt,
 ) -> MaterializedAbox {
+    let mut sp = obx_util::span!(interrupt.recorder(), "chase");
     let mut chased: ABox<Ind> = ABox::new();
     for (c, i) in abox.concept_assertions() {
         chased.assert_concept(c, Ind::C(i));
@@ -122,6 +123,7 @@ pub fn chase_abox_interruptible(
         if interrupt.is_triggered() {
             break;
         }
+        sp.count("rounds", 1);
         let mut changed = false;
 
         // Role subsumption: p(s, o) and p ⊑* q gives q-assertions.
@@ -182,15 +184,22 @@ pub fn chase_abox_interruptible(
         last_len = chased.len();
     }
 
+    sp.count("facts", chased.len() as u64);
+    sp.count("nulls", u64::from(next_null));
+    CHASE_FACTS.add(chased.len() as u64);
     MaterializedAbox::build(tbox, &chased)
 }
+
+/// Process-wide count of chased facts (per-run counts live on the `chase`
+/// span).
+static CHASE_FACTS: std::sync::LazyLock<&'static obx_util::obs::Counter> =
+    std::sync::LazyLock::new(|| obx_util::obs::counter("obx.chase.facts"));
 
 fn has_successor(abox: &ABox<Ind>, x: Ind, role: Role) -> bool {
     // x has an R-successor iff some assertion role.id(x, _) (direct) or
     // role.id(_, x) (inverse) exists.
-    abox.role_assertions().any(|(p, s, o)| {
-        p == role.id && if role.inverse { o == x } else { s == x }
-    })
+    abox.role_assertions()
+        .any(|(p, s, o)| p == role.id && if role.inverse { o == x } else { s == x })
 }
 
 /// A chased ABox converted into an ordinary indexed [`Database`] over a
@@ -321,10 +330,7 @@ impl MaterializedAbox {
 
     /// Membership check for one tuple (of original constants).
     pub fn member(&self, ucq: &OntoUcq, tuple: &[Const]) -> bool {
-        let mapped: Option<Vec<Const>> = tuple
-            .iter()
-            .map(|c| self.to_db.get(c).copied())
-            .collect();
+        let mapped: Option<Vec<Const>> = tuple.iter().map(|c| self.to_db.get(c).copied()).collect();
         let Some(mapped) = mapped else {
             return false;
         };
@@ -343,8 +349,11 @@ mod tests {
 
     /// TBox with an existential: Student ⊑ ∃enrolledIn, ∃enrolledIn⁻ ⊑
     /// Course. Mapped from a single unary table.
-    fn existential_fixture() -> (obx_srcdb::Database, obx_ontology::TBox, obx_mapping::Mapping)
-    {
+    fn existential_fixture() -> (
+        obx_srcdb::Database,
+        obx_ontology::TBox,
+        obx_mapping::Mapping,
+    ) {
         let schema = obx_srcdb::parse_schema("S/1").unwrap();
         let mut db = obx_srcdb::parse_database(schema, "S(alice)").unwrap();
         let tbox = obx_ontology::parse_tbox(
@@ -353,13 +362,9 @@ mod tests {
         )
         .unwrap();
         let (schema_ref, consts) = db.schema_and_consts_mut();
-        let mapping = obx_mapping::parse_mapping(
-            schema_ref,
-            tbox.vocab(),
-            consts,
-            "S(x) ~> Student(x)",
-        )
-        .unwrap();
+        let mapping =
+            obx_mapping::parse_mapping(schema_ref, tbox.vocab(), consts, "S(x) ~> Student(x)")
+                .unwrap();
         (db, tbox, mapping)
     }
 
@@ -385,8 +390,7 @@ mod tests {
         assert!(chased.member(&q, &[alice]));
         // q(x, y) :- enrolledIn(x, y): the only witness is a null — no
         // certain answer.
-        let q2 =
-            parse_onto_ucq(tbox.vocab(), &mut pool2, "q(x, y) :- enrolledIn(x, y)").unwrap();
+        let q2 = parse_onto_ucq(tbox.vocab(), &mut pool2, "q(x, y) :- enrolledIn(x, y)").unwrap();
         assert!(chased.answers(&q2).is_empty());
     }
 
@@ -413,8 +417,7 @@ mod tests {
     fn restricted_chase_reuses_existing_successors() {
         // alice already has an enrolment: no null should be created.
         let schema = obx_srcdb::parse_schema("S/1 E/2").unwrap();
-        let mut db =
-            obx_srcdb::parse_database(schema, "S(alice)\nE(alice, math)").unwrap();
+        let mut db = obx_srcdb::parse_database(schema, "S(alice)\nE(alice, math)").unwrap();
         let tbox = obx_ontology::parse_tbox(
             "concept Student\nrole enrolledIn\nStudent < exists(enrolledIn)",
         )
@@ -441,12 +444,8 @@ mod tests {
     fn chase_config_for_ucq_scales_with_query_size() {
         let tbox = obx_ontology::parse_tbox("role r").unwrap();
         let mut pool = obx_srcdb::ConstPool::new();
-        let q = parse_onto_ucq(
-            tbox.vocab(),
-            &mut pool,
-            "q(x) :- r(x, y), r(y, z), r(z, w)",
-        )
-        .unwrap();
+        let q =
+            parse_onto_ucq(tbox.vocab(), &mut pool, "q(x) :- r(x, y), r(y, z), r(z, w)").unwrap();
         assert_eq!(ChaseConfig::for_ucq(&q).max_null_depth, 4);
     }
 

@@ -34,8 +34,14 @@ impl CompiledQuery {
         ucq: &OntoUcq,
         interrupt: &obx_util::Interrupt,
     ) -> Result<Self, ObdmError> {
-        let rewritten = perfect_ref_interruptible(ucq, spec.tbox(), spec.rewrite_budget, interrupt)?;
-        let src = unfold(spec.mapping(), &rewritten, spec.unfold_max)?;
+        let rewritten =
+            perfect_ref_interruptible(ucq, spec.tbox(), spec.rewrite_budget, interrupt)?;
+        let src = {
+            let mut sp = obx_util::span!(interrupt.recorder(), "unfold");
+            let src = unfold(spec.mapping(), &rewritten, spec.unfold_max)?;
+            sp.count("src_disjuncts", src.len() as u64);
+            src
+        };
         Ok(Self {
             src,
             rewritten_disjuncts: rewritten.len(),

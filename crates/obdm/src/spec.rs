@@ -1,6 +1,6 @@
 //! OBDM specification and system types.
 
-use crate::chase::{chase_abox, ChaseConfig};
+use crate::chase::ChaseConfig;
 use crate::compile::CompiledQuery;
 use obx_mapping::{virtual_abox, Mapping, UnfoldError};
 use obx_ontology::{Reasoner, TBox};
@@ -195,7 +195,10 @@ impl ObdmSystem {
 
     /// Parses a single ontology CQ (wrapped as a one-disjunct UCQ parser
     /// would, but returning the CQ itself).
-    pub fn parse_cq(&mut self, text: &str) -> Result<obx_query::OntoCq, obx_query::QueryParseError> {
+    pub fn parse_cq(
+        &mut self,
+        text: &str,
+    ) -> Result<obx_query::OntoCq, obx_query::QueryParseError> {
         let (_, consts) = self.db.schema_and_consts_mut();
         obx_query::parse_onto_cq(self.spec.tbox().vocab(), consts, text)
     }
@@ -228,8 +231,33 @@ impl ObdmSystem {
         view: View<'_>,
         config: ChaseConfig,
     ) -> FxHashSet<Box<[Const]>> {
+        self.certain_answers_materialized_interruptible(
+            ucq,
+            view,
+            config,
+            &obx_util::Interrupt::none(),
+        )
+    }
+
+    /// [`ObdmSystem::certain_answers_materialized`] with a cooperative stop
+    /// signal threaded into the chase (which also records its `chase` span
+    /// when the interrupt carries a recorder). Profiled explain runs use
+    /// this as their audit oracle.
+    pub fn certain_answers_materialized_interruptible(
+        &self,
+        ucq: &OntoUcq,
+        view: View<'_>,
+        config: ChaseConfig,
+        interrupt: &obx_util::Interrupt,
+    ) -> FxHashSet<Box<[Const]>> {
         let abox = virtual_abox(self.spec.mapping(), view);
-        let materialized = chase_abox(self.spec.tbox(), self.spec.reasoner(), &abox, config);
+        let materialized = crate::chase::chase_abox_interruptible(
+            self.spec.tbox(),
+            self.spec.reasoner(),
+            &abox,
+            config,
+            interrupt,
+        );
         materialized.answers(ucq)
     }
 
@@ -265,10 +293,8 @@ pub fn example_3_6_system() -> ObdmSystem {
          ENR(D50, Science, TV)\nENR(E25, Math, Pol)",
     )
     .expect("static facts");
-    let tbox = obx_ontology::parse_tbox(
-        "role studies likes taughtIn locatedIn\nstudies < likes",
-    )
-    .expect("static tbox");
+    let tbox = obx_ontology::parse_tbox("role studies likes taughtIn locatedIn\nstudies < likes")
+        .expect("static tbox");
     let (schema_ref, consts) = db.schema_and_consts_mut();
     let mapping = obx_mapping::parse_mapping(
         schema_ref,
@@ -347,10 +373,7 @@ mod tests {
         // declare concepts via mappings and make them disjoint.
         let schema = obx_srcdb::parse_schema("T/2").unwrap();
         let mut db = obx_srcdb::parse_database(schema, "T(a, b)").unwrap();
-        let tbox = obx_ontology::parse_tbox(
-            "concept A B\nA < not B",
-        )
-        .unwrap();
+        let tbox = obx_ontology::parse_tbox("concept A B\nA < not B").unwrap();
         let (schema_ref, consts) = db.schema_and_consts_mut();
         let mapping = obx_mapping::parse_mapping(
             schema_ref,

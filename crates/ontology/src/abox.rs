@@ -89,8 +89,14 @@ impl<I: Copy + Eq + Hash + Ord> ABox<I> {
     /// Asserts `P(subj, obj)`. Returns `true` if new.
     pub fn assert_role(&mut self, role: RoleId, subj: I, obj: I) -> bool {
         if self.role_asserts.insert((role, subj, obj)) {
-            self.by_ind_roles_out.entry(subj).or_default().push((role, obj));
-            self.by_ind_roles_in.entry(obj).or_default().push((role, subj));
+            self.by_ind_roles_out
+                .entry(subj)
+                .or_default()
+                .push((role, obj));
+            self.by_ind_roles_in
+                .entry(obj)
+                .or_default()
+                .push((role, subj));
             true
         } else {
             false
@@ -201,8 +207,10 @@ impl<I: Copy + Eq + Hash + Ord> ABox<I> {
         // Concept clashes per individual.
         for ind in self.individuals() {
             let mems: Vec<BasicConcept> = {
-                let mut v: Vec<BasicConcept> =
-                    self.derived_memberships(reasoner, ind).into_iter().collect();
+                let mut v: Vec<BasicConcept> = self
+                    .derived_memberships(reasoner, ind)
+                    .into_iter()
+                    .collect();
                 v.sort();
                 v
             };
@@ -383,10 +391,9 @@ mod tests {
         abox.assert_concept(cid(student), 7);
         abox.assert_concept(cid(course), 7);
         let violations = abox.check_consistency(&reasoner);
-        assert!(violations.iter().any(|v| matches!(
-            v,
-            AboxViolation::DisjointConcepts { ind: 7, .. }
-        )));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, AboxViolation::DisjointConcepts { ind: 7, .. })));
     }
 
     #[test]
@@ -416,7 +423,11 @@ mod tests {
         let violations = abox.check_consistency(&reasoner);
         assert!(violations.iter().any(|v| matches!(
             v,
-            AboxViolation::FunctViolation { ind: 1, fillers: (2, 3), .. }
+            AboxViolation::FunctViolation {
+                ind: 1,
+                fillers: (2, 3),
+                ..
+            }
         )));
         // A single filler asserted through both roles is fine.
         let mut ok: ABox<Ind> = ABox::new();
@@ -437,7 +448,11 @@ mod tests {
         let violations = abox.check_consistency(&reasoner);
         assert!(violations.iter().any(|v| matches!(
             v,
-            AboxViolation::FunctViolation { ind: 9, fillers: (1, 2), .. }
+            AboxViolation::FunctViolation {
+                ind: 9,
+                fillers: (1, 2),
+                ..
+            }
         )));
     }
 

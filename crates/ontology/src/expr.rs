@@ -10,8 +10,8 @@
 //! E ::= R | ¬R                  (general roles, RHS only)
 //! ```
 
-use crate::vocab::{OntoVocab, RoleId};
 use crate::vocab::ConceptId;
+use crate::vocab::{OntoVocab, RoleId};
 
 /// A role expression: an atomic role `P` or its inverse `P⁻`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -349,10 +349,7 @@ mod tests {
         // The one good axiom survives the three bad lines.
         assert_eq!(tbox.len(), 1);
         let codes: Vec<(&str, usize)> = diags.iter().map(|d| (d.code, d.line)).collect();
-        assert_eq!(
-            codes,
-            vec![("OBX121", 3), ("OBX123", 4), ("OBX124", 5)]
-        );
+        assert_eq!(codes, vec![("OBX121", 3), ("OBX123", 4), ("OBX124", 5)]);
         assert!(diags.iter().all(|d| d.col > 0));
     }
 }

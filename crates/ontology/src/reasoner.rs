@@ -309,7 +309,8 @@ impl Reasoner {
             .copied()
             .filter(|&s| {
                 !strict.iter().any(|&t| {
-                    t != s && !(self.role_subsumes(t, s) && self.role_subsumes(s, t))
+                    t != s
+                        && !(self.role_subsumes(t, s) && self.role_subsumes(s, t))
                         && self.role_subsumes(t, s)
                 })
             })

@@ -134,11 +134,8 @@ impl TBox {
     /// every atomic concept plus `∃R`/`∃R⁻` for every role. This is the
     /// (finite) node set of the subsumption closure.
     pub fn all_basic_concepts(&self) -> Vec<BasicConcept> {
-        let mut out: Vec<BasicConcept> = self
-            .vocab
-            .concept_ids()
-            .map(BasicConcept::Atomic)
-            .collect();
+        let mut out: Vec<BasicConcept> =
+            self.vocab.concept_ids().map(BasicConcept::Atomic).collect();
         for r in self.vocab.role_ids() {
             out.push(BasicConcept::exists(r));
             out.push(BasicConcept::exists_inv(r));

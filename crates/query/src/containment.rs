@@ -275,7 +275,8 @@ mod tests {
             vec![SrcAtom::new(r(&s), [var(0), Term::Const(milan)])],
         )
         .unwrap();
-        let q_any = SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(r(&s), [var(0), var(1)])]).unwrap();
+        let q_any =
+            SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(r(&s), [var(0), var(1)])]).unwrap();
         assert!(cq_contained(&q_rome, &q_any));
         assert!(!cq_contained(&q_any, &q_rome));
         assert!(!cq_contained(&q_rome, &q_milan));
@@ -322,7 +323,8 @@ mod tests {
             vec![SrcAtom::new(r(&s), [var(0), Term::Const(rome)])],
         )
         .unwrap();
-        let q_any = SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(r(&s), [var(0), var(1)])]).unwrap();
+        let q_any =
+            SrcCq::new(vec![VarId(0)], vec![SrcAtom::new(r(&s), [var(0), var(1)])]).unwrap();
         let u_small = SrcUcq::from_cq(q_rome.clone());
         let u_big: SrcUcq = [q_rome, q_any].into_iter().collect();
         assert!(ucq_contained(&u_small, &u_big));

@@ -214,7 +214,15 @@ fn search(
     for id in candidates(*view, atom, binding) {
         let mark = trail.len();
         if try_match(view, atom, id, binding, trail) {
-            keep_going = search(view, atoms, used, remaining - 1, binding, trail, on_solution);
+            keep_going = search(
+                view,
+                atoms,
+                used,
+                remaining - 1,
+                binding,
+                trail,
+                on_solution,
+            );
             undo_to(binding, trail, mark);
             if !keep_going {
                 break;
@@ -236,15 +244,23 @@ pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
     let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut used = vec![false; cq.body().len()];
     let n = cq.body().len();
-    search(&view, cq.body(), &mut used, n, &mut binding, &mut trail, &mut |b| {
-        let tuple: Box<[Const]> = cq
-            .head()
-            .iter()
-            .map(|&v| b.get(v).expect("head var bound by safety"))
-            .collect();
-        out.insert(tuple);
-        true
-    });
+    search(
+        &view,
+        cq.body(),
+        &mut used,
+        n,
+        &mut binding,
+        &mut trail,
+        &mut |b| {
+            let tuple: Box<[Const]> = cq
+                .head()
+                .iter()
+                .map(|&v| b.get(v).expect("head var bound by safety"))
+                .collect();
+            out.insert(tuple);
+            true
+        },
+    );
     out
 }
 
@@ -269,10 +285,18 @@ pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
     let mut used = vec![false; cq.body().len()];
     let n = cq.body().len();
     let mut found = false;
-    search(&view, cq.body(), &mut used, n, &mut binding, &mut trail, &mut |_| {
-        found = true;
-        false // stop at the first witness
-    });
+    search(
+        &view,
+        cq.body(),
+        &mut used,
+        n,
+        &mut binding,
+        &mut trail,
+        &mut |_| {
+            found = true;
+            false // stop at the first witness
+        },
+    );
     found
 }
 
@@ -327,8 +351,21 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
     let mut used = vec![false; n];
     let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut matched: Vec<Option<obx_srcdb::AtomId>> = vec![None; n];
-    if go(&view, cq.body(), &mut used, &mut matched, n, &mut binding, &mut trail) {
-        Some(matched.into_iter().map(|m| m.expect("all atoms matched")).collect())
+    if go(
+        &view,
+        cq.body(),
+        &mut used,
+        &mut matched,
+        n,
+        &mut binding,
+        &mut trail,
+    ) {
+        Some(
+            matched
+                .into_iter()
+                .map(|m| m.expect("all atoms matched"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -417,10 +454,7 @@ mod tests {
         )
         .unwrap();
         let ans = answers(View::full(&db), &q);
-        let names: FxHashSet<&str> = ans
-            .iter()
-            .map(|t| db.consts().resolve(t[0]))
-            .collect();
+        let names: FxHashSet<&str> = ans.iter().map(|t| db.consts().resolve(t[0])).collect();
         assert_eq!(names, ["A10", "B80", "D50"].into_iter().collect());
     }
 
@@ -588,7 +622,10 @@ mod tests {
         let view = View::full(&db);
         let (i_a10, _) = witness_ucq(view, &ucq, &[c(&db, "A10")]).unwrap();
         let (i_c12, _) = witness_ucq(view, &ucq, &[c(&db, "C12")]).unwrap();
-        assert_ne!(i_a10, i_c12, "Math and Science students hit different disjuncts");
+        assert_ne!(
+            i_a10, i_c12,
+            "Math and Science students hit different disjuncts"
+        );
     }
 
     #[test]
@@ -620,10 +657,7 @@ mod tests {
         // q(x, y) :- STUD(x), STUD(y) — 25 answers.
         let q = SrcCq::new(
             vec![VarId(0), VarId(1)],
-            vec![
-                SrcAtom::new(stud, [var(0)]),
-                SrcAtom::new(stud, [var(1)]),
-            ],
+            vec![SrcAtom::new(stud, [var(0)]), SrcAtom::new(stud, [var(1)])],
         )
         .unwrap();
         assert_eq!(answers(View::full(&db), &q).len(), 25);

@@ -9,8 +9,8 @@
 //! is an [`OntoCq`] with head `[x]` and three role atoms.
 
 use crate::term::{Term, VarId};
-use obx_srcdb::ConstPool;
 use obx_ontology::{ConceptId, OntoVocab, RoleId};
+use obx_srcdb::ConstPool;
 use obx_util::FxHashMap;
 use std::fmt;
 
@@ -98,9 +98,7 @@ impl OntoCq {
             return Err(QueryError::EmptyBody);
         }
         for &h in &head {
-            let occurs = body
-                .iter()
-                .any(|a| a.terms().any(|t| t == Term::Var(h)));
+            let occurs = body.iter().any(|a| a.terms().any(|t| t == Term::Var(h)));
             if !occurs {
                 return Err(QueryError::UnsafeHead(h));
             }

@@ -23,8 +23,8 @@
 use crate::onto::{OntoAtom, OntoCq, OntoUcq};
 use crate::src::{SrcAtom, SrcCq};
 use crate::term::{Term, VarId};
-use obx_srcdb::{parse::split_atom, parse::unquote, ConstPool, Schema};
 use obx_ontology::OntoVocab;
+use obx_srcdb::{parse::split_atom, parse::unquote, ConstPool, Schema};
 use obx_util::diag::col_of;
 use obx_util::FxHashMap;
 use std::fmt;
@@ -106,16 +106,17 @@ fn is_quoted(s: &str) -> bool {
         && ((b[0] == b'"' && b[b.len() - 1] == b'"') || (b[0] == b'\'' && b[b.len() - 1] == b'\''))
 }
 
-fn parse_term(scope: &mut VarScope, consts: &mut ConstPool, raw: &str) -> Result<Term, QueryParseError> {
+fn parse_term(
+    scope: &mut VarScope,
+    consts: &mut ConstPool,
+    raw: &str,
+) -> Result<Term, QueryParseError> {
     if raw.is_empty() {
         return Err(err("empty term"));
     }
     if is_quoted(raw) {
         Ok(Term::Const(consts.intern(unquote(raw))))
-    } else if raw
-        .chars()
-        .all(|c| c.is_alphanumeric() || c == '_')
-    {
+    } else if raw.chars().all(|c| c.is_alphanumeric() || c == '_') {
         Ok(Term::Var(scope.var(raw)))
     } else {
         Err(err(format!("bad term `{raw}` (quote constants)")))
@@ -179,7 +180,10 @@ fn parse_head(scope: &mut VarScope, head: &str) -> Result<Vec<VarId>, QueryParse
     let mut out = Vec::with_capacity(args.len());
     for a in args {
         if a.is_empty() || is_quoted(a) {
-            return Err(err_at(1, format!("head terms must be variables, got `{a}`")));
+            return Err(err_at(
+                1,
+                format!("head terms must be variables, got `{a}`"),
+            ));
         }
         out.push(scope.var(a));
     }
@@ -219,9 +223,11 @@ pub fn parse_onto_cq(
                 body.push(OntoAtom::Role(r, terms[0], terms[1]));
             }
             n => {
-                return Err(
-                    err_at(*col, format!("ontology atom `{name}` has arity {n}, not 1/2")).at(1, 0),
+                return Err(err_at(
+                    *col,
+                    format!("ontology atom `{name}` has arity {n}, not 1/2"),
                 )
+                .at(1, 0))
             }
         }
     }
@@ -309,8 +315,7 @@ mod tests {
 
     #[test]
     fn parses_the_papers_q1() {
-        let tbox =
-            parse_tbox("concept none\nrole studies taughtIn locatedIn likes").unwrap();
+        let tbox = parse_tbox("concept none\nrole studies taughtIn locatedIn likes").unwrap();
         let mut consts = ConstPool::new();
         let q = parse_onto_cq(
             tbox.vocab(),
@@ -351,8 +356,7 @@ mod tests {
         assert!(e.msg.contains("unknown concept"));
         let e = parse_onto_cq(tbox.vocab(), &mut consts, "q(x) :- Student(x, y)").unwrap_err();
         assert!(e.msg.contains("unknown role"));
-        let e =
-            parse_onto_cq(tbox.vocab(), &mut consts, "q(x) :- Student(x, y, z)").unwrap_err();
+        let e = parse_onto_cq(tbox.vocab(), &mut consts, "q(x) :- Student(x, y, z)").unwrap_err();
         assert!(e.msg.contains("arity"));
     }
 
@@ -360,12 +364,8 @@ mod tests {
     fn errors_point_at_the_offending_atom() {
         let tbox = parse_tbox("concept Student\nrole studies").unwrap();
         let mut consts = ConstPool::new();
-        let e = parse_onto_cq(
-            tbox.vocab(),
-            &mut consts,
-            "q(x) :- Student(x), Nope(x)",
-        )
-        .unwrap_err();
+        let e =
+            parse_onto_cq(tbox.vocab(), &mut consts, "q(x) :- Student(x), Nope(x)").unwrap_err();
         assert_eq!((e.line, e.col), (1, 21), "{e}");
         assert_eq!(e.to_string(), "line 1:21: unknown concept `Nope`");
         // UCQ parsing rebases onto the real line.
@@ -398,12 +398,12 @@ mod tests {
         let tbox = parse_tbox("role r").unwrap();
         let mut consts = ConstPool::new();
         for bad in [
-            "q(x) r(x, y)",         // no :-
-            "q(x) :-",              // empty body
-            "q(\"c\") :- r(x, y)",  // constant in head
-            "q(x) :- r(x, y",       // unbalanced
-            "q(z) :- r(x, y)",      // unsafe head
-            "q(x) :- r(x, a-b)",    // bad term
+            "q(x) r(x, y)",        // no :-
+            "q(x) :-",             // empty body
+            "q(\"c\") :- r(x, y)", // constant in head
+            "q(x) :- r(x, y",      // unbalanced
+            "q(z) :- r(x, y)",     // unsafe head
+            "q(x) :- r(x, a-b)",   // bad term
         ] {
             assert!(
                 parse_onto_cq(tbox.vocab(), &mut consts, bad).is_err(),

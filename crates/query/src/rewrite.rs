@@ -33,8 +33,15 @@ use crate::onto::{OntoAtom, OntoCq, OntoUcq};
 use crate::term::{Term, VarId};
 use obx_ontology::{Axiom, BasicConcept, ConceptRhs, Role, RoleRhs, TBox};
 use obx_util::{FxHashMap, FxHashSet, GuardKind, GuardTrip};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::LazyLock;
+
+/// Process-wide count of admitted rewrite disjuncts, across every rewrite
+/// of the process (the per-run counts live on the `rewrite` span).
+static REWRITE_DISJUNCTS: LazyLock<&'static obx_util::obs::Counter> =
+    LazyLock::new(|| obx_util::obs::counter("obx.rewrite.disjuncts"));
 
 /// Resource limits for the rewriting.
 #[derive(Debug, Clone, Copy)]
@@ -253,6 +260,42 @@ pub fn perfect_ref_interruptible(
     budget: RewriteBudget,
     interrupt: &obx_util::Interrupt,
 ) -> Result<OntoUcq, RewriteError> {
+    // Observability wrapper: one `rewrite` span per invocation carrying
+    // the disjunct counters; the inner function is the actual algorithm.
+    let mut sp = obx_util::span!(interrupt.recorder(), "rewrite");
+    let attempts = Cell::new(0u64);
+    let admitted = Cell::new(0u64);
+    let minimized_away = Cell::new(0u64);
+    let result = perfect_ref_inner(
+        ucq,
+        tbox,
+        budget,
+        interrupt,
+        &attempts,
+        &admitted,
+        &minimized_away,
+    );
+    sp.count("attempts", attempts.get());
+    sp.count("disjuncts", admitted.get());
+    sp.count("deduped", attempts.get().saturating_sub(admitted.get()));
+    sp.count("minimized_away", minimized_away.get());
+    if matches!(result, Err(RewriteError::ResourceLimit(_))) {
+        sp.count("guard_clipped", 1);
+    }
+    REWRITE_DISJUNCTS.add(admitted.get());
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn perfect_ref_inner(
+    ucq: &OntoUcq,
+    tbox: &TBox,
+    budget: RewriteBudget,
+    interrupt: &obx_util::Interrupt,
+    attempts: &Cell<u64>,
+    admitted: &Cell<u64>,
+    minimized_away: &Cell<u64>,
+) -> Result<OntoUcq, RewriteError> {
     let pis: Vec<&Axiom> = tbox.positive_inclusions().collect();
     // The reduce step exists solely to turn bound variables unbound so
     // that PIs of the form `B ⊑ ∃R` become applicable (their
@@ -273,12 +316,14 @@ pub fn perfect_ref_interruptible(
     let mut out: Vec<OntoCq> = Vec::new();
 
     let admit = |cq: OntoCq,
-                     seen: &mut FxHashSet<OntoCq>,
-                     queue: &mut VecDeque<OntoCq>,
-                     out: &mut Vec<OntoCq>|
+                 seen: &mut FxHashSet<OntoCq>,
+                 queue: &mut VecDeque<OntoCq>,
+                 out: &mut Vec<OntoCq>|
      -> Result<(), RewriteError> {
+        attempts.set(attempts.get() + 1);
         let canon = cq.canonical();
         if seen.insert(canon.clone()) {
+            admitted.set(admitted.get() + 1);
             if seen.len() > budget.max_disjuncts {
                 return Err(RewriteError::BudgetExceeded {
                     max_disjuncts: budget.max_disjuncts,
@@ -289,8 +334,8 @@ pub fn perfect_ref_interruptible(
             // blown-up query space fails here (transiently) instead of
             // exhausting memory.
             if let Some(guard) = interrupt.guard() {
-                let approx_bytes = std::mem::size_of_val(canon.body())
-                    + std::mem::size_of_val(canon.head());
+                let approx_bytes =
+                    std::mem::size_of_val(canon.body()) + std::mem::size_of_val(canon.head());
                 if !guard.charge(GuardKind::RewriteDisjuncts, 1, approx_bytes) {
                     let trip = guard.trip().unwrap_or(GuardTrip {
                         kind: GuardKind::RewriteDisjuncts,
@@ -346,7 +391,9 @@ pub fn perfect_ref_interruptible(
     }
 
     if budget.minimize {
+        let before = out.len();
         out = minimize(out);
+        minimized_away.set((before - out.len()) as u64);
     }
     let mut result = OntoUcq::empty();
     for cq in out {
@@ -437,9 +484,9 @@ mod tests {
         let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(prof, var(0))]).unwrap();
         let rewritten = rewrite_one(&tbox, q);
         assert!(rewritten.disjuncts().iter().any(|d| {
-            d.body()
-                .iter()
-                .any(|a| matches!(a, OntoAtom::Role(r, Term::Var(_), Term::Var(_)) if *r == teaches))
+            d.body().iter().any(
+                |a| matches!(a, OntoAtom::Role(r, Term::Var(_), Term::Var(_)) if *r == teaches),
+            )
         }));
 
         // Conversely: Person ⊑ ∃teaches lets teaches(x, y) with unbound y be
@@ -496,10 +543,7 @@ mod tests {
 
     #[test]
     fn chain_of_inclusions_composes() {
-        let tbox = parse_tbox(
-            "concept A B C\nA < B\nB < C",
-        )
-        .unwrap();
+        let tbox = parse_tbox("concept A B C\nA < B\nB < C").unwrap();
         let c = tbox.vocab().get_concept("C").unwrap();
         let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(c, var(0))]).unwrap();
         let rewritten = rewrite_one(&tbox, q);
@@ -527,8 +571,7 @@ mod tests {
         let rewritten = rewrite_one(&tbox, q);
         assert!(
             rewritten.disjuncts().iter().any(|d| {
-                d.body().len() == 1
-                    && matches!(d.body()[0], OntoAtom::Concept(c, _) if c == prof)
+                d.body().len() == 1 && matches!(d.body()[0], OntoAtom::Concept(c, _) if c == prof)
             }),
             "reduce+rewrite should yield Professor(x): {rewritten:?}"
         );
@@ -620,18 +663,12 @@ mod tests {
         let rewritten = perfect_ref(&ucq, &tbox, RewriteBudget::default()).unwrap();
         // narrow ⊑ broad, so after minimization no disjunct contains both a
         // Person and a Student atom.
-        assert!(rewritten
-            .disjuncts()
-            .iter()
-            .all(|d| d.body().len() == 1));
+        assert!(rewritten.disjuncts().iter().all(|d| d.body().len() == 1));
     }
 
     #[test]
     fn functionality_and_negative_axioms_are_ignored_by_rewriting() {
-        let tbox = parse_tbox(
-            "concept A B\nrole r\nA < not B\nfunct r\nA < B",
-        )
-        .unwrap();
+        let tbox = parse_tbox("concept A B\nrole r\nA < not B\nfunct r\nA < B").unwrap();
         let b = tbox.vocab().get_concept("B").unwrap();
         let q = OntoCq::new(vec![VarId(0)], vec![OntoAtom::Concept(b, var(0))]).unwrap();
         let rewritten = rewrite_one(&tbox, q);

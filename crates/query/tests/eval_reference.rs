@@ -114,9 +114,10 @@ fn naive_answers(db: &Database, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
                         }
                     }
                     Term::Var(v) => {
-                        let bound = subst.get(&v).copied().or_else(|| {
-                            local.iter().find(|(lv, _)| *lv == v).map(|(_, lc)| *lc)
-                        });
+                        let bound = subst
+                            .get(&v)
+                            .copied()
+                            .or_else(|| local.iter().find(|(lv, _)| *lv == v).map(|(_, lc)| *lc));
                         match bound {
                             Some(b) if b != c => {
                                 ok = false;

@@ -115,7 +115,10 @@ impl BenchmarkGroup<'_> {
             mean_ns: f64::NAN,
         };
         f(&mut bencher);
-        println!("bench: {}/{id} ... {:.0} ns/iter", self.name, bencher.mean_ns);
+        println!(
+            "bench: {}/{id} ... {:.0} ns/iter",
+            self.name, bencher.mean_ns
+        );
         self
     }
 
@@ -184,7 +187,9 @@ mod tests {
 
     fn trivial(c: &mut Criterion) {
         let mut group = c.benchmark_group("shim");
-        group.sample_size(10).measurement_time(Duration::from_millis(20));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(20));
         group.throughput(Throughput::Elements(4));
         group.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
         group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &n| b.iter(|| n * n));

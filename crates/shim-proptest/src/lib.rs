@@ -87,7 +87,11 @@ pub mod strategy {
     impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
         type Value = (A::Value, B::Value, C::Value);
         fn generate(&self, rng: &mut StdRng) -> Self::Value {
-            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
         }
     }
 
@@ -157,7 +161,11 @@ pub mod strategy {
             } else {
                 (1, 1)
             };
-            let n = if min == max { min } else { rng.gen_range(min..=max) };
+            let n = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
             assert!(!class.is_empty(), "empty character class in {pattern:?}");
             for _ in 0..n {
                 out.push(class[rng.gen_range(0..class.len())]);

@@ -23,6 +23,12 @@ use crate::consts::Const;
 use crate::database::Database;
 use crate::view::View;
 use obx_util::FxHashSet;
+use std::sync::LazyLock;
+
+/// Process-wide count of materialised border atoms (per-run counts live on
+/// the `border` span).
+static BORDER_ATOMS: LazyLock<&'static obx_util::obs::Counter> =
+    LazyLock::new(|| obx_util::obs::counter("obx.border.atoms"));
 
 /// Charges one completed BFS layer (`atoms` new border atoms) to the
 /// interrupt's resource guard, if any. Returns `false` when the guard has
@@ -119,10 +125,15 @@ impl Border {
             frontier,
             seen_consts,
         };
+        let mut sp = obx_util::span!(interrupt.recorder(), "border");
+        sp.count("atoms", layer0_len as u64);
+        sp.count("layers", 1);
+        sp.count_max("frontier_max", border.frontier.len() as u64);
+        BORDER_ATOMS.add(layer0_len as u64);
         // Layer 0 is already materialized, so it is charged either way; a
         // trip just stops the border from growing past it.
         if charge_layer(interrupt, layer0_len) {
-            border.extend_interruptible(db, radius, interrupt);
+            border.extend_layers(db, radius, interrupt, &mut sp);
         }
         border
     }
@@ -144,6 +155,21 @@ impl Border {
         db: &Database,
         radius: usize,
         interrupt: &obx_util::Interrupt,
+    ) -> bool {
+        let mut sp = obx_util::span!(interrupt.recorder(), "border");
+        self.extend_layers(db, radius, interrupt, &mut sp)
+    }
+
+    /// The BFS layer loop behind [`Border::compute_interruptible`] and
+    /// [`Border::extend_interruptible`]; per-layer atom counts and the
+    /// frontier high-water mark go on the caller's span so each public
+    /// entry point records exactly one `border` span.
+    fn extend_layers(
+        &mut self,
+        db: &Database,
+        radius: usize,
+        interrupt: &obx_util::Interrupt,
+        sp: &mut obx_util::obs::Span<'_>,
     ) -> bool {
         while self.layers.len() <= radius {
             if interrupt.is_triggered() {
@@ -176,6 +202,10 @@ impl Border {
             }
             self.frontier = next_frontier;
             let charged = charge_layer(interrupt, layer.len());
+            sp.count("atoms", layer.len() as u64);
+            sp.count("layers", 1);
+            sp.count_max("frontier_max", self.frontier.len() as u64);
+            BORDER_ATOMS.add(layer.len() as u64);
             self.layers.push(layer);
             if !charged {
                 return false;
@@ -316,7 +346,10 @@ mod tests {
         assert_eq!(b.radius(), 2);
         let reference = Border::compute(&db, &[a], 2);
         assert_eq!(b.atoms(), reference.atoms());
-        assert_eq!(sorted(b.layer(1).unwrap()), sorted(reference.layer(1).unwrap()));
+        assert_eq!(
+            sorted(b.layer(1).unwrap()),
+            sorted(reference.layer(1).unwrap())
+        );
     }
 
     #[test]
@@ -415,8 +448,7 @@ mod tests {
         let a = db.consts().get("a").unwrap();
         for r in 0..5 {
             // Literal reading: W'_{j+1} = reachable(W'_j); B = union.
-            let mut w: FxHashSet<AtomId> =
-                db.atoms_mentioning(a).iter().copied().collect();
+            let mut w: FxHashSet<AtomId> = db.atoms_mentioning(a).iter().copied().collect();
             let mut union = w.clone();
             for _ in 0..r {
                 w = reachable_from(&db, &w);

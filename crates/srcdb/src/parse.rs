@@ -155,7 +155,11 @@ fn parse_schema_with(text: &str, sink: &mut Sink<'_>) -> Result<Schema, ParseErr
             let col = col_of(raw, item);
             let result = (|| -> Result<(), ParseError> {
                 let (name, arity) = item.split_once('/').ok_or_else(|| {
-                    syntax(lineno + 1, col, format!("expected NAME/ARITY, got `{item}`"))
+                    syntax(
+                        lineno + 1,
+                        col,
+                        format!("expected NAME/ARITY, got `{item}`"),
+                    )
                 })?;
                 if name.is_empty() {
                     return Err(syntax(lineno + 1, col, "empty relation name"));
@@ -212,7 +216,8 @@ pub fn split_atom(line: &str) -> Option<(&str, Vec<&str>)> {
 /// Removes surrounding single or double quotes, if present.
 pub fn unquote(s: &str) -> &str {
     let b = s.as_bytes();
-    if b.len() >= 2 && (b[0] == b'"' && b[b.len() - 1] == b'"' || b[0] == b'\'' && b[b.len() - 1] == b'\'')
+    if b.len() >= 2
+        && (b[0] == b'"' && b[b.len() - 1] == b'"' || b[0] == b'\'' && b[b.len() - 1] == b'\'')
     {
         &s[1..s.len() - 1]
     } else {
@@ -297,7 +302,10 @@ mod tests {
     #[test]
     fn schema_errors() {
         assert!(matches!(parse_schema("R"), Err(ParseError::Syntax { .. })));
-        assert!(matches!(parse_schema("R/x"), Err(ParseError::Syntax { .. })));
+        assert!(matches!(
+            parse_schema("R/x"),
+            Err(ParseError::Syntax { .. })
+        ));
         assert!(matches!(
             parse_schema("R/2 R/2"),
             Err(ParseError::Schema(SchemaError::Duplicate(_)))
@@ -312,7 +320,14 @@ mod tests {
     fn schema_errors_carry_positions() {
         let e = parse_schema("STUD/1 LOC/x").unwrap_err();
         assert!(
-            matches!(e, ParseError::Syntax { line: 1, col: 8, .. }),
+            matches!(
+                e,
+                ParseError::Syntax {
+                    line: 1,
+                    col: 8,
+                    ..
+                }
+            ),
             "{e:?}"
         );
         assert_eq!(e.to_string(), "line 1:8: bad arity in `LOC/x`");
@@ -381,10 +396,7 @@ mod tests {
         );
         assert_eq!(db.len(), 2, "the two good facts survive");
         let codes: Vec<(&str, usize)> = diags.iter().map(|d| (d.code, d.line)).collect();
-        assert_eq!(
-            codes,
-            vec![("OBX113", 2), ("OBX114", 3), ("OBX111", 4)]
-        );
+        assert_eq!(codes, vec![("OBX113", 2), ("OBX114", 3), ("OBX111", 4)]);
     }
 
     #[test]

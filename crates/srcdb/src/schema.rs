@@ -54,7 +54,10 @@ impl fmt::Display for SchemaError {
             SchemaError::Duplicate(n) => write!(f, "relation `{n}` declared twice"),
             SchemaError::Unknown(n) => write!(f, "unknown relation `{n}`"),
             SchemaError::ArityMismatch { rel, expected, got } => {
-                write!(f, "relation `{rel}` has arity {expected}, got {got} arguments")
+                write!(
+                    f,
+                    "relation `{rel}` has arity {expected}, got {got} arguments"
+                )
             }
             SchemaError::ZeroArity(n) => write!(f, "relation `{n}` must have arity >= 1"),
         }
@@ -178,13 +181,19 @@ mod tests {
     #[test]
     fn zero_arity_is_rejected() {
         let mut s = Schema::new();
-        assert_eq!(s.declare("R", 0).unwrap_err(), SchemaError::ZeroArity("R".into()));
+        assert_eq!(
+            s.declare("R", 0).unwrap_err(),
+            SchemaError::ZeroArity("R".into())
+        );
     }
 
     #[test]
     fn unknown_relation_lookup_fails() {
         let s = Schema::new();
-        assert_eq!(s.rel("nope").unwrap_err(), SchemaError::Unknown("nope".into()));
+        assert_eq!(
+            s.rel("nope").unwrap_err(),
+            SchemaError::Unknown("nope".into())
+        );
     }
 
     #[test]
@@ -193,7 +202,14 @@ mod tests {
         let r = s.declare("R", 2).unwrap();
         assert!(s.check_arity(r, 2).is_ok());
         let err = s.check_arity(r, 3).unwrap_err();
-        assert!(matches!(err, SchemaError::ArityMismatch { expected: 2, got: 3, .. }));
+        assert!(matches!(
+            err,
+            SchemaError::ArityMismatch {
+                expected: 2,
+                got: 3,
+                ..
+            }
+        ));
     }
 
     #[test]

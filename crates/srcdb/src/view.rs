@@ -70,7 +70,12 @@ impl<'a> View<'a> {
     }
 
     /// Visible atoms of `rel` with constant `c` at position `pos`.
-    pub fn atoms_with(&self, rel: RelId, pos: usize, c: Const) -> impl Iterator<Item = AtomId> + '_ {
+    pub fn atoms_with(
+        &self,
+        rel: RelId,
+        pos: usize,
+        c: Const,
+    ) -> impl Iterator<Item = AtomId> + '_ {
         self.db
             .atoms_with(rel, pos, c)
             .iter()

@@ -18,19 +18,22 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::guard::ResourceGuard;
+use crate::obs::Recorder;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// A deadline and/or a shared cancellation flag, checked cooperatively by
 /// long-running kernels, plus an optional [`ResourceGuard`] the kernels
-/// charge where they allocate. `Clone` is cheap and shares the flag and
-/// the guard.
+/// charge where they allocate and an optional observability [`Recorder`]
+/// they open spans on. `Clone` is cheap and shares the flag, the guard,
+/// and the recorder.
 #[derive(Debug, Clone, Default)]
 pub struct Interrupt {
     cancelled: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
     guard: Option<Arc<ResourceGuard>>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Interrupt {
@@ -40,6 +43,7 @@ impl Interrupt {
             cancelled: None,
             deadline: None,
             guard: None,
+            recorder: None,
         }
     }
 
@@ -81,9 +85,24 @@ impl Interrupt {
         self.guard.as_ref()
     }
 
+    /// Attaches an observability [`Recorder`]. Kernels open spans and bump
+    /// counters through it ([`crate::span!`]); like the guard, a recorder
+    /// never flips [`Interrupt::is_triggered`] and never changes results.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached recorder, if any — the argument kernels hand to
+    /// [`crate::obs::span_of`] / [`crate::span!`].
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
     /// Whether nothing can ever trigger this interrupt *and* no resource
     /// guard needs charging. Kernels may use this to skip per-iteration
-    /// checks wholesale.
+    /// checks wholesale; a recorder deliberately does not count — it is
+    /// polled never, only written to at span boundaries.
     pub fn is_inert(&self) -> bool {
         self.cancelled.is_none() && self.deadline.is_none() && self.guard.is_none()
     }

@@ -15,7 +15,11 @@
 //! * [`guard`] — cumulative size/memory guards charged by those kernels
 //!   (max rewrite disjuncts, chase facts, border atoms, byte estimate);
 //! * [`diag`] — structured, positioned ingestion diagnostics with a
-//!   source-line caret renderer.
+//!   source-line caret renderer;
+//! * [`obs`] — observability: hierarchical spans, a process-wide metrics
+//!   registry (counters + log-scale latency histograms), and
+//!   JSON/tree/flamegraph profile exporters, gated by the `obs` feature
+//!   and the `OBX_OBS` environment variable.
 
 #![warn(missing_docs)]
 
@@ -25,6 +29,7 @@ pub mod guard;
 pub mod hash;
 pub mod intern;
 pub mod interrupt;
+pub mod obs;
 pub mod table;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
@@ -32,3 +37,4 @@ pub use guard::{GuardKind, GuardLimits, GuardTrip, ResourceGuard};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use interrupt::Interrupt;
+pub use obs::{PipelineProfile, Recorder};

@@ -30,8 +30,8 @@ fn audit(biased: bool) {
         max_rounds: 4,
         ..SearchLimits::default()
     };
-    let task = ExplainTask::new(&scenario.system, &scenario.labels, 1, &scoring, limits)
-        .expect("task");
+    let task =
+        ExplainTask::new(&scenario.system, &scenario.labels, 1, &scoring, limits).expect("task");
     let result = BeamSearch.explain(&task).expect("search");
     let best = &result[0];
     let rendered = best.render(&scenario.system);

@@ -62,15 +62,18 @@ fn main() {
     let mut system = ObdmSystem::new(ObdmSpec::new(tbox, mapping), db);
 
     // ---- the classifier λ ----
-    let labels = Labels::parse(system.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25")
-        .expect("labels");
+    let labels =
+        Labels::parse(system.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").expect("labels");
     println!("λ:\n{}", labels.render(system.db().consts()));
 
     // ---- the paper's three candidate explanations ----
     // (parsing interns query constants, so it happens before tasks borrow
     // the system immutably)
     let parsed: Vec<(&str, obx_query::OntoUcq)> = [
-        ("q1", r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#),
+        (
+            "q1",
+            r#"q(x) :- studies(x, y), taughtIn(y, z), locatedIn(z, "Rome")"#,
+        ),
         ("q2", r#"q(x) :- studies(x, "Math")"#),
         ("q3", r#"q(x) :- likes(x, "Science")"#),
     ]
@@ -83,8 +86,8 @@ fn main() {
         ("Z2 (α=3,β=γ=1)", Scoring::paper_weighted(3.0, 1.0, 1.0)),
     ] {
         println!("== scores under {z_name} ==");
-        let task = ExplainTask::new(&system, &labels, 1, &scoring, SearchLimits::default())
-            .expect("task");
+        let task =
+            ExplainTask::new(&system, &labels, 1, &scoring, SearchLimits::default()).expect("task");
         for (name, ucq) in &parsed {
             let e = task.score_ucq(ucq).expect("score");
             println!(
@@ -100,8 +103,8 @@ fn main() {
 
     // ---- let the framework search for its own best explanation ----
     let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
-    let task = ExplainTask::new(&system, &labels, 1, &scoring, SearchLimits::default())
-        .expect("task");
+    let task =
+        ExplainTask::new(&system, &labels, 1, &scoring, SearchLimits::default()).expect("task");
     let found = BeamSearch.explain(&task).expect("search");
     println!("== beam search (top {}) ==", found.len());
     for e in &found {

@@ -40,8 +40,8 @@ fn main() {
         max_rounds: 5,
         ..SearchLimits::default()
     };
-    let task = ExplainTask::new(&scenario.system, &scenario.labels, 1, &scoring, limits)
-        .expect("task");
+    let task =
+        ExplainTask::new(&scenario.system, &scenario.labels, 1, &scoring, limits).expect("task");
 
     let strategies: Vec<Box<dyn Strategy>> = vec![
         Box::new(BeamSearch),

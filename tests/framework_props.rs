@@ -167,10 +167,19 @@ fn criteria_codomain_is_unit_interval() {
         for pos_matched in 0..=pos_total {
             for neg_total in 0..4usize {
                 for neg_matched in 0..=neg_total {
-                    let stats = MatchStats { pos_matched, pos_total, neg_matched, neg_total };
+                    let stats = MatchStats {
+                        pos_matched,
+                        pos_total,
+                        neg_matched,
+                        neg_total,
+                    };
                     for atoms in 0..4 {
                         for disjuncts in 0..3 {
-                            let ctx = CriterionCtx { stats: &stats, num_atoms: atoms, num_disjuncts: disjuncts };
+                            let ctx = CriterionCtx {
+                                stats: &stats,
+                                num_atoms: atoms,
+                                num_disjuncts: disjuncts,
+                            };
                             for c in &criteria {
                                 let v = c.value(&ctx);
                                 assert!((0.0..=1.0).contains(&v), "{} out of range: {v}", c.name());

@@ -194,11 +194,7 @@ fn semantic_validation_runs_on_syntactically_clean_scenarios() {
         checked.diagnostics
     );
     let scenario = checked.scenario.as_ref().unwrap();
-    validate_scenario(
-        &scenario.system,
-        &scenario.labels,
-        &mut checked.diagnostics,
-    );
+    validate_scenario(&scenario.system, &scenario.labels, &mut checked.diagnostics);
     let codes: Vec<&str> = checked.diagnostics.iter().map(|d| d.code).collect();
     assert!(codes.contains(&"OBX201"), "Ghost ∉ dom(D): {codes:?}");
     assert!(codes.contains(&"OBX202"), "Orphan unreachable: {codes:?}");
@@ -284,8 +280,8 @@ fn chase_guard_flows_from_budget_to_kernel_and_back() {
         obx_mapping::parse_mapping(schema_ref, tbox.vocab(), consts, "P(x) ~> Person(x)").unwrap();
     let reasoner = obx_ontology::Reasoner::build(&tbox);
     let abox = obx_mapping::virtual_abox(&mapping, obx_srcdb::View::full(&db));
-    let budget =
-        SearchBudget::unlimited().with_guard_limits(GuardLimits::unlimited().with_max_chase_facts(3));
+    let budget = SearchBudget::unlimited()
+        .with_guard_limits(GuardLimits::unlimited().with_max_chase_facts(3));
     let chased = obx_obdm::chase_abox_interruptible(
         &tbox,
         &reasoner,

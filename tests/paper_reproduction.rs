@@ -7,8 +7,8 @@
 //! * Proposition 3.5 — radius monotonicity (E4).
 
 use obx_core::explain::{ExplainTask, SearchLimits};
-use obx_core::paper_example::{PaperExample, PAPER_RADIUS};
 use obx_core::matcher::PreparedLabels;
+use obx_core::paper_example::{PaperExample, PAPER_RADIUS};
 use obx_srcdb::{parse_database, parse_schema, AtomId, Border};
 
 /// Example 3.3: D = {R(a,b), S(a,c), Z(c,d), W(d,e), W(e,h), R(f,g)},
@@ -90,8 +90,14 @@ fn e3_example_3_8_scores_and_winners() {
         rows.iter().find(|(name, _)| *name == n).unwrap().1.score
     };
     let z1 = ex.scores(&ex.z1());
-    assert!((get(&z1, "q1") - 0.694).abs() < 1e-3, "paper: 0.693 (rounding)");
-    assert!((get(&z1, "q2") - 0.5).abs() < 1e-12, "paper prints 0.333 — erratum");
+    assert!(
+        (get(&z1, "q1") - 0.694).abs() < 1e-3,
+        "paper: 0.693 (rounding)"
+    );
+    assert!(
+        (get(&z1, "q2") - 0.5).abs() < 1e-12,
+        "paper prints 0.333 — erratum"
+    );
     assert!((get(&z1, "q3") - 0.833).abs() < 1e-3);
     let w1 = z1
         .iter()
@@ -158,7 +164,11 @@ fn definition_3_7_search_beats_or_ties_the_papers_candidates() {
     )
     .unwrap();
     let found = obx_core::strategies::BeamSearch.explain(&task).unwrap();
-    assert!(found[0].score >= 0.833 - 1e-9, "beam below q3: {}", found[0].score);
+    assert!(
+        found[0].score >= 0.833 - 1e-9,
+        "beam below q3: {}",
+        found[0].score
+    );
 }
 
 /// The borders of Example 3.6 at radius 1 are supersets of the listed ones
@@ -177,7 +187,12 @@ fn example_3_6_borders_follow_definition_3_2_literally() {
     let rendered: Vec<String> = {
         let mut v: Vec<String> = b_a10
             .iter()
-            .map(|&id| ex.system.db().atom(id).render(ex.system.db().schema(), ex.system.db().consts()))
+            .map(|&id| {
+                ex.system
+                    .db()
+                    .atom(id)
+                    .render(ex.system.db().schema(), ex.system.db().consts())
+            })
             .collect();
         v.sort();
         v

@@ -71,7 +71,10 @@ fn all_strategies_agree_on_an_easy_instance() {
     }
     // And beam should tie it here (the rule is 2 atoms).
     let beam = best_scores.iter().find(|(n, _)| *n == "beam").unwrap().1;
-    assert!((beam - exhaustive).abs() < 1e-9, "beam {beam} vs exhaustive {exhaustive}");
+    assert!(
+        (beam - exhaustive).abs() < 1e-9,
+        "beam {beam} vs exhaustive {exhaustive}"
+    );
 }
 
 #[test]
@@ -162,8 +165,8 @@ fn radius_zero_starves_structural_rules() {
 fn explanations_expose_their_criterion_values() {
     let s = small_university();
     let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
-    let task = ExplainTask::new(&s.system, &s.labels, 1, &scoring, SearchLimits::default())
-        .unwrap();
+    let task =
+        ExplainTask::new(&s.system, &s.labels, 1, &scoring, SearchLimits::default()).unwrap();
     let best = &BeamSearch.explain(&task).unwrap()[0];
     assert_eq!(best.criterion_values.len(), 3);
     for v in &best.criterion_values {

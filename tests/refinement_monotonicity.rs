@@ -71,7 +71,9 @@ fn check_lattice_step(task: &ExplainTask<'_>, cq: &OntoCq, dir: RefineDir) -> us
             "restricted evaluation diverges from full on {child:?}"
         );
         let undecided = match dir {
-            RefineDir::Specialize => parent.bits.stats().pos_matched + parent.bits.stats().neg_matched,
+            RefineDir::Specialize => {
+                parent.bits.stats().pos_matched + parent.bits.stats().neg_matched
+            }
             RefineDir::Generalize => {
                 let s = parent.bits.stats();
                 (s.pos_total - s.pos_matched) + (s.neg_total - s.neg_matched)

@@ -42,8 +42,7 @@ fn every_strategy_survives_a_panicking_scoring_call() {
         let mut sys = example_3_6_system();
         let labels = Labels::parse(sys.db_mut(), PAPER_LABELS).unwrap();
         let scoring = Scoring::paper_weighted(1.0, 1.0, 1.0);
-        let task =
-            ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
+        let task = ExplainTask::new(&sys, &labels, 1, &scoring, SearchLimits::default()).unwrap();
         // The 3rd fresh (cache-missing) scoring call panics.
         task.engine().arm_fault(3, FaultMode::Panic);
         let report = strategy
@@ -104,15 +103,9 @@ fn eval_budget_exhaustion_returns_best_so_far() {
     // Each fresh candidate costs |λ⁺| + |λ⁻| = 5 evaluator calls here, so
     // a cap of 12 stops the search inside the very first batch.
     let budget = SearchBudget::unlimited().with_max_evals(12);
-    let task = ExplainTask::new_with_budget(
-        &sys,
-        &labels,
-        1,
-        &scoring,
-        SearchLimits::default(),
-        budget,
-    )
-    .unwrap();
+    let task =
+        ExplainTask::new_with_budget(&sys, &labels, 1, &scoring, SearchLimits::default(), budget)
+            .unwrap();
     let report = BeamSearch.explain_with_status(&task).unwrap();
     assert_eq!(report.termination, Termination::EvalBudgetExhausted);
     assert!(!report.explanations.is_empty());
@@ -134,15 +127,9 @@ fn pre_cancelled_token_yields_graceful_empty_ish_run() {
     budget.cancel_token().cancel();
     // Border preparation, rewriting, and every batch all see the trigger:
     // the run must return (fast) with Cancelled, never error or hang.
-    let task = ExplainTask::new_with_budget(
-        &sys,
-        &labels,
-        1,
-        &scoring,
-        SearchLimits::default(),
-        budget,
-    )
-    .unwrap();
+    let task =
+        ExplainTask::new_with_budget(&sys, &labels, 1, &scoring, SearchLimits::default(), budget)
+            .unwrap();
     for strategy in all_strategies() {
         match strategy.explain_with_status(&task) {
             Ok(report) => assert_eq!(

@@ -62,7 +62,12 @@ fn assert_reports_identical(ctx: &str, off: &ExplainReport, on: &ExplainReport) 
         on.explanations.len(),
         "{ctx}: explanation counts diverge"
     );
-    for (i, (a, b)) in off.explanations.iter().zip(on.explanations.iter()).enumerate() {
+    for (i, (a, b)) in off
+        .explanations
+        .iter()
+        .zip(on.explanations.iter())
+        .enumerate()
+    {
         assert_eq!(a.query, b.query, "{ctx}: rank {i} queries diverge");
         assert_eq!(
             a.score.to_bits(),
@@ -102,7 +107,9 @@ fn paper_example_identical_across_modes_for_every_strategy() {
         let (off, on, _) = run_both(&task, strategy.as_ref());
         assert_reports_identical(strategy.name(), &off, &on);
     }
-    let exhaustive = ExhaustiveSearch { max_candidates: 500 };
+    let exhaustive = ExhaustiveSearch {
+        max_candidates: 500,
+    };
     let (off, on, _) = run_both(&task, &exhaustive);
     assert_reports_identical("exhaustive", &off, &on);
 }
@@ -122,8 +129,7 @@ fn university_scenario_identical_and_delta_path_fires() {
         top_k: 5,
         ..SearchLimits::default()
     };
-    let task =
-        ExplainTask::new(&scenario.system, &scenario.labels, 1, &scoring, limits).unwrap();
+    let task = ExplainTask::new(&scenario.system, &scenario.labels, 1, &scoring, limits).unwrap();
     for strategy in lattice_strategies() {
         let (off, on, saved) = run_both(&task, strategy.as_ref());
         assert_reports_identical(strategy.name(), &off, &on);
