@@ -8,13 +8,27 @@
 //! ranked explanations are identical to the bit, then writes a single-line
 //! JSON summary to `BENCH_search.json` at the workspace root.
 //!
+//! The university run measures the *delta* path; under the plain accuracy
+//! criterion its admissible bound is too loose to discard anyone, so its
+//! `pruned` counter sits at zero and says nothing about the pruning path.
+//! A second, flagship variant closes that blind spot: the skewed
+//! (power-law) scenario with its registrar extension — a wide role
+//! hierarchy whose constant-bound refinements grade sharply by coverage —
+//! under a coverage + negative-avoidance score whose Specialize bound is
+//! data-dependent. There the beam provably discards the dominated branch
+//! of the hierarchy; the run asserts `pruned > 0` and the gate fails if
+//! the pruning path ever goes dark again. Every strategy also reports a
+//! `*_prune_rate`: the fraction of generated candidates discarded by the
+//! bound before scoring.
+//!
 //! Usage: `cargo run --release -p obx-bench --bin search`
 
+use obx_core::criteria::Criterion;
 use obx_core::explain::{ExplainReport, ExplainTask, SearchLimits, Strategy};
-use obx_core::score::Scoring;
+use obx_core::score::{ScoreExpr, Scoring};
 use obx_core::strategies::{BeamSearch, GreedyUcq};
 use obx_core::ScoringEngine;
-use obx_datagen::{university_scenario, UniversityParams};
+use obx_datagen::{skewed_scenario, university_scenario, SkewedParams, UniversityParams};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -123,6 +137,9 @@ fn main() {
             beam_speedup = speedup;
         }
         let key = name.replace('-', "_");
+        // Pruned candidates never reach the engine, so the generated total
+        // is the scored count plus the pruned count.
+        let prune_rate = on.pruned as f64 / (on.pruned as f64 + on.candidates as f64).max(1.0);
         fields.push_str(&format!(
             concat!(
                 "\"{k}_full_ms\":{:.3},\"{k}_incremental_ms\":{:.3},",
@@ -130,7 +147,7 @@ fn main() {
                 "\"{k}_full_cps\":{:.1},\"{k}_incremental_cps\":{:.1},",
                 "\"{k}_candidates\":{},",
                 "\"{k}_full_evals\":{},\"{k}_incremental_evals\":{},",
-                "\"{k}_evals_saved\":{},\"{k}_pruned\":{},",
+                "\"{k}_evals_saved\":{},\"{k}_pruned\":{},\"{k}_prune_rate\":{:.4},",
             ),
             off.wall_ms,
             on.wall_ms,
@@ -142,14 +159,92 @@ fn main() {
             on.evals,
             on.evals_saved,
             on.pruned,
+            prune_rate,
             k = key,
         ));
         eprintln!(
             "{name}: {:.1} ms full -> {:.1} ms incremental ({speedup:.2}x), \
-             {} candidates, evals {} -> {} (saved {}), pruned {}",
+             {} candidates, evals {} -> {} (saved {}), pruned {} (rate {prune_rate:.3})",
             off.wall_ms, on.wall_ms, off.candidates, off.evals, on.evals, on.evals_saved, on.pruned
         );
     }
+
+    // Flagship pruning variant: skewed scenario with the registrar
+    // extension, under a coverage-style scoring. Under accuracy-family
+    // scorings a high-coverage parent's Specialize bound sits near the
+    // maximum and nothing is ever provably outside the floors (hence
+    // `beam_pruned: 0` above — the guard is wired but toothless there).
+    // Coverage + negative-avoidance makes the bound data-dependent: a
+    // Specialize child can never exceed its parent's positive coverage.
+    // The registrar extension (`n_registrar_kinds`) plants a wide role
+    // hierarchy (`rk_i < registered`) whose constant-bound atoms grade
+    // sharply by office: the beam reaches `registered(x, office0)`
+    // (covers the hub) and `registered(x, office1)` (covers the thin
+    // tail), the hub's kind refinements fill the scoring window at high
+    // scores, and every `office1` kind refinement carries a bound
+    // strictly below both the window guard and the pool floor — pruned
+    // unscored. Radius 1 matters here: at radius 2 the shared subjects
+    // make every border swallow the whole component, the discriminative
+    // constant ranking degenerates to a tie, and the office constants
+    // never enter the binding pool. This run exists to prove the pruning
+    // path fires end-to-end: `pruned > 0` is asserted and gated below.
+    let skewed = skewed_scenario(SkewedParams {
+        n_students: 300,
+        n_registrar_kinds: 10,
+        ..SkewedParams::default()
+    });
+    let skewed_scoring = Scoring::new(
+        vec![Criterion::PosCoverage, Criterion::NegAvoidance],
+        ScoreExpr::weighted_average(&[1.0, 1.0]),
+    );
+    // Single-atom candidates isolate the role-hierarchy lattice the
+    // extension plants; with more atoms the window fills with zero-
+    // coverage conjunctive children whose scores sit at the bound's own
+    // baseline, and the min-over-window guard never tightens.
+    let skewed_limits = SearchLimits {
+        max_atoms: 1,
+        beam_width: 4,
+        top_k: 1,
+        ..SearchLimits::default()
+    };
+    let skewed_task = ExplainTask::new(
+        &skewed.system,
+        &skewed.labels,
+        1,
+        &skewed_scoring,
+        skewed_limits,
+    )
+    .expect("skewed scenario yields a valid task");
+    let (off, on) = run(&skewed_task, &beam);
+    assert_identical("skewed-beam", &skewed.system, &off, &on);
+    let skewed_pruned = on.pruned;
+    assert!(
+        skewed_pruned > 0,
+        "skewed-beam: bound pruning went dark — the flagship pruning \
+         variant exists to keep this path exercised"
+    );
+    let skewed_prune_rate = on.pruned as f64 / (on.pruned as f64 + on.candidates as f64).max(1.0);
+    fields.push_str(&format!(
+        concat!(
+            "\"skewed_beam_radius\":1,\"skewed_beam_registrar_kinds\":10,",
+            "\"skewed_beam_full_ms\":{:.3},\"skewed_beam_incremental_ms\":{:.3},",
+            "\"skewed_beam_speedup\":{:.2},\"skewed_beam_candidates\":{},",
+            "\"skewed_beam_evals_saved\":{},",
+            "\"skewed_beam_pruned\":{},\"skewed_beam_prune_rate\":{:.4},",
+        ),
+        off.wall_ms,
+        on.wall_ms,
+        off.wall_ms / on.wall_ms.max(1e-9),
+        off.candidates,
+        on.evals_saved,
+        skewed_pruned,
+        skewed_prune_rate,
+    ));
+    eprintln!(
+        "skewed-beam: {:.1} ms full -> {:.1} ms incremental, {} candidates, \
+         pruned {skewed_pruned} (rate {skewed_prune_rate:.3})",
+        off.wall_ms, on.wall_ms, off.candidates
+    );
 
     // One extra (untimed) profiled run: a recorder rides down the beam
     // search and the pipeline profile — per-round spans, engine batch

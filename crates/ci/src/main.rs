@@ -7,9 +7,10 @@
 //! ```
 //!
 //! Runs the gate steps in order — `fmt --check`, workspace clippy with
-//! warnings denied, a release build, the test suite, and both bench
+//! warnings denied, a release build, the test suite, and the bench
 //! bins — then compares the fresh bench numbers against the committed
-//! `BENCH_scoring.json` / `BENCH_search.json` baselines and fails on a
+//! `BENCH_scoring.json` / `BENCH_search.json` / `BENCH_guided.json`
+//! baselines and fails on a
 //! wall-time regression above 20% that is also more than 5 ms absolute
 //! (sub-millisecond benches jitter past 20% on a loaded machine; the
 //! bench bins' own hard floors, e.g. the 2× search speedup, stay in
@@ -219,13 +220,17 @@ fn main() {
 
     // Snapshot the committed bench baselines before anything overwrites
     // them.
-    let bench_files: [&'static str; 2] = ["BENCH_scoring.json", "BENCH_search.json"];
+    let bench_files: [&'static str; 3] = [
+        "BENCH_scoring.json",
+        "BENCH_search.json",
+        "BENCH_guided.json",
+    ];
     let baselines: Vec<Option<String>> = bench_files
         .iter()
         .map(|f| std::fs::read_to_string(root.join(f)).ok())
         .collect();
 
-    let steps: [(&'static str, &[&str]); 6] = [
+    let steps: [(&'static str, &[&str]); 7] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -248,6 +253,10 @@ fn main() {
         (
             "bench-search",
             &["run", "--release", "-p", "obx-bench", "--bin", "search"],
+        ),
+        (
+            "bench-guided",
+            &["run", "--release", "-p", "obx-bench", "--bin", "guided"],
         ),
     ];
 

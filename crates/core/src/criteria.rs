@@ -126,6 +126,39 @@ impl Criterion {
             (Criterion::Custom { .. }, _) => Interval::UNKNOWN,
         }
     }
+
+    /// Like [`Criterion::range_under`], but for one *specific* candidate
+    /// whose syntactic shape (`num_atoms`, `num_disjuncts`) is already
+    /// known: δ5/δ6 collapse from the full `[0, 1]` codomain to the exact
+    /// point value the scorer will compute for this candidate, while the
+    /// label criteria keep the parent-statistics range (the candidate's
+    /// bitset is still unknown — bounding it is the point of pruning).
+    ///
+    /// Only admissible as a bound on the *candidate's own* score, not on
+    /// its descendants' (a descendant may have fewer atoms); the engine's
+    /// batch pruning needs exactly that — a pruned candidate is one that
+    /// provably cannot itself enter the ranked selection.
+    pub fn range_for_candidate(
+        &self,
+        dir: RefineDir,
+        parent: &CriterionCtx<'_>,
+        num_atoms: usize,
+        num_disjuncts: usize,
+    ) -> Interval {
+        match self {
+            Criterion::AtomParsimony => Interval::point(if num_atoms == 0 {
+                0.0
+            } else {
+                1.0 / num_atoms as f64
+            }),
+            Criterion::DisjunctParsimony => Interval::point(if num_disjuncts == 0 {
+                0.0
+            } else {
+                1.0 / num_disjuncts as f64
+            }),
+            _ => self.range_under(dir, parent),
+        }
+    }
 }
 
 impl fmt::Debug for Criterion {

@@ -504,9 +504,14 @@ impl ScoringEngine {
             .iter()
             .map(|p| {
                 if self.incremental {
-                    p.parent
-                        .as_ref()
-                        .map_or(f64::INFINITY, |h| h.bound(task.scoring()))
+                    // Per-candidate bound: the parent's cached label
+                    // statistics plus the candidate's own atom count
+                    // (exact δ5/δ6), strictly tighter than the
+                    // descendant-cone bound for parsimony-weighted
+                    // scorings.
+                    p.parent.as_ref().map_or(f64::INFINITY, |h| {
+                        h.bound_for(task.scoring(), p.cq.num_atoms())
+                    })
                 } else {
                     f64::INFINITY
                 }

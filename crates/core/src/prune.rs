@@ -233,6 +233,23 @@ impl ParentHandle {
         };
         scoring.optimistic_bound(self.dir, &ctx)
     }
+
+    /// The best Z-score a *specific* child CQ with `child_atoms` body
+    /// atoms can reach under `scoring` — [`ParentHandle::bound`] tightened
+    /// with the child's known atom count: δ5 collapses to the exact value
+    /// the scorer will compute (`score_cq_with_parent` scores the child
+    /// with its own `num_atoms` and a single disjunct), δ6 to `1`. The
+    /// label-criteria ranges still come from the parent's cached match
+    /// statistics. Admissible for this child's own score, which is the
+    /// only score batch pruning ever compares against its floors.
+    pub fn bound_for(&self, scoring: &Scoring, child_atoms: usize) -> f64 {
+        let ctx = CriterionCtx {
+            stats: &self.stats,
+            num_atoms: self.num_atoms,
+            num_disjuncts: self.num_disjuncts,
+        };
+        scoring.optimistic_bound_for(self.dir, &ctx, child_atoms, 1)
+    }
 }
 
 #[cfg(test)]

@@ -205,6 +205,29 @@ impl Scoring {
             .collect();
         self.expr.eval_interval(&ranges).hi
     }
+
+    /// The best Z-score one *specific* `dir`-refinement child of `parent`
+    /// can reach, given the child's known syntactic shape: δ5/δ6 become
+    /// exact point values ([`Criterion::range_for_candidate`]) instead of
+    /// the full `[0, 1]` codomain, so the bound is never looser — and for
+    /// parsimony-weighted scorings usually strictly tighter — than
+    /// [`Scoring::optimistic_bound`]. Admissible for the candidate itself
+    /// (which is all batch pruning compares against its floors), not for
+    /// the candidate's descendants.
+    pub fn optimistic_bound_for(
+        &self,
+        dir: RefineDir,
+        parent: &CriterionCtx<'_>,
+        num_atoms: usize,
+        num_disjuncts: usize,
+    ) -> f64 {
+        let ranges: Vec<Interval> = self
+            .criteria
+            .iter()
+            .map(|c| c.range_for_candidate(dir, parent, num_atoms, num_disjuncts))
+            .collect();
+        self.expr.eval_interval(&ranges).hi
+    }
 }
 
 impl fmt::Display for Scoring {
@@ -405,6 +428,61 @@ mod tests {
             ScoreExpr::Max(vec![]).eval_interval(&[]),
             Interval::point(f64::NEG_INFINITY)
         );
+    }
+
+    #[test]
+    fn candidate_bound_is_tighter_yet_dominates_the_candidate_score() {
+        use crate::prune::RefineDir;
+        let parent = MatchStats {
+            pos_matched: 3,
+            pos_total: 5,
+            neg_matched: 2,
+            neg_total: 4,
+        };
+        let pctx = q_ctx(&parent, 2);
+        for scoring in [
+            Scoring::paper_weighted(1.0, 1.0, 1.0),
+            Scoring::paper_weighted(3.0, 1.0, 1.0),
+            Scoring::balanced(),
+            Scoring::accuracy(),
+        ] {
+            for dir in [RefineDir::Specialize, RefineDir::Generalize] {
+                let cone = scoring.optimistic_bound(dir, &pctx);
+                for atoms in 1..=5 {
+                    let tight = scoring.optimistic_bound_for(dir, &pctx, atoms, 1);
+                    // Never looser than the descendant-cone bound.
+                    assert!(
+                        tight <= cone + 1e-12,
+                        "bound_for {tight} > cone bound {cone}"
+                    );
+                    // Dominates every score the candidate itself can get.
+                    let (pos_range, neg_range) = match dir {
+                        RefineDir::Specialize => (0..=parent.pos_matched, 0..=parent.neg_matched),
+                        RefineDir::Generalize => (
+                            parent.pos_matched..=parent.pos_total,
+                            parent.neg_matched..=parent.neg_total,
+                        ),
+                    };
+                    for pos in pos_range {
+                        for neg in neg_range.clone() {
+                            let child = MatchStats {
+                                pos_matched: pos,
+                                neg_matched: neg,
+                                ..parent
+                            };
+                            let s = scoring.score(&q_ctx(&child, atoms));
+                            assert!(s <= tight + 1e-12, "candidate {s} > bound {tight}");
+                        }
+                    }
+                }
+            }
+        }
+        // With δ5 weighted, a many-atom candidate's bound is strictly
+        // tighter than the cone bound (which must allow a 1-atom child).
+        let z = Scoring::paper_weighted(1.0, 1.0, 1.0);
+        let cone = z.optimistic_bound(RefineDir::Specialize, &pctx);
+        let tight = z.optimistic_bound_for(RefineDir::Specialize, &pctx, 4, 1);
+        assert!(tight < cone - 1e-9, "expected strict tightening");
     }
 
     #[test]

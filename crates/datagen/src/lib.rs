@@ -15,7 +15,10 @@
 //! * [`random_scenario`] — random DL-Lite OBDM systems for engine
 //!   cross-checks and scaling sweeps (E5, E7, E8, E10);
 //! * [`hierarchy`] — chain/tree TBox builders for rewriting benchmarks
-//!   (E7).
+//!   (E7);
+//! * [`skewed`] — the university scenario with power-law (Zipf) enrolment
+//!   degrees: hub constants stress per-constant index scans, the workload
+//!   behind the guided-evaluator bench.
 
 #![warn(missing_docs)]
 
@@ -23,9 +26,11 @@ pub mod hierarchy;
 pub mod random_scenario;
 pub mod recidivism;
 pub mod scenario;
+pub mod skewed;
 pub mod university;
 
 pub use random_scenario::{random_scenario, RandomParams};
 pub use recidivism::{recidivism_scenario, RecidivismParams};
 pub use scenario::{fidelity, Fidelity, Scenario};
+pub use skewed::{skewed_scenario, SkewedParams, Zipf};
 pub use university::{university_scenario, UniversityParams};

@@ -1,17 +1,104 @@
 //! Evaluation of source CQs/UCQs over a database [`View`].
 //!
-//! The evaluator is a backtracking join with **dynamic atom ordering**: at
-//! every depth it picks the not-yet-joined atom with the smallest estimated
-//! candidate set (using the per-(relation, position, constant) index for
-//! atoms that already have a bound argument). This is the classical
-//! "most-selective-first" heuristic; on border-sized sub-databases it makes
-//! J-match checks (Definition 3.4) effectively constant-time, and on full
-//! databases it avoids the worst cross products.
+//! Two evaluators live here, selected at runtime by [`mode`]:
+//!
+//! * the **guided** evaluator ([`guided`], the default) — a
+//!   constraint-guided join in the worst-case-optimal family: every body
+//!   atom is a constraint proposing/confirming values for one variable at
+//!   a time, and the engine always binds the variable with the smallest
+//!   O(1) cardinality estimate;
+//! * the **legacy** evaluator ([`answers_legacy`] and friends) — a
+//!   backtracking join with dynamic *atom* ordering: at every depth it
+//!   picks the not-yet-joined atom with the smallest estimated candidate
+//!   set and binds all of its variables at once. This is the classical
+//!   "most-selective-first" heuristic; it remains as the reference
+//!   implementation (`OBX_GUIDED=0`) and the baseline the equivalence
+//!   suite and the `guided` bench compare against.
+//!
+//! Both evaluators count the candidate atoms they inspect (one *node* per
+//! index-slice or mask entry examined); [`node_counts`] exposes the
+//! process-wide totals per evaluator so benches and the observability
+//! layer can attribute join work to the mode that did it.
 
 use crate::src::{SrcAtom, SrcCq, SrcUcq};
 use crate::term::{Term, VarId};
 use obx_srcdb::{Const, View};
 use obx_util::FxHashSet;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+pub mod guided;
+
+/// Which evaluator implementation the public entry points dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// The fixed-strategy backtracking join (atom-at-a-time).
+    Legacy,
+    /// The constraint-guided join (variable-at-a-time, default).
+    Guided,
+}
+
+/// 0 = uninitialized (read `OBX_GUIDED` on first use), 1 = legacy,
+/// 2 = guided.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+fn mode_from_env() -> EvalMode {
+    match std::env::var("OBX_GUIDED") {
+        Ok(v)
+            if matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "0" | "off" | "false" | "no"
+            ) =>
+        {
+            EvalMode::Legacy
+        }
+        _ => EvalMode::Guided,
+    }
+}
+
+/// The active evaluator. Initialized from `OBX_GUIDED` (any of
+/// `0|off|false|no` selects the legacy evaluator; default guided) on
+/// first call; overridable at runtime with [`set_mode`].
+pub fn mode() -> EvalMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => EvalMode::Legacy,
+        2 => EvalMode::Guided,
+        _ => {
+            let m = mode_from_env();
+            set_mode(m);
+            m
+        }
+    }
+}
+
+/// Selects the evaluator process-wide. Intended for A/B benches and
+/// equivalence tests; concurrent evaluations pick up the change at their
+/// next entry-point call, so flip it only between runs.
+pub fn set_mode(m: EvalMode) {
+    MODE.store(
+        match m {
+            EvalMode::Legacy => 1,
+            EvalMode::Guided => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Process-wide candidate-inspection totals (monotone).
+static LEGACY_NODES: AtomicU64 = AtomicU64::new(0);
+static GUIDED_NODES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(legacy, guided)` node counts: one node per candidate
+/// database atom inspected by the respective evaluator (including
+/// mask-filtered and consistency-rejected candidates — the true measure
+/// of join work). Monotone process-wide totals; read before/after a
+/// region and subtract.
+pub fn node_counts() -> (u64, u64) {
+    (
+        LEGACY_NODES.load(Ordering::Relaxed),
+        GUIDED_NODES.load(Ordering::Relaxed),
+    )
+}
 
 /// A variable binding, dense over the query's variable indices.
 struct Binding {
@@ -65,6 +152,9 @@ struct CandidateIter<'v> {
     ids: &'v [obx_srcdb::AtomId],
     view: View<'v>,
     next: usize,
+    /// Per-search node tally (candidates inspected, visible or not),
+    /// flushed into [`LEGACY_NODES`] by the entry points.
+    nodes: &'v Cell<u64>,
 }
 
 impl Iterator for CandidateIter<'_> {
@@ -73,6 +163,7 @@ impl Iterator for CandidateIter<'_> {
     fn next(&mut self) -> Option<obx_srcdb::AtomId> {
         while let Some(&id) = self.ids.get(self.next) {
             self.next += 1;
+            self.nodes.set(self.nodes.get() + 1);
             if self.view.visible(id) {
                 return Some(id);
             }
@@ -87,7 +178,12 @@ impl Iterator for CandidateIter<'_> {
 
 /// Candidate atom ids for `atom` under `binding`, using the most selective
 /// index available.
-fn candidates<'v>(view: View<'v>, atom: &SrcAtom, binding: &Binding) -> CandidateIter<'v> {
+fn candidates<'v>(
+    view: View<'v>,
+    atom: &SrcAtom,
+    binding: &Binding,
+    nodes: &'v Cell<u64>,
+) -> CandidateIter<'v> {
     let mut best: Option<(usize, usize, Const)> = None; // (index size, pos, const)
     for (pos, &t) in atom.args.iter().enumerate() {
         if let Some(c) = binding.resolve(t) {
@@ -101,7 +197,12 @@ fn candidates<'v>(view: View<'v>, atom: &SrcAtom, binding: &Binding) -> Candidat
         Some((_, pos, c)) => view.db().atoms_with(atom.rel, pos, c),
         None => view.db().atoms_of(atom.rel),
     };
-    CandidateIter { ids, view, next: 0 }
+    CandidateIter {
+        ids,
+        view,
+        next: 0,
+        nodes,
+    }
 }
 
 /// Tries to match `atom` against the database atom `id`, extending
@@ -195,6 +296,7 @@ fn pick_unjoined(
 /// Depth-first search over the remaining atoms. `on_solution` returns
 /// `true` to keep searching, `false` to stop early. Returns `false` iff the
 /// search was stopped early.
+#[allow(clippy::too_many_arguments)]
 fn search(
     view: &View<'_>,
     atoms: &[SrcAtom],
@@ -202,6 +304,7 @@ fn search(
     remaining: usize,
     binding: &mut Binding,
     trail: &mut Vec<VarId>,
+    nodes: &Cell<u64>,
     on_solution: &mut dyn FnMut(&Binding) -> bool,
 ) -> bool {
     if remaining == 0 {
@@ -211,7 +314,7 @@ fn search(
     let atom = &atoms[pick];
     used[pick] = true;
     let mut keep_going = true;
-    for id in candidates(*view, atom, binding) {
+    for id in candidates(*view, atom, binding, nodes) {
         let mark = trail.len();
         if try_match(view, atom, id, binding, trail) {
             keep_going = search(
@@ -221,6 +324,7 @@ fn search(
                 remaining - 1,
                 binding,
                 trail,
+                nodes,
                 on_solution,
             );
             undo_to(binding, trail, mark);
@@ -238,12 +342,24 @@ fn num_vars(cq: &SrcCq) -> usize {
 }
 
 /// All answers of `cq` over `view`: the set of head-variable tuples.
+/// Dispatches to the evaluator selected by [`mode`].
 pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
+    match mode() {
+        EvalMode::Guided => guided::answers(view, cq),
+        EvalMode::Legacy => answers_legacy(view, cq),
+    }
+}
+
+/// [`answers`] on the legacy backtracking evaluator, regardless of
+/// [`mode`]. Reference implementation for the equivalence suite and the
+/// baseline side of A/B benches.
+pub fn answers_legacy(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
     let mut out: FxHashSet<Box<[Const]>> = FxHashSet::default();
     let mut binding = Binding::new(num_vars(cq));
     let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut used = vec![false; cq.body().len()];
     let n = cq.body().len();
+    let nodes = Cell::new(0u64);
     search(
         &view,
         cq.body(),
@@ -251,6 +367,7 @@ pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
         n,
         &mut binding,
         &mut trail,
+        &nodes,
         &mut |b| {
             let tuple: Box<[Const]> = cq
                 .head()
@@ -261,6 +378,7 @@ pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
             true
         },
     );
+    LEGACY_NODES.fetch_add(nodes.get(), Ordering::Relaxed);
     out
 }
 
@@ -269,8 +387,18 @@ pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
 /// Head variables are pre-bound to the tuple (so this is a single
 /// goal-directed search, not answer enumeration). Returns `false` when the
 /// tuple arity differs from the query arity, or when a repeated head
-/// variable would need two different constants.
+/// variable would need two different constants. Dispatches to the
+/// evaluator selected by [`mode`].
 pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
+    match mode() {
+        EvalMode::Guided => guided::satisfies(view, cq, tuple),
+        EvalMode::Legacy => satisfies_legacy(view, cq, tuple),
+    }
+}
+
+/// [`satisfies`] on the legacy backtracking evaluator, regardless of
+/// [`mode`].
+pub fn satisfies_legacy(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
     if tuple.len() != cq.arity() {
         return false;
     }
@@ -284,6 +412,7 @@ pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
     let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut used = vec![false; cq.body().len()];
     let n = cq.body().len();
+    let nodes = Cell::new(0u64);
     let mut found = false;
     search(
         &view,
@@ -292,11 +421,13 @@ pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
         n,
         &mut binding,
         &mut trail,
+        &nodes,
         &mut |_| {
             found = true;
             false // stop at the first witness
         },
     );
+    LEGACY_NODES.fetch_add(nodes.get(), Ordering::Relaxed);
     found
 }
 
@@ -305,7 +436,22 @@ pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
 /// This is the provenance primitive behind explanation evidence — the
 /// paper's future-work item on explaining query answers (its reference
 /// [10]) asks exactly for the facts that ground a certain answer.
+/// Dispatches to the evaluator selected by [`mode`]; the two evaluators
+/// may ground the body with *different* (both valid) witnesses.
 pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_srcdb::AtomId>> {
+    match mode() {
+        EvalMode::Guided => guided::witness(view, cq, tuple),
+        EvalMode::Legacy => witness_legacy(view, cq, tuple),
+    }
+}
+
+/// [`witness`] on the legacy backtracking evaluator, regardless of
+/// [`mode`].
+pub fn witness_legacy(
+    view: View<'_>,
+    cq: &SrcCq,
+    tuple: &[Const],
+) -> Option<Vec<obx_srcdb::AtomId>> {
     if tuple.len() != cq.arity() {
         return None;
     }
@@ -318,6 +464,7 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
     }
     // Re-run the search keeping per-atom matched ids. Reuses the same
     // machinery with a side table filled on the way down.
+    #[allow(clippy::too_many_arguments)]
     fn go(
         view: &View<'_>,
         atoms: &[SrcAtom],
@@ -326,6 +473,7 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
         remaining: usize,
         binding: &mut Binding,
         trail: &mut Vec<VarId>,
+        nodes: &Cell<u64>,
     ) -> bool {
         if remaining == 0 {
             return true;
@@ -333,11 +481,20 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
         let pick = pick_unjoined(view, atoms, used, binding, remaining);
         let atom = &atoms[pick];
         used[pick] = true;
-        for id in candidates(*view, atom, binding) {
+        for id in candidates(*view, atom, binding, nodes) {
             let mark = trail.len();
             if try_match(view, atom, id, binding, trail) {
                 matched[pick] = Some(id);
-                if go(view, atoms, used, matched, remaining - 1, binding, trail) {
+                if go(
+                    view,
+                    atoms,
+                    used,
+                    matched,
+                    remaining - 1,
+                    binding,
+                    trail,
+                    nodes,
+                ) {
                     return true;
                 }
                 matched[pick] = None;
@@ -351,7 +508,8 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
     let mut used = vec![false; n];
     let mut trail: Vec<VarId> = Vec::with_capacity(binding.slots.len());
     let mut matched: Vec<Option<obx_srcdb::AtomId>> = vec![None; n];
-    if go(
+    let nodes = Cell::new(0u64);
+    let hit = go(
         &view,
         cq.body(),
         &mut used,
@@ -359,7 +517,10 @@ pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_sr
         n,
         &mut binding,
         &mut trail,
-    ) {
+        &nodes,
+    );
+    LEGACY_NODES.fetch_add(nodes.get(), Ordering::Relaxed);
+    if hit {
         Some(
             matched
                 .into_iter()

@@ -156,6 +156,33 @@ impl Database {
         self.const_adj.get(&c).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Number of atoms of relation `rel` — O(1) (the `rel_index` length).
+    ///
+    /// The prefix-count family (`count_of` / `count_with` /
+    /// `count_mentioning`) backs the guided evaluator's cardinality
+    /// estimates ([`obx-query`]'s `eval::guided`): every estimate is a
+    /// plain length read of an index the database already maintains, so
+    /// re-estimating after each variable binding costs O(arity) lookups.
+    #[inline]
+    pub fn count_of(&self, rel: RelId) -> usize {
+        self.rel_index[rel.index()].len()
+    }
+
+    /// Number of atoms of `rel` with constant `c` at position `pos` —
+    /// O(1) (one `pos_index` hash lookup).
+    #[inline]
+    pub fn count_with(&self, rel: RelId, pos: usize, c: Const) -> usize {
+        self.pos_index
+            .get(&(rel, pos as u16, c))
+            .map_or(0, Vec::len)
+    }
+
+    /// Number of atoms mentioning constant `c` — O(1).
+    #[inline]
+    pub fn count_mentioning(&self, c: Const) -> usize {
+        self.const_adj.get(&c).map_or(0, Vec::len)
+    }
+
     /// Renders the whole database, one atom per line (stable order), for
     /// golden tests and examples.
     pub fn render(&self) -> String {
