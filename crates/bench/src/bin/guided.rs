@@ -72,6 +72,8 @@ fn run_once(task: &ExplainTask<'_>, mode: EvalMode) -> ModeRun {
     let nodes = match mode {
         EvalMode::Legacy => after.0 - before.0,
         EvalMode::Guided => after.1 - before.1,
+        // The bench compares the two pure modes; Auto is their dispatcher.
+        EvalMode::Auto => unreachable!("bench runs pure modes only"),
     };
     ModeRun {
         wall_ms,
@@ -210,6 +212,8 @@ fn run_panel_once(
     let nodes = match mode {
         EvalMode::Legacy => after.0 - before.0,
         EvalMode::Guided => after.1 - before.1,
+        // The bench compares the two pure modes; Auto is their dispatcher.
+        EvalMode::Auto => unreachable!("bench runs pure modes only"),
     };
     PanelRun {
         wall_ms,

@@ -1,0 +1,351 @@
+//! Service benchmark: closed-loop load against a live `obx serve`
+//! instance, with a single-line JSON summary written to
+//! `BENCH_serve.json` at the workspace root.
+//!
+//! Three phases, all against a 600-student generated university scenario
+//! served from a scratch directory exactly as a user-authored one:
+//!
+//! 1. **Smoke** — `/healthz`, `/metrics`, and one `/explain` whose body
+//!    must be byte-identical to [`obx_core::service::run_explain`] on the
+//!    same scenario (the service contract: the wire adds headers, never
+//!    bytes).
+//! 2. **Closed-loop load** — `CLIENTS` worker threads each issue
+//!    `REQS_PER_CLIENT` back-to-back explains (a new connection per
+//!    request, next request only after the previous response). Repeated
+//!    `PASSES` times; the best per-pass p50/p99/mean latency and
+//!    throughput are kept, interleaving machine noise out the same way
+//!    the other bench bins do. Every response must be `200` — the queue
+//!    is sized so this phase never sheds.
+//! 3. **Overload** — a second server with `max_inflight 1, queue_depth
+//!    1` takes a simultaneous burst; the occupant holds the slot via a
+//!    server-side timeout budget, so all but the queued request must be
+//!    shed with structured `OBX32x` bodies while at least one request
+//!    still completes. This pins the shed-rate numbers to an actual
+//!    load-shedding event, not a lucky fast pass.
+//!
+//! Hard gates (exit 1): smoke byte-identity, zero sheds under the sized
+//! load, at least one shed *and* one completion under overload, every
+//! shed body carrying an `OBX32x` code, and a clean drain at the end.
+//!
+//! Usage: `cargo run --release -p obx-bench --bin serve`
+
+use obx_core::budget::CancelToken;
+use obx_core::scenario::{load_dir, write_scenario_dir};
+use obx_core::service::{run_explain, ExplainRequest};
+use obx_datagen::{university_scenario, UniversityParams};
+use obx_serve::{start, ServeConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const N_STUDENTS: usize = 600;
+const CLIENTS: usize = 6;
+const REQS_PER_CLIENT: usize = 4;
+const PASSES: usize = 3;
+const BURST: usize = 8;
+
+/// The benchmarked request: radius 1, beam, top 3, under a deterministic
+/// evaluator-call budget — the interactive shape the service exists for.
+/// The cap is on *evals*, not wall time, so the search stops at the same
+/// point every run and the response stays byte-identical between the
+/// wire and the in-process oracle.
+const MAX_EVALS: u64 = 25_000;
+const BODY: &str = r#"{"radius": 1, "top": 3, "max_evals": 25000}"#;
+
+fn oracle_request() -> ExplainRequest {
+    ExplainRequest {
+        radius: 1,
+        top: 3,
+        max_evals: Some(MAX_EVALS),
+        ..ExplainRequest::default()
+    }
+}
+
+/// One full HTTP exchange on a fresh connection; returns
+/// `(status, full head, body)`.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(raw).expect("write request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read response");
+    let (head, body) = reply
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("malformed response: {reply:?}"));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {head:?}"));
+    (status, head.to_owned(), body.to_owned())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    exchange(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post_explain(addr: SocketAddr, body: &str, client: &str) -> (u16, String, String) {
+    exchange(
+        addr,
+        format!(
+            "POST /explain HTTP/1.1\r\nconnection: close\r\nx-obx-client: {client}\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+struct PassStats {
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    throughput_rps: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One closed-loop pass: every request must come back `200`.
+fn load_pass(addr: SocketAddr) -> PassStats {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let client = format!("client{c}");
+                let mut lat = Vec::with_capacity(REQS_PER_CLIENT);
+                for _ in 0..REQS_PER_CLIENT {
+                    let r0 = Instant::now();
+                    let (status, _, body) = post_explain(addr, BODY, &client);
+                    let ms = r0.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(
+                        status, 200,
+                        "load pass must never shed (queue is sized for it): {body}"
+                    );
+                    lat.push(ms);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("load client panicked"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    PassStats {
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        mean_ms: lat.iter().sum::<f64>() / lat.len() as f64,
+        throughput_rps: lat.len() as f64 / wall_s.max(1e-9),
+    }
+}
+
+/// Smoke: health, metrics, and the byte-identity contract.
+fn smoke(addr: SocketAddr, dir: &Path) {
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "healthz: {body}");
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200, "metrics: {body}");
+    assert!(
+        body.contains("serve/requests"),
+        "metrics must export the serve counters: {body}"
+    );
+    let scenario = load_dir(dir).expect("bench scenario round-trips");
+    let req = oracle_request();
+    let expected = run_explain(
+        &scenario.system,
+        &scenario.labels,
+        &req,
+        req.budget(&CancelToken::new()),
+    )
+    .expect("oracle explain succeeds");
+    let (status, head, body) = post_explain(addr, BODY, "smoke");
+    assert_eq!(status, 200, "smoke explain: {body}");
+    assert!(
+        head.to_lowercase().contains("x-obx-epoch: 1"),
+        "smoke response must carry its epoch: {head}"
+    );
+    if body != expected.stdout {
+        eprintln!("FAIL: served explain is not byte-identical to the service oracle");
+        eprintln!("-- served --\n{body}\n-- oracle --\n{}", expected.stdout);
+        std::process::exit(1);
+    }
+    eprintln!(
+        "smoke: healthz + metrics ok, explain byte-identical ({} bytes)",
+        body.len()
+    );
+}
+
+/// Overload: burst a tiny server; count structured sheds vs completions.
+fn overload(server: &ServerHandle) -> (usize, usize) {
+    // The occupant runs under a 1500 ms budget (anytime: it returns
+    // best-so-far, exit 2), holding the single slot long enough that the
+    // 150 ms queue patience and depth-1 queue must shed the rest.
+    let heavy = r#"{"radius": 2, "strategy": "exhaustive", "timeout_ms": 1500}"#;
+    let addr = server.addr();
+    let handles: Vec<_> = (0..BURST)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let body = if i == 0 { heavy } else { BODY };
+                post_explain(addr, body, &format!("burst{i}"))
+            })
+        })
+        .collect();
+    let mut shed = 0usize;
+    let mut completed = 0usize;
+    for h in handles {
+        let (status, _, body) = h.join().expect("burst client panicked");
+        match status {
+            200 => completed += 1,
+            429 => {
+                assert!(
+                    body.contains("OBX32"),
+                    "shed body must carry a stable OBX32x code: {body}"
+                );
+                assert!(
+                    body.contains("\"termination\":\"degraded"),
+                    "shed body must be degraded-shaped: {body}"
+                );
+                shed += 1;
+            }
+            other => panic!("overload burst: unexpected status {other}: {body}"),
+        }
+    }
+    (shed, completed)
+}
+
+fn main() {
+    let scenario = university_scenario(UniversityParams {
+        n_students: N_STUDENTS,
+        ..UniversityParams::default()
+    });
+    let dir = std::env::temp_dir().join(format!("obx-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_scenario_dir(&dir, &scenario.system, &scenario.labels).expect("write bench scenario dir");
+
+    // Sized for the load phase: queue deeper than the client count so
+    // nothing sheds and the latency numbers measure work, not patience.
+    let server = start(
+        &dir,
+        ServeConfig {
+            max_inflight: 4,
+            queue_depth: 2 * CLIENTS,
+            queue_wait_ms: 30_000,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bench server starts");
+    let addr = server.addr();
+    eprintln!("serving {N_STUDENTS}-student scenario on http://{addr}");
+
+    smoke(addr, &dir);
+
+    let mut best = load_pass(addr);
+    for pass in 1..PASSES {
+        let s = load_pass(addr);
+        eprintln!(
+            "pass {pass}: p50 {:.1} ms, p99 {:.1} ms, {:.1} req/s",
+            s.p50_ms, s.p99_ms, s.throughput_rps
+        );
+        if s.p50_ms < best.p50_ms {
+            best.p50_ms = s.p50_ms;
+        }
+        if s.p99_ms < best.p99_ms {
+            best.p99_ms = s.p99_ms;
+        }
+        if s.mean_ms < best.mean_ms {
+            best.mean_ms = s.mean_ms;
+        }
+        if s.throughput_rps > best.throughput_rps {
+            best.throughput_rps = s.throughput_rps;
+        }
+    }
+    server.shutdown();
+
+    // Overload runs on its own starved instance so its sheds cannot
+    // pollute the latency numbers above.
+    let tiny = start(
+        &dir,
+        ServeConfig {
+            max_inflight: 1,
+            queue_depth: 1,
+            queue_wait_ms: 150,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("overload server starts");
+    let (shed, completed) = overload(&tiny);
+    tiny.shutdown();
+    let shed_rate = shed as f64 / BURST as f64;
+    eprintln!(
+        "overload: {shed}/{BURST} shed ({:.0}%), {completed} completed",
+        shed_rate * 100.0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total = CLIENTS * REQS_PER_CLIENT;
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"serve\",\"n_students\":{},\"clients\":{},",
+            "\"requests_per_pass\":{},\"passes\":{},",
+            "\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"mean_ms\":{:.3},",
+            "\"throughput_rps\":{:.2},",
+            "\"overload_burst\":{},\"overload_shed\":{},",
+            "\"overload_completed\":{},\"shed_rate\":{:.3},",
+            "\"smoke_identical\":true}}"
+        ),
+        N_STUDENTS,
+        CLIENTS,
+        total,
+        PASSES,
+        best.p50_ms,
+        best.p99_ms,
+        best.mean_ms,
+        best.throughput_rps,
+        BURST,
+        shed,
+        completed,
+        shed_rate,
+    );
+    println!("{json}");
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_serve.json");
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_serve.json");
+    eprintln!(
+        "wrote {}",
+        std::fs::canonicalize(&path).unwrap_or(path).display()
+    );
+
+    // Hard gates beyond the asserts above: overload must actually have
+    // shed and actually have served someone.
+    let mut failed = false;
+    if shed == 0 {
+        eprintln!("FAIL: overload burst shed nothing — load-shedding did not engage");
+        failed = true;
+    }
+    if completed == 0 {
+        eprintln!("FAIL: overload burst completed nothing — shedding starved the slot");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,55 +8,13 @@
 
 use obx_cli::CancelToken;
 
-/// Bridges SIGINT onto the search's cancellation token. Pure-std: the
-/// handler may only touch async-signal-safe state, and a relaxed store to
-/// a process-global `AtomicBool` qualifies. The first Ctrl-C requests a
-/// graceful stop (best-so-far results); a second one hits the default
-/// disposition path below and kills the process.
-#[cfg(unix)]
-mod sigint {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::{Arc, OnceLock};
-
-    static CANCEL_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
-    static SEEN: AtomicBool = AtomicBool::new(false);
-
-    const SIGINT: i32 = 2;
-    const SIG_DFL: usize = 0;
-
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-
-    extern "C" fn on_sigint(_signum: i32) {
-        if SEEN.swap(true, Ordering::Relaxed) {
-            // Second Ctrl-C: restore the default disposition so the next
-            // one (or a re-raise) terminates immediately.
-            unsafe {
-                signal(SIGINT, SIG_DFL);
-            }
-        }
-        if let Some(flag) = CANCEL_FLAG.get() {
-            flag.store(true, Ordering::Relaxed);
-        }
-    }
-
-    pub fn install(token: &super::CancelToken) {
-        let _ = CANCEL_FLAG.set(std::sync::Arc::clone(token.flag()));
-        unsafe {
-            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
-        }
-    }
-}
-
-#[cfg(not(unix))]
-mod sigint {
-    pub fn install(_token: &super::CancelToken) {}
-}
-
 fn main() {
     let cancel = CancelToken::new();
-    sigint::install(&cancel);
+    // The shared handler bridges SIGINT/SIGTERM onto the cancellation
+    // token: first Ctrl-C requests a graceful stop (best-so-far results),
+    // the second restores the default disposition so a third kills a
+    // stuck process. `obx serve` drains through the same code path.
+    obx_util::signal::register(std::sync::Arc::clone(cancel.flag()));
     let args: Vec<String> = std::env::args().skip(1).collect();
     match obx_cli::run_cancellable(&args, &cancel) {
         Ok(outcome) => {

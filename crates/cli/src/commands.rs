@@ -1,24 +1,18 @@
 //! Command dispatch. [`run`] is a pure function from arguments to output
 //! text, so the whole CLI is testable without spawning processes.
 
-use crate::scenario_io::{
-    load_dir, load_dir_checked, write_paper_example, LoadError, LoadedScenario,
-};
-use obx_core::baseline::DataLevelBeam;
-use obx_core::budget::{CancelToken, SearchBudget};
-use obx_core::explain::{ExplainReport, ExplainTask, SearchLimits, Strategy};
+use crate::scenario_io::{load_dir, write_paper_example, LoadError, LoadedScenario};
+use obx_core::budget::CancelToken;
+use obx_core::explain::{ExplainTask, SearchLimits};
 use obx_core::score::Scoring;
-use obx_core::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
-use obx_core::validate_scenario;
+use obx_core::service::{self, ExplainRequest, ServiceError};
 use obx_srcdb::Border;
-use obx_util::diag::render_with_source;
 use obx_util::obs::Recorder;
-use obx_util::{GuardLimits, GuardTrip, PipelineProfile};
+use obx_util::PipelineProfile;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// CLI failure, rendered to stderr by the binary. Each variant maps to a
 /// process exit code via [`CliError::exit_code`] (degraded-but-successful
@@ -113,6 +107,10 @@ USAGE:
   obx border <dir> <consts> <radius>  show B_{t,r}(D) (consts comma-separated)
   obx evidence <dir> \"<query>\" <const> [opts]
                                       why does the query J-match the tuple?
+  obx serve <dir> [opts]              run the always-on explanation service
+                                      over the scenario (epoch snapshots,
+                                      POST /explain, /validate, /reload;
+                                      SIGINT/SIGTERM drains gracefully)
 
 OPTIONS:
   --radius N          border radius r (default 1)
@@ -132,6 +130,13 @@ OPTIONS:
                       or `json`. Profiling never changes the results;
                       OBX_OBS=0 disables recording and yields an empty
                       profile
+
+SERVE OPTIONS:
+  --port N                listen port on 127.0.0.1 (default 0 = pick free)
+  --max-inflight N        concurrent executing requests (default 4)
+  --queue-depth N         waiting requests before load is shed (default 16)
+  --request-timeout-ms N  server-side wall-clock ceiling per request;
+                          requests may ask for less, never more
 
 Ctrl-C cancels a running search gracefully: best-so-far results are
 printed, exit code 2. Exit codes: 0 complete, 1 error, 2 partial/degraded
@@ -159,6 +164,11 @@ struct Opts {
     max_chase: Option<usize>,
     max_border: Option<usize>,
     profile: Option<ProfileFormat>,
+    // `obx serve` knobs.
+    port: Option<u16>,
+    max_inflight: Option<usize>,
+    queue_depth: Option<usize>,
+    request_timeout_ms: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
@@ -173,6 +183,10 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
         max_chase: None,
         max_border: None,
         profile: None,
+        port: None,
+        max_inflight: None,
+        queue_depth: None,
+        request_timeout_ms: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -230,6 +244,34 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
                         .map_err(|_| usage_err("--max-border must be a number"))?,
                 );
             }
+            "--port" => {
+                opts.port = Some(
+                    next("--port")?
+                        .parse()
+                        .map_err(|_| usage_err("--port must be a port number"))?,
+                );
+            }
+            "--max-inflight" => {
+                opts.max_inflight = Some(
+                    next("--max-inflight")?
+                        .parse()
+                        .map_err(|_| usage_err("--max-inflight must be a number"))?,
+                );
+            }
+            "--queue-depth" => {
+                opts.queue_depth = Some(
+                    next("--queue-depth")?
+                        .parse()
+                        .map_err(|_| usage_err("--queue-depth must be a number"))?,
+                );
+            }
+            "--request-timeout-ms" => {
+                opts.request_timeout_ms = Some(
+                    next("--request-timeout-ms")?
+                        .parse()
+                        .map_err(|_| usage_err("--request-timeout-ms must be a number"))?,
+                );
+            }
             "--weights" => {
                 let raw = next("--weights")?;
                 let parts: Vec<f64> = raw
@@ -265,30 +307,20 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
     Ok((positional, opts))
 }
 
-/// The [`SearchBudget`] described by the command-line options plus the
-/// caller's cancellation token.
-fn budget_of(opts: &Opts, cancel: &CancelToken) -> SearchBudget {
-    let mut budget = SearchBudget::unlimited().with_cancel_token(cancel.clone());
-    if let Some(ms) = opts.timeout_ms {
-        budget = budget.with_timeout(Duration::from_millis(ms));
+/// The front-end-agnostic [`ExplainRequest`] these options describe; the
+/// shared service layer derives the scoring and search budget from it.
+fn request_of(opts: &Opts) -> ExplainRequest {
+    ExplainRequest {
+        radius: opts.radius,
+        strategy: opts.strategy.clone(),
+        weights: opts.weights,
+        top: opts.top,
+        timeout_ms: opts.timeout_ms,
+        max_evals: opts.max_evals,
+        max_rewrite: opts.max_rewrite,
+        max_chase: opts.max_chase,
+        max_border: opts.max_border,
     }
-    if let Some(cap) = opts.max_evals {
-        budget = budget.with_max_evals(cap);
-    }
-    if opts.max_rewrite.is_some() || opts.max_chase.is_some() || opts.max_border.is_some() {
-        let mut limits = GuardLimits::unlimited();
-        if let Some(n) = opts.max_rewrite {
-            limits = limits.with_max_rewrite_disjuncts(n);
-        }
-        if let Some(n) = opts.max_chase {
-            limits = limits.with_max_chase_facts(n);
-        }
-        if let Some(n) = opts.max_border {
-            limits = limits.with_max_border_atoms(n);
-        }
-        budget = budget.with_guard_limits(limits);
-    }
-    budget
 }
 
 /// Runs one CLI invocation; returns the text to print on stdout. This is
@@ -330,6 +362,12 @@ pub fn run_cancellable(args: &[String], cancel: &CancelToken) -> Result<CliOutco
                 .ok_or_else(|| usage_err("explain needs a directory"))?;
             let loaded = load(dir)?;
             explain(&loaded, &opts, cancel)
+        }
+        "serve" => {
+            let dir = pos
+                .first()
+                .ok_or_else(|| usage_err("serve needs a directory"))?;
+            serve(dir, &opts, cancel)
         }
         "score" => {
             let [dir, query] = two(&pos, "score <dir> \"<query>\"")?;
@@ -455,37 +493,14 @@ fn load(dir: &str) -> Result<LoadedScenario, CliError> {
     })
 }
 
-/// `obx validate <dir>`: best-effort load collecting every syntax problem,
-/// then — if the files were at least readable — the cross-artifact
-/// semantic checks (`OBX2xx`). Exit code 0 clean, 2 warnings only, 1 when
-/// any error was found (the diagnostics still go to stdout).
+/// `obx validate <dir>`: delegates to the shared
+/// [`service::validate_dir`] implementation (also behind the server's
+/// `/validate` endpoint), so both front ends emit identical diagnostics.
 fn validate(dir: &str) -> CliOutcome {
-    let mut checked = load_dir_checked(Path::new(dir));
-    if let Some(scenario) = &checked.scenario {
-        validate_scenario(&scenario.system, &scenario.labels, &mut checked.diagnostics);
-    }
-    let mut out = String::new();
-    for d in checked.diagnostics.iter() {
-        let _ = writeln!(out, "{}", render_with_source(d, checked.source_of(&d.file)));
-    }
-    let errors = checked.diagnostics.error_count();
-    let warnings = checked.diagnostics.warning_count();
-    if errors == 0 && warnings == 0 {
-        let _ = writeln!(out, "{dir}: ok — scenario is admissible");
-        return CliOutcome::complete(out);
-    }
-    let _ = writeln!(
-        out,
-        "{dir}: {errors} error(s), {warnings} warning(s){}",
-        if checked.scenario.is_none() {
-            " — scenario could not be assembled"
-        } else {
-            ""
-        }
-    );
+    let outcome = service::validate_dir(Path::new(dir));
     CliOutcome {
-        stdout: out,
-        exit_code: if errors > 0 { 1 } else { 2 },
+        stdout: outcome.stdout,
+        exit_code: outcome.exit_code,
     }
 }
 
@@ -511,7 +526,7 @@ fn task_of<'a>(
         top_k: opts.top,
         ..SearchLimits::default()
     };
-    let mut budget = budget_of(opts, cancel);
+    let mut budget = request_of(opts).budget(cancel);
     if let Some(rec) = recorder {
         budget = budget.with_recorder(Arc::clone(rec));
     }
@@ -531,88 +546,99 @@ fn explain(
     opts: &Opts,
     cancel: &CancelToken,
 ) -> Result<CliOutcome, CliError> {
+    // The actual run — prepare (border BFS inside task construction) then
+    // search — lives in the shared service layer, so `obx explain` and
+    // `obx serve` produce byte-identical output for the same request.
     // `--profile` attaches a recorder to the budget; it rides down into
-    // every kernel via the task's interrupt. The run is structured into
-    // sequential phases — prepare (border BFS for every labelled tuple,
-    // inside task construction), search (the strategy), audit (a
-    // profiling-only chase cross-check) — so the phase wall times sum to
-    // the run's total.
+    // every kernel via the task's interrupt, and the service phases the
+    // run (`explain/prepare`, `explain/search`) so phase wall times sum
+    // to the run's total.
     let recorder = opts.profile.map(|_| Recorder::new());
-    let scoring = scoring_of(opts);
-    let outer = recorder.as_ref().map(|r| r.enter("explain"));
-    let task = {
-        let _prepare = recorder.as_ref().map(|r| r.enter_phase("explain/prepare"));
-        task_of(loaded, &scoring, opts, cancel, recorder.as_ref())?
-    };
-    if opts.strategy == "data-level" {
-        let result = {
-            let _search = recorder.as_ref().map(|r| r.enter_phase("explain/search"));
-            DataLevelBeam
-                .explain(&task)
-                .map_err(|e| search_err(format!("explain: {e}")))?
-        };
-        let mut out = String::new();
-        for e in result {
-            let _ = writeln!(
-                out,
-                "Z = {:.4}  [{}/{}+  {}-]  {}",
-                e.score,
-                e.stats.pos_matched,
-                e.stats.pos_total,
-                e.stats.neg_matched,
-                e.render(&task)
-            );
-        }
-        drop(outer);
-        if let Some(fmt) = opts.profile {
-            append_profile(
-                &mut out,
-                &recorder.as_ref().map(|r| r.profile()).unwrap_or_default(),
-                fmt,
-            );
-        }
-        return Ok(CliOutcome::complete(out));
+    let req = request_of(opts);
+    let mut budget = req.budget(cancel);
+    if let Some(rec) = &recorder {
+        budget = budget.with_recorder(Arc::clone(rec));
     }
-    let strategy: Box<dyn Strategy> = match opts.strategy.as_str() {
-        "beam" => Box::new(BeamSearch),
-        "bottom-up" => Box::new(BottomUpGeneralize::default()),
-        "exhaustive" => Box::new(ExhaustiveSearch::default()),
-        "greedy" => Box::new(GreedyUcq::default()),
-        other => return Err(usage_err(format!("unknown strategy `{other}`"))),
-    };
-    let report = {
-        let _search = recorder.as_ref().map(|r| r.enter_phase("explain/search"));
-        strategy
-            .explain_with_status(&task)
-            .map_err(|e| search_err(format!("explain: {e}")))?
-    };
+    // Same cancel/deadline/guard/recorder wiring the task will carry —
+    // built up front because the budget moves into the service call.
+    let audit_interrupt = recorder.as_ref().map(|_| budget.interrupt());
+    let outer = recorder.as_ref().map(|r| r.enter("explain"));
+    let outcome = service::run_explain(&loaded.system, &loaded.labels, &req, budget).map_err(
+        |e| match e {
+            ServiceError::UnknownStrategy(s) => usage_err(format!("unknown strategy `{s}`")),
+            ServiceError::Task(msg) => search_err(format!("task: {msg}")),
+            ServiceError::Search(msg) => search_err(format!("explain: {msg}")),
+        },
+    )?;
     // Audit (profiling only): run the top explanation through the
     // materialization engine — virtual ABox + chase — as an independent
     // oracle. Never on the non-profiled path: the chase is deliberately
     // not part of explain's hot loop.
-    if let Some(rec) = &recorder {
+    if let (Some(rec), Some(report)) = (&recorder, &outcome.report) {
         let _audit = rec.enter_phase("explain/audit");
-        if let Some(best) = report.explanations.first() {
+        if let (Some(best), Some(interrupt)) = (report.explanations.first(), &audit_interrupt) {
             let _ = loaded.system.certain_answers_materialized_interruptible(
                 &best.query,
                 obx_srcdb::View::full(loaded.system.db()),
                 obx_obdm::ChaseConfig::for_ucq(&best.query),
-                task.interrupt(),
+                interrupt,
             );
         }
     }
     drop(outer);
-    let mut outcome = render_report(&report, &loaded.system, task.budget().guard_trip());
+    let mut out = CliOutcome {
+        stdout: outcome.stdout,
+        exit_code: outcome.exit_code,
+    };
     if let Some(fmt) = opts.profile {
         // Snapshot after the audit phase so it is included (the report's
         // own `profile` field was frozen at the end of the search).
         append_profile(
-            &mut outcome.stdout,
+            &mut out.stdout,
             &recorder.as_ref().map(|r| r.profile()).unwrap_or_default(),
             fmt,
         );
     }
-    Ok(outcome)
+    Ok(out)
+}
+
+/// `obx serve <dir>`: boots the always-on explanation server and blocks
+/// until the shared signal handler fires (SIGINT/SIGTERM), then drains
+/// gracefully — stop accepting, shed queued work, let in-flight requests
+/// finish inside the grace window, cancel stragglers. The one command
+/// that prints while running (the listening line goes to stderr so
+/// stdout stays reserved for the final summary).
+fn serve(dir: &str, opts: &Opts, cancel: &CancelToken) -> Result<CliOutcome, CliError> {
+    let mut config = obx_serve::ServeConfig {
+        bind: format!("127.0.0.1:{}", opts.port.unwrap_or(0)),
+        ..obx_serve::ServeConfig::default()
+    };
+    if let Some(n) = opts.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(n) = opts.queue_depth {
+        config.queue_depth = n;
+    }
+    if let Some(ms) = opts.request_timeout_ms {
+        config.request_timeout_ms = Some(ms);
+    }
+    let server = obx_serve::start(dir, config).map_err(input_err)?;
+    eprintln!(
+        "obx serve: listening on http://{} (epoch {}; Ctrl-C drains)",
+        server.addr(),
+        server.epoch()
+    );
+    // Block until the shared handler bridges a signal onto the token.
+    // Polling (rather than parking on a condvar) keeps the loop signal-
+    // safe and costs nothing at this cadence.
+    while !cancel.is_cancelled() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let final_epoch = server.epoch();
+    server.shutdown();
+    Ok(CliOutcome::complete(format!(
+        "serve: drained cleanly (final epoch {final_epoch})"
+    )))
 }
 
 /// Appends a [`PipelineProfile`] to the command output in the requested
@@ -626,45 +652,6 @@ fn append_profile(out: &mut String, profile: &PipelineProfile, fmt: ProfileForma
         ProfileFormat::Tree => {
             let _ = writeln!(out, "-- profile --");
             out.push_str(&profile.render_tree());
-        }
-    }
-}
-
-/// Renders an [`ExplainReport`]: one ranked line per explanation, and —
-/// only when the run did not complete — a trailing status line (plus the
-/// tripped resource guard's detail, when one fired). Complete runs keep
-/// the historical line-per-explanation output byte for byte.
-fn render_report(
-    report: &ExplainReport,
-    system: &obx_obdm::ObdmSystem,
-    guard_trip: Option<GuardTrip>,
-) -> CliOutcome {
-    let mut out = String::new();
-    for e in &report.explanations {
-        let _ = writeln!(
-            out,
-            "Z = {:.4}  [{}/{}+  {}-]  {}",
-            e.score,
-            e.stats.pos_matched,
-            e.stats.pos_total,
-            e.stats.neg_matched,
-            e.render(system)
-        );
-    }
-    if report.termination.is_complete() {
-        CliOutcome::complete(out)
-    } else {
-        let _ = writeln!(
-            out,
-            "-- search stopped early: {} (showing best results so far)",
-            report.termination
-        );
-        if let Some(trip) = guard_trip {
-            let _ = writeln!(out, "-- resource guard tripped: {trip}");
-        }
-        CliOutcome {
-            stdout: out,
-            exit_code: 2,
         }
     }
 }

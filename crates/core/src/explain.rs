@@ -518,7 +518,7 @@ pub(crate) fn finalize_report(
             let (legacy_nodes, guided_nodes) = obx_query::eval::node_counts();
             rec.gauge_in_phase("engine", "eval_nodes_legacy", legacy_nodes);
             rec.gauge_in_phase("engine", "eval_nodes_guided", guided_nodes);
-            let guided = matches!(obx_query::eval::mode(), obx_query::eval::EvalMode::Guided);
+            let guided = !matches!(obx_query::eval::mode(), obx_query::eval::EvalMode::Legacy);
             rec.gauge_in_phase("engine", "eval_mode_guided", u64::from(guided));
             rec.profile()
         }

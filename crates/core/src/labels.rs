@@ -290,6 +290,25 @@ impl Labels {
         }
         s
     }
+
+    /// Renders in the `labels.obx` file format (`+ c1, c2, ...` per
+    /// line), the inverse of [`Labels::parse`]. The diagnostics
+    /// rendering above wraps tuples in `<...>`, which the parser does
+    /// not accept.
+    pub fn render_file(&self, consts: &ConstPool) -> String {
+        let line = |sign: char, t: &Tuple| {
+            let cs: Vec<&str> = t.iter().map(|c| consts.resolve(*c)).collect();
+            format!("{sign} {}\n", cs.join(", "))
+        };
+        let mut s = String::new();
+        for t in &self.pos {
+            s.push_str(&line('+', t));
+        }
+        for t in &self.neg {
+            s.push_str(&line('-', t));
+        }
+        s
+    }
 }
 
 #[cfg(test)]

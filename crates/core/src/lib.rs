@@ -85,7 +85,9 @@ pub mod labels;
 pub mod matcher;
 pub mod paper_example;
 pub mod prune;
+pub mod scenario;
 pub mod score;
+pub mod service;
 pub mod strategies;
 pub mod validate;
 
@@ -96,5 +98,7 @@ pub use explain::{ExplainError, ExplainReport, ExplainTask, Explanation, SearchL
 pub use labels::{Labels, LabelsError};
 pub use matcher::{MatchBits, MatchStats, PreparedLabels};
 pub use prune::{Interval, ParentHandle, RefineDir};
+pub use scenario::{load_dir, load_dir_checked, write_paper_example, LoadedScenario};
 pub use score::{ScoreExpr, Scoring};
+pub use service::{ExplainRequest, ServiceError, ServiceOutcome};
 pub use validate::validate_scenario;

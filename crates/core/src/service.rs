@@ -1,0 +1,413 @@
+//! The shared request-execution layer behind every front end.
+//!
+//! One-shot `obx explain` and the long-lived `obx serve` must produce
+//! **byte-identical** output for the same scenario and options — that is
+//! what makes a served explanation auditable against a local rerun. The
+//! only way to guarantee that is to have exactly one implementation:
+//! front ends translate their surface syntax (CLI flags, request JSON)
+//! into an [`ExplainRequest`] and call [`run_explain`]; rendering lives
+//! here too ([`render_report_text`]), so a front end cannot drift.
+//!
+//! The same applies to validation: [`validate_dir`] is the single
+//! implementation behind `obx validate` and the server's `/validate`
+//! endpoint.
+
+// Service requests are built from untrusted user input end to end: the
+// whole layer is panic-free.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::baseline::DataLevelBeam;
+use crate::budget::{CancelToken, SearchBudget};
+use crate::explain::{ExplainReport, ExplainTask, SearchLimits, Strategy};
+use crate::labels::Labels;
+use crate::scenario::load_dir_checked;
+use crate::score::Scoring;
+use crate::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
+use crate::validate::validate_scenario;
+use obx_obdm::ObdmSystem;
+use obx_util::diag::render_with_source;
+use obx_util::{GuardLimits, GuardTrip};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// One explanation request, front-end agnostic: the CLI builds it from
+/// flags, the server from request JSON. Defaults mirror the CLI's
+/// historical defaults exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRequest {
+    /// Border radius `r` (Definition 3.2).
+    pub radius: usize,
+    /// Strategy name: `beam | bottom-up | exhaustive | greedy | data-level`.
+    pub strategy: String,
+    /// Paper Z weights for δ1, δ4, δ5.
+    pub weights: (f64, f64, f64),
+    /// How many ranked explanations to return.
+    pub top: usize,
+    /// Wall-clock budget; on expiry best-so-far results are returned.
+    pub timeout_ms: Option<u64>,
+    /// Cap on J-match evaluator calls (anytime, like `timeout_ms`).
+    pub max_evals: Option<u64>,
+    /// Resource guard: cap cumulative PerfectRef disjuncts.
+    pub max_rewrite: Option<usize>,
+    /// Resource guard: cap cumulative chase facts.
+    pub max_chase: Option<usize>,
+    /// Resource guard: cap cumulative border atoms.
+    pub max_border: Option<usize>,
+}
+
+impl Default for ExplainRequest {
+    fn default() -> Self {
+        Self {
+            radius: 1,
+            strategy: "beam".to_owned(),
+            weights: (1.0, 1.0, 1.0),
+            top: 5,
+            timeout_ms: None,
+            max_evals: None,
+            max_rewrite: None,
+            max_chase: None,
+            max_border: None,
+        }
+    }
+}
+
+impl ExplainRequest {
+    /// The paper-weighted scoring this request asks for.
+    pub fn scoring(&self) -> Scoring {
+        Scoring::paper_weighted(self.weights.0, self.weights.1, self.weights.2)
+    }
+
+    /// The [`SearchBudget`] this request describes, under the caller's
+    /// cancellation token: deadline, evaluator cap, and resource-guard
+    /// limits, exactly as the CLI's flags have always mapped.
+    pub fn budget(&self, cancel: &CancelToken) -> SearchBudget {
+        let mut budget = SearchBudget::unlimited().with_cancel_token(cancel.clone());
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(cap) = self.max_evals {
+            budget = budget.with_max_evals(cap);
+        }
+        if self.max_rewrite.is_some() || self.max_chase.is_some() || self.max_border.is_some() {
+            let mut limits = GuardLimits::unlimited();
+            if let Some(n) = self.max_rewrite {
+                limits = limits.with_max_rewrite_disjuncts(n);
+            }
+            if let Some(n) = self.max_chase {
+                limits = limits.with_max_chase_facts(n);
+            }
+            if let Some(n) = self.max_border {
+                limits = limits.with_max_border_atoms(n);
+            }
+            budget = budget.with_guard_limits(limits);
+        }
+        budget
+    }
+
+    /// A copy of this request with every unbounded dimension clamped to
+    /// the given server-side ceiling — the admission-control hook of
+    /// `obx serve`: a request may ask for *less* than the server allows,
+    /// never more, so one pathological query degrades itself instead of
+    /// the process.
+    pub fn clamped(
+        &self,
+        max_timeout_ms: Option<u64>,
+        max_evals: Option<u64>,
+        guard_ceiling: Option<(usize, usize, usize)>,
+    ) -> Self {
+        let mut r = self.clone();
+        if let Some(cap) = max_timeout_ms {
+            r.timeout_ms = Some(r.timeout_ms.map_or(cap, |t| t.min(cap)));
+        }
+        if let Some(cap) = max_evals {
+            r.max_evals = Some(r.max_evals.map_or(cap, |t| t.min(cap)));
+        }
+        if let Some((rewrite, chase, border)) = guard_ceiling {
+            r.max_rewrite = Some(r.max_rewrite.map_or(rewrite, |v| v.min(rewrite)));
+            r.max_chase = Some(r.max_chase.map_or(chase, |v| v.min(chase)));
+            r.max_border = Some(r.max_border.map_or(border, |v| v.min(border)));
+        }
+        r
+    }
+}
+
+/// Why a service request failed (before or during the search). Mirrors
+/// the CLI's historical error classes so exit codes and HTTP statuses map
+/// one-to-one.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The request named a strategy that does not exist.
+    UnknownStrategy(String),
+    /// Task construction rejected the scenario/request combination.
+    Task(String),
+    /// The explanation machinery itself failed.
+    Search(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownStrategy(s) => write!(f, "unknown strategy `{s}`"),
+            ServiceError::Task(msg) => write!(f, "task: {msg}"),
+            ServiceError::Search(msg) => write!(f, "explain: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A finished service run: the text a front end emits verbatim (stdout
+/// for the CLI, response body for the server) plus the exit code
+/// (`0` complete, `2` degraded/partial) and — when the strategy produced
+/// one — the structured report.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The rendered result, byte-identical across front ends.
+    pub stdout: String,
+    /// `0` complete, `1` error (validation only), `2` degraded/partial.
+    pub exit_code: i32,
+    /// The structured report (absent for the data-level baseline, which
+    /// predates the report type).
+    pub report: Option<ExplainReport>,
+}
+
+/// Runs one explanation request against a loaded scenario under `budget`.
+///
+/// When the budget carries a recorder, the run is phased exactly as the
+/// profiled CLI always was — `explain/prepare` around task construction
+/// (border BFS for every labelled tuple), `explain/search` around the
+/// strategy — so phase wall times sum to the run's total.
+pub fn run_explain(
+    system: &ObdmSystem,
+    labels: &Labels,
+    req: &ExplainRequest,
+    budget: SearchBudget,
+) -> Result<ServiceOutcome, ServiceError> {
+    let scoring = req.scoring();
+    let limits = SearchLimits {
+        top_k: req.top,
+        ..SearchLimits::default()
+    };
+    let recorder = budget.recorder().cloned();
+    let task = {
+        let _prepare = recorder.as_ref().map(|r| r.enter_phase("explain/prepare"));
+        ExplainTask::new_with_budget(system, labels, req.radius, &scoring, limits, budget)
+            .map_err(|e| ServiceError::Task(e.to_string()))?
+    };
+    if req.strategy == "data-level" {
+        let result = {
+            let _search = recorder.as_ref().map(|r| r.enter_phase("explain/search"));
+            DataLevelBeam
+                .explain(&task)
+                .map_err(|e| ServiceError::Search(e.to_string()))?
+        };
+        let mut out = String::new();
+        for e in result {
+            let _ = writeln!(
+                out,
+                "Z = {:.4}  [{}/{}+  {}-]  {}",
+                e.score,
+                e.stats.pos_matched,
+                e.stats.pos_total,
+                e.stats.neg_matched,
+                e.render(&task)
+            );
+        }
+        return Ok(ServiceOutcome {
+            stdout: out,
+            exit_code: 0,
+            report: None,
+        });
+    }
+    let strategy: Box<dyn Strategy> = match req.strategy.as_str() {
+        "beam" => Box::new(BeamSearch),
+        "bottom-up" => Box::new(BottomUpGeneralize::default()),
+        "exhaustive" => Box::new(ExhaustiveSearch::default()),
+        "greedy" => Box::new(GreedyUcq::default()),
+        other => return Err(ServiceError::UnknownStrategy(other.to_owned())),
+    };
+    let report = {
+        let _search = recorder.as_ref().map(|r| r.enter_phase("explain/search"));
+        strategy
+            .explain_with_status(&task)
+            .map_err(|e| ServiceError::Search(e.to_string()))?
+    };
+    let (stdout, exit_code) = render_report_text(&report, system, task.budget().guard_trip());
+    Ok(ServiceOutcome {
+        stdout,
+        exit_code,
+        report: Some(report),
+    })
+}
+
+/// Renders an [`ExplainReport`]: one ranked line per explanation, and —
+/// only when the run did not complete — a trailing status line (plus the
+/// tripped resource guard's detail, when one fired). Complete runs keep
+/// the historical line-per-explanation output byte for byte. Returns the
+/// text and the exit code (`0` complete, `2` degraded/partial).
+pub fn render_report_text(
+    report: &ExplainReport,
+    system: &ObdmSystem,
+    guard_trip: Option<GuardTrip>,
+) -> (String, i32) {
+    let mut out = String::new();
+    for e in &report.explanations {
+        let _ = writeln!(
+            out,
+            "Z = {:.4}  [{}/{}+  {}-]  {}",
+            e.score,
+            e.stats.pos_matched,
+            e.stats.pos_total,
+            e.stats.neg_matched,
+            e.render(system)
+        );
+    }
+    if report.termination.is_complete() {
+        (out, 0)
+    } else {
+        let _ = writeln!(
+            out,
+            "-- search stopped early: {} (showing best results so far)",
+            report.termination
+        );
+        if let Some(trip) = guard_trip {
+            let _ = writeln!(out, "-- resource guard tripped: {trip}");
+        }
+        (out, 2)
+    }
+}
+
+/// Validates a scenario directory: best-effort load collecting every
+/// syntax problem, then — if the files were at least readable — the
+/// cross-artifact semantic checks (`OBX2xx`). Exit code 0 clean, 2
+/// warnings only, 1 when any error was found (the diagnostics still go to
+/// the output text). The single implementation behind `obx validate` and
+/// the server's `/validate`.
+pub fn validate_dir(dir: &Path) -> ServiceOutcome {
+    let dir_label = dir.display();
+    let mut checked = load_dir_checked(dir);
+    if let Some(scenario) = &checked.scenario {
+        validate_scenario(&scenario.system, &scenario.labels, &mut checked.diagnostics);
+    }
+    let mut out = String::new();
+    for d in checked.diagnostics.iter() {
+        let _ = writeln!(out, "{}", render_with_source(d, checked.source_of(&d.file)));
+    }
+    let errors = checked.diagnostics.error_count();
+    let warnings = checked.diagnostics.warning_count();
+    if errors == 0 && warnings == 0 {
+        let _ = writeln!(out, "{dir_label}: ok — scenario is admissible");
+        return ServiceOutcome {
+            stdout: out,
+            exit_code: 0,
+            report: None,
+        };
+    }
+    let _ = writeln!(
+        out,
+        "{dir_label}: {errors} error(s), {warnings} warning(s){}",
+        if checked.scenario.is_none() {
+            " — scenario could not be assembled"
+        } else {
+            ""
+        }
+    );
+    ServiceOutcome {
+        stdout: out,
+        exit_code: if errors > 0 { 1 } else { 2 },
+        report: None,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn paper_setup() -> (ObdmSystem, Labels) {
+        let mut system = obx_obdm::example_3_6_system();
+        let labels = Labels::parse(system.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap();
+        (system, labels)
+    }
+
+    #[test]
+    fn default_request_matches_cli_defaults() {
+        let r = ExplainRequest::default();
+        assert_eq!(r.radius, 1);
+        assert_eq!(r.strategy, "beam");
+        assert_eq!(r.top, 5);
+        assert_eq!(r.weights, (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn run_explain_reproduces_the_paper_example() {
+        let (system, labels) = paper_setup();
+        let req = ExplainRequest {
+            top: 3,
+            ..ExplainRequest::default()
+        };
+        let out = run_explain(&system, &labels, &req, req.budget(&CancelToken::new())).unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert!(out.stdout.contains("0.8333"), "{}", out.stdout);
+        assert_eq!(out.stdout.lines().count(), 3);
+        assert!(out.report.is_some());
+    }
+
+    #[test]
+    fn unknown_strategy_is_rejected() {
+        let (system, labels) = paper_setup();
+        let req = ExplainRequest {
+            strategy: "nope".to_owned(),
+            ..ExplainRequest::default()
+        };
+        let err = run_explain(&system, &labels, &req, req.budget(&CancelToken::new())).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownStrategy(_)), "{err}");
+    }
+
+    #[test]
+    fn clamped_caps_every_dimension_without_raising_requests() {
+        let r = ExplainRequest {
+            timeout_ms: Some(50),
+            max_evals: None,
+            max_border: Some(10),
+            ..ExplainRequest::default()
+        };
+        let c = r.clamped(Some(1000), Some(500), Some((100, 200, 300)));
+        // A tighter request survives; unbounded dimensions get the ceiling.
+        assert_eq!(c.timeout_ms, Some(50));
+        assert_eq!(c.max_evals, Some(500));
+        assert_eq!(c.max_rewrite, Some(100));
+        assert_eq!(c.max_chase, Some(200));
+        assert_eq!(c.max_border, Some(10));
+        // And a looser request is clamped down.
+        let loose = ExplainRequest {
+            timeout_ms: Some(10_000),
+            ..ExplainRequest::default()
+        };
+        assert_eq!(loose.clamped(Some(1000), None, None).timeout_ms, Some(1000));
+    }
+
+    #[test]
+    fn guarded_run_degrades_with_the_cli_footer() {
+        let (system, labels) = paper_setup();
+        let req = ExplainRequest {
+            max_border: Some(1),
+            top: 3,
+            ..ExplainRequest::default()
+        };
+        let out = run_explain(&system, &labels, &req, req.budget(&CancelToken::new())).unwrap();
+        assert_eq!(out.exit_code, 2, "{}", out.stdout);
+        assert!(
+            out.stdout.contains("search stopped early"),
+            "{}",
+            out.stdout
+        );
+        assert!(
+            out.stdout.contains("resource guard tripped: border atoms"),
+            "{}",
+            out.stdout
+        );
+    }
+}

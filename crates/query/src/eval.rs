@@ -1,8 +1,12 @@
 //! Evaluation of source CQs/UCQs over a database [`View`].
 //!
-//! Two evaluators live here, selected at runtime by [`mode`]:
+//! Two evaluators live here, selected at runtime by [`mode`]. The default
+//! mode, [`EvalMode::Auto`], dispatches per call by view size: tiny views
+//! (below [`guided_min_view`] atoms, typically radius-1 borders) go to the
+//! legacy backtracker whose constant factors win at that scale, larger
+//! views to the guided engine.
 //!
-//! * the **guided** evaluator ([`guided`], the default) — a
+//! * the **guided** evaluator ([`guided`]) — a
 //!   constraint-guided join in the worst-case-optimal family: every body
 //!   atom is a constraint proposing/confirming values for one variable at
 //!   a time, and the engine always binds the variable with the smallest
@@ -34,35 +38,40 @@ pub mod guided;
 pub enum EvalMode {
     /// The fixed-strategy backtracking join (atom-at-a-time).
     Legacy,
-    /// The constraint-guided join (variable-at-a-time, default).
+    /// The constraint-guided join (variable-at-a-time), on every view.
     Guided,
+    /// Size-gated dispatch (the default): guided on views at or above
+    /// [`guided_min_view`] atoms, legacy below it. The guided engine's
+    /// per-call bookkeeping (constraint propagation state, cardinality
+    /// estimates) loses to the plain backtracker on tiny border views —
+    /// this recovers that overhead without giving up guided wins at scale.
+    Auto,
 }
 
 /// 0 = uninitialized (read `OBX_GUIDED` on first use), 1 = legacy,
-/// 2 = guided.
+/// 2 = guided, 3 = auto.
 static MODE: AtomicU8 = AtomicU8::new(0);
 
 fn mode_from_env() -> EvalMode {
     match std::env::var("OBX_GUIDED") {
-        Ok(v)
-            if matches!(
-                v.trim().to_ascii_lowercase().as_str(),
-                "0" | "off" | "false" | "no"
-            ) =>
-        {
-            EvalMode::Legacy
-        }
-        _ => EvalMode::Guided,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "0" | "off" | "false" | "no" => EvalMode::Legacy,
+            "auto" => EvalMode::Auto,
+            _ => EvalMode::Guided,
+        },
+        Err(_) => EvalMode::Auto,
     }
 }
 
-/// The active evaluator. Initialized from `OBX_GUIDED` (any of
-/// `0|off|false|no` selects the legacy evaluator; default guided) on
-/// first call; overridable at runtime with [`set_mode`].
+/// The active evaluator. Initialized from `OBX_GUIDED` on first call
+/// (`0|off|false|no` → legacy, `auto` or unset → size-gated auto, any
+/// other value → guided on every view); overridable at runtime with
+/// [`set_mode`].
 pub fn mode() -> EvalMode {
     match MODE.load(Ordering::Relaxed) {
         1 => EvalMode::Legacy,
         2 => EvalMode::Guided,
+        3 => EvalMode::Auto,
         _ => {
             let m = mode_from_env();
             set_mode(m);
@@ -79,9 +88,60 @@ pub fn set_mode(m: EvalMode) {
         match m {
             EvalMode::Legacy => 1,
             EvalMode::Guided => 2,
+            EvalMode::Auto => 3,
         },
         Ordering::Relaxed,
     );
+}
+
+/// 0 = uninitialized (read `OBX_GUIDED_MIN_VIEW` on first use); the
+/// stored value is the threshold plus one so a configured 0 is
+/// representable.
+static MIN_VIEW: AtomicU64 = AtomicU64::new(0);
+
+/// Default [`Auto`](EvalMode::Auto) threshold: measured on the guided
+/// bench's border panel, views under ~16 atoms are where the legacy
+/// backtracker's lower constant factors win (the crossover is flat
+/// between 8 and 32; 16 splits it).
+const DEFAULT_MIN_VIEW: usize = 16;
+
+/// The [`Auto`](EvalMode::Auto) size gate: views with fewer than this
+/// many visible atoms evaluate on the legacy engine, the rest on the
+/// guided one. Initialized from `OBX_GUIDED_MIN_VIEW` (default 16) on
+/// first call; overridable with [`set_guided_min_view`].
+pub fn guided_min_view() -> usize {
+    match MIN_VIEW.load(Ordering::Relaxed) {
+        0 => {
+            let t = std::env::var("OBX_GUIDED_MIN_VIEW")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(DEFAULT_MIN_VIEW);
+            set_guided_min_view(t);
+            t
+        }
+        stored => (stored - 1) as usize,
+    }
+}
+
+/// Sets the [`Auto`](EvalMode::Auto) size gate process-wide (0 = guided
+/// everywhere). Intended for A/B benches and equivalence tests.
+pub fn set_guided_min_view(atoms: usize) {
+    MIN_VIEW.store((atoms as u64).saturating_add(1), Ordering::Relaxed);
+}
+
+/// The evaluator [`mode`] resolves to for a concrete view: `Auto` picks
+/// per call by view size, the forced modes pass through.
+fn effective_mode(view: &View<'_>) -> EvalMode {
+    match mode() {
+        EvalMode::Auto => {
+            if view.len() < guided_min_view() {
+                EvalMode::Legacy
+            } else {
+                EvalMode::Guided
+            }
+        }
+        forced => forced,
+    }
 }
 
 /// Process-wide candidate-inspection totals (monotone).
@@ -344,9 +404,9 @@ fn num_vars(cq: &SrcCq) -> usize {
 /// All answers of `cq` over `view`: the set of head-variable tuples.
 /// Dispatches to the evaluator selected by [`mode`].
 pub fn answers(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
-    match mode() {
-        EvalMode::Guided => guided::answers(view, cq),
+    match effective_mode(&view) {
         EvalMode::Legacy => answers_legacy(view, cq),
+        _ => guided::answers(view, cq),
     }
 }
 
@@ -390,9 +450,9 @@ pub fn answers_legacy(view: View<'_>, cq: &SrcCq) -> FxHashSet<Box<[Const]>> {
 /// variable would need two different constants. Dispatches to the
 /// evaluator selected by [`mode`].
 pub fn satisfies(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
-    match mode() {
-        EvalMode::Guided => guided::satisfies(view, cq, tuple),
+    match effective_mode(&view) {
         EvalMode::Legacy => satisfies_legacy(view, cq, tuple),
+        _ => guided::satisfies(view, cq, tuple),
     }
 }
 
@@ -439,9 +499,9 @@ pub fn satisfies_legacy(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> bool {
 /// Dispatches to the evaluator selected by [`mode`]; the two evaluators
 /// may ground the body with *different* (both valid) witnesses.
 pub fn witness(view: View<'_>, cq: &SrcCq, tuple: &[Const]) -> Option<Vec<obx_srcdb::AtomId>> {
-    match mode() {
-        EvalMode::Guided => guided::witness(view, cq, tuple),
+    match effective_mode(&view) {
         EvalMode::Legacy => witness_legacy(view, cq, tuple),
+        _ => guided::witness(view, cq, tuple),
     }
 }
 
@@ -822,5 +882,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(answers(View::full(&db), &q).len(), 25);
+    }
+
+    #[test]
+    fn auto_mode_gates_by_view_size() {
+        let db = students_db();
+        let n = db.len();
+        let prev_mode = mode();
+        let prev_gate = guided_min_view();
+        set_mode(EvalMode::Auto);
+        // Gate above the view size → the tiny view routes to legacy.
+        set_guided_min_view(n + 1);
+        assert_eq!(effective_mode(&View::full(&db)), EvalMode::Legacy);
+        // Gate at or below the view size → guided.
+        set_guided_min_view(n);
+        assert_eq!(effective_mode(&View::full(&db)), EvalMode::Guided);
+        set_guided_min_view(0);
+        assert_eq!(effective_mode(&View::full(&db)), EvalMode::Guided);
+        // A masked view is gated by its *visible* atom count, not the
+        // database's: a border-sized mask over a big database goes legacy.
+        let mask: obx_util::FxHashSet<obx_srcdb::AtomId> = db.atom_ids().take(3).collect();
+        set_guided_min_view(4);
+        assert_eq!(effective_mode(&View::masked(&db, &mask)), EvalMode::Legacy);
+        // Forced modes pass through the gate untouched.
+        set_mode(EvalMode::Legacy);
+        assert_eq!(effective_mode(&View::full(&db)), EvalMode::Legacy);
+        set_mode(EvalMode::Guided);
+        set_guided_min_view(usize::MAX);
+        assert_eq!(effective_mode(&View::full(&db)), EvalMode::Guided);
+        set_guided_min_view(prev_gate);
+        set_mode(prev_mode);
     }
 }

@@ -36,8 +36,8 @@ pub use containment::{
     onto_to_pseudo_src, onto_ucq_contained, ucq_contained,
 };
 pub use eval::{
-    answers, answers_ucq, mode, node_counts, satisfies, satisfies_ucq, set_mode, witness,
-    witness_ucq, EvalMode,
+    answers, answers_ucq, guided_min_view, mode, node_counts, satisfies, satisfies_ucq,
+    set_guided_min_view, set_mode, witness, witness_ucq, EvalMode,
 };
 pub use onto::{OntoAtom, OntoCq, OntoUcq, QueryError};
 pub use parse::{parse_onto_cq, parse_onto_ucq, parse_src_cq, QueryParseError};

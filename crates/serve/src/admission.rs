@@ -1,0 +1,360 @@
+//! Fair-share admission control: the bounded front door of `obx serve`.
+//!
+//! The scoring engine is CPU-bound; accepting every request under load
+//! just converts overload into unbounded queueing and collective timeout.
+//! The gate instead enforces three invariants:
+//!
+//! 1. **Bounded concurrency** — at most `max_inflight` requests execute.
+//! 2. **Bounded queueing** — at most `queue_depth` requests wait; beyond
+//!    that, requests are *shed immediately* with a structured rejection
+//!    ([`Shed::QueueFull`]) instead of being silently parked.
+//! 3. **Fair share** — waiting requests are granted round-robin across
+//!    client identities, FIFO within each client. One client flooding the
+//!    queue delays its own backlog, not everyone else's single request.
+//!
+//! Grants hand out a [`Permit`]; dropping it releases the slot and wakes
+//! the next waiter, so a panicking request (caught upstream) can never
+//! leak capacity.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Why a request was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The wait queue is full — immediate rejection (`OBX320`).
+    QueueFull,
+    /// The request waited its full patience without a slot (`OBX321`).
+    TimedOut,
+    /// The server is draining and admits nothing new (`OBX322`).
+    Draining,
+}
+
+impl fmt::Display for Shed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shed::QueueFull => write!(f, "admission queue full"),
+            Shed::TimedOut => write!(f, "timed out waiting for an execution slot"),
+            Shed::Draining => write!(f, "server is draining"),
+        }
+    }
+}
+
+struct GateState {
+    draining: bool,
+    inflight: usize,
+    waiting: usize,
+    /// Round-robin ring of `(client, FIFO of ticket ids)`. The front
+    /// client is granted next; after a grant it moves to the back (or
+    /// drops out when its queue empties), which *is* the fairness policy.
+    ring: VecDeque<(String, VecDeque<u64>)>,
+    /// Tickets granted by a releaser but not yet collected by their
+    /// waiter (the slot is already counted in `inflight`).
+    granted: HashSet<u64>,
+    next_ticket: u64,
+}
+
+struct Inner {
+    max_inflight: usize,
+    queue_depth: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            // A poisoning panic is caught upstream per request; the gate's
+            // own invariants are restored by the Permit drop that follows.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Grants the next waiting ticket if a slot is free. Caller holds the
+    /// lock and must notify afterwards.
+    fn grant_next(&self, s: &mut GateState) {
+        if s.inflight >= self.max_inflight {
+            return;
+        }
+        let Some((client, mut queue)) = s.ring.pop_front() else {
+            return;
+        };
+        if let Some(ticket) = queue.pop_front() {
+            s.granted.insert(ticket);
+            s.inflight += 1;
+            s.waiting -= 1;
+        }
+        if !queue.is_empty() {
+            s.ring.push_back((client, queue));
+        }
+    }
+
+    /// Removes `ticket` from whatever client queue holds it (a waiter
+    /// abandoning its place on timeout/drain).
+    fn forget(&self, s: &mut GateState, ticket: u64) {
+        for i in 0..s.ring.len() {
+            if let Some(pos) = s.ring[i].1.iter().position(|&t| t == ticket) {
+                s.ring[i].1.remove(pos);
+                s.waiting -= 1;
+                if s.ring[i].1.is_empty() {
+                    s.ring.remove(i);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// The admission gate. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct FairGate {
+    inner: Arc<Inner>,
+}
+
+/// An execution slot. Dropping it releases the slot and wakes the next
+/// fair-share waiter.
+pub struct Permit {
+    inner: Arc<Inner>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut s = self.inner.lock();
+        s.inflight -= 1;
+        self.inner.grant_next(&mut s);
+        drop(s);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl FairGate {
+    /// A gate allowing `max_inflight` concurrent executions and at most
+    /// `queue_depth` waiters (both floored at 1).
+    pub fn new(max_inflight: usize, queue_depth: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                max_inflight: max_inflight.max(1),
+                queue_depth: queue_depth.max(1),
+                state: Mutex::new(GateState {
+                    draining: false,
+                    inflight: 0,
+                    waiting: 0,
+                    ring: VecDeque::new(),
+                    granted: HashSet::new(),
+                    next_ticket: 0,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Requests an execution slot for `client` (anonymous requests share
+    /// one bucket), waiting at most `patience`. Sheds instead of blocking
+    /// indefinitely.
+    pub fn admit(&self, client: Option<&str>, patience: Duration) -> Result<Permit, Shed> {
+        let inner = &self.inner;
+        let mut s = inner.lock();
+        if s.draining {
+            return Err(Shed::Draining);
+        }
+        // Fast path: free slot and nobody already waiting their turn.
+        if s.inflight < inner.max_inflight && s.waiting == 0 {
+            s.inflight += 1;
+            return Ok(Permit {
+                inner: Arc::clone(inner),
+            });
+        }
+        if s.waiting >= inner.queue_depth {
+            return Err(Shed::QueueFull);
+        }
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        let bucket = client.unwrap_or("");
+        match s.ring.iter_mut().find(|(c, _)| c == bucket) {
+            Some((_, queue)) => queue.push_back(ticket),
+            None => {
+                let mut queue = VecDeque::new();
+                queue.push_back(ticket);
+                s.ring.push_back((bucket.to_owned(), queue));
+            }
+        }
+        s.waiting += 1;
+        // A slot may already be free (release raced our enqueue).
+        inner.grant_next(&mut s);
+        let deadline = Instant::now() + patience;
+        loop {
+            if s.granted.remove(&ticket) {
+                return Ok(Permit {
+                    inner: Arc::clone(inner),
+                });
+            }
+            if s.draining {
+                inner.forget(&mut s, ticket);
+                return Err(Shed::Draining);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                inner.forget(&mut s, ticket);
+                return Err(Shed::TimedOut);
+            }
+            s = match inner.cv.wait_timeout(s, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Flips the gate into draining: every waiter is woken with
+    /// [`Shed::Draining`] and no new request is admitted. In-flight
+    /// permits are unaffected.
+    pub fn drain(&self) {
+        let mut s = self.inner.lock();
+        s.draining = true;
+        drop(s);
+        self.inner.cv.notify_all();
+    }
+
+    /// Blocks until no request is in flight (or `patience` elapses);
+    /// `true` when idle was reached. Meaningful after [`drain`](Self::drain).
+    pub fn wait_idle(&self, patience: Duration) -> bool {
+        let deadline = Instant::now() + patience;
+        let mut s = self.inner.lock();
+        loop {
+            // Granted-but-uncollected tickets still count: their waiters
+            // are about to run.
+            if s.inflight == 0 && s.granted.is_empty() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            s = match self.inner.cv.wait_timeout(s, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Currently executing requests.
+    pub fn inflight(&self) -> usize {
+        self.inner.lock().inflight
+    }
+
+    /// Currently queued requests.
+    pub fn waiting(&self) -> usize {
+        self.inner.lock().waiting
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    const PATIENT: Duration = Duration::from_secs(10);
+
+    fn spin_until(what: &str, cond: impl Fn() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn fast_path_admits_up_to_capacity_then_sheds_on_full_queue() {
+        let gate = FairGate::new(2, 1);
+        let p1 = gate.admit(None, PATIENT).unwrap();
+        let p2 = gate.admit(None, PATIENT).unwrap();
+        assert_eq!(gate.inflight(), 2);
+        // Fill the one queue slot from another thread.
+        let g = gate.clone();
+        let waiter = thread::spawn(move || g.admit(Some("w"), PATIENT).map(|_| ()));
+        spin_until("waiter to queue", || gate.waiting() == 1);
+        // Queue full: immediate shed, no blocking.
+        assert_eq!(
+            gate.admit(Some("x"), PATIENT).map(|_| ()),
+            Err(Shed::QueueFull)
+        );
+        drop(p1);
+        waiter.join().unwrap().unwrap();
+        drop(p2);
+        assert!(gate.wait_idle(PATIENT));
+    }
+
+    #[test]
+    fn waiting_times_out_with_a_structured_shed() {
+        let gate = FairGate::new(1, 4);
+        let _held = gate.admit(None, PATIENT).unwrap();
+        let shed = gate
+            .admit(Some("late"), Duration::from_millis(20))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(shed, Shed::TimedOut);
+        assert_eq!(gate.waiting(), 0, "abandoned ticket must be forgotten");
+    }
+
+    #[test]
+    fn grants_round_robin_across_clients_fifo_within() {
+        let gate = FairGate::new(1, 8);
+        let held = gate.admit(Some("a"), PATIENT).unwrap();
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let mut handles = Vec::new();
+        // Enqueue deterministically: a1, a2, then b1.
+        for (client, tag) in [("a", "a1"), ("a", "a2"), ("b", "b1")] {
+            let g = gate.clone();
+            let order = Arc::clone(&order);
+            let before = gate.waiting();
+            handles.push(thread::spawn(move || {
+                let permit = g.admit(Some(client), PATIENT).unwrap();
+                order.lock().unwrap().push(tag);
+                drop(permit);
+            }));
+            spin_until("enqueue", || gate.waiting() == before + 1);
+        }
+        drop(held);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Client a flooded first, but b's single request overtakes a's
+        // backlog: round-robin across clients, FIFO within a client.
+        assert_eq!(*order.lock().unwrap(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn drain_wakes_waiters_and_blocks_new_admissions() {
+        let gate = FairGate::new(1, 4);
+        let held = gate.admit(None, PATIENT).unwrap();
+        let g = gate.clone();
+        let waiter = thread::spawn(move || g.admit(Some("w"), PATIENT).map(|_| ()));
+        spin_until("waiter to queue", || gate.waiting() == 1);
+        gate.drain();
+        assert_eq!(waiter.join().unwrap(), Err(Shed::Draining));
+        assert_eq!(gate.admit(None, PATIENT).map(|_| ()), Err(Shed::Draining));
+        // In-flight work is unaffected and wait_idle observes its end.
+        assert!(!gate.wait_idle(Duration::from_millis(10)));
+        drop(held);
+        assert!(gate.wait_idle(PATIENT));
+    }
+
+    #[test]
+    fn dropping_a_permit_mid_panic_still_releases_the_slot() {
+        let gate = FairGate::new(1, 1);
+        let g = gate.clone();
+        let _ = thread::spawn(move || {
+            let _permit = g.admit(None, PATIENT).unwrap();
+            panic!("request blew up");
+        })
+        .join();
+        // The slot came back despite the panic.
+        assert_eq!(gate.inflight(), 0);
+        let _p = gate.admit(None, PATIENT).unwrap();
+    }
+}

@@ -1,0 +1,33 @@
+//! `obx-serve`: the always-on explanation service behind `obx serve`.
+//!
+//! A std-only, hand-rolled HTTP/1.1 server that keeps a scenario loaded
+//! as an immutable **epoch snapshot** and multiplexes concurrent
+//! `explain`/`validate` requests onto the same execution layer the
+//! one-shot CLI uses — so a served response body is byte-identical to
+//! `obx explain` output on the same snapshot.
+//!
+//! The crate is organised by concern:
+//!
+//! - [`http`] — the limited, hostile-input-hardened wire parser
+//!   (`OBX300`–`OBX307`);
+//! - [`json`] — the strict request decoder (`OBX310`–`OBX313`);
+//! - [`snapshot`] — epoch snapshots and the atomic reload store;
+//! - [`admission`] — bounded fair-share admission (`OBX320`–`OBX322`);
+//! - [`server`] — the accept loop, routing, quarantine (`OBX323`), and
+//!   graceful drain.
+//!
+//! Endpoints: `GET /healthz`, `GET /metrics`, `POST /explain`,
+//! `POST /validate`, `POST /reload`. See `DESIGN.md` §12 for the
+//! service architecture and the full diagnostic-code map.
+
+#![deny(missing_docs)]
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod snapshot;
+
+pub use admission::{FairGate, Permit, Shed};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use snapshot::{Epoch, EpochStore};

@@ -1,0 +1,695 @@
+//! The always-on explanation server: `obx serve`.
+//!
+//! Architecture (one paragraph): an accept thread hands each connection
+//! to its own handler thread (explanations are CPU-bound and long; the
+//! handful of concurrent connections a scoring service sees does not
+//! justify an event loop). Every request is admitted through the
+//! fair-share [`FairGate`](crate::admission::FairGate) *before* touching
+//! an epoch, pins the current [`Epoch`](crate::snapshot::Epoch) for its
+//! whole lifetime, runs under a per-request [`SearchBudget`] clamped to
+//! server ceilings, and executes the **same**
+//! [`obx_core::service::run_explain`] the CLI calls — which is what makes
+//! served bodies byte-identical to one-shot `obx explain` output on the
+//! same snapshot.
+//!
+//! Robustness invariants, each proven under fault injection by
+//! `tests/serve_resilience.rs`:
+//!
+//! - a panicking request is quarantined (`catch_unwind`, `OBX323`,
+//!   `serve/quarantined` counter) and never takes down the process;
+//! - overload is shed with structured 429/503 bodies, never by unbounded
+//!   queueing;
+//! - `reload` swaps snapshots atomically; in-flight requests finish on
+//!   the epoch they started on;
+//! - drain stops admissions, lets in-flight work finish inside a grace
+//!   window, then cancels stragglers (they degrade, best-so-far, exactly
+//!   like `^C` on the CLI).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::admission::{FairGate, Shed};
+use crate::http::{read_request, write_response, HttpError, HttpLimits, Request, Response};
+use crate::json::{self, escape};
+use crate::snapshot::EpochStore;
+use obx_core::budget::CancelToken;
+use obx_core::service::{run_explain, ServiceError};
+use obx_util::obs;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs. Defaults are production-shaped; tests tighten them.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub bind: String,
+    /// Concurrent executing requests (`--max-inflight`).
+    pub max_inflight: usize,
+    /// Waiting requests beyond which new ones are shed (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Server-side wall-clock ceiling per request
+    /// (`--request-timeout-ms`); a request may ask for less, never more.
+    pub request_timeout_ms: Option<u64>,
+    /// How long an admitted-but-queued request waits before `OBX321`.
+    pub queue_wait_ms: u64,
+    /// Socket read timeout — the slow-loris bound.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout.
+    pub write_timeout_ms: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Drain grace: how long in-flight requests get to finish before
+    /// they are cancelled (and degrade to best-so-far).
+    pub grace_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:0".to_owned(),
+            max_inflight: 4,
+            queue_depth: 16,
+            request_timeout_ms: None,
+            queue_wait_ms: 2_000,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            max_body_bytes: 256 * 1024,
+            grace_ms: 5_000,
+        }
+    }
+}
+
+/// Cancellation tokens of currently executing requests, so drain can
+/// degrade stragglers after the grace window.
+struct Inflights {
+    next: AtomicU64,
+    tokens: Mutex<Vec<(u64, CancelToken)>>,
+}
+
+impl Inflights {
+    fn register(&self, token: CancelToken) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut tokens) = self.tokens.lock() {
+            tokens.push((id, token));
+        }
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        if let Ok(mut tokens) = self.tokens.lock() {
+            tokens.retain(|(t, _)| *t != id);
+        }
+    }
+
+    fn cancel_all(&self) {
+        if let Ok(tokens) = self.tokens.lock() {
+            for (_, token) in tokens.iter() {
+                token.cancel();
+            }
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    limits: HttpLimits,
+    store: EpochStore,
+    gate: FairGate,
+    inflights: Inflights,
+    /// Set once on drain: stop accepting, close keep-alive connections
+    /// after their current response.
+    stop: AtomicBool,
+}
+
+/// Handle to a running server. Dropping it drains and joins every
+/// thread — a test that forgets `shutdown()` still cleans up.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Boots a server over the scenario in `dir`: loads the boot epoch
+/// (refusing a broken directory), binds, and starts accepting. Returns
+/// once the socket is live.
+pub fn start(
+    dir: impl Into<std::path::PathBuf>,
+    config: ServeConfig,
+) -> Result<ServerHandle, String> {
+    let store = EpochStore::open(dir)?;
+    let listener =
+        TcpListener::bind(&config.bind).map_err(|e| format!("cannot bind {}: {e}", config.bind))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    let limits = HttpLimits {
+        max_body: config.max_body_bytes,
+        ..HttpLimits::default()
+    };
+    let shared = Arc::new(Shared {
+        gate: FairGate::new(config.max_inflight, config.queue_depth),
+        config,
+        limits,
+        store,
+        inflights: Inflights {
+            next: AtomicU64::new(0),
+            tokens: Mutex::new(Vec::new()),
+        },
+        stop: AtomicBool::new(false),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || accept_loop(&accept_shared, &listener));
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            // The drain poke (or a late client); either way, no new work.
+            break;
+        }
+        obs::counter("serve/connections").add(1);
+        let conn_shared = Arc::clone(shared);
+        conns.push(std::thread::spawn(move || {
+            handle_connection(&conn_shared, stream);
+        }));
+        // Reap finished handlers so a long-lived server does not
+        // accumulate one parked JoinHandle per past connection.
+        conns.retain(|h| !h.is_finished());
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let timeouts_ok = stream
+        .set_read_timeout(Some(Duration::from_millis(
+            shared.config.read_timeout_ms.max(1),
+        )))
+        .and_then(|()| {
+            stream.set_write_timeout(Some(Duration::from_millis(
+                shared.config.write_timeout_ms.max(1),
+            )))
+        })
+        .is_ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    if !timeouts_ok {
+        return;
+    }
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, &shared.limits) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                obs::counter("serve/requests").add(1);
+                let started = Instant::now();
+                let resp = handle_request(shared, &req);
+                obs::histogram("serve/request_us").record_duration(started.elapsed());
+                let close = req.wants_close() || shared.stop.load(Ordering::Acquire);
+                if write_response(&mut writer, &resp, close).is_err() || close {
+                    break;
+                }
+            }
+            Err(e) => {
+                obs::counter("serve/bad_requests").add(1);
+                let _ = write_response(&mut writer, &http_error_response(&e), true);
+                break;
+            }
+        }
+    }
+}
+
+fn err_json(code: &str, msg: &str) -> String {
+    format!("{{\"code\":\"{code}\",\"error\":\"{}\"}}\n", escape(msg))
+}
+
+fn http_error_response(e: &HttpError) -> Response {
+    Response::json(e.status, err_json(e.code, &e.msg))
+}
+
+/// The shed body mirrors the CLI's degraded-termination contract: a
+/// `termination` field phrased like the `-- search stopped early` footer,
+/// so clients handle "shed before execution" and "degraded mid-search"
+/// through one code path.
+fn shed_response(shed: Shed, epoch: u64) -> Response {
+    obs::counter("serve/requests_shed").add(1);
+    let (code, status) = match shed {
+        Shed::QueueFull => ("OBX320", 429),
+        Shed::TimedOut => ("OBX321", 429),
+        Shed::Draining => ("OBX322", 503),
+    };
+    let body = format!(
+        "{{\"code\":\"{code}\",\"error\":\"{}\",\"termination\":\"degraded (request shed before execution)\",\"epoch\":{epoch}}}\n",
+        escape(&shed.to_string())
+    );
+    Response::json(status, body)
+        .with_header("x-obx-epoch", epoch.to_string())
+        .with_header("retry-after", "1")
+}
+
+fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
+    let draining = shared.stop.load(Ordering::Acquire);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            if draining {
+                Response::json(503, err_json("OBX322", "server is draining"))
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        ("GET", "/metrics") => Response::json(200, obs::metrics_json()),
+        ("POST", "/reload") => {
+            if draining {
+                return Response::json(503, err_json("OBX322", "server is draining"));
+            }
+            match shared.store.reload() {
+                Ok(epoch) => {
+                    obs::counter("serve/reloads").add(1);
+                    Response::json(200, format!("{{\"epoch\":{}}}\n", epoch.id))
+                        .with_header("x-obx-epoch", epoch.id.to_string())
+                }
+                Err(msg) => Response::json(
+                    422,
+                    err_json(
+                        "OBX316",
+                        &format!("reload failed, keeping current epoch: {msg}"),
+                    ),
+                ),
+            }
+        }
+        ("POST", "/validate") => {
+            if draining {
+                return Response::json(503, err_json("OBX322", "server is draining"));
+            }
+            let epoch = shared.store.current();
+            Response::text(200, epoch.validate_text.clone())
+                .with_header("x-obx-epoch", epoch.id.to_string())
+                .with_header("x-obx-exit", epoch.validate_exit.to_string())
+        }
+        ("POST", "/explain") => handle_explain(shared, req),
+        (method, path) => Response::json(
+            404,
+            err_json("OBX306", &format!("no such endpoint: {method} {path}")),
+        ),
+    }
+}
+
+fn handle_explain(shared: &Arc<Shared>, req: &Request) -> Response {
+    let Ok(body_text) = std::str::from_utf8(&req.body) else {
+        return Response::json(400, err_json("OBX307", "request body is not valid UTF-8"));
+    };
+    let body = match json::explain_body(body_text) {
+        Ok(b) => b,
+        Err(e) => return Response::json(400, err_json(e.code, &e.msg)),
+    };
+    // Admission first: a shed request must cost nothing but the parse.
+    let permit = match shared.gate.admit(
+        body.client.as_deref(),
+        Duration::from_millis(shared.config.queue_wait_ms),
+    ) {
+        Ok(p) => p,
+        Err(shed) => return shed_response(shed, shared.store.current().id),
+    };
+    // Pin the epoch only now — a request that waited through a reload
+    // runs on the snapshot current at execution start, and keeps it for
+    // its whole lifetime regardless of later reloads.
+    let epoch = shared.store.current();
+    let clamped = body
+        .req
+        .clamped(shared.config.request_timeout_ms, None, None);
+    let token = CancelToken::new();
+    let inflight_id = shared.inflights.register(token.clone());
+
+    // Fault-injection hooks, compiled only for tests: `x-obx-fault:
+    // cancel` fires the request's own token before the search starts
+    // (the mid-request-cancellation path), `panic` detonates inside the
+    // quarantine boundary, and `sleep:<ms>` holds the execution slot for
+    // a deterministic interval so overload/drain tests can occupy
+    // capacity without depending on scenario size.
+    #[cfg(any(test, feature = "fault-injection"))]
+    let fault = req.header("x-obx-fault").map(str::to_owned);
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    let fault: Option<String> = None;
+    if fault.as_deref() == Some("cancel") {
+        token.cancel();
+    }
+
+    let mut budget = clamped.budget(&token);
+    let recorder = if body.profile {
+        let r = obs::Recorder::new();
+        budget = budget.with_recorder(Arc::clone(&r));
+        Some(r)
+    } else {
+        None
+    };
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if fault.as_deref() == Some("panic") {
+            panic!("injected fault: panic requested via x-obx-fault");
+        }
+        if let Some(ms) = fault
+            .as_deref()
+            .and_then(|f| f.strip_prefix("sleep:"))
+            .and_then(|ms| ms.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        }
+        run_explain(
+            &epoch.scenario.system,
+            &epoch.scenario.labels,
+            &clamped,
+            budget,
+        )
+    }));
+    shared.inflights.unregister(inflight_id);
+    drop(permit);
+
+    let epoch_header = epoch.id.to_string();
+    match result {
+        Err(_) => {
+            obs::counter("serve/quarantined").add(1);
+            Response::json(
+                500,
+                err_json(
+                    "OBX323",
+                    "request quarantined: the search panicked; the server carries on",
+                ),
+            )
+            .with_header("x-obx-epoch", epoch_header)
+        }
+        Ok(Err(e)) => {
+            let (code, status) = match &e {
+                ServiceError::UnknownStrategy(_) => ("OBX313", 400),
+                ServiceError::Task(_) => ("OBX314", 422),
+                ServiceError::Search(_) => ("OBX315", 500),
+            };
+            Response::json(status, err_json(code, &e.to_string()))
+                .with_header("x-obx-epoch", epoch_header)
+        }
+        Ok(Ok(outcome)) => {
+            let mut text = outcome.stdout;
+            if let Some(r) = recorder {
+                // Same trailer the profiled CLI appends.
+                text.push_str("-- profile --\n");
+                text.push_str(&r.profile().render_tree());
+            }
+            Response::text(200, text)
+                .with_header("x-obx-epoch", epoch_header)
+                .with_header("x-obx-exit", outcome.exit_code.to_string())
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current epoch id.
+    pub fn epoch(&self) -> u64 {
+        self.shared.store.current().id
+    }
+
+    /// Whether the server has started draining.
+    pub fn draining(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, shed all queued work, give
+    /// in-flight requests `grace_ms` to finish, then cancel stragglers
+    /// (they respond degraded, best-so-far). Idempotent; returns when
+    /// in-flight work has ended (or the second grace expired).
+    pub fn drain(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.gate.drain();
+        // Poke the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        let grace = Duration::from_millis(self.shared.config.grace_ms.max(1));
+        if !self.shared.gate.wait_idle(grace) {
+            self.shared.inflights.cancel_all();
+            let _ = self.shared.gate.wait_idle(grace);
+        }
+    }
+
+    /// Drains and joins every server thread. Connection handlers exit at
+    /// the latest one socket read-timeout after the drain.
+    pub fn shutdown(mut self) {
+        self.drain();
+        self.join_accept();
+    }
+
+    fn join_accept(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.drain();
+        self.join_accept();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use obx_core::scenario::write_paper_example;
+    use std::io::{Read, Write};
+    use std::path::PathBuf;
+
+    fn scratch_scenario(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("obx-serve-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_paper_example(&dir).unwrap();
+        dir
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            read_timeout_ms: 500,
+            write_timeout_ms: 500,
+            grace_ms: 2_000,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Minimal test client: one request, `Connection: close`, returns
+    /// `(status, headers, body)`.
+    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+        http_with_headers(addr, method, path, &[], body)
+    }
+
+    fn http_with_headers(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        extra: &[(&str, &str)],
+        body: &str,
+    ) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut req = format!(
+            "{method} {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in extra {
+            req.push_str(&format!("{name}: {value}\r\n"));
+        }
+        req.push_str("\r\n");
+        req.push_str(body);
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, payload) = raw.split_once("\r\n\r\n").unwrap();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        (status, head.to_ascii_lowercase(), payload.to_owned())
+    }
+
+    #[test]
+    fn serves_health_metrics_and_byte_identical_explanations() {
+        let dir = scratch_scenario("basic");
+        let server = start(&dir, test_config()).unwrap();
+        let addr = server.addr();
+
+        let (status, _, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        // The served body is byte-identical to the service layer's output
+        // (which is the CLI's stdout) on the same snapshot.
+        let (status, head, body) = http(addr, "POST", "/explain", r#"{"top": 3}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("x-obx-epoch: 1"), "{head}");
+        assert!(head.contains("x-obx-exit: 0"), "{head}");
+        let scenario = obx_core::scenario::load_dir(&dir).unwrap();
+        let req = obx_core::service::ExplainRequest {
+            top: 3,
+            ..Default::default()
+        };
+        let local = run_explain(
+            &scenario.system,
+            &scenario.labels,
+            &req,
+            req.budget(&CancelToken::new()),
+        )
+        .unwrap();
+        assert_eq!(body, local.stdout);
+        assert!(body.contains("0.8333"), "{body}");
+
+        let (status, _, metrics) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("serve/requests"), "{metrics}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_reload_and_epoch_pinning() {
+        let dir = scratch_scenario("reload");
+        let server = start(&dir, test_config()).unwrap();
+        let addr = server.addr();
+
+        let (status, head, body) = http(addr, "POST", "/validate", "");
+        assert_eq!(status, 200);
+        assert!(head.contains("x-obx-epoch: 1"), "{head}");
+        // The paper example validates warning-only (unused source
+        // relation), exit 2 — served from the snapshot's cached text.
+        assert!(head.contains("x-obx-exit: 2"), "{head}");
+        assert!(body.contains("0 error(s)"), "{body}");
+
+        let (status, _, body) = http(addr, "POST", "/reload", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"epoch\":2"), "{body}");
+        assert_eq!(server.epoch(), 2);
+
+        // A broken directory fails the reload and keeps epoch 2 serving.
+        std::fs::write(dir.join("ontology.obx"), "role r\nr << s\n").unwrap();
+        let (status, _, body) = http(addr, "POST", "/reload", "");
+        assert_eq!(status, 422);
+        assert!(body.contains("OBX316"), "{body}");
+        assert_eq!(server.epoch(), 2);
+        let (status, _, _) = http(addr, "POST", "/explain", "{}");
+        assert_eq!(status, 200);
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_garbage_with_stable_codes() {
+        let dir = scratch_scenario("garbage");
+        let server = start(&dir, test_config()).unwrap();
+        let addr = server.addr();
+
+        let (status, _, body) = http(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        assert!(body.contains("OBX306"), "{body}");
+
+        let (status, _, body) = http(addr, "POST", "/explain", "{not json");
+        assert_eq!(status, 400);
+        assert!(body.contains("OBX310"), "{body}");
+
+        let (status, _, body) = http(addr, "POST", "/explain", r#"{"surprise": 1}"#);
+        assert_eq!(status, 400);
+        assert!(body.contains("OBX312"), "{body}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_and_the_server_survives() {
+        let dir = scratch_scenario("panic");
+        let server = start(&dir, test_config()).unwrap();
+        let addr = server.addr();
+
+        let (status, _, body) =
+            http_with_headers(addr, "POST", "/explain", &[("x-obx-fault", "panic")], "{}");
+        assert_eq!(status, 500);
+        assert!(body.contains("OBX323"), "{body}");
+
+        // The process and its capacity survived: a normal request works.
+        let (status, _, body) = http(addr, "POST", "/explain", "{}");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("Z ="), "{body}");
+
+        // And the quarantine is visible in the metrics.
+        let (_, _, metrics) = http(addr, "GET", "/metrics", "");
+        assert!(metrics.contains("serve/quarantined"), "{metrics}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_cancel_degrades_with_the_cli_footer() {
+        let dir = scratch_scenario("cancel");
+        let server = start(&dir, test_config()).unwrap();
+        let addr = server.addr();
+
+        let (status, head, body) =
+            http_with_headers(addr, "POST", "/explain", &[("x-obx-fault", "cancel")], "{}");
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("x-obx-exit: 2"), "{head}");
+        assert!(body.contains("search stopped early: cancelled"), "{body}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_shutdown_joins() {
+        let dir = scratch_scenario("drain");
+        let server = start(&dir, test_config()).unwrap();
+        let addr = server.addr();
+        server.drain();
+        assert!(server.draining());
+        // A connection made after drain is either refused outright or
+        // answered with the draining shed.
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.write_all(
+                b"POST /explain HTTP/1.1\r\nconnection: close\r\ncontent-length: 2\r\n\r\n{}",
+            );
+            let mut raw = String::new();
+            let _ = stream.read_to_string(&mut raw);
+            if !raw.is_empty() {
+                assert!(raw.contains("503") || raw.contains("OBX322"), "{raw}");
+            }
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

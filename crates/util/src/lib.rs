@@ -19,7 +19,10 @@
 //! * [`obs`] — observability: hierarchical spans, a process-wide metrics
 //!   registry (counters + log-scale latency histograms), and
 //!   JSON/tree/flamegraph profile exporters, gated by the `obs` feature
-//!   and the `OBX_OBS` environment variable.
+//!   and the `OBX_OBS` environment variable;
+//! * [`signal`] — the process's single SIGINT/SIGTERM handler, fanning
+//!   shutdown out to every registered cancellation flag (CLI Ctrl-C
+//!   cancel and `obx serve` drain share it — no double-install races).
 
 #![warn(missing_docs)]
 
@@ -30,6 +33,7 @@ pub mod hash;
 pub mod intern;
 pub mod interrupt;
 pub mod obs;
+pub mod signal;
 pub mod table;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};

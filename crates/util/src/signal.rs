@@ -1,0 +1,179 @@
+//! Process-wide graceful-shutdown signals (SIGINT / SIGTERM), shared by
+//! every front end.
+//!
+//! The `obx` binary's Ctrl-C cancel and the `obx serve` drain need the
+//! same thing: "when the process is asked to stop, set my cancellation
+//! flag". POSIX allows only one handler per signal, so each front end
+//! installing its own raced the other (last install wins, the loser's
+//! flag never fires). This module owns the handler exactly once and fans
+//! the signal out to every registered flag.
+//!
+//! Pure-std and async-signal-safe: the handler only walks a lock-free
+//! intrusive list of pre-allocated nodes and does relaxed atomic stores —
+//! no locks, no allocation. Registration is for process-lifetime tokens
+//! (one per front end); each [`register`] leaks one small node by design.
+//!
+//! Escalation mirrors the CLI's historical behaviour: the *second* SIGINT
+//! restores the default disposition, so a third Ctrl-C kills a process
+//! stuck in a non-cooperative section. SIGTERM stays graceful no matter
+//! how often it is repeated — a supervisor re-sending TERM must not turn
+//! a clean drain into an abort (it has SIGKILL for that).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::{Arc, Once};
+
+    struct Node {
+        flag: Arc<AtomicBool>,
+        next: *mut Node,
+    }
+
+    // The handler reads HEAD/nodes only; registration publishes with
+    // Release so a handler's Acquire load sees initialized nodes.
+    static HEAD: AtomicPtr<Node> = AtomicPtr::new(std::ptr::null_mut());
+    static FIRED: AtomicBool = AtomicBool::new(false);
+    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        if signum == SIGINT && SIGINT_SEEN.swap(true, Ordering::Relaxed) {
+            // Second Ctrl-C: restore the default disposition so the next
+            // one terminates immediately.
+            unsafe {
+                signal(SIGINT, SIG_DFL);
+            }
+        }
+        FIRED.store(true, Ordering::SeqCst);
+        let mut node = HEAD.load(Ordering::Acquire);
+        while !node.is_null() {
+            unsafe {
+                (*node).flag.store(true, Ordering::Relaxed);
+                node = (*node).next;
+            }
+        }
+    }
+
+    pub fn install() {
+        INSTALL.call_once(|| unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        });
+    }
+
+    pub fn register(flag: Arc<AtomicBool>) {
+        install();
+        let observer = Arc::clone(&flag);
+        let node = Box::into_raw(Box::new(Node {
+            flag,
+            next: std::ptr::null_mut(),
+        }));
+        let mut head = HEAD.load(Ordering::Relaxed);
+        loop {
+            unsafe {
+                (*node).next = head;
+            }
+            match HEAD.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        // A signal may have fired between the install and the push above
+        // (or long before, for late registrants like a worker spawned
+        // mid-drain): they must still observe the shutdown.
+        if FIRED.load(Ordering::SeqCst) {
+            observer.store(true, Ordering::Relaxed);
+        }
+    }
+
+    pub fn fired() -> bool {
+        FIRED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn install() {}
+
+    pub fn register(_flag: Arc<AtomicBool>) {}
+
+    pub fn fired() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handlers if not yet installed. Idempotent
+/// and race-free (guarded by a [`std::sync::Once`]); [`register`] calls
+/// it implicitly, so explicit calls are only useful to arm the handler
+/// before any token exists. No-op on non-Unix platforms.
+pub fn install() {
+    imp::install();
+}
+
+/// Registers `flag` to be set (relaxed store of `true`) when the process
+/// receives SIGINT or SIGTERM, installing the shared handler on first
+/// use. Pass the backing flag of a long-lived cancellation token; each
+/// call permanently allocates one registry node, so register per token,
+/// not per request. If a shutdown signal already fired, `flag` is set
+/// immediately — late registrants cannot miss the shutdown.
+pub fn register(flag: Arc<AtomicBool>) {
+    imp::register(flag);
+}
+
+/// Whether a shutdown signal (SIGINT or SIGTERM) has been observed by
+/// this process since startup.
+pub fn fired() -> bool {
+    imp::fired()
+}
+
+#[cfg(all(test, unix))]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    // One test raising one SIGTERM: raising is process-global state, and
+    // SIGTERM never escalates to the default disposition, so the test
+    // process survives no matter how the suite is sliced.
+    #[test]
+    fn sigterm_fans_out_to_every_flag_and_late_registrants() {
+        let a = Arc::new(AtomicBool::new(false));
+        let b = Arc::new(AtomicBool::new(false));
+        register(Arc::clone(&a));
+        register(Arc::clone(&b));
+        assert!(!a.load(Ordering::Relaxed) && !b.load(Ordering::Relaxed));
+        // raise() delivers synchronously to the calling thread: the
+        // handler has run by the time it returns.
+        unsafe {
+            raise(15);
+        }
+        assert!(fired());
+        assert!(a.load(Ordering::Relaxed), "first flag not set");
+        assert!(b.load(Ordering::Relaxed), "second flag not set");
+        // A registrant arriving after the signal still observes it.
+        let late = Arc::new(AtomicBool::new(false));
+        register(Arc::clone(&late));
+        assert!(
+            late.load(Ordering::Relaxed),
+            "late registrant missed the shutdown"
+        );
+    }
+}

@@ -194,6 +194,51 @@ fn skewed_scenario_identical_across_evaluators() {
     }
 }
 
+/// The size-gated [`EvalMode::Auto`] dispatch (the default mode) is pure
+/// routing: whichever side of the gate a view lands on, ranked output must
+/// be byte-identical to both forced modes. Exercised with the gate pushed
+/// to each extreme — everything-legacy and everything-guided — plus the
+/// measured default, on the scenario where the evaluators' paths diverge
+/// the most.
+#[test]
+fn auto_mode_matches_forced_modes_end_to_end() {
+    let scenario = skewed_scenario(SkewedParams {
+        n_students: 60,
+        ..SkewedParams::default()
+    });
+    let scoring = Scoring::accuracy();
+    let limits = SearchLimits {
+        beam_width: 8,
+        top_k: 5,
+        ..SearchLimits::default()
+    };
+    let task = ExplainTask::new(&scenario.system, &scenario.labels, 1, &scoring, limits).unwrap();
+    for strategy in light_strategies() {
+        let (legacy, guided) = run_both_modes(&task, strategy.as_ref());
+        assert_reports_identical(
+            &format!("legacy vs guided / {}", strategy.name()),
+            &legacy,
+            &guided,
+        );
+        for gate in [0usize, eval::guided_min_view(), usize::MAX] {
+            let auto = with_mode(EvalMode::Auto, || {
+                let prev = eval::guided_min_view();
+                eval::set_guided_min_view(gate);
+                let report = strategy
+                    .explain_with_status(&task)
+                    .expect("auto run succeeds");
+                eval::set_guided_min_view(prev);
+                report
+            });
+            assert_reports_identical(
+                &format!("auto(gate={gate}) vs legacy / {}", strategy.name()),
+                &legacy,
+                &auto,
+            );
+        }
+    }
+}
+
 /// Lighter strategy set for the randomized end-to-end sweep (random
 /// borders are dense; each case runs every strategy twice).
 fn light_strategies() -> Vec<Box<dyn Strategy>> {

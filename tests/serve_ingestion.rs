@@ -1,0 +1,246 @@
+//! Ingestion hardening for the service boundary: malformed HTTP and
+//! malformed request JSON must always produce a *structured* rejection —
+//! a stable `OBX3xx` diagnostic code — and must never panic, hang, or
+//! crash the server.
+//!
+//! Three layers of proof:
+//! 1. a hand-curated corpus hits the wire parser directly and pins each
+//!    pathology to its code (the code, not the message, is the contract);
+//! 2. a property fuzzes both parsers with arbitrary bytes — any outcome
+//!    is fine except a panic;
+//! 3. the same corpus is replayed against a live server socket: every
+//!    reply is either a structured error or a clean close, and the
+//!    server still answers an honest request afterwards.
+
+use obx_serve::http::{read_request, HttpLimits};
+use obx_serve::json::{explain_body, parse as json_parse};
+use obx_serve::{start, ServeConfig};
+use proptest::prelude::*;
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn parse_http(input: &[u8]) -> Result<Option<String>, &'static str> {
+    read_request(&mut BufReader::new(input), &HttpLimits::default())
+        .map(|r| r.map(|req| req.path))
+        .map_err(|e| e.code)
+}
+
+/// `(raw request bytes, expected OBX code or "" for clean accept/EOF)`.
+fn http_corpus() -> Vec<(Vec<u8>, &'static str)> {
+    let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100_000));
+    let header_flood = {
+        let mut s = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..200 {
+            s.push_str(&format!("h{i}: v\r\n"));
+        }
+        s.push_str("\r\n");
+        s
+    };
+    let huge_header = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "v".repeat(100_000));
+    vec![
+        (b"".to_vec(), ""),                              // clean EOF
+        (b"GET /healthz HTTP/1.1\r\n\r\n".to_vec(), ""), // valid
+        (b"GARBAGE\r\n\r\n".to_vec(), "OBX300"),
+        (b"GET\r\n\r\n".to_vec(), "OBX300"),
+        (b"GET /x HTTP/1.1 junk\r\n\r\n".to_vec(), "OBX300"),
+        (b"GET relative HTTP/1.1\r\n\r\n".to_vec(), "OBX300"),
+        (long_line.into_bytes(), "OBX300"),
+        (b"\xff\xfe garbage\r\n\r\n".to_vec(), "OBX301"), // non-UTF-8 head
+        (b"GET /x HTTP/1.1\r\nnocolonhere\r\n\r\n".to_vec(), "OBX301"),
+        (b"GET /x HTTP/1.1\r\n: novalue\r\n\r\n".to_vec(), "OBX301"),
+        (header_flood.into_bytes(), "OBX301"),
+        (huge_header.into_bytes(), "OBX301"),
+        (b"DELETE /x HTTP/1.1\r\n\r\n".to_vec(), "OBX302"),
+        (b"BREW /coffee HTCPCP/1.0\r\n\r\n".to_vec(), "OBX302"),
+        (b"GET /x HTTP/2\r\n\r\n".to_vec(), "OBX302"),
+        (
+            b"POST /x HTTP/1.1\r\ncontent-length: banana\r\n\r\n".to_vec(),
+            "OBX303",
+        ),
+        (
+            b"POST /x HTTP/1.1\r\ncontent-length: -5\r\n\r\n".to_vec(),
+            "OBX303",
+        ),
+        (
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".to_vec(),
+            "OBX303",
+        ),
+        (
+            b"POST /x HTTP/1.1\r\ncontent-length: 9999999999\r\n\r\n".to_vec(),
+            "OBX304",
+        ),
+        (
+            b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc".to_vec(),
+            "OBX305",
+        ),
+        (b"GET /x HTTP/1.1\r\nhost".to_vec(), "OBX305"), // truncated header
+    ]
+}
+
+/// `(body text, expected OBX31x code or "" for accepted)`.
+fn json_corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("", ""),
+        ("{}", ""),
+        (r#"{"top": 3, "client": "c"}"#, ""),
+        ("{", "OBX310"),
+        ("}", "OBX310"),
+        ("[1,", "OBX310"),
+        ("nul", "OBX310"),
+        (r#"{"a": 1e999}"#, "OBX310"), // non-finite number
+        (r#"{"a": "\q"}"#, "OBX310"),  // bad escape
+        ("{} extra", "OBX310"),
+        (r#"[1, 2]"#, "OBX311"), // body must be an object
+        (r#"{"radius": "big"}"#, "OBX311"),
+        (r#"{"weights": {"a": 1}}"#, "OBX311"),
+        (r#"{"profile": 1}"#, "OBX311"),
+        (r#"{"timout_ms": 10}"#, "OBX312"), // typo'd knob
+        (r#"{"extra": null}"#, "OBX312"),
+        (r#"{"strategy": "quantum"}"#, "OBX313"),
+        (r#"{"top": 0}"#, "OBX313"),
+        (r#"{"radius": 1.5}"#, "OBX313"),
+        (r#"{"weights": [1, -2, 3]}"#, "OBX313"),
+    ]
+}
+
+#[test]
+fn http_corpus_maps_to_stable_codes() {
+    for (raw, want) in http_corpus() {
+        let got = parse_http(&raw);
+        match (got, want) {
+            (Ok(_), "") => {}
+            (Err(code), want) if !want.is_empty() => {
+                assert_eq!(code, want, "input {:?}", String::from_utf8_lossy(&raw));
+            }
+            (got, want) => panic!(
+                "input {:?}: got {got:?}, wanted {want:?}",
+                String::from_utf8_lossy(&raw)
+            ),
+        }
+    }
+}
+
+#[test]
+fn json_corpus_maps_to_stable_codes() {
+    for (body, want) in json_corpus() {
+        match (explain_body(body), want) {
+            (Ok(_), "") => {}
+            (Err(e), want) if !want.is_empty() => {
+                assert_eq!(e.code, want, "input {body:?} ({e})");
+            }
+            (got, want) => panic!("input {body:?}: got {:?}, wanted {want:?}", got.err()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256 })]
+
+    /// Arbitrary bytes into the wire parser: any structured outcome is
+    /// acceptable; a panic (or unbounded buffering) is not. The parser
+    /// runs inside the per-request quarantine on the server, but the
+    /// contract here is stronger: it must not rely on it.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_http_parser(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let _ = parse_http(&bytes);
+    }
+
+    /// Arbitrary text into the JSON decoder: accepted or `OBX31x`,
+    /// never a panic. Every error code must be from the reserved range.
+    #[test]
+    fn arbitrary_text_never_panics_the_json_decoder(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = explain_body(&text) {
+            prop_assert!(e.code.starts_with("OBX31"), "stray code {}", e.code);
+        }
+        let _ = json_parse(&text);
+    }
+
+    /// Structured-prefix fuzz: a valid-looking request line followed by
+    /// random header garbage — closer to what confused clients send.
+    #[test]
+    fn fuzzed_headers_never_panic(
+        garbage in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let mut raw = b"POST /explain HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(&garbage);
+        raw.extend_from_slice(b"\r\n\r\n");
+        let _ = parse_http(&raw);
+    }
+}
+
+// ------------------------------------------------------------- live socket
+
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The peer may reset mid-write on early rejection; that is a valid
+    // structured outcome at the socket level.
+    let _ = stream.write_all(raw);
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn live_server_shrugs_off_the_whole_corpus() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("obx-serve-ingestion-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    obx_core::scenario::write_paper_example(&dir).unwrap();
+    let server = start(
+        &dir,
+        ServeConfig {
+            read_timeout_ms: 300,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    for (raw, want) in http_corpus() {
+        let reply = send_raw(addr, &raw);
+        if !want.is_empty() && !reply.is_empty() {
+            assert!(
+                reply.contains(want),
+                "corpus {:?}: reply lacked {want}: {reply}",
+                String::from_utf8_lossy(&raw)
+            );
+        }
+    }
+    for (body, want) in json_corpus() {
+        let raw = format!(
+            "POST /explain HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = send_raw(addr, raw.as_bytes());
+        if !want.is_empty() {
+            assert!(
+                reply.starts_with("HTTP/1.1 400"),
+                "json corpus {body:?}: {reply}"
+            );
+            assert!(reply.contains(want), "json corpus {body:?}: {reply}");
+        }
+    }
+
+    // After the entire corpus, the server still works — the proof that
+    // nothing above crashed, wedged, or leaked a handler.
+    let reply = send_raw(
+        addr,
+        b"POST /explain HTTP/1.1\r\nconnection: close\r\ncontent-length: 2\r\n\r\n{}",
+    );
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(reply.contains("Z ="), "{reply}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
