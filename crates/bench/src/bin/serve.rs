@@ -22,10 +22,19 @@
 //!    shed with structured `OBX32x` bodies while at least one request
 //!    still completes. This pins the shed-rate numbers to an actual
 //!    load-shedding event, not a lucky fast pass.
+//! 4. **Multi-tenant closed loop** — three tenants in one process under
+//!    skewed load (4 clients on the hot tenant, 1 on each cold one) with
+//!    per-tenant bulkheads engaged; every request must still complete,
+//!    and the cross-tenant p50/p99 land in `mt_p50_ms`/`mt_p99_ms`.
+//! 5. **Breaker** — a tenant whose requests repeatedly burn the server's
+//!    wall-clock ceiling trips its circuit breaker; the shed is pinned
+//!    (`OBX325` observed, `serve/tenant/*/breaker_open` exported) while
+//!    a co-tenant keeps completing.
 //!
 //! Hard gates (exit 1): smoke byte-identity, zero sheds under the sized
 //! load, at least one shed *and* one completion under overload, every
-//! shed body carrying an `OBX32x` code, and a clean drain at the end.
+//! shed body carrying an `OBX32x` code, zero failures in the tenant
+//! phase, an actual breaker trip, and a clean drain at the end.
 //!
 //! Usage: `cargo run --release -p obx-bench --bin serve`
 
@@ -33,7 +42,7 @@ use obx_core::budget::CancelToken;
 use obx_core::scenario::{load_dir, write_scenario_dir};
 use obx_core::service::{run_explain, ExplainRequest};
 use obx_datagen::{university_scenario, UniversityParams};
-use obx_serve::{start, ServeConfig, ServerHandle};
+use obx_serve::{start, start_multi, ServeConfig, ServerHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
@@ -189,6 +198,133 @@ fn smoke(addr: SocketAddr, dir: &Path) {
     );
 }
 
+/// Phase 4: three tenants, one process, skewed closed-loop load. Four
+/// clients hammer `hot`, one each drives `cold1`/`cold2`; the bulkhead
+/// (tenant_max_inflight 2 of a global 4) keeps the cold tenants' slots
+/// guaranteed. Everything must complete — the tenant queues are sized
+/// for the offered load — and the latency distribution across all three
+/// tenants is the reported number.
+fn multi_tenant_pass(dir: &Path) -> PassStats {
+    let server = start_multi(
+        vec![
+            ("hot".to_owned(), dir.to_path_buf()),
+            ("cold1".to_owned(), dir.to_path_buf()),
+            ("cold2".to_owned(), dir.to_path_buf()),
+        ],
+        None,
+        ServeConfig {
+            max_inflight: 4,
+            queue_depth: 2 * CLIENTS,
+            tenant_max_inflight: Some(2),
+            tenant_queue_depth: Some(2 * CLIENTS),
+            queue_wait_ms: 30_000,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("multi-tenant bench server starts");
+    let addr = server.addr();
+    let assignments = ["hot", "hot", "hot", "hot", "cold1", "cold2"];
+    let t0 = Instant::now();
+    let handles: Vec<_> = assignments
+        .iter()
+        .enumerate()
+        .map(|(c, tenant)| {
+            let tenant = (*tenant).to_owned();
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(REQS_PER_CLIENT);
+                let body = format!(
+                    r#"{{"radius": 1, "top": 3, "max_evals": {MAX_EVALS}, "scenario": "{tenant}", "client": "mt{c}"}}"#
+                );
+                for _ in 0..REQS_PER_CLIENT {
+                    let r0 = Instant::now();
+                    let (status, _, reply) = post_explain(addr, &body, &format!("mt{c}"));
+                    let ms = r0.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(
+                        status, 200,
+                        "tenant phase must never shed (queues are sized for it): {reply}"
+                    );
+                    lat.push(ms);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("tenant client panicked"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    PassStats {
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        mean_ms: lat.iter().sum::<f64>() / lat.len() as f64,
+        throughput_rps: lat.len() as f64 / wall_s.max(1e-9),
+    }
+}
+
+/// Phase 5: trip a tenant's circuit breaker with requests that burn the
+/// server's wall-clock ceiling, and pin the isolation: the brittle
+/// tenant sheds `OBX325`, the steady co-tenant keeps completing.
+/// Returns `(breaker_sheds_observed, co_tenant_completed)`.
+fn breaker_phase(dir: &Path) -> (usize, bool) {
+    let server = start_multi(
+        vec![
+            ("brittle".to_owned(), dir.to_path_buf()),
+            ("steady".to_owned(), dir.to_path_buf()),
+        ],
+        None,
+        ServeConfig {
+            max_inflight: 2,
+            queue_depth: 8,
+            // Every request is ceilinged at 120 ms of wall clock; a
+            // request that burns the whole ceiling counts as a tenant
+            // failure, and two consecutive failures trip the breaker.
+            request_timeout_ms: Some(120),
+            breaker_threshold: 2,
+            breaker_open_ms: 60_000,
+            queue_wait_ms: 30_000,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("breaker bench server starts");
+    let addr = server.addr();
+    // Exhaustive radius-2 with a fat budget cannot finish in 120 ms on a
+    // 600-student corpus: each of these degrades at the ceiling (200,
+    // exit 2) and feeds the breaker.
+    let heavy =
+        r#"{"radius": 2, "strategy": "exhaustive", "timeout_ms": 60000, "scenario": "brittle"}"#;
+    for i in 0..2 {
+        let (status, _, body) = post_explain(addr, heavy, &format!("heavy{i}"));
+        assert_eq!(status, 200, "ceiling-burning request still answers: {body}");
+    }
+    let mut breaker_sheds = 0usize;
+    let (status, _, body) = post_explain(addr, r#"{"scenario": "brittle"}"#, "after");
+    if status == 503 && body.contains("OBX325") {
+        breaker_sheds += 1;
+    } else {
+        eprintln!("breaker phase: expected OBX325 after two ceiling burns, got {status}: {body}");
+    }
+    let (status, _, _) = post_explain(
+        addr,
+        &format!(r#"{{"radius": 1, "top": 3, "max_evals": {MAX_EVALS}, "scenario": "steady"}}"#),
+        "steady",
+    );
+    let co_tenant_ok = status == 200;
+    let (_, _, metrics) = get(addr, "/metrics");
+    if !metrics.contains("serve/tenant/brittle/breaker_open") {
+        eprintln!("breaker phase: trip counter missing from /metrics");
+        breaker_sheds = 0;
+    }
+    server.shutdown();
+    (breaker_sheds, co_tenant_ok)
+}
+
 /// Overload: burst a tiny server; count structured sheds vs completions.
 fn overload(server: &ServerHandle) -> (usize, usize) {
     // The occupant runs under a 1500 ms budget (anytime: it returns
@@ -298,6 +434,14 @@ fn main() {
         "overload: {shed}/{BURST} shed ({:.0}%), {completed} completed",
         shed_rate * 100.0
     );
+
+    let mt = multi_tenant_pass(&dir);
+    eprintln!(
+        "multi-tenant: p50 {:.1} ms, p99 {:.1} ms, {:.1} req/s across 3 tenants",
+        mt.p50_ms, mt.p99_ms, mt.throughput_rps
+    );
+    let (breaker_sheds, co_tenant_ok) = breaker_phase(&dir);
+    eprintln!("breaker: {breaker_sheds} OBX325 shed(s) observed, co-tenant ok = {co_tenant_ok}");
     let _ = std::fs::remove_dir_all(&dir);
 
     let total = CLIENTS * REQS_PER_CLIENT;
@@ -309,6 +453,9 @@ fn main() {
             "\"throughput_rps\":{:.2},",
             "\"overload_burst\":{},\"overload_shed\":{},",
             "\"overload_completed\":{},\"shed_rate\":{:.3},",
+            "\"mt_tenants\":3,\"mt_p50_ms\":{:.3},\"mt_p99_ms\":{:.3},",
+            "\"mt_throughput_rps\":{:.2},",
+            "\"breaker_sheds\":{},\"breaker_co_tenant_ok\":{},",
             "\"smoke_identical\":true}}"
         ),
         N_STUDENTS,
@@ -323,6 +470,11 @@ fn main() {
         shed,
         completed,
         shed_rate,
+        mt.p50_ms,
+        mt.p99_ms,
+        mt.throughput_rps,
+        breaker_sheds,
+        co_tenant_ok,
     );
     println!("{json}");
 
@@ -343,6 +495,14 @@ fn main() {
     }
     if completed == 0 {
         eprintln!("FAIL: overload burst completed nothing — shedding starved the slot");
+        failed = true;
+    }
+    if breaker_sheds == 0 {
+        eprintln!("FAIL: the breaker phase never tripped — tenant isolation did not engage");
+        failed = true;
+    }
+    if !co_tenant_ok {
+        eprintln!("FAIL: the steady co-tenant was dragged down by the brittle tenant's breaker");
         failed = true;
     }
     if failed {

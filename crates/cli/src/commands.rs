@@ -107,10 +107,12 @@ USAGE:
   obx border <dir> <consts> <radius>  show B_{t,r}(D) (consts comma-separated)
   obx evidence <dir> \"<query>\" <const> [opts]
                                       why does the query J-match the tuple?
-  obx serve <dir> [opts]              run the always-on explanation service
-                                      over the scenario (epoch snapshots,
-                                      POST /explain, /validate, /reload;
-                                      SIGINT/SIGTERM drains gracefully)
+  obx serve [<dir>] [opts]            run the always-on explanation service
+                                      (epoch snapshots, POST /explain,
+                                      /validate, /reload; SIGINT/SIGTERM
+                                      drains gracefully). <dir> mounts as
+                                      scenario `default`; --mount adds
+                                      more tenants to the same process
 
 OPTIONS:
   --radius N          border radius r (default 1)
@@ -137,6 +139,19 @@ SERVE OPTIONS:
   --queue-depth N         waiting requests before load is shed (default 16)
   --request-timeout-ms N  server-side wall-clock ceiling per request;
                           requests may ask for less, never more
+  --mount NAME=DIR        mount DIR as scenario NAME (repeatable); wire
+                          requests route with a `scenario` field
+  --journal PATH          crash-safe mount registry: runtime mounts are
+                          journaled here and replayed after a restart
+                          (rotten ones come back quarantined, not fatal)
+  --tenant-max-inflight N bulkhead: concurrent requests per tenant
+                          (default: the global --max-inflight)
+  --tenant-queue-depth N  bulkhead: queued requests per tenant
+                          (default: the global --queue-depth)
+  --breaker-threshold N   consecutive panics/ceiling-timeouts before a
+                          tenant's circuit breaker opens (default 5)
+  --breaker-open-ms N     how long a tripped breaker sheds before a
+                          half-open probe (default 2000)
 
 Ctrl-C cancels a running search gracefully: best-so-far results are
 printed, exit code 2. Exit codes: 0 complete, 1 error, 2 partial/degraded
@@ -169,6 +184,12 @@ struct Opts {
     max_inflight: Option<usize>,
     queue_depth: Option<usize>,
     request_timeout_ms: Option<u64>,
+    mounts: Vec<(String, String)>,
+    journal: Option<String>,
+    tenant_max_inflight: Option<usize>,
+    tenant_queue_depth: Option<usize>,
+    breaker_threshold: Option<u32>,
+    breaker_open_ms: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
@@ -187,6 +208,12 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
         max_inflight: None,
         queue_depth: None,
         request_timeout_ms: None,
+        mounts: Vec::new(),
+        journal: None,
+        tenant_max_inflight: None,
+        tenant_queue_depth: None,
+        breaker_threshold: None,
+        breaker_open_ms: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -270,6 +297,47 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
                     next("--request-timeout-ms")?
                         .parse()
                         .map_err(|_| usage_err("--request-timeout-ms must be a number"))?,
+                );
+            }
+            "--mount" => {
+                let raw = next("--mount")?;
+                let Some((name, dir)) = raw.split_once('=') else {
+                    return Err(usage_err("--mount must be NAME=DIR"));
+                };
+                if name.is_empty() || dir.is_empty() {
+                    return Err(usage_err("--mount must be NAME=DIR"));
+                }
+                opts.mounts.push((name.to_owned(), dir.to_owned()));
+            }
+            "--journal" => {
+                opts.journal = Some(next("--journal")?.clone());
+            }
+            "--tenant-max-inflight" => {
+                opts.tenant_max_inflight = Some(
+                    next("--tenant-max-inflight")?
+                        .parse()
+                        .map_err(|_| usage_err("--tenant-max-inflight must be a number"))?,
+                );
+            }
+            "--tenant-queue-depth" => {
+                opts.tenant_queue_depth = Some(
+                    next("--tenant-queue-depth")?
+                        .parse()
+                        .map_err(|_| usage_err("--tenant-queue-depth must be a number"))?,
+                );
+            }
+            "--breaker-threshold" => {
+                opts.breaker_threshold = Some(
+                    next("--breaker-threshold")?
+                        .parse()
+                        .map_err(|_| usage_err("--breaker-threshold must be a number"))?,
+                );
+            }
+            "--breaker-open-ms" => {
+                opts.breaker_open_ms = Some(
+                    next("--breaker-open-ms")?
+                        .parse()
+                        .map_err(|_| usage_err("--breaker-open-ms must be a number"))?,
                 );
             }
             "--weights" => {
@@ -364,10 +432,12 @@ pub fn run_cancellable(args: &[String], cancel: &CancelToken) -> Result<CliOutco
             explain(&loaded, &opts, cancel)
         }
         "serve" => {
-            let dir = pos
-                .first()
-                .ok_or_else(|| usage_err("serve needs a directory"))?;
-            serve(dir, &opts, cancel)
+            if pos.is_empty() && opts.mounts.is_empty() && opts.journal.is_none() {
+                return Err(usage_err(
+                    "serve needs a directory, at least one --mount NAME=DIR, or a --journal",
+                ));
+            }
+            serve(pos.first().map(String::as_str), &opts, cancel)
         }
         "score" => {
             let [dir, query] = two(&pos, "score <dir> \"<query>\"")?;
@@ -608,7 +678,7 @@ fn explain(
 /// finish inside the grace window, cancel stragglers. The one command
 /// that prints while running (the listening line goes to stderr so
 /// stdout stays reserved for the final summary).
-fn serve(dir: &str, opts: &Opts, cancel: &CancelToken) -> Result<CliOutcome, CliError> {
+fn serve(dir: Option<&str>, opts: &Opts, cancel: &CancelToken) -> Result<CliOutcome, CliError> {
     let mut config = obx_serve::ServeConfig {
         bind: format!("127.0.0.1:{}", opts.port.unwrap_or(0)),
         ..obx_serve::ServeConfig::default()
@@ -622,11 +692,35 @@ fn serve(dir: &str, opts: &Opts, cancel: &CancelToken) -> Result<CliOutcome, Cli
     if let Some(ms) = opts.request_timeout_ms {
         config.request_timeout_ms = Some(ms);
     }
-    let server = obx_serve::start(dir, config).map_err(input_err)?;
+    config.tenant_max_inflight = opts.tenant_max_inflight;
+    config.tenant_queue_depth = opts.tenant_queue_depth;
+    if let Some(n) = opts.breaker_threshold {
+        config.breaker_threshold = n;
+    }
+    if let Some(ms) = opts.breaker_open_ms {
+        config.breaker_open_ms = ms;
+    }
+    // A bare <dir> is the single-tenant spelling: mounted as `default`.
+    let mut mounts: Vec<(String, std::path::PathBuf)> = Vec::new();
+    if let Some(dir) = dir {
+        mounts.push(("default".to_owned(), std::path::PathBuf::from(dir)));
+    }
+    for (name, dir) in &opts.mounts {
+        mounts.push((name.clone(), std::path::PathBuf::from(dir)));
+    }
+    let journal = opts.journal.as_ref().map(std::path::PathBuf::from);
+    let server = obx_serve::start_multi(mounts, journal, config).map_err(input_err)?;
+    let mounted: Vec<String> = server
+        .tenants()
+        .list()
+        .iter()
+        .map(|t| format!("{} (epoch {}, {})", t.name(), t.epoch_id(), t.status()))
+        .collect();
     eprintln!(
-        "obx serve: listening on http://{} (epoch {}; Ctrl-C drains)",
+        "obx serve: listening on http://{} — {} scenario(s): {} (Ctrl-C drains)",
         server.addr(),
-        server.epoch()
+        mounted.len(),
+        mounted.join(", ")
     );
     // Block until the shared handler bridges a signal onto the token.
     // Polling (rather than parking on a condvar) keeps the loop signal-

@@ -321,6 +321,40 @@ pub fn validate_dir(dir: &Path) -> ServiceOutcome {
     }
 }
 
+/// A scenario directory loaded for long-lived serving: the scenario plus
+/// the validation verdict captured at load time. This is the single
+/// load-path behind every snapshot a server mounts — `obx serve` wraps it
+/// in an epoch, but the admission rule lives here: a directory whose
+/// validation *errors* (exit 1) is not serveable, while warning-only
+/// directories (exit 2) load fine and are reported as degraded.
+#[derive(Debug)]
+pub struct ScenarioSnapshot {
+    /// The loaded scenario (system + labels), ready for task construction.
+    pub scenario: crate::scenario::LoadedScenario,
+    /// The full `obx validate` text for the directory, captured at load.
+    pub validate_text: String,
+    /// The validate exit code (0 clean, 2 warnings) captured at load.
+    pub validate_exit: i32,
+}
+
+/// Loads `dir` as a [`ScenarioSnapshot`], rejecting directories that do
+/// not load or whose validation reports errors. The error string carries
+/// the loader's (or validator's) full diagnostics.
+pub fn load_snapshot(dir: &Path) -> Result<ScenarioSnapshot, String> {
+    let scenario = crate::scenario::load_dir(dir).map_err(|e| e.to_string())?;
+    // An unloadable scenario was already rejected above; validate_dir can
+    // still surface warnings (exit 2) worth reporting verbatim.
+    let validation = validate_dir(dir);
+    if validation.exit_code == 1 {
+        return Err(validation.stdout);
+    }
+    Ok(ScenarioSnapshot {
+        scenario,
+        validate_text: validation.stdout,
+        validate_exit: validation.exit_code,
+    })
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -387,6 +421,25 @@ mod tests {
             ..ExplainRequest::default()
         };
         assert_eq!(loose.clamped(Some(1000), None, None).timeout_ms, Some(1000));
+    }
+
+    #[test]
+    fn load_snapshot_captures_validation_and_rejects_broken_dirs() {
+        let dir = std::env::temp_dir().join(format!("obx-core-snapshot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Empty dir: nothing loadable.
+        assert!(load_snapshot(&dir).is_err());
+        crate::scenario::write_paper_example(&dir).unwrap();
+        let snap = load_snapshot(&dir).unwrap();
+        // The paper example validates warning-only (unused source relation).
+        assert_eq!(snap.validate_exit, 2);
+        assert!(
+            snap.validate_text.contains("0 error(s)"),
+            "{}",
+            snap.validate_text
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -332,6 +332,9 @@ pub fn escape(s: &str) -> String {
 pub struct ExplainBody {
     /// The front-end-agnostic request (defaults = CLI defaults).
     pub req: ExplainRequest,
+    /// Which mounted scenario to run against; optional on a
+    /// single-tenant server, required once several are mounted.
+    pub scenario: Option<String>,
     /// Optional client identity for fair-share admission; anonymous
     /// clients share one bucket.
     pub client: Option<String>,
@@ -357,6 +360,16 @@ fn num_u64(key: &str, v: &Json) -> Result<u64, JsonError> {
     num_usize(key, v).map(|n| n as u64)
 }
 
+fn str_field(key: &str, v: &Json) -> Result<String, JsonError> {
+    match v {
+        Json::Str(s) => Ok(s.clone()),
+        other => Err(JsonError::new(
+            "OBX311",
+            format!("`{key}` must be a string, got {}", other.type_name()),
+        )),
+    }
+}
+
 /// Decodes an `/explain` body. An empty body or `{}` yields pure
 /// defaults; unknown fields are `OBX312`, type mismatches `OBX311`,
 /// out-of-domain values `OBX313`.
@@ -364,6 +377,7 @@ pub fn explain_body(text: &str) -> Result<ExplainBody, JsonError> {
     let trimmed = text.trim();
     let mut out = ExplainBody {
         req: ExplainRequest::default(),
+        scenario: None,
         client: None,
         profile: false,
     };
@@ -447,6 +461,7 @@ pub fn explain_body(text: &str) -> Result<ExplainBody, JsonError> {
             "max_rewrite" => out.req.max_rewrite = Some(num_usize(key, value)?),
             "max_chase" => out.req.max_chase = Some(num_usize(key, value)?),
             "max_border" => out.req.max_border = Some(num_usize(key, value)?),
+            "scenario" => out.scenario = Some(str_field(key, value)?),
             "client" => match value {
                 Json::Str(s) => out.client = Some(s.clone()),
                 other => {
@@ -474,6 +489,67 @@ pub fn explain_body(text: &str) -> Result<ExplainBody, JsonError> {
         }
     }
     Ok(out)
+}
+
+/// Decodes a `/reload` or `/validate` body: empty (single-tenant
+/// shorthand) or `{"scenario": "name"}`. Same strictness contract as
+/// [`explain_body`].
+pub fn scenario_body(text: &str) -> Result<Option<String>, JsonError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let Json::Obj(map) = parse(trimmed)? else {
+        return Err(JsonError::new(
+            "OBX311",
+            "request body must be a JSON object",
+        ));
+    };
+    let mut scenario = None;
+    for (key, value) in &map {
+        match key.as_str() {
+            "scenario" => scenario = Some(str_field(key, value)?),
+            other => {
+                return Err(JsonError::new(
+                    "OBX312",
+                    format!("unknown field `{other}` in request"),
+                ))
+            }
+        }
+    }
+    Ok(scenario)
+}
+
+/// Decodes a `POST /tenants` (mount) body: `{"scenario": name, "dir":
+/// path}`, both required.
+pub fn mount_body(text: &str) -> Result<(String, String), JsonError> {
+    let Json::Obj(map) = parse(text.trim())? else {
+        return Err(JsonError::new(
+            "OBX311",
+            "request body must be a JSON object",
+        ));
+    };
+    let mut scenario = None;
+    let mut dir = None;
+    for (key, value) in &map {
+        match key.as_str() {
+            "scenario" => scenario = Some(str_field(key, value)?),
+            "dir" => dir = Some(str_field(key, value)?),
+            other => {
+                return Err(JsonError::new(
+                    "OBX312",
+                    format!("unknown field `{other}` in mount request"),
+                ))
+            }
+        }
+    }
+    match (scenario, dir) {
+        (Some(s), Some(d)) => Ok((s, d)),
+        _ => Err(JsonError::new(
+            "OBX313",
+            "mount request needs both `scenario` and `dir`",
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +587,46 @@ mod tests {
         assert_eq!(b.req.max_border, Some(30));
         assert_eq!(b.client.as_deref(), Some("alice"));
         assert!(b.profile);
+    }
+
+    #[test]
+    fn scenario_field_round_trips_everywhere() {
+        let b = explain_body(r#"{"scenario": "alpha", "top": 2}"#).unwrap();
+        assert_eq!(b.scenario.as_deref(), Some("alpha"));
+        assert_eq!(b.req.top, 2);
+        assert_eq!(
+            explain_body(r#"{"scenario": 7}"#).unwrap_err().code,
+            "OBX311"
+        );
+        assert_eq!(scenario_body("").unwrap(), None);
+        assert_eq!(scenario_body("  ").unwrap(), None);
+        assert_eq!(scenario_body("{}").unwrap(), None);
+        assert_eq!(
+            scenario_body(r#"{"scenario": "beta"}"#).unwrap().as_deref(),
+            Some("beta")
+        );
+        assert_eq!(
+            scenario_body(r#"{"scnario": "x"}"#).unwrap_err().code,
+            "OBX312"
+        );
+    }
+
+    #[test]
+    fn mount_body_requires_both_fields() {
+        let (s, d) = mount_body(r#"{"scenario": "a", "dir": "/tmp/x"}"#).unwrap();
+        assert_eq!((s.as_str(), d.as_str()), ("a", "/tmp/x"));
+        assert_eq!(
+            mount_body(r#"{"scenario": "a"}"#).unwrap_err().code,
+            "OBX313"
+        );
+        assert_eq!(mount_body(r#"{"dir": "/x"}"#).unwrap_err().code, "OBX313");
+        assert_eq!(
+            mount_body(r#"{"scenario": "a", "dir": "/x", "extra": 1}"#)
+                .unwrap_err()
+                .code,
+            "OBX312"
+        );
+        assert_eq!(mount_body("not json").unwrap_err().code, "OBX310");
     }
 
     #[test]

@@ -3,24 +3,34 @@
 //! Architecture (one paragraph): an accept thread hands each connection
 //! to its own handler thread (explanations are CPU-bound and long; the
 //! handful of concurrent connections a scoring service sees does not
-//! justify an event loop). Every request is admitted through the
-//! fair-share [`FairGate`](crate::admission::FairGate) *before* touching
-//! an epoch, pins the current [`Epoch`](crate::snapshot::Epoch) for its
-//! whole lifetime, runs under a per-request [`SearchBudget`] clamped to
-//! server ceilings, and executes the **same**
-//! [`obx_core::service::run_explain`] the CLI calls — which is what makes
-//! served bodies byte-identical to one-shot `obx explain` output on the
-//! same snapshot.
+//! justify an event loop). A process hosts many scenario directories at
+//! once through the [`TenantStore`](crate::tenants::TenantStore) —
+//! requests name their tenant via the wire `scenario` field. Every
+//! request passes its tenant's circuit breaker, is admitted through the
+//! two-level fair-share [`FairGate`](crate::admission::FairGate) (tenant
+//! bulkheads first, clients within) *before* touching an epoch, pins its
+//! tenant's current [`Epoch`](crate::snapshot::Epoch) for its whole
+//! lifetime, runs under a per-request [`SearchBudget`] clamped to server
+//! ceilings, and executes the **same** [`obx_core::service::run_explain`]
+//! the CLI calls — which is what makes served bodies byte-identical to
+//! one-shot `obx explain` output on the same snapshot.
 //!
 //! Robustness invariants, each proven under fault injection by
-//! `tests/serve_resilience.rs`:
+//! `tests/serve_resilience.rs` and `tests/serve_tenancy.rs`:
 //!
 //! - a panicking request is quarantined (`catch_unwind`, `OBX323`,
 //!   `serve/quarantined` counter) and never takes down the process;
 //! - overload is shed with structured 429/503 bodies, never by unbounded
-//!   queueing;
-//! - `reload` swaps snapshots atomically; in-flight requests finish on
-//!   the epoch they started on;
+//!   queueing — and a hot tenant saturates its own bulkhead (`OBX324`),
+//!   not its co-tenants';
+//! - a tenant whose requests repeatedly panic or burn the server time
+//!   ceiling trips its breaker (`OBX325`) while co-tenants keep serving;
+//! - `reload` swaps snapshots atomically per tenant; in-flight requests
+//!   finish on the epoch they started on; flapping reloads back off
+//!   (`OBX328`);
+//! - the mount set survives `kill -9` through the checksummed tenant
+//!   journal, replayed at boot (rotten tenants come back quarantined,
+//!   `OBX327`, instead of failing the boot);
 //! - drain stops admissions, lets in-flight work finish inside a grace
 //!   window, then cancels stragglers (they degrade, best-so-far, exactly
 //!   like `^C` on the CLI).
@@ -30,13 +40,14 @@
 use crate::admission::{FairGate, Shed};
 use crate::http::{read_request, write_response, HttpError, HttpLimits, Request, Response};
 use crate::json::{self, escape};
-use crate::snapshot::EpochStore;
+use crate::tenants::{ReloadError, Tenant, TenantConfig, TenantStore};
 use obx_core::budget::CancelToken;
 use obx_core::service::{run_explain, ServiceError};
 use obx_util::obs;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -51,6 +62,13 @@ pub struct ServeConfig {
     pub max_inflight: usize,
     /// Waiting requests beyond which new ones are shed (`--queue-depth`).
     pub queue_depth: usize,
+    /// Per-tenant bulkhead on executing requests
+    /// (`--tenant-max-inflight`); `None` = the global cap (a single
+    /// tenant may then use the whole server, exactly the pre-tenancy
+    /// behaviour).
+    pub tenant_max_inflight: Option<usize>,
+    /// Per-tenant bulkhead on waiting requests (`--tenant-queue-depth`).
+    pub tenant_queue_depth: Option<usize>,
     /// Server-side wall-clock ceiling per request
     /// (`--request-timeout-ms`); a request may ask for less, never more.
     pub request_timeout_ms: Option<u64>,
@@ -65,20 +83,49 @@ pub struct ServeConfig {
     /// Drain grace: how long in-flight requests get to finish before
     /// they are cancelled (and degrade to best-so-far).
     pub grace_ms: u64,
+    /// Consecutive tenant failures (panics / ceiling timeouts) that trip
+    /// its circuit breaker (`--breaker-threshold`).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before a half-open probe
+    /// (`--breaker-open-ms`).
+    pub breaker_open_ms: u64,
+    /// Base backoff after a failed reload; doubles per consecutive
+    /// failure, capped at `reload_backoff_max_ms`.
+    pub reload_backoff_ms: u64,
+    /// Reload backoff ceiling.
+    pub reload_backoff_max_ms: u64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let tenant_defaults = TenantConfig::default();
         Self {
             bind: "127.0.0.1:0".to_owned(),
             max_inflight: 4,
             queue_depth: 16,
+            tenant_max_inflight: None,
+            tenant_queue_depth: None,
             request_timeout_ms: None,
             queue_wait_ms: 2_000,
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
             max_body_bytes: 256 * 1024,
             grace_ms: 5_000,
+            breaker_threshold: tenant_defaults.breaker_threshold,
+            breaker_open_ms: tenant_defaults.breaker_open_ms,
+            reload_backoff_ms: tenant_defaults.reload_backoff_ms,
+            reload_backoff_max_ms: tenant_defaults.reload_backoff_max_ms,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn tenant_config(&self) -> TenantConfig {
+        TenantConfig {
+            breaker_threshold: self.breaker_threshold.max(1),
+            breaker_open_ms: self.breaker_open_ms,
+            reload_backoff_ms: self.reload_backoff_ms,
+            reload_backoff_max_ms: self.reload_backoff_max_ms.max(self.reload_backoff_ms),
         }
     }
 }
@@ -117,7 +164,7 @@ impl Inflights {
 struct Shared {
     config: ServeConfig,
     limits: HttpLimits,
-    store: EpochStore,
+    store: TenantStore,
     gate: FairGate,
     inflights: Inflights,
     /// Set once on drain: stop accepting, close keep-alive connections
@@ -133,14 +180,26 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
 }
 
-/// Boots a server over the scenario in `dir`: loads the boot epoch
-/// (refusing a broken directory), binds, and starts accepting. Returns
-/// once the socket is live.
-pub fn start(
-    dir: impl Into<std::path::PathBuf>,
+/// Boots a single-tenant server over the scenario in `dir` (mounted as
+/// `default`): loads the boot epoch (refusing a broken directory),
+/// binds, and starts accepting. Returns once the socket is live.
+pub fn start(dir: impl Into<PathBuf>, config: ServeConfig) -> Result<ServerHandle, String> {
+    start_multi(vec![("default".to_owned(), dir.into())], None, config)
+}
+
+/// Boots a multi-tenant server: every explicit mount must load (boot
+/// refusal on a broken one), then — when a `journal` path is given —
+/// journaled mounts from a previous life are replayed, quarantining any
+/// that no longer validate, and the journal is rewritten to the union.
+pub fn start_multi(
+    mounts: Vec<(String, PathBuf)>,
+    journal: Option<PathBuf>,
     config: ServeConfig,
 ) -> Result<ServerHandle, String> {
-    let store = EpochStore::open(dir)?;
+    let store = TenantStore::open(&mounts, journal, config.tenant_config())?;
+    if store.is_empty() {
+        return Err("nothing to serve: no mount loaded and the journal was empty".to_owned());
+    }
     let listener =
         TcpListener::bind(&config.bind).map_err(|e| format!("cannot bind {}: {e}", config.bind))?;
     let addr = listener
@@ -151,7 +210,12 @@ pub fn start(
         ..HttpLimits::default()
     };
     let shared = Arc::new(Shared {
-        gate: FairGate::new(config.max_inflight, config.queue_depth),
+        gate: FairGate::with_tenant_caps(
+            config.max_inflight,
+            config.queue_depth,
+            config.tenant_max_inflight.unwrap_or(config.max_inflight),
+            config.tenant_queue_depth.unwrap_or(config.queue_depth),
+        ),
         config,
         limits,
         store,
@@ -249,24 +313,98 @@ fn http_error_response(e: &HttpError) -> Response {
     Response::json(e.status, err_json(e.code, &e.msg))
 }
 
+fn retry_after_secs(d: Duration) -> String {
+    d.as_secs().saturating_add(1).to_string()
+}
+
 /// The shed body mirrors the CLI's degraded-termination contract: a
 /// `termination` field phrased like the `-- search stopped early` footer,
 /// so clients handle "shed before execution" and "degraded mid-search"
 /// through one code path.
-fn shed_response(shed: Shed, epoch: u64) -> Response {
+fn shed_response(shed: Shed, tenant: &Tenant) -> Response {
     obs::counter("serve/requests_shed").add(1);
+    obs::counter_dyn(&format!("serve/tenant/{}/shed", tenant.name())).add(1);
     let (code, status) = match shed {
         Shed::QueueFull => ("OBX320", 429),
         Shed::TimedOut => ("OBX321", 429),
         Shed::Draining => ("OBX322", 503),
+        Shed::TenantSaturated => ("OBX324", 429),
     };
+    let epoch = tenant.epoch_id();
     let body = format!(
         "{{\"code\":\"{code}\",\"error\":\"{}\",\"termination\":\"degraded (request shed before execution)\",\"epoch\":{epoch}}}\n",
         escape(&shed.to_string())
     );
     Response::json(status, body)
         .with_header("x-obx-epoch", epoch.to_string())
+        .with_header("x-obx-scenario", tenant.name().to_owned())
         .with_header("retry-after", "1")
+}
+
+/// `OBX325`: the tenant's breaker is open; honest co-tenants are
+/// unaffected, this tenant's clients get a bounded retry hint.
+fn breaker_response(tenant: &Tenant, retry_in: Duration) -> Response {
+    obs::counter("serve/requests_shed").add(1);
+    obs::counter_dyn(&format!("serve/tenant/{}/breaker_shed", tenant.name())).add(1);
+    let epoch = tenant.epoch_id();
+    let body = format!(
+        "{{\"code\":\"OBX325\",\"error\":\"scenario `{}` circuit breaker is open\",\"termination\":\"degraded (request shed before execution)\",\"epoch\":{epoch}}}\n",
+        escape(tenant.name())
+    );
+    Response::json(503, body)
+        .with_header("x-obx-epoch", epoch.to_string())
+        .with_header("x-obx-scenario", tenant.name().to_owned())
+        .with_header("retry-after", retry_after_secs(retry_in))
+}
+
+/// `OBX327`: the tenant is mounted but has no serveable snapshot (a
+/// journal-recovered mount whose directory rotted). Listed, not served.
+fn quarantined_response(tenant: &Tenant) -> Response {
+    obs::counter("serve/requests_shed").add(1);
+    obs::counter_dyn(&format!("serve/tenant/{}/shed", tenant.name())).add(1);
+    let reason = tenant
+        .quarantine_reason()
+        .unwrap_or_else(|| "no serveable snapshot".to_owned());
+    Response::json(
+        503,
+        err_json(
+            "OBX327",
+            &format!(
+                "scenario `{}` is quarantined (reload it once repaired): {}",
+                tenant.name(),
+                reason
+            ),
+        ),
+    )
+    .with_header("x-obx-scenario", tenant.name().to_owned())
+    .with_header("retry-after", "5")
+}
+
+fn unknown_scenario_response(msg: &str) -> Response {
+    Response::json(404, err_json("OBX326", msg))
+}
+
+/// One tenant as a JSON object (shared by `/tenants` and `/readyz`).
+fn tenant_json(tenant: &Tenant) -> String {
+    let mut obj = format!(
+        "{{\"scenario\":\"{}\",\"status\":\"{}\",\"epoch\":{},\"dir\":\"{}\"",
+        escape(tenant.name()),
+        tenant.status(),
+        tenant.epoch_id(),
+        escape(&tenant.dir().to_string_lossy())
+    );
+    if let Some(reason) = tenant.quarantine_reason() {
+        // First line only: quarantine reasons are full validator dumps.
+        let head = reason.lines().next().unwrap_or("");
+        obj.push_str(&format!(",\"quarantine\":\"{}\"", escape(head)));
+    }
+    obj.push('}');
+    obj
+}
+
+fn tenants_body(store: &TenantStore) -> String {
+    let items: Vec<String> = store.list().iter().map(|t| tenant_json(t)).collect();
+    format!("{{\"tenants\":[{}]}}\n", items.join(","))
 }
 
 fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
@@ -279,34 +417,117 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
                 Response::text(200, "ok\n")
             }
         }
+        ("GET", "/readyz") => {
+            // Ready = at least one tenant can answer an explain request.
+            let ready = !draining && shared.store.list().iter().any(|t| t.current().is_some());
+            let body = format!(
+                "{{\"ready\":{ready},\"draining\":{draining},{}",
+                tenants_body(&shared.store).replacen('{', "", 1)
+            );
+            Response::json(if ready { 200 } else { 503 }, body)
+        }
+        ("GET", "/tenants") => Response::json(200, tenants_body(&shared.store)),
         ("GET", "/metrics") => Response::json(200, obs::metrics_json()),
+        ("POST", "/tenants") => {
+            if draining {
+                return Response::json(503, err_json("OBX322", "server is draining"));
+            }
+            let Ok(body_text) = std::str::from_utf8(&req.body) else {
+                return Response::json(400, err_json("OBX307", "request body is not valid UTF-8"));
+            };
+            let (name, dir) = match json::mount_body(body_text) {
+                Ok(parts) => parts,
+                Err(e) => return Response::json(400, err_json(e.code, &e.msg)),
+            };
+            match shared.store.mount(&name, std::path::Path::new(&dir)) {
+                Ok(tenant) => Response::json(
+                    200,
+                    format!(
+                        "{{\"scenario\":\"{}\",\"epoch\":{}}}\n",
+                        escape(tenant.name()),
+                        tenant.epoch_id()
+                    ),
+                )
+                .with_header("x-obx-scenario", tenant.name().to_owned()),
+                Err(msg) if msg.contains("invalid scenario name") => {
+                    Response::json(400, err_json("OBX313", &msg))
+                }
+                Err(msg) => Response::json(422, err_json("OBX316", &msg)),
+            }
+        }
         ("POST", "/reload") => {
             if draining {
                 return Response::json(503, err_json("OBX322", "server is draining"));
             }
-            match shared.store.reload() {
+            let Ok(body_text) = std::str::from_utf8(&req.body) else {
+                return Response::json(400, err_json("OBX307", "request body is not valid UTF-8"));
+            };
+            let scenario = match json::scenario_body(body_text) {
+                Ok(s) => s,
+                Err(e) => return Response::json(400, err_json(e.code, &e.msg)),
+            };
+            let tenant = match shared.store.resolve(scenario.as_deref()) {
+                Ok(t) => t,
+                Err(msg) => return unknown_scenario_response(&msg),
+            };
+            match tenant.reload() {
                 Ok(epoch) => {
                     obs::counter("serve/reloads").add(1);
-                    Response::json(200, format!("{{\"epoch\":{}}}\n", epoch.id))
-                        .with_header("x-obx-epoch", epoch.id.to_string())
+                    Response::json(
+                        200,
+                        format!(
+                            "{{\"scenario\":\"{}\",\"epoch\":{}}}\n",
+                            escape(tenant.name()),
+                            epoch.id
+                        ),
+                    )
+                    .with_header("x-obx-epoch", epoch.id.to_string())
+                    .with_header("x-obx-scenario", tenant.name().to_owned())
                 }
-                Err(msg) => Response::json(
+                Err(ReloadError::BackingOff(retry_in)) => Response::json(
+                    429,
+                    err_json(
+                        "OBX328",
+                        &format!(
+                            "reload of `{}` is backing off after repeated failures",
+                            tenant.name()
+                        ),
+                    ),
+                )
+                .with_header("retry-after", retry_after_secs(retry_in))
+                .with_header("x-obx-scenario", tenant.name().to_owned()),
+                Err(ReloadError::Failed { msg, .. }) => Response::json(
                     422,
                     err_json(
                         "OBX316",
                         &format!("reload failed, keeping current epoch: {msg}"),
                     ),
-                ),
+                )
+                .with_header("x-obx-scenario", tenant.name().to_owned()),
             }
         }
         ("POST", "/validate") => {
             if draining {
                 return Response::json(503, err_json("OBX322", "server is draining"));
             }
-            let epoch = shared.store.current();
+            let Ok(body_text) = std::str::from_utf8(&req.body) else {
+                return Response::json(400, err_json("OBX307", "request body is not valid UTF-8"));
+            };
+            let scenario = match json::scenario_body(body_text) {
+                Ok(s) => s,
+                Err(e) => return Response::json(400, err_json(e.code, &e.msg)),
+            };
+            let tenant = match shared.store.resolve(scenario.as_deref()) {
+                Ok(t) => t,
+                Err(msg) => return unknown_scenario_response(&msg),
+            };
+            let Some(epoch) = tenant.current() else {
+                return quarantined_response(&tenant);
+            };
             Response::text(200, epoch.validate_text.clone())
                 .with_header("x-obx-epoch", epoch.id.to_string())
                 .with_header("x-obx-exit", epoch.validate_exit.to_string())
+                .with_header("x-obx-scenario", tenant.name().to_owned())
         }
         ("POST", "/explain") => handle_explain(shared, req),
         (method, path) => Response::json(
@@ -324,18 +545,39 @@ fn handle_explain(shared: &Arc<Shared>, req: &Request) -> Response {
         Ok(b) => b,
         Err(e) => return Response::json(400, err_json(e.code, &e.msg)),
     };
-    // Admission first: a shed request must cost nothing but the parse.
+    let tenant = match shared.store.resolve(body.scenario.as_deref()) {
+        Ok(t) => t,
+        Err(msg) => return unknown_scenario_response(&msg),
+    };
+    // Cheapest rejections first: quarantine, then breaker, then the
+    // admission gate — a doomed request must cost nothing but the parse.
+    if tenant.current().is_none() {
+        return quarantined_response(&tenant);
+    }
+    let pass = match tenant.breaker_admit() {
+        Ok(p) => p,
+        Err(retry_in) => return breaker_response(&tenant, retry_in),
+    };
     let permit = match shared.gate.admit(
+        Some(tenant.name()),
         body.client.as_deref(),
         Duration::from_millis(shared.config.queue_wait_ms),
     ) {
         Ok(p) => p,
-        Err(shed) => return shed_response(shed, shared.store.current().id),
+        Err(shed) => {
+            // The breaker admitted but the gate did not: hand back a
+            // possible probe slot so the breaker cannot wedge half-open.
+            tenant.breaker_abort(pass);
+            return shed_response(shed, &tenant);
+        }
     };
     // Pin the epoch only now — a request that waited through a reload
     // runs on the snapshot current at execution start, and keeps it for
     // its whole lifetime regardless of later reloads.
-    let epoch = shared.store.current();
+    let Some(epoch) = tenant.current() else {
+        tenant.breaker_abort(pass);
+        return quarantined_response(&tenant);
+    };
     let clamped = body
         .req
         .clamped(shared.config.request_timeout_ms, None, None);
@@ -365,6 +607,7 @@ fn handle_explain(shared: &Arc<Shared>, req: &Request) -> Response {
         None
     };
 
+    let exec_started = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         if fault.as_deref() == Some("panic") {
             panic!("injected fault: panic requested via x-obx-fault");
@@ -386,10 +629,23 @@ fn handle_explain(shared: &Arc<Shared>, req: &Request) -> Response {
     shared.inflights.unregister(inflight_id);
     drop(permit);
 
+    // Feed the breaker: a panic is always a tenant failure; a degraded
+    // result that burned the *server's* full time ceiling is one too
+    // (the tenant's corpus cannot answer inside the server's patience).
+    // Requests that merely hit their own, tighter budget are not.
+    let burned_ceiling = shared.config.request_timeout_ms.is_some_and(|ceiling| {
+        exec_started.elapsed() >= Duration::from_millis(ceiling)
+            && matches!(&result, Ok(Ok(outcome)) if outcome.exit_code == 2)
+    });
+    let failed = result.is_err() || burned_ceiling;
+    tenant.breaker_record(pass, failed);
+
     let epoch_header = epoch.id.to_string();
+    let scenario_header = tenant.name().to_owned();
     match result {
         Err(_) => {
             obs::counter("serve/quarantined").add(1);
+            obs::counter_dyn(&format!("serve/tenant/{}/panics", tenant.name())).add(1);
             Response::json(
                 500,
                 err_json(
@@ -398,6 +654,7 @@ fn handle_explain(shared: &Arc<Shared>, req: &Request) -> Response {
                 ),
             )
             .with_header("x-obx-epoch", epoch_header)
+            .with_header("x-obx-scenario", scenario_header)
         }
         Ok(Err(e)) => {
             let (code, status) = match &e {
@@ -407,6 +664,7 @@ fn handle_explain(shared: &Arc<Shared>, req: &Request) -> Response {
             };
             Response::json(status, err_json(code, &e.to_string()))
                 .with_header("x-obx-epoch", epoch_header)
+                .with_header("x-obx-scenario", scenario_header)
         }
         Ok(Ok(outcome)) => {
             let mut text = outcome.stdout;
@@ -418,6 +676,7 @@ fn handle_explain(shared: &Arc<Shared>, req: &Request) -> Response {
             Response::text(200, text)
                 .with_header("x-obx-epoch", epoch_header)
                 .with_header("x-obx-exit", outcome.exit_code.to_string())
+                .with_header("x-obx-scenario", scenario_header)
         }
     }
 }
@@ -428,9 +687,16 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The current epoch id.
+    /// The current epoch id of the *first* tenant (by name) — the whole
+    /// story on a single-tenant server; multi-tenant callers should ask
+    /// [`tenants`](Self::tenants) instead.
     pub fn epoch(&self) -> u64 {
-        self.shared.store.current().id
+        self.shared.store.list().first().map_or(0, |t| t.epoch_id())
+    }
+
+    /// The tenant registry (mount set, statuses, per-tenant epochs).
+    pub fn tenants(&self) -> &TenantStore {
+        &self.shared.store
     }
 
     /// Whether the server has started draining.
@@ -553,6 +819,7 @@ mod tests {
         assert_eq!(status, 200, "{body}");
         assert!(head.contains("x-obx-epoch: 1"), "{head}");
         assert!(head.contains("x-obx-exit: 0"), "{head}");
+        assert!(head.contains("x-obx-scenario: default"), "{head}");
         let scenario = obx_core::scenario::load_dir(&dir).unwrap();
         let req = obx_core::service::ExplainRequest {
             top: 3,
@@ -579,7 +846,13 @@ mod tests {
     #[test]
     fn validate_reload_and_epoch_pinning() {
         let dir = scratch_scenario("reload");
-        let server = start(&dir, test_config()).unwrap();
+        // A wide backoff window so the retry below lands inside it even
+        // on a loaded test machine.
+        let config = ServeConfig {
+            reload_backoff_ms: 60_000,
+            ..test_config()
+        };
+        let server = start(&dir, config).unwrap();
         let addr = server.addr();
 
         let (status, head, body) = http(addr, "POST", "/validate", "");
@@ -604,6 +877,13 @@ mod tests {
         let (status, _, _) = http(addr, "POST", "/explain", "{}");
         assert_eq!(status, 200);
 
+        // An immediate retry is refused with the backoff code — the
+        // server does not hammer a flapping directory.
+        let (status, head, body) = http(addr, "POST", "/reload", "");
+        assert_eq!(status, 429, "{body}");
+        assert!(body.contains("OBX328"), "{body}");
+        assert!(head.contains("retry-after:"), "{head}");
+
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -625,6 +905,11 @@ mod tests {
         let (status, _, body) = http(addr, "POST", "/explain", r#"{"surprise": 1}"#);
         assert_eq!(status, 400);
         assert!(body.contains("OBX312"), "{body}");
+
+        // Naming a scenario nobody mounted is a structured 404.
+        let (status, _, body) = http(addr, "POST", "/explain", r#"{"scenario": "ghost"}"#);
+        assert_eq!(status, 404);
+        assert!(body.contains("OBX326"), "{body}");
 
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
@@ -668,6 +953,111 @@ mod tests {
 
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_tenant_routing_listing_and_runtime_mounts() {
+        let a = scratch_scenario("multi-a");
+        let b = scratch_scenario("multi-b");
+        let server =
+            start_multi(vec![("alpha".to_owned(), a.clone())], None, test_config()).unwrap();
+        let addr = server.addr();
+
+        // Single tenant: anonymous requests route to it.
+        let (status, head, _) = http(addr, "POST", "/explain", "{}");
+        assert_eq!(status, 200);
+        assert!(head.contains("x-obx-scenario: alpha"), "{head}");
+
+        // Mount a second tenant over the wire.
+        let mount = format!(r#"{{"scenario": "beta", "dir": "{}"}}"#, b.display());
+        let (status, _, body) = http(addr, "POST", "/tenants", &mount);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"epoch\":1"), "{body}");
+
+        // Now anonymous routing is ambiguous...
+        let (status, _, body) = http(addr, "POST", "/explain", "{}");
+        assert_eq!(status, 404);
+        assert!(body.contains("OBX326"), "{body}");
+        // ...and named routing hits the named tenant, with per-tenant
+        // epochs moving independently.
+        let (status, _, _) = http(addr, "POST", "/reload", r#"{"scenario": "beta"}"#);
+        assert_eq!(status, 200);
+        let (_, head, _) = http(addr, "POST", "/explain", r#"{"scenario": "beta"}"#);
+        assert!(head.contains("x-obx-epoch: 2"), "{head}");
+        let (_, head, _) = http(addr, "POST", "/explain", r#"{"scenario": "alpha"}"#);
+        assert!(head.contains("x-obx-epoch: 1"), "{head}");
+
+        // The registry endpoints see both.
+        let (status, _, body) = http(addr, "GET", "/tenants", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"scenario\":\"alpha\""), "{body}");
+        assert!(body.contains("\"scenario\":\"beta\""), "{body}");
+        let (status, _, body) = http(addr, "GET", "/readyz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ready\":true"), "{body}");
+
+        // A broken runtime mount is rejected and NOT registered.
+        let empty = std::env::temp_dir().join(format!("obx-serve-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&empty);
+        std::fs::create_dir_all(&empty).unwrap();
+        let mount = format!(r#"{{"scenario": "broken", "dir": "{}"}}"#, empty.display());
+        let (status, _, body) = http(addr, "POST", "/tenants", &mount);
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains("OBX316"), "{body}");
+        let (_, _, body) = http(addr, "GET", "/tenants", "");
+        assert!(!body.contains("broken"), "{body}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn breaker_trips_on_repeated_panics_and_co_tenant_keeps_serving() {
+        let a = scratch_scenario("breaker-a");
+        let b = scratch_scenario("breaker-b");
+        let config = ServeConfig {
+            breaker_threshold: 3,
+            breaker_open_ms: 60_000, // stays open for the whole test
+            ..test_config()
+        };
+        let server = start_multi(
+            vec![
+                ("bad".to_owned(), a.clone()),
+                ("good".to_owned(), b.clone()),
+            ],
+            None,
+            config,
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        // Three panics trip `bad`'s breaker...
+        for _ in 0..3 {
+            let (status, _, _) = http_with_headers(
+                addr,
+                "POST",
+                "/explain",
+                &[("x-obx-fault", "panic")],
+                r#"{"scenario": "bad"}"#,
+            );
+            assert_eq!(status, 500);
+        }
+        let (status, head, body) = http(addr, "POST", "/explain", r#"{"scenario": "bad"}"#);
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("OBX325"), "{body}");
+        assert!(head.contains("retry-after:"), "{head}");
+
+        // ...while `good` serves normally and the registry shows both.
+        let (status, _, body) = http(addr, "POST", "/explain", r#"{"scenario": "good"}"#);
+        assert_eq!(status, 200, "{body}");
+        let (_, _, body) = http(addr, "GET", "/tenants", "");
+        assert!(body.contains("\"status\":\"breaker-open\""), "{body}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
     }
 
     #[test]

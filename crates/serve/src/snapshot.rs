@@ -1,27 +1,32 @@
 //! Epoch snapshots: the server's immutable view of a scenario.
 //!
-//! A long-lived service cannot re-read the scenario directory per
-//! request (slow, and worse: racy — a half-written reload would be
-//! visible mid-request). Instead the directory is loaded **once** into an
+//! A long-lived service cannot re-read a scenario directory per request
+//! (slow, and worse: racy — a half-written reload would be visible
+//! mid-request). Instead the directory is loaded **once** into an
 //! immutable [`Epoch`] behind an `Arc`; requests pin the epoch they
-//! started on and keep it alive until they finish, while `reload` swaps
-//! the store's current pointer atomically. Two requests may therefore run
-//! on *different* epochs concurrently — each is internally consistent,
-//! and each response names its epoch so a client can audit the answer
-//! against exactly the snapshot that produced it.
+//! started on and keep it alive until they finish, while a reload swaps
+//! the owning tenant's current pointer atomically. Two requests may
+//! therefore run on *different* epochs concurrently — each is internally
+//! consistent, and each response names its epoch so a client can audit
+//! the answer against exactly the snapshot that produced it.
+//!
+//! Each epoch carries its own scenario — and with it its own `Interner`:
+//! symbols are meaningful only inside one snapshot of one tenant and
+//! never cross tenant boundaries.
 //!
 //! Validation output is captured at load time (`obx validate` text plus
 //! exit code): serving `/validate` is then a pure memory read, and the
 //! text is guaranteed to describe the pinned snapshot, not whatever the
 //! directory holds *now*.
+//!
+//! The per-tenant epoch *chain* (current pointer, reload, quarantine,
+//! breaker) lives in [`crate::tenants`].
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use obx_core::scenario::{load_dir, LoadedScenario};
-use obx_core::service::validate_dir;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use obx_core::scenario::LoadedScenario;
+use obx_core::service::load_snapshot;
+use std::path::Path;
 
 /// One immutable snapshot of a scenario directory. Never mutated after
 /// construction; shared by `Arc` across every request that pinned it.
@@ -37,81 +42,17 @@ pub struct Epoch {
     pub validate_exit: i32,
 }
 
-/// The atomically swappable current-epoch pointer plus the reload
-/// machinery.
-pub struct EpochStore {
-    dir: PathBuf,
-    current: RwLock<Arc<Epoch>>,
-    next_id: AtomicU64,
-    /// Serializes reloads: two concurrent `/reload`s must not interleave
-    /// their (load → swap) sequences, or an older snapshot could replace
-    /// a newer one.
-    reload_lock: Mutex<()>,
-}
-
-fn load_epoch(dir: &Path, id: u64) -> Result<Epoch, String> {
-    let scenario = load_dir(dir).map_err(|e| e.to_string())?;
-    // An unloadable scenario was already rejected above; validate_dir can
-    // still surface warnings (exit 2) worth reporting verbatim.
-    let validation = validate_dir(dir);
-    if validation.exit_code == 1 {
-        return Err(validation.stdout);
-    }
+/// Loads `dir` as epoch `id`, rejecting directories that do not load or
+/// whose validation errors (exit 1). Warning-only directories (exit 2)
+/// load fine and are served as degraded.
+pub fn load_epoch(dir: &Path, id: u64) -> Result<Epoch, String> {
+    let snap = load_snapshot(dir)?;
     Ok(Epoch {
         id,
-        scenario,
-        validate_text: validation.stdout,
-        validate_exit: validation.exit_code,
+        scenario: snap.scenario,
+        validate_text: snap.validate_text,
+        validate_exit: snap.validate_exit,
     })
-}
-
-impl EpochStore {
-    /// Loads the boot epoch (id 1) from `dir`. Fails with the loader's
-    /// diagnostics if the directory is not an admissible scenario — a
-    /// server never starts on a broken snapshot.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
-        let dir = dir.into();
-        let epoch = load_epoch(&dir, 1)?;
-        Ok(Self {
-            dir,
-            current: RwLock::new(Arc::new(epoch)),
-            next_id: AtomicU64::new(2),
-            reload_lock: Mutex::new(()),
-        })
-    }
-
-    /// The scenario directory this store serves.
-    pub fn dir(&self) -> &Path {
-        &self.dir
-    }
-
-    /// Pins the current epoch. The returned `Arc` keeps the snapshot
-    /// alive for as long as the caller holds it, reloads notwithstanding.
-    pub fn current(&self) -> Arc<Epoch> {
-        match self.current.read() {
-            Ok(guard) => Arc::clone(&guard),
-            // A poisoned lock only means a panic elsewhere while holding
-            // it; the data (a swap-only pointer) is still consistent.
-            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
-        }
-    }
-
-    /// Re-reads the directory into a fresh epoch and swaps it in.
-    /// On any load or validation error the current epoch stays in place
-    /// untouched — a bad reload can never take down a healthy server.
-    pub fn reload(&self) -> Result<Arc<Epoch>, String> {
-        let _serialize = match self.reload_lock.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let epoch = Arc::new(load_epoch(&self.dir, id)?);
-        match self.current.write() {
-            Ok(mut guard) => *guard = Arc::clone(&epoch),
-            Err(poisoned) => *poisoned.into_inner() = Arc::clone(&epoch),
-        }
-        Ok(epoch)
-    }
 }
 
 #[cfg(test)]
@@ -119,6 +60,7 @@ impl EpochStore {
 mod tests {
     use super::*;
     use obx_core::scenario::write_paper_example;
+    use std::path::PathBuf;
 
     fn scratch_dir(tag: &str) -> PathBuf {
         let dir =
@@ -129,11 +71,10 @@ mod tests {
     }
 
     #[test]
-    fn boot_epoch_is_id_1_and_captures_validation() {
+    fn boot_epoch_captures_validation() {
         let dir = scratch_dir("boot");
         write_paper_example(&dir).unwrap();
-        let store = EpochStore::open(&dir).unwrap();
-        let epoch = store.current();
+        let epoch = load_epoch(&dir, 1).unwrap();
         assert_eq!(epoch.id, 1);
         // The paper example validates warning-only (an unused source
         // relation), exit 2 — captured verbatim at load time.
@@ -147,41 +88,10 @@ mod tests {
     }
 
     #[test]
-    fn open_refuses_a_broken_directory() {
+    fn load_refuses_a_broken_directory() {
         let dir = scratch_dir("broken");
         // Empty dir: no scenario files at all.
-        assert!(EpochStore::open(&dir).is_err());
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn reload_bumps_the_id_and_old_pins_survive() {
-        let dir = scratch_dir("reload");
-        write_paper_example(&dir).unwrap();
-        let store = EpochStore::open(&dir).unwrap();
-        let pinned = store.current();
-        let fresh = store.reload().unwrap();
-        assert_eq!(pinned.id, 1);
-        assert_eq!(fresh.id, 2);
-        assert_eq!(store.current().id, 2);
-        // The pinned snapshot is still fully usable.
-        assert_eq!(pinned.validate_exit, 2);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn failed_reload_leaves_the_current_epoch_in_place() {
-        let dir = scratch_dir("failed-reload");
-        write_paper_example(&dir).unwrap();
-        let store = EpochStore::open(&dir).unwrap();
-        // Corrupt the directory after boot (known-bad axiom syntax).
-        std::fs::write(dir.join("ontology.obx"), "role r\nr << s\n").unwrap();
-        let err = store.reload().unwrap_err();
-        assert!(!err.is_empty());
-        assert_eq!(store.current().id, 1, "current epoch must be untouched");
-        // Ids are not reused: the failed attempt burned id 2.
-        write_paper_example(&dir).unwrap();
-        assert_eq!(store.reload().unwrap().id, 3);
+        assert!(load_epoch(&dir, 1).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -77,6 +77,24 @@ impl Hasher for FxHasher {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) over `bytes`.
+///
+/// Used for integrity checks on durable artifacts (e.g. the serve tenant
+/// journal), where a well-known, externally verifiable checksum matters more
+/// than speed. Bitwise implementation — journal lines are tiny, so a lookup
+/// table would be wasted space.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 /// `BuildHasher` producing [`FxHasher`]s.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -128,6 +146,24 @@ mod tests {
         let mut s: FxHashSet<u64> = FxHashSet::default();
         assert!(s.insert(7));
         assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let base = crc32(b"tenantA\t/some/dir");
+        assert_ne!(base, crc32(b"tenantB\t/some/dir"));
+        assert_ne!(base, crc32(b"tenantA\t/some/dis"));
     }
 
     #[test]

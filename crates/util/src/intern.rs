@@ -9,6 +9,7 @@
 
 use crate::hash::FxHashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// An interned string. Cheap to copy, compare, and hash.
 ///
@@ -34,13 +35,14 @@ impl fmt::Debug for Symbol {
 
 /// An append-only string interner.
 ///
-/// Strings are stored once in a `Vec<Box<str>>`; lookup goes through an
-/// [`FxHashMap`] from the string to its symbol. Resolution (`Symbol -> &str`)
-/// is an array index.
+/// Each distinct string owns exactly one heap allocation, shared (via
+/// `Arc<str>`) between the resolution vector and the lookup-map key —
+/// `Arc<str>: Borrow<str>` lets the map answer `&str` queries without an
+/// allocation. Resolution (`Symbol -> &str`) is an array index.
 #[derive(Default)]
 pub struct Interner {
-    strings: Vec<Box<str>>,
-    lookup: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+    lookup: FxHashMap<Arc<str>, Symbol>,
 }
 
 impl Interner {
@@ -65,9 +67,9 @@ impl Interner {
         let sym = Symbol(
             u32::try_from(self.strings.len()).expect("interner overflow: more than 2^32 strings"),
         );
-        let boxed: Box<str> = s.into();
-        self.strings.push(boxed.clone());
-        self.lookup.insert(boxed, sym);
+        let shared: Arc<str> = s.into();
+        self.strings.push(Arc::clone(&shared));
+        self.lookup.insert(shared, sym);
         sym
     }
 
@@ -172,6 +174,22 @@ mod tests {
         let mut i = Interner::new();
         let e = i.intern("");
         assert_eq!(i.resolve(e), "");
+    }
+
+    #[test]
+    fn vector_and_map_share_one_allocation() {
+        let mut i = Interner::new();
+        let sym = i.intern("Person");
+        let in_vec = Arc::clone(&i.strings[sym.index()]);
+        let in_map = i
+            .lookup
+            .get_key_value("Person")
+            .map(|(k, _)| Arc::clone(k))
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&in_vec, &in_map),
+            "interned string must be stored once, shared by vec and map"
+        );
     }
 
     proptest! {

@@ -677,6 +677,25 @@ pub fn counter(name: &'static str) -> &'static Counter {
     })
 }
 
+/// Like [`counter`], but for names composed at runtime (e.g. per-tenant
+/// metrics such as `serve.tenant.alpha.shed`). The name is leaked **once**
+/// on first registration — callers must keep the name space bounded
+/// (tenant names, not request ids). Subsequent calls with the same name
+/// return the existing handle without allocating.
+pub fn counter_dyn(name: &str) -> &'static Counter {
+    let mut reg = lock_recover(registry());
+    if let Some(c) = reg.counters.get(name) {
+        return c;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let handle: &'static Counter = Box::leak(Box::new(Counter {
+        name: leaked,
+        value: AtomicU64::new(0),
+    }));
+    reg.counters.insert(leaked, handle);
+    handle
+}
+
 /// The process-wide histogram named `name`, created on first use. Same
 /// `'static`-handle contract as [`counter`].
 pub fn histogram(name: &'static str) -> &'static Histogram {
@@ -805,6 +824,23 @@ mod tests {
             rec.profile().span("engine").unwrap().counter("cache_hits"),
             7
         );
+    }
+
+    #[test]
+    fn counter_dyn_returns_a_stable_handle_per_name() {
+        let a = counter_dyn("test.dyn.tenant-a");
+        let b = counter_dyn("test.dyn.tenant-a");
+        assert!(std::ptr::eq(a, b), "same name must reuse one handle");
+        assert_eq!(a.name(), "test.dyn.tenant-a");
+        let other = counter_dyn("test.dyn.tenant-b");
+        assert!(!std::ptr::eq(a, other));
+    }
+
+    #[test]
+    fn counter_dyn_and_counter_share_the_registry() {
+        let via_static = counter("test.dyn.shared");
+        let via_dyn = counter_dyn("test.dyn.shared");
+        assert!(std::ptr::eq(via_static, via_dyn));
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Multi-tenant robustness proof for the explanation service.
+//!
+//! Two storms that `tests/serve_resilience.rs` cannot express with a
+//! single scenario directory:
+//!
+//! 1. **Noisy neighbor** — a pathological tenant (injected panics, slow
+//!    holds, breaker trips) shares a process with an honest tenant. The
+//!    bulkhead + breaker layers must keep the honest tenant's responses
+//!    byte-identical to the one-shot CLI oracle and its queueing bounded:
+//!    the noisy tenant saturates *its own* bulkhead (`OBX324`) and trips
+//!    *its own* breaker (`OBX325`), never the co-tenant's.
+//!
+//! 2. **`kill -9` crash recovery** — a real child server process is
+//!    SIGKILLed (no destructor runs, no clean shutdown) after journaling
+//!    a runtime mount. A fresh boot from the journal alone must replay
+//!    every mount; a mount whose directory rotted while the server was
+//!    dead comes back *quarantined* (`OBX327`, listed, reload-repairable)
+//!    instead of failing the boot; corrupt journal lines are skipped, not
+//!    fatal.
+//!
+//! The fault hooks (`x-obx-fault`) come from the serve crate's
+//! `fault-injection` feature, which this test crate enables.
+
+use obx_core::budget::CancelToken;
+use obx_core::scenario::write_paper_example;
+use obx_core::service::{run_explain, ExplainRequest};
+use obx_serve::{start_multi, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- helpers
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("obx-serve-tenancy-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The request every worker sends; small enough to finish in
+/// milliseconds on the paper example.
+fn tenancy_request() -> ExplainRequest {
+    ExplainRequest {
+        top: 3,
+        ..ExplainRequest::default()
+    }
+}
+
+/// The one-shot service output (== CLI stdout) for the paper example:
+/// the oracle every honest served body is compared against.
+fn expected_output() -> String {
+    let dir = scratch_dir("oracle");
+    write_paper_example(&dir).unwrap();
+    let scenario = obx_core::scenario::load_dir(&dir).unwrap();
+    let req = tenancy_request();
+    let out = run_explain(
+        &scenario.system,
+        &scenario.labels,
+        &req,
+        req.budget(&CancelToken::new()),
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    out.stdout
+}
+
+/// One-shot HTTP client: `(status, lowercased header block, body)`.
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable status line in {head:?}"));
+    (status, head.to_ascii_lowercase(), payload.to_owned())
+}
+
+fn wait_until(deadline_ms: u64, mut probe: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    while Instant::now() < deadline {
+        if probe() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+// ------------------------------------------------------- noisy neighbor
+
+/// A pathological tenant (panics, slow holds, request floods) beside an
+/// honest one. Every honest response must be a 200 with the oracle body
+/// — the noisy tenant's failures stay behind its bulkhead and breaker.
+#[test]
+fn noisy_neighbor_cannot_corrupt_or_starve_the_honest_tenant() {
+    let honest_dir = scratch_dir("nn-honest");
+    let noisy_dir = scratch_dir("nn-noisy");
+    write_paper_example(&honest_dir).unwrap();
+    write_paper_example(&noisy_dir).unwrap();
+
+    let config = ServeConfig {
+        max_inflight: 2,
+        queue_depth: 8,
+        // Bulkheads: the noisy tenant can hold at most 1 executing + 2
+        // queued requests, leaving guaranteed capacity for `honest`.
+        tenant_max_inflight: Some(1),
+        tenant_queue_depth: Some(2),
+        breaker_threshold: 3,
+        breaker_open_ms: 300,
+        queue_wait_ms: 5_000,
+        read_timeout_ms: 10_000,
+        write_timeout_ms: 10_000,
+        grace_ms: 3_000,
+        ..ServeConfig::default()
+    };
+    let server = start_multi(
+        vec![
+            ("honest".to_owned(), honest_dir.clone()),
+            ("noisy".to_owned(), noisy_dir.clone()),
+        ],
+        None,
+        config,
+    )
+    .unwrap();
+    let addr = server.addr();
+    let oracle = expected_output();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let noisy_bulkhead_sheds = Arc::new(AtomicUsize::new(0));
+
+    // Five noisy workers flooding slow holds: with a bulkhead of 1
+    // executing + 2 queued, at least two are shed with `OBX324` at any
+    // instant — and none of them ever touches `honest`'s capacity.
+    let mut workers = Vec::new();
+    for w in 0..5usize {
+        let stop = Arc::clone(&stop);
+        let bulkhead_sheds = Arc::clone(&noisy_bulkhead_sheds);
+        workers.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let body = format!(r#"{{"top": 3, "scenario": "noisy", "client": "n{w}"}}"#);
+                let (status, _, payload) = http(
+                    addr,
+                    "POST",
+                    "/explain",
+                    &[("x-obx-fault", "sleep:40")],
+                    &body,
+                );
+                // Chaos responses must be *structured*: a stable OBX code
+                // on every non-200, never a dropped connection.
+                assert!(
+                    status == 200 || payload.contains("OBX"),
+                    "unstructured noisy response: {status} {payload}"
+                );
+                if payload.contains("OBX324") {
+                    bulkhead_sheds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    // A reload-churn worker: the noisy tenant also swaps its own epochs
+    // as fast as it can. Honest requests must never notice (their
+    // tenant's epoch chain is independent).
+    {
+        let stop = Arc::clone(&stop);
+        workers.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let (status, _, payload) =
+                    http(addr, "POST", "/reload", &[], r#"{"scenario": "noisy"}"#);
+                assert!(
+                    status == 200 || payload.contains("OBX"),
+                    "unstructured reload response: {status} {payload}"
+                );
+                thread::sleep(Duration::from_millis(10));
+            }
+        }));
+    }
+
+    // Two honest workers: 15 plain requests each, distinct client names.
+    let honest_failures = Arc::new(AtomicUsize::new(0));
+    let mut honest_workers = Vec::new();
+    for w in 0..2usize {
+        let oracle = oracle.clone();
+        let failures = Arc::clone(&honest_failures);
+        honest_workers.push(thread::spawn(move || {
+            for _ in 0..15 {
+                let body = format!(r#"{{"top": 3, "scenario": "honest", "client": "h{w}"}}"#);
+                let (status, head, payload) = http(addr, "POST", "/explain", &[], &body);
+                if status != 200 || payload != oracle {
+                    eprintln!("honest divergence: {status} {head} {payload}");
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for w in honest_workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // The honest tenant never saw anything but byte-identical 200s,
+    // while the noisy flood was bounded by its own bulkhead.
+    assert_eq!(honest_failures.load(Ordering::Relaxed), 0);
+    assert!(
+        noisy_bulkhead_sheds.load(Ordering::Relaxed) > 0,
+        "a 5-worker flood against a 1+2 bulkhead must shed with OBX324"
+    );
+
+    // Breaker arc, deterministic this time: three *consecutive* panics
+    // (threshold 3, nothing interleaved) trip the noisy breaker...
+    for _ in 0..3 {
+        let (status, _, payload) = http(
+            addr,
+            "POST",
+            "/explain",
+            &[("x-obx-fault", "panic")],
+            r#"{"scenario": "noisy"}"#,
+        );
+        assert_eq!(status, 500, "{payload}");
+        assert!(payload.contains("OBX323"), "{payload}");
+    }
+    let (status, head, payload) = http(addr, "POST", "/explain", &[], r#"{"scenario": "noisy"}"#);
+    assert_eq!(status, 503, "{payload}");
+    assert!(payload.contains("OBX325"), "{payload}");
+    assert!(head.contains("retry-after:"), "{head}");
+
+    // ...the honest co-tenant is untouched by the trip...
+    let (status, _, payload) = http(
+        addr,
+        "POST",
+        "/explain",
+        &[],
+        r#"{"top": 3, "scenario": "honest", "client": "h0"}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(payload, oracle);
+
+    // ...and after the open window a half-open probe readmits the
+    // tenant: one healthy request closes the breaker for good.
+    thread::sleep(Duration::from_millis(500));
+    let (status, _, payload) = http(addr, "POST", "/explain", &[], r#"{"scenario": "noisy"}"#);
+    assert_eq!(status, 200, "probe should readmit: {payload}");
+    let (status, _, _) = http(addr, "POST", "/explain", &[], r#"{"scenario": "noisy"}"#);
+    assert_eq!(status, 200);
+
+    // And the process is still healthy: registry lists both tenants,
+    // readiness holds, per-tenant counters surfaced in /metrics.
+    let (status, _, body) = http(addr, "GET", "/tenants", &[], "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"scenario\":\"honest\""), "{body}");
+    assert!(body.contains("\"scenario\":\"noisy\""), "{body}");
+    let (status, _, _) = http(addr, "GET", "/readyz", &[], "");
+    assert_eq!(status, 200);
+    let (_, _, metrics) = http(addr, "GET", "/metrics", &[], "");
+    assert!(
+        metrics.contains("serve/tenant/noisy/breaker_open"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&honest_dir);
+    let _ = std::fs::remove_dir_all(&noisy_dir);
+}
+
+// --------------------------------------------------- kill -9 recovery
+
+/// Not a test: the child server process for the crash-recovery tests.
+/// Invoked by name from `killed_server_replays_its_journal` with
+/// `OBX_TENANCY_CHILD_ROOT` set; a plain `cargo test` run sees the env
+/// var absent and the "test" passes as a no-op.
+#[test]
+fn tenancy_child_server() {
+    let Ok(root) = std::env::var("OBX_TENANCY_CHILD_ROOT") else {
+        return;
+    };
+    let root = PathBuf::from(root);
+    let config = ServeConfig {
+        grace_ms: 500,
+        ..ServeConfig::default()
+    };
+    let server = start_multi(
+        vec![("alpha".to_owned(), root.join("alpha"))],
+        Some(root.join("journal.tsv")),
+        config,
+    )
+    .unwrap();
+    // Publish the address atomically (write + rename) so the parent
+    // never reads a half-written file.
+    let tmp = root.join("addr.tmp");
+    std::fs::write(&tmp, server.addr().to_string()).unwrap();
+    std::fs::rename(&tmp, root.join("addr.txt")).unwrap();
+    // Park forever; the parent SIGKILLs this process, so no drain and
+    // no destructor ever runs — exactly the crash being simulated.
+    loop {
+        thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn spawn_child_server(root: &Path) -> std::process::Child {
+    std::process::Command::new(std::env::current_exe().unwrap())
+        .args(["tenancy_child_server", "--exact", "--nocapture"])
+        .env("OBX_TENANCY_CHILD_ROOT", root.to_str().unwrap())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap()
+}
+
+/// Mount over the wire, `kill -9`, boot from the journal alone: every
+/// mount replays; the one whose directory rotted while the server was
+/// dead comes back quarantined (and is repairable by reload), not fatal.
+#[test]
+fn killed_server_replays_its_journal() {
+    let root = scratch_dir("kill9");
+    write_paper_example(&root.join("alpha")).unwrap();
+    write_paper_example(&root.join("beta")).unwrap();
+
+    // Boot the child with `alpha` mounted and a journal armed.
+    let mut child = spawn_child_server(&root);
+    assert!(
+        wait_until(20_000, || root.join("addr.txt").exists()),
+        "child server never came up"
+    );
+    let addr: SocketAddr = std::fs::read_to_string(root.join("addr.txt"))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+
+    // Journal a second mount over the wire, prove it serves...
+    let mount = format!(
+        r#"{{"scenario": "beta", "dir": "{}"}}"#,
+        root.join("beta").display()
+    );
+    let (status, _, body) = http(addr, "POST", "/tenants", &[], &mount);
+    assert_eq!(status, 200, "{body}");
+    let (status, _, _) = http(addr, "POST", "/explain", &[], r#"{"scenario": "beta"}"#);
+    assert_eq!(status, 200);
+
+    // ...then SIGKILL the process mid-flight. No drain, no Drop.
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // While the server is "dead", beta's directory rots.
+    std::fs::write(root.join("beta").join("ontology.obx"), "concept \u{7f}!!").unwrap();
+
+    // A fresh boot from the journal ALONE (no explicit mounts) replays
+    // both tenants; rotten beta is quarantined, not a boot failure.
+    let server = start_multi(
+        vec![],
+        Some(root.join("journal.tsv")),
+        ServeConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("journal-only boot failed: {e}"));
+    let addr = server.addr();
+    let (status, _, body) = http(addr, "GET", "/tenants", &[], "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"scenario\":\"alpha\""), "{body}");
+    assert!(body.contains("\"scenario\":\"beta\""), "{body}");
+    assert!(body.contains("\"status\":\"quarantined\""), "{body}");
+
+    // Alpha survived with full fidelity.
+    let (status, _, payload) = http(
+        addr,
+        "POST",
+        "/explain",
+        &[],
+        r#"{"top": 3, "scenario": "alpha"}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(payload, expected_output());
+
+    // Beta sheds with the quarantine code...
+    let (status, _, payload) = http(addr, "POST", "/explain", &[], r#"{"scenario": "beta"}"#);
+    assert_eq!(status, 503);
+    assert!(payload.contains("OBX327"), "{payload}");
+
+    // ...until its directory is repaired and reloaded.
+    write_paper_example(&root.join("beta")).unwrap();
+    let (status, _, payload) = http(addr, "POST", "/reload", &[], r#"{"scenario": "beta"}"#);
+    assert_eq!(status, 200, "{payload}");
+    let (status, _, _) = http(addr, "POST", "/explain", &[], r#"{"scenario": "beta"}"#);
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A journal that was torn mid-write (trailing garbage, flipped bits)
+/// degrades to "skip the bad lines", never to a boot failure — as long
+/// as one serveable mount remains.
+#[test]
+fn corrupt_journal_lines_are_skipped_not_fatal() {
+    let root = scratch_dir("corrupt-journal");
+    write_paper_example(&root.join("alpha")).unwrap();
+
+    // A hand-crafted journal: one valid line (real checksum), one line
+    // whose checksum lies, one torn line, one line of pure noise.
+    let alpha_payload = format!("alpha\t{}", root.join("alpha").display());
+    let torn_payload = b"torn\t/else/where";
+    let journal = format!(
+        "obx-tenants v1\n{:08x}\t{}\ndeadbeef\tghost\t/nowhere\n{:08x}\ttorn\n<<<garbage>>>\n",
+        obx_util::hash::crc32(alpha_payload.as_bytes()),
+        alpha_payload,
+        // Torn line: a checksum that was computed over a longer payload
+        // than what made it to disk.
+        obx_util::hash::crc32(torn_payload),
+    );
+    std::fs::write(root.join("journal.tsv"), journal).unwrap();
+
+    let server = start_multi(
+        vec![],
+        Some(root.join("journal.tsv")),
+        ServeConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("boot over a corrupt journal failed: {e}"));
+    let addr = server.addr();
+
+    // Only the valid line survived, and it serves.
+    let (status, _, body) = http(addr, "GET", "/tenants", &[], "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"scenario\":\"alpha\""), "{body}");
+    assert!(!body.contains("ghost"), "{body}");
+    assert!(!body.contains("torn"), "{body}");
+    let (status, _, _) = http(addr, "POST", "/explain", &[], "{}");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
