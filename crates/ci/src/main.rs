@@ -10,7 +10,7 @@
 //! warnings denied, a release build, the test suite, and the bench
 //! bins — then compares the fresh bench numbers against the committed
 //! `BENCH_scoring.json` / `BENCH_search.json` / `BENCH_guided.json` /
-//! `BENCH_serve.json` baselines and fails on a
+//! `BENCH_serve.json` / `BENCH_scale.json` baselines and fails on a
 //! wall-time regression above 20% that is also more than 5 ms absolute
 //! (sub-millisecond benches jitter past 20% on a loaded machine; the
 //! bench bins' own hard floors, e.g. the 2× search speedup, stay in
@@ -223,18 +223,19 @@ fn main() {
 
     // Snapshot the committed bench baselines before anything overwrites
     // them.
-    let bench_files: [&'static str; 4] = [
+    let bench_files: [&'static str; 5] = [
         "BENCH_scoring.json",
         "BENCH_search.json",
         "BENCH_guided.json",
         "BENCH_serve.json",
+        "BENCH_scale.json",
     ];
     let baselines: Vec<Option<String>> = bench_files
         .iter()
         .map(|f| std::fs::read_to_string(root.join(f)).ok())
         .collect();
 
-    let steps: [(&'static str, &[&str]); 8] = [
+    let steps: [(&'static str, &[&str]); 9] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -265,6 +266,10 @@ fn main() {
         (
             "bench-serve",
             &["run", "--release", "-p", "obx-bench", "--bin", "serve"],
+        ),
+        (
+            "bench-scale",
+            &["run", "--release", "-p", "obx-bench", "--bin", "scale"],
         ),
     ];
 
@@ -312,6 +317,7 @@ fn main() {
             ("BENCH_search.json", "search"),
             ("BENCH_guided.json", "guided"),
             ("BENCH_serve.json", "serve"),
+            ("BENCH_scale.json", "scale"),
         ] {
             if !retry_files.contains(&file) {
                 continue;
@@ -321,6 +327,7 @@ fn main() {
                 "smoke" => "bench-scoring-retry",
                 "search" => "bench-search-retry",
                 "guided" => "bench-guided-retry",
+                "scale" => "bench-scale-retry",
                 _ => "bench-serve-retry",
             };
             let ok = run_step(

@@ -58,10 +58,9 @@ use crate::matcher::{MatchBits, MatchStats, PreparedLabels};
 use crate::prune::ParentHandle;
 use obx_obdm::{CompiledQuery, ObdmError};
 use obx_query::{OntoCq, OntoUcq};
-use obx_util::{FxHashMap, Interrupt};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError, RwLock};
+use obx_util::{FxHashMap, Interrupt, WorkerPool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// Locks in the engine recover from poisoning instead of propagating it:
 /// a candidate whose scoring panicked is quarantined per candidate (see
@@ -610,7 +609,9 @@ impl ScoringEngine {
             out
         } else {
             let rec = self.recorder_of(task);
-            let pool = self.pool.get_or_init(|| WorkerPool::new(self.threads - 1));
+            let pool = self
+                .pool
+                .get_or_init(|| WorkerPool::named(self.threads - 1, "obx-scorer"));
             let cursor = AtomicUsize::new(0);
             let slots: Vec<OnceLock<Option<Explanation>>> =
                 (0..n).map(|_| OnceLock::new()).collect();
@@ -667,20 +668,7 @@ impl std::fmt::Debug for ScoringEngine {
     }
 }
 
-/// Thread count: `OBX_THREADS` (positive integer) wins; otherwise the
-/// machine's available parallelism. There is deliberately no upper clamp.
-fn configured_threads() -> usize {
-    if let Ok(v) = std::env::var("OBX_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+use obx_util::pool::configured_threads;
 
 /// Incremental toggle: `OBX_INCREMENTAL` set to `0`, `off`, `false`, or
 /// `no` (any case) disables parent-delta evaluation and bound pruning;
@@ -694,185 +682,6 @@ fn configured_incremental() -> bool {
             "0" | "off" | "false" | "no"
         ),
         Err(_) => true,
-    }
-}
-
-/// A persistent scoped worker pool. Threads are spawned once per engine
-/// and park on a condvar between batches. [`WorkerPool::run`] hands every
-/// participant (workers *and* the caller) the same closure, which pulls
-/// work items off a shared atomic cursor — dynamic distribution, so one
-/// slow item delays only the thread that drew it.
-struct WorkerPool {
-    shared: Arc<PoolShared>,
-    /// Worker handles, behind a mutex so [`WorkerPool::run`] (which only
-    /// has `&self` through the engine's `OnceLock`) can replace threads
-    /// that died — a poisoned worker must not shrink the pool for the
-    /// rest of the process.
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    workers: usize,
-}
-
-struct PoolShared {
-    state: Mutex<PoolState>,
-    work_ready: Condvar,
-}
-
-struct PoolState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
-
-#[derive(Clone)]
-struct Job {
-    // Lifetime-erased borrow of a batch closure. Soundness contract: the
-    // pusher (`WorkerPool::run`) waits on `latch` before returning, so
-    // every clone of this borrow is dead before the real closure's
-    // lifetime ends.
-    f: &'static (dyn Fn() + Sync),
-    latch: Arc<Latch>,
-}
-
-/// Countdown latch signalling that every worker finished a batch.
-struct Latch {
-    remaining: Mutex<usize>,
-    done: Condvar,
-    panicked: AtomicBool,
-}
-
-impl Latch {
-    fn new(n: usize) -> Self {
-        Self {
-            remaining: Mutex::new(n),
-            done: Condvar::new(),
-            panicked: AtomicBool::new(false),
-        }
-    }
-
-    fn count_down(&self) {
-        let mut remaining = lock_recover!(self.remaining.lock());
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.done.notify_all();
-        }
-    }
-
-    fn wait(&self) {
-        let mut remaining = lock_recover!(self.remaining.lock());
-        while *remaining > 0 {
-            remaining = lock_recover!(self.done.wait(remaining));
-        }
-    }
-}
-
-impl WorkerPool {
-    fn new(workers: usize) -> Self {
-        let shared = Arc::new(PoolShared {
-            state: Mutex::new(PoolState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            work_ready: Condvar::new(),
-        });
-        let handles = (0..workers).map(|i| spawn_worker(&shared, i)).collect();
-        Self {
-            shared,
-            handles: Mutex::new(handles),
-            workers,
-        }
-    }
-
-    /// Replaces workers whose threads have exited (a worker only dies if
-    /// something escapes the per-job `catch_unwind`, e.g. a panic while
-    /// panicking) so the pool keeps its capacity across incidents.
-    fn respawn_dead_workers(&self) {
-        let mut handles = lock_recover!(self.handles.lock());
-        for i in 0..handles.len() {
-            if handles[i].is_finished() {
-                let fresh = spawn_worker(&self.shared, i);
-                let dead = std::mem::replace(&mut handles[i], fresh);
-                let _ = dead.join();
-            }
-        }
-    }
-
-    /// Runs `f` on every pool worker and on the caller, returning once
-    /// every invocation has finished (which is what makes handing the
-    /// non-`'static` closure to the workers sound). A panic escaping a
-    /// *worker's* invocation is contained (recorded on the latch, the
-    /// batch still completes); a panic in the *caller's* invocation
-    /// resumes on the caller after the latch settles, so the erased
-    /// borrow never dangles either way.
-    fn run<'env>(&self, f: &(dyn Fn() + Sync + 'env)) {
-        self.respawn_dead_workers();
-        let n_workers = self.workers;
-        // SAFETY: the erased borrow is only used by worker invocations
-        // counted by `latch`, and `latch.wait()` below does not return
-        // until all of them are done — `f` outlives every use.
-        let f_static: &'static (dyn Fn() + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), _>(f) };
-        let latch = Arc::new(Latch::new(n_workers));
-        {
-            let mut state = lock_recover!(self.shared.state.lock());
-            for _ in 0..n_workers {
-                state.jobs.push_back(Job {
-                    f: f_static,
-                    latch: Arc::clone(&latch),
-                });
-            }
-        }
-        self.shared.work_ready.notify_all();
-        // The caller participates instead of idling on the latch.
-        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-        latch.wait();
-        if let Err(payload) = caller {
-            std::panic::resume_unwind(payload);
-        }
-    }
-}
-
-fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> std::thread::JoinHandle<()> {
-    let shared = Arc::clone(shared);
-    match std::thread::Builder::new()
-        .name(format!("obx-scorer-{i}"))
-        .spawn(move || worker_loop(&shared))
-    {
-        Ok(handle) => handle,
-        // OS-level spawn failure is unrecoverable resource exhaustion;
-        // panicking keeps the message without the linted shorthand.
-        Err(e) => panic!("spawn scorer thread: {e}"),
-    }
-}
-
-fn worker_loop(shared: &PoolShared) {
-    loop {
-        let job = {
-            let mut state = lock_recover!(shared.state.lock());
-            loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
-                }
-                if state.shutdown {
-                    return;
-                }
-                state = lock_recover!(shared.work_ready.wait(state));
-            }
-        };
-        // A panicking batch must still count down, or `run` deadlocks
-        // and the erased borrow could dangle.
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.f)())).is_err() {
-            job.latch.panicked.store(true, Ordering::Relaxed);
-        }
-        job.latch.count_down();
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        lock_recover!(self.shared.state.lock()).shutdown = true;
-        self.shared.work_ready.notify_all();
-        for handle in lock_recover!(self.handles.lock()).drain(..) {
-            let _ = handle.join();
-        }
     }
 }
 
@@ -1136,22 +945,5 @@ mod tests {
         );
         assert_eq!(outcome.pruned, 0);
         assert_eq!(outcome.explanations.len(), 1);
-    }
-
-    #[test]
-    fn worker_pool_drains_a_counter_and_survives_reuse() {
-        let pool = WorkerPool::new(3);
-        for round in 1..=3u64 {
-            let cursor = AtomicUsize::new(0);
-            let hits = AtomicU64::new(0);
-            pool.run(&|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= 1000 {
-                    break;
-                }
-                hits.fetch_add(1, Ordering::Relaxed);
-            });
-            assert_eq!(hits.load(Ordering::Relaxed), 1000, "round {round}");
-        }
     }
 }

@@ -6,6 +6,10 @@
 //! (they are query-independent), so scoring a candidate costs one compile
 //! plus `|λ⁺| + |λ⁻|` goal-directed evaluations over small masked views.
 
+// Scoring runs inside the always-on serve loop; errors must flow back
+// as `ObdmError`s, not unwinds that trip a tenant's circuit breaker.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::labels::Labels;
 use obx_obdm::{CompiledQuery, ObdmError, ObdmSystem};
 use obx_query::{OntoUcq, SrcCq, SrcUcq};
@@ -77,6 +81,179 @@ impl MatchStats {
     }
 }
 
+/// Bits covered by one hybrid container (roaring's 2¹⁶ chunking).
+const CONTAINER_BITS: usize = 1 << 16;
+
+/// Array-container capacity threshold: above this popcount a container
+/// converts to dense words. 4096 × `u16` = 8 KiB = the words form of a
+/// full container, i.e. exactly roaring's memory crossover.
+const ARRAY_MAX: usize = 4096;
+
+/// One 2¹⁶-bit chunk of a [`MatchBits`], in **canonical hybrid form**:
+/// `Array` iff the popcount is ≤ [`ARRAY_MAX`] (so structurally equal
+/// containers ⇔ semantically equal bit sets, and the derived `Eq` on
+/// [`MatchBits`] stays exact). Bits are only ever set, never cleared, so
+/// the `Array → Words` conversion is monotone and `Words` never needs to
+/// shrink back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Container {
+    /// Sorted, deduplicated in-container offsets.
+    Array(Vec<u16>),
+    /// Dense words (popcount > [`ARRAY_MAX`]).
+    Words(Box<[u64]>),
+}
+
+impl Container {
+    fn empty() -> Self {
+        Container::Array(Vec::new())
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Words(w) => w.iter().map(|x| x.count_ones() as usize).sum(),
+        }
+    }
+
+    /// Popcount of the offsets strictly below `limit` (for the pos/neg
+    /// boundary in [`MatchBits::stats`]).
+    fn count_below(&self, limit: usize) -> usize {
+        match self {
+            Container::Array(v) => v.partition_point(|&e| (e as usize) < limit),
+            Container::Words(w) => {
+                let mut n = 0usize;
+                for (i, &word) in w.iter().enumerate() {
+                    let base = i * 64;
+                    if base + 64 <= limit {
+                        n += word.count_ones() as usize;
+                    } else if base < limit {
+                        let keep = limit - base;
+                        n += (word & ((1u64 << keep) - 1)).count_ones() as usize;
+                    }
+                }
+                n
+            }
+        }
+    }
+
+    fn get(&self, off: u16) -> bool {
+        match self {
+            Container::Array(v) => v.binary_search(&off).is_ok(),
+            Container::Words(w) => w[off as usize / 64] >> (off % 64) & 1 == 1,
+        }
+    }
+
+    /// Dense-words form of this container (`bits` = bits it covers).
+    fn to_words(&self, bits: usize) -> Box<[u64]> {
+        match self {
+            Container::Array(v) => {
+                let mut w = vec![0u64; bits.div_ceil(64)].into_boxed_slice();
+                for &off in v {
+                    w[off as usize / 64] |= 1u64 << (off % 64);
+                }
+                w
+            }
+            Container::Words(w) => w.clone(),
+        }
+    }
+
+    /// Sets `off`, converting to words past the density threshold.
+    fn set(&mut self, off: u16, bits: usize) {
+        match self {
+            Container::Array(v) => {
+                if let Err(at) = v.binary_search(&off) {
+                    v.insert(at, off);
+                    if v.len() > ARRAY_MAX {
+                        *self = Container::Words(self.to_words(bits));
+                    }
+                }
+            }
+            Container::Words(w) => w[off as usize / 64] |= 1u64 << (off % 64),
+        }
+    }
+
+    /// ORs `other` in, keeping canonical hybrid form.
+    fn union_with(&mut self, other: &Container, bits: usize) {
+        match (&mut *self, other) {
+            (Container::Array(a), Container::Array(b)) => {
+                // In-order merge of two sorted, deduplicated sequences.
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&a[i..]);
+                merged.extend_from_slice(&b[j..]);
+                if merged.len() > ARRAY_MAX {
+                    *self = Container::Words(Container::Array(merged).to_words(bits));
+                } else {
+                    *a = merged;
+                }
+            }
+            (Container::Array(a), Container::Words(o)) => {
+                // `other` is over-threshold, so the union is too.
+                let mut w = o.clone();
+                for &off in a.iter() {
+                    w[off as usize / 64] |= 1u64 << (off % 64);
+                }
+                *self = Container::Words(w);
+            }
+            (Container::Words(w), Container::Array(b)) => {
+                for &off in b {
+                    w[off as usize / 64] |= 1u64 << (off % 64);
+                }
+            }
+            (Container::Words(w), Container::Words(o)) => {
+                for (x, y) in w.iter_mut().zip(o.iter()) {
+                    *x |= y;
+                }
+            }
+        }
+    }
+
+    fn is_subset_of(&self, other: &Container) -> bool {
+        match (self, other) {
+            (Container::Array(a), Container::Array(b)) => {
+                // Two-pointer walk over the sorted sequences.
+                let mut j = 0usize;
+                for &x in a {
+                    while j < b.len() && b[j] < x {
+                        j += 1;
+                    }
+                    if j == b.len() || b[j] != x {
+                        return false;
+                    }
+                    j += 1;
+                }
+                true
+            }
+            (Container::Array(a), Container::Words(w)) => a
+                .iter()
+                .all(|&off| w[off as usize / 64] >> (off % 64) & 1 == 1),
+            // Canonical form: a words container has popcount > ARRAY_MAX,
+            // an array container at most ARRAY_MAX — never a superset.
+            (Container::Words(_), Container::Array(_)) => false,
+            (Container::Words(w), Container::Words(o)) => {
+                w.iter().zip(o.iter()).all(|(x, y)| x & !y == 0)
+            }
+        }
+    }
+}
+
 /// Per-label match bitset of a query: one bit per labelled tuple, the
 /// positives first (bit `i` ↔ `pos()[i]`), then the negatives (bit
 /// `num_pos + j` ↔ `neg()[j]`).
@@ -86,22 +263,39 @@ impl MatchStats {
 /// is the OR of its disjuncts' bitsets ([`MatchBits::union_with`]), and
 /// [`MatchStats`] fall out of two popcounts ([`MatchBits::stats`]) — no
 /// evaluator calls.
+///
+/// Internally a hand-rolled roaring-style hybrid: the index space is
+/// chunked into 2¹⁶-bit containers, each a sorted `u16` array while
+/// sparse and dense words once its popcount crosses [`ARRAY_MAX`]. A
+/// query matching few of a million labelled tuples costs `O(matches)`
+/// memory instead of `len / 8` bytes, which is what keeps a memo cache
+/// of thousands of disjunct bitsets affordable at scale. Containers are
+/// kept canonical (array ⇔ sparse), so the derived `Eq` remains exact
+/// semantic equality — the equivalence suites compare `MatchBits` values
+/// produced by different evaluation paths.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchBits {
     num_pos: usize,
     num_neg: usize,
-    words: Box<[u64]>,
+    containers: Vec<Container>,
 }
 
 impl MatchBits {
     /// An all-zero bitset shaped for `num_pos` positives and `num_neg`
     /// negatives.
     pub fn empty(num_pos: usize, num_neg: usize) -> Self {
+        let n = (num_pos + num_neg).div_ceil(CONTAINER_BITS);
         Self {
             num_pos,
             num_neg,
-            words: vec![0u64; (num_pos + num_neg).div_ceil(64)].into_boxed_slice(),
+            containers: vec![Container::empty(); n],
         }
+    }
+
+    /// Bits covered by container `i` (the last container may be partial).
+    #[inline]
+    fn container_bits(&self, i: usize) -> usize {
+        (self.len() - i * CONTAINER_BITS).min(CONTAINER_BITS)
     }
 
     /// Total number of labelled tuples tracked.
@@ -117,13 +311,14 @@ impl MatchBits {
     /// Marks tuple `idx` (layout order: positives, then negatives) matched.
     pub fn set(&mut self, idx: usize) {
         assert!(idx < self.len(), "bit {idx} out of range {}", self.len());
-        self.words[idx / 64] |= 1u64 << (idx % 64);
+        let bits = self.container_bits(idx / CONTAINER_BITS);
+        self.containers[idx / CONTAINER_BITS].set((idx % CONTAINER_BITS) as u16, bits);
     }
 
     /// Whether tuple `idx` is matched.
     pub fn get(&self, idx: usize) -> bool {
         assert!(idx < self.len(), "bit {idx} out of range {}", self.len());
-        self.words[idx / 64] >> (idx % 64) & 1 == 1
+        self.containers[idx / CONTAINER_BITS].get((idx % CONTAINER_BITS) as u16)
     }
 
     /// ORs `other` in: afterwards this bitset matches the *union* of the
@@ -134,14 +329,15 @@ impl MatchBits {
             (other.num_pos, other.num_neg),
             "cannot union match bitsets of different label sets"
         );
-        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
-            *w |= o;
+        for i in 0..self.containers.len() {
+            let bits = self.container_bits(i);
+            self.containers[i].union_with(&other.containers[i], bits);
         }
     }
 
     /// Number of matched tuples (positives and negatives together).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.containers.iter().map(Container::count).sum()
     }
 
     /// Whether every tuple matched here is also matched by `other` — the
@@ -154,10 +350,10 @@ impl MatchBits {
             (other.num_pos, other.num_neg),
             "cannot compare match bitsets of different label sets"
         );
-        self.words
+        self.containers
             .iter()
-            .zip(other.words.iter())
-            .all(|(w, o)| w & !o == 0)
+            .zip(other.containers.iter())
+            .all(|(a, b)| a.is_subset_of(b))
     }
 
     /// The confusion counts: popcount of the positive region and of the
@@ -165,15 +361,14 @@ impl MatchBits {
     pub fn stats(&self) -> MatchStats {
         let mut pos_matched = 0usize;
         let mut total_matched = 0usize;
-        for (i, &w) in self.words.iter().enumerate() {
-            total_matched += w.count_ones() as usize;
-            let base = i * 64;
-            if base + 64 <= self.num_pos {
-                pos_matched += w.count_ones() as usize;
+        for (i, c) in self.containers.iter().enumerate() {
+            total_matched += c.count();
+            let base = i * CONTAINER_BITS;
+            if base + CONTAINER_BITS <= self.num_pos {
+                pos_matched += c.count();
             } else if base < self.num_pos {
-                // The word straddling the pos/neg boundary.
-                let keep = self.num_pos - base;
-                pos_matched += (w & ((1u64 << keep) - 1)).count_ones() as usize;
+                // The container straddling the pos/neg boundary.
+                pos_matched += c.count_below(self.num_pos - base);
             }
         }
         MatchStats {
@@ -418,9 +613,11 @@ impl<'a> PreparedLabels<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use obx_obdm::example_3_6_system;
+    use proptest::prelude::*;
 
     fn paper_labels(sys: &mut ObdmSystem) -> Labels {
         Labels::parse(sys.db_mut(), "+ A10\n+ B80\n+ C12\n+ D50\n- E25").unwrap()
@@ -618,5 +815,194 @@ mod tests {
         .unwrap();
         let s = prepared.stats_src_cq(&q);
         assert_eq!((s.pos_matched, s.neg_matched), (2, 1));
+    }
+
+    /// Plain dense-`Vec<bool>` model of `MatchBits`, the oracle for the
+    /// hybrid-container equivalence tests below.
+    struct DenseOracle {
+        num_pos: usize,
+        bits: Vec<bool>,
+    }
+
+    impl DenseOracle {
+        fn new(num_pos: usize, num_neg: usize) -> Self {
+            Self {
+                num_pos,
+                bits: vec![false; num_pos + num_neg],
+            }
+        }
+
+        fn set(&mut self, idx: usize) {
+            self.bits[idx] = true;
+        }
+
+        fn count_ones(&self) -> usize {
+            self.bits.iter().filter(|&&b| b).count()
+        }
+
+        fn stats(&self) -> (usize, usize) {
+            let pos = self.bits[..self.num_pos].iter().filter(|&&b| b).count();
+            (pos, self.count_ones() - pos)
+        }
+
+        fn is_subset_of(&self, other: &DenseOracle) -> bool {
+            self.bits
+                .iter()
+                .zip(other.bits.iter())
+                .all(|(&a, &b)| !a || b)
+        }
+    }
+
+    #[test]
+    fn array_container_converts_to_words_exactly_at_the_threshold() {
+        let len = 2 * CONTAINER_BITS;
+        let mut b = MatchBits::empty(len, 0);
+        for i in 0..ARRAY_MAX {
+            b.set(2 * i); // spread within container 0
+        }
+        assert!(matches!(b.containers[0], Container::Array(_)));
+        assert!(matches!(b.containers[1], Container::Array(_)));
+        b.set(2 * ARRAY_MAX);
+        assert!(
+            matches!(b.containers[0], Container::Words(_)),
+            "popcount {} must live in a words container",
+            ARRAY_MAX + 1
+        );
+        assert_eq!(b.count_ones(), ARRAY_MAX + 1);
+        for i in 0..=ARRAY_MAX {
+            assert!(b.get(2 * i));
+            assert!(!b.get(2 * i + 1));
+        }
+        // Setting the same bits again is idempotent in either form.
+        b.set(0);
+        b.set(2 * ARRAY_MAX);
+        assert_eq!(b.count_ones(), ARRAY_MAX + 1);
+    }
+
+    #[test]
+    fn union_keeps_the_representation_canonical_for_derived_eq() {
+        let len = CONTAINER_BITS + 100;
+        let mut lo = MatchBits::empty(len, 0);
+        let mut hi = MatchBits::empty(len, 0);
+        let mut direct = MatchBits::empty(len, 0);
+        for i in 0..3000 {
+            lo.set(i);
+            direct.set(i);
+            hi.set(3000 + i);
+            direct.set(3000 + i);
+        }
+        // Array ∪ Array crossing the threshold → words, and the value
+        // must compare equal to the same set built bit-by-bit.
+        lo.union_with(&hi);
+        assert!(matches!(lo.containers[0], Container::Words(_)));
+        assert!(matches!(direct.containers[0], Container::Words(_)));
+        assert_eq!(lo, direct);
+        assert_eq!(lo.count_ones(), 6000);
+        // Union with a words container from a sparse array side.
+        let mut sparse = MatchBits::empty(len, 0);
+        sparse.set(CONTAINER_BITS + 7); // container 1 stays an array
+        sparse.union_with(&direct);
+        assert!(sparse.get(CONTAINER_BITS + 7));
+        assert_eq!(sparse.count_ones(), 6001);
+        assert!(matches!(sparse.containers[1], Container::Array(_)));
+    }
+
+    #[test]
+    fn subset_checks_work_across_mixed_representations() {
+        let len = 9000;
+        let mut dense = MatchBits::empty(len, 0);
+        for i in 0..5000 {
+            dense.set(i);
+        }
+        let mut sparse = MatchBits::empty(len, 0);
+        for i in (0..5000).step_by(100) {
+            sparse.set(i);
+        }
+        assert!(matches!(dense.containers[0], Container::Words(_)));
+        assert!(matches!(sparse.containers[0], Container::Array(_)));
+        assert!(sparse.is_subset_of(&dense));
+        // A words container (popcount > ARRAY_MAX) can never fit in an
+        // array container.
+        assert!(!dense.is_subset_of(&sparse));
+        let mut outside = sparse.clone();
+        outside.set(8999);
+        assert!(!outside.is_subset_of(&dense));
+    }
+
+    #[test]
+    fn multi_container_stats_split_at_the_pos_neg_boundary() {
+        // Three containers; the pos/neg boundary falls inside container 1.
+        let (num_pos, num_neg) = (70_000, 80_000);
+        let mut b = MatchBits::empty(num_pos, num_neg);
+        let mut oracle = DenseOracle::new(num_pos, num_neg);
+        for i in (0..150_000).step_by(13) {
+            b.set(i);
+            oracle.set(i);
+        }
+        // Densify container 2 so the boundary math runs over words too.
+        for i in (2 * CONTAINER_BITS)..(2 * CONTAINER_BITS + 5000) {
+            b.set(i);
+            oracle.set(i);
+        }
+        let s = b.stats();
+        let (pos, neg) = oracle.stats();
+        assert_eq!((s.pos_matched, s.neg_matched), (pos, neg));
+        assert_eq!(s.pos_total, num_pos);
+        assert_eq!(s.neg_total, num_neg);
+        assert_eq!(b.count_ones(), oracle.count_ones());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32 })]
+
+        /// The hybrid containers agree with a dense oracle on every
+        /// operation, at densities straddling the array→words threshold.
+        #[test]
+        fn hybrid_match_bits_agree_with_dense_oracle(
+            num_pos in 1usize..6000,
+            num_neg in 0usize..3000,
+            raw_a in proptest::collection::vec(0usize..9000, 0..3000),
+            raw_b in proptest::collection::vec(0usize..9000, 0..3000),
+        ) {
+            let len = num_pos + num_neg;
+            let mut a = MatchBits::empty(num_pos, num_neg);
+            let mut oa = DenseOracle::new(num_pos, num_neg);
+            for &raw in &raw_a {
+                a.set(raw % len);
+                oa.set(raw % len);
+            }
+            let mut b = MatchBits::empty(num_pos, num_neg);
+            let mut ob = DenseOracle::new(num_pos, num_neg);
+            for &raw in &raw_b {
+                b.set(raw % len);
+                ob.set(raw % len);
+            }
+
+            prop_assert_eq!(a.count_ones(), oa.count_ones());
+            for i in 0..len {
+                prop_assert_eq!(a.get(i), oa.bits[i]);
+            }
+            let s = a.stats();
+            prop_assert_eq!((s.pos_matched, s.neg_matched), oa.stats());
+            prop_assert_eq!(a.is_subset_of(&b), oa.is_subset_of(&ob));
+
+            // OR composition, checked against both the oracle and a
+            // bit-by-bit rebuild (exercises canonical-form equality).
+            let mut u = a.clone();
+            u.union_with(&b);
+            let mut direct = MatchBits::empty(num_pos, num_neg);
+            for (i, (&x, &y)) in oa.bits.iter().zip(ob.bits.iter()).enumerate() {
+                if x || y {
+                    direct.set(i);
+                }
+            }
+            prop_assert_eq!(&u, &direct);
+            prop_assert!(a.is_subset_of(&u));
+            prop_assert!(b.is_subset_of(&u));
+            prop_assert_eq!(
+                u.count_ones(),
+                oa.bits.iter().zip(ob.bits.iter()).filter(|(&x, &y)| x || y).count()
+            );
+        }
     }
 }

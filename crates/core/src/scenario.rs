@@ -27,6 +27,11 @@ pub const SCENARIO_FILES: [&str; 5] = [
     "labels.obx",
 ];
 
+/// Optional binary data snapshot (`obx snapshot build`) sitting next to
+/// the text artifacts. When present, valid, and fresh it replaces the
+/// `schema.obx` + `data.obx` parse in both loaders.
+pub const SNAPSHOT_FILE: &str = "data.obxsnap";
+
 /// A scenario loaded from disk: the system plus λ.
 #[derive(Debug)]
 pub struct LoadedScenario {
@@ -80,12 +85,82 @@ fn parse_err(file: &str, msg: impl ToString) -> LoadError {
     }
 }
 
+/// Outcome of probing `dir` for a usable [`SNAPSHOT_FILE`].
+enum SnapProbe {
+    /// No snapshot file — parse the text artifacts.
+    Absent,
+    /// A snapshot exists but its recorded source sizes no longer match
+    /// `schema.obx` / `data.obx`, or it was written by a different
+    /// format version — silently fall back to the text parse (the
+    /// snapshot is a cache; staleness and version drift are not errors).
+    Stale,
+    /// The file exists but is not a valid snapshot (bad magic, checksum,
+    /// truncation, inconsistent payload) — a hard `OBX003`.
+    Corrupt(String),
+    /// Valid and fresh: the rebuilt data layer.
+    Ready(Box<obx_srcdb::Database>),
+}
+
+fn probe_snapshot(dir: &Path) -> SnapProbe {
+    let snap = match obx_srcdb::read_snapshot(&dir.join(SNAPSHOT_FILE)) {
+        Ok(s) => s,
+        Err(obx_srcdb::SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            return SnapProbe::Absent;
+        }
+        Err(obx_srcdb::SnapshotError::Io(e)) => {
+            return SnapProbe::Corrupt(format!("cannot read snapshot: {e}"));
+        }
+        Err(obx_srcdb::SnapshotError::Version(_)) => return SnapProbe::Stale,
+        Err(obx_srcdb::SnapshotError::Corrupt(msg)) => return SnapProbe::Corrupt(msg),
+    };
+    let fresh = |file: &str, want: u64| {
+        std::fs::metadata(dir.join(file))
+            .map(|m| m.len() == want)
+            .unwrap_or(false)
+    };
+    if !fresh("schema.obx", snap.schema_src_len) || !fresh("data.obx", snap.data_src_len) {
+        return SnapProbe::Stale;
+    }
+    SnapProbe::Ready(Box::new(snap.db))
+}
+
+/// Builds (or rebuilds) [`SNAPSHOT_FILE`] in `dir` from its text
+/// artifacts, returning `(atoms, constants, snapshot bytes)`. This is
+/// `obx snapshot build`'s engine.
+pub fn build_snapshot(dir: &Path) -> Result<(usize, usize, u64), LoadError> {
+    let schema_txt = read(dir, "schema.obx")?;
+    let data_txt = read(dir, "data.obx")?;
+    let schema = parse_schema(&schema_txt).map_err(|e| parse_err("schema.obx", e))?;
+    let db = parse_database(schema, &data_txt).map_err(|e| parse_err("data.obx", e))?;
+    let bytes = obx_srcdb::write_snapshot(
+        &dir.join(SNAPSHOT_FILE),
+        &db,
+        schema_txt.len() as u64,
+        data_txt.len() as u64,
+    )
+    .map_err(|source| LoadError::Io {
+        file: SNAPSHOT_FILE.to_owned(),
+        source,
+    })?;
+    Ok((db.len(), db.consts().len(), bytes))
+}
+
 /// Loads `schema.obx`, `data.obx`, `ontology.obx`, `mapping.obx`,
-/// `labels.obx` from `dir` and assembles the system.
+/// `labels.obx` from `dir` and assembles the system. A valid, fresh
+/// [`SNAPSHOT_FILE`] short-circuits the `schema.obx`/`data.obx` parse;
+/// a corrupt one is rejected (`OBX003`) rather than silently ignored.
 pub fn load_dir(dir: &Path) -> Result<LoadedScenario, LoadError> {
-    let schema = parse_schema(&read(dir, "schema.obx")?).map_err(|e| parse_err("schema.obx", e))?;
-    let mut db =
-        parse_database(schema, &read(dir, "data.obx")?).map_err(|e| parse_err("data.obx", e))?;
+    let mut db = match probe_snapshot(dir) {
+        SnapProbe::Ready(db) => *db,
+        SnapProbe::Corrupt(msg) => {
+            return Err(parse_err(SNAPSHOT_FILE, format!("OBX003: {msg}")));
+        }
+        SnapProbe::Absent | SnapProbe::Stale => {
+            let schema =
+                parse_schema(&read(dir, "schema.obx")?).map_err(|e| parse_err("schema.obx", e))?;
+            parse_database(schema, &read(dir, "data.obx")?).map_err(|e| parse_err("data.obx", e))?
+        }
+    };
     let tbox = parse_tbox(&read(dir, "ontology.obx")?).map_err(|e| parse_err("ontology.obx", e))?;
     let mapping = {
         let (schema_ref, consts) = db.schema_and_consts_mut();
@@ -169,8 +244,38 @@ fn read_checked(dir: &Path, file: &str, diags: &mut Diagnostics) -> Option<Strin
 pub fn load_dir_checked(dir: &Path) -> CheckedLoad {
     let mut diags = Diagnostics::new();
     let mut sources: Vec<(String, String)> = Vec::new();
+
+    // Snapshot fast path: a valid, fresh binary snapshot stands in for
+    // `schema.obx` + `data.obx` (their text is neither read nor
+    // re-checked — the snapshot was built from sources that parsed). A
+    // corrupt snapshot is a hard diagnostic; the text artifacts are then
+    // checked as usual so one bad cache file cannot hide real problems.
+    let snap_db = match probe_snapshot(dir) {
+        SnapProbe::Ready(db) => Some(*db),
+        SnapProbe::Corrupt(msg) => {
+            diags.push(
+                Diagnostic::error(
+                    SNAPSHOT_FILE,
+                    0,
+                    0,
+                    "OBX003",
+                    format!("invalid data snapshot: {msg}"),
+                )
+                .with_hint(
+                    "rebuild it with `obx snapshot build` or delete it to use the text artifacts",
+                ),
+            );
+            None
+        }
+        SnapProbe::Absent | SnapProbe::Stale => None,
+    };
+
     let mut texts: Vec<Option<String>> = Vec::new();
     for file in SCENARIO_FILES {
+        if snap_db.is_some() && (file == "schema.obx" || file == "data.obx") {
+            texts.push(None);
+            continue;
+        }
         let text = read_checked(dir, file, &mut diags);
         if let Some(t) = &text {
             sources.push((file.to_owned(), t.clone()));
@@ -183,9 +288,11 @@ pub fn load_dir_checked(dir: &Path) -> CheckedLoad {
             Err(_) => unreachable!("SCENARIO_FILES has five entries"),
         };
 
-    let all_readable = [&schema_txt, &data_txt, &onto_txt, &map_txt, &labels_txt]
-        .iter()
-        .all(|t| t.is_some());
+    let have_data_layer = snap_db.is_some() || (schema_txt.is_some() && data_txt.is_some());
+    let all_readable = have_data_layer
+        && [&onto_txt, &map_txt, &labels_txt]
+            .iter()
+            .all(|t| t.is_some());
 
     // Artifacts whose prerequisite file was unreadable are not parsed —
     // checking data against an empty stand-in schema would drown the real
@@ -195,18 +302,22 @@ pub fn load_dir_checked(dir: &Path) -> CheckedLoad {
     } else {
         ""
     };
-    let map_input = if schema_txt.is_some() && onto_txt.is_some() {
+    let map_input = if (snap_db.is_some() || schema_txt.is_some()) && onto_txt.is_some() {
         map_txt.as_deref().unwrap_or("")
     } else {
         ""
     };
 
-    let schema = parse_schema_diag(
-        schema_txt.as_deref().unwrap_or(""),
-        "schema.obx",
-        &mut diags,
-    );
-    let mut db = parse_database_diag(schema, data_input, "data.obx", &mut diags);
+    let mut db = if let Some(db) = snap_db {
+        db
+    } else {
+        let schema = parse_schema_diag(
+            schema_txt.as_deref().unwrap_or(""),
+            "schema.obx",
+            &mut diags,
+        );
+        parse_database_diag(schema, data_input, "data.obx", &mut diags)
+    };
     let tbox = parse_tbox_diag(
         onto_txt.as_deref().unwrap_or(""),
         "ontology.obx",
@@ -376,6 +487,79 @@ mod tests {
         );
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::remove_dir_all(&src).unwrap();
+    }
+
+    #[test]
+    fn snapshot_fast_path_loads_identically_to_text() {
+        let dir = tmpdir("snap-fast");
+        write_paper_example(&dir).unwrap();
+        let text_loaded = load_dir(&dir).unwrap();
+        let (atoms, consts, bytes) = build_snapshot(&dir).unwrap();
+        assert_eq!(atoms, 13);
+        assert!(consts > 0 && bytes > 0);
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        let snap_loaded = load_dir(&dir).unwrap();
+        // Same atoms in the same order, same constant ids, same labels —
+        // downstream explanations are therefore byte-identical.
+        assert_eq!(
+            snap_loaded.system.db().render(),
+            text_loaded.system.db().render()
+        );
+        assert_eq!(
+            snap_loaded
+                .labels
+                .render_file(snap_loaded.system.db().consts()),
+            text_loaded
+                .labels
+                .render_file(text_loaded.system.db().consts())
+        );
+        // The checked loader takes the same fast path and stays clean.
+        let checked = load_dir_checked(&dir);
+        assert!(!checked.diagnostics.has_errors());
+        let scen = checked.scenario.unwrap();
+        assert_eq!(scen.system.db().render(), text_loaded.system.db().render());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_with_obx003() {
+        let dir = tmpdir("snap-corrupt");
+        write_paper_example(&dir).unwrap();
+        build_snapshot(&dir).unwrap();
+        // Flip a payload byte (past the 24-byte header).
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("OBX003"), "{err}");
+        let checked = load_dir_checked(&dir);
+        assert!(checked
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "OBX003" && d.file == SNAPSHOT_FILE));
+        // The checked loader still assembles the scenario from text.
+        assert!(checked.scenario.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_snapshot_falls_back_to_the_text_artifacts() {
+        let dir = tmpdir("snap-stale");
+        write_paper_example(&dir).unwrap();
+        build_snapshot(&dir).unwrap();
+        // Grow data.obx: the recorded source size no longer matches.
+        let data = dir.join("data.obx");
+        let mut txt = std::fs::read_to_string(&data).unwrap();
+        txt.push_str("STUD(Z99).\n");
+        std::fs::write(&data, &txt).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.system.db().len(), 14, "stale snapshot was used");
+        let checked = load_dir_checked(&dir);
+        assert!(!checked.diagnostics.has_errors());
+        assert_eq!(checked.scenario.unwrap().system.db().len(), 14);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod hierarchy;
 pub mod random_scenario;
 pub mod recidivism;
+pub mod scale;
 pub mod scenario;
 pub mod skewed;
 pub mod university;

@@ -50,7 +50,7 @@
 
 use crate::src::{SrcAtom, SrcCq};
 use crate::term::{Term, VarId};
-use obx_srcdb::{Atom, AtomId, Const, View};
+use obx_srcdb::{Atom, AtomId, AtomRef, Const, View};
 use obx_util::FxHashSet;
 use std::sync::atomic::Ordering;
 
@@ -200,7 +200,7 @@ impl<'v, 'q> Guided<'v, 'q> {
     /// Whether `fact` is compatible with `atom` under the current binding
     /// (constants and bound variables must match; repeated *unbound*
     /// variables must carry equal constants across their positions).
-    fn consistent(&self, atom: &SrcAtom, fact: &Atom) -> bool {
+    fn consistent(&self, atom: &SrcAtom, fact: AtomRef<'_>) -> bool {
         if atom.args.len() != fact.args.len() {
             return false;
         }

@@ -393,6 +393,9 @@ fn tenant_json(tenant: &Tenant) -> String {
         tenant.epoch_id(),
         escape(&tenant.dir().to_string_lossy())
     );
+    if let Some(ms) = tenant.load_ms() {
+        obj.push_str(&format!(",\"load_ms\":{ms}"));
+    }
     if let Some(reason) = tenant.quarantine_reason() {
         // First line only: quarantine reasons are full validator dumps.
         let head = reason.lines().next().unwrap_or("");
@@ -992,6 +995,16 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"scenario\":\"alpha\""), "{body}");
         assert!(body.contains("\"scenario\":\"beta\""), "{body}");
+        // Every serving tenant reports its load-time gauge…
+        assert!(body.contains("\"load_ms\":"), "{body}");
+        // …and /metrics carries the cumulative per-tenant counters.
+        let (status, _, body) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("serve/tenant/alpha/load_ms_total")
+                && body.contains("serve/tenant/beta/loads"),
+            "{body}"
+        );
         let (status, _, body) = http(addr, "GET", "/readyz", "");
         assert_eq!(status, 200);
         assert!(body.contains("\"ready\":true"), "{body}");

@@ -40,18 +40,24 @@ pub struct Epoch {
     pub validate_text: String,
     /// The validate exit code (0 clean, 2 warnings) captured at load.
     pub validate_exit: i32,
+    /// Wall-clock milliseconds the directory took to load and validate —
+    /// the per-tenant load-time gauge surfaced by `GET /tenants` and,
+    /// cumulatively, by `/metrics`.
+    pub load_ms: u64,
 }
 
 /// Loads `dir` as epoch `id`, rejecting directories that do not load or
 /// whose validation errors (exit 1). Warning-only directories (exit 2)
 /// load fine and are served as degraded.
 pub fn load_epoch(dir: &Path, id: u64) -> Result<Epoch, String> {
+    let started = std::time::Instant::now();
     let snap = load_snapshot(dir)?;
     Ok(Epoch {
         id,
         scenario: snap.scenario,
         validate_text: snap.validate_text,
         validate_exit: snap.validate_exit,
+        load_ms: started.elapsed().as_millis() as u64,
     })
 }
 

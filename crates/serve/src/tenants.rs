@@ -170,8 +170,21 @@ fn lock_ctl<'a>(m: &'a Mutex<TenantCtl>) -> std::sync::MutexGuard<'a, TenantCtl>
     }
 }
 
+/// Records a successfully installed epoch in `/metrics`: cumulative
+/// scenario load time and load count per tenant. The *latest* load time
+/// (the gauge reading) lives on the epoch itself and is surfaced by
+/// `GET /tenants`; the cumulative pair here makes reload-time regressions
+/// visible as a rising `load_ms_total / loads` average.
+fn record_epoch_load(name: &str, epoch: &Epoch) {
+    obs::counter_dyn(&format!("serve/tenant/{name}/load_ms_total")).add(epoch.load_ms);
+    obs::counter_dyn(&format!("serve/tenant/{name}/loads")).add(1);
+}
+
 impl Tenant {
     fn new(name: String, dir: PathBuf, boot: Option<Arc<Epoch>>, cfg: TenantConfig) -> Self {
+        if let Some(epoch) = &boot {
+            record_epoch_load(&name, epoch);
+        }
         let next = boot.as_ref().map_or(1, |e| e.id) + 1;
         Self {
             name,
@@ -214,6 +227,12 @@ impl Tenant {
     /// The current epoch id (0 while quarantined).
     pub fn epoch_id(&self) -> u64 {
         self.current().map_or(0, |e| e.id)
+    }
+
+    /// Load time (ms) of the currently served epoch — the per-tenant
+    /// load-time gauge. `None` while quarantined.
+    pub fn load_ms(&self) -> Option<u64> {
+        self.current().map(|e| e.load_ms)
     }
 
     /// Why the tenant is quarantined, when it is.
@@ -261,6 +280,7 @@ impl Tenant {
         match load_epoch(&self.dir, id) {
             Ok(epoch) => {
                 let epoch = Arc::new(epoch);
+                record_epoch_load(&self.name, &epoch);
                 match self.current.write() {
                     Ok(mut guard) => *guard = Some(Arc::clone(&epoch)),
                     Err(poisoned) => *poisoned.into_inner() = Some(Arc::clone(&epoch)),

@@ -63,6 +63,45 @@ impl Atom {
     }
 }
 
+/// A borrowed, zero-copy view of one stored atom: the relation id plus a
+/// slice into the database's shared argument column. `Copy`, pointer-sized
+/// — the working currency of borders, matchers, and evaluators, none of
+/// which should clone a `Box<[Const]>` per visited atom.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AtomRef<'a> {
+    /// The relation symbol `s`.
+    pub rel: RelId,
+    /// The argument tuple `c̄`, borrowed from the argument column.
+    pub args: &'a [Const],
+}
+
+impl AtomRef<'_> {
+    /// Whether constant `c` occurs among the arguments.
+    #[inline]
+    pub fn mentions(&self, c: Const) -> bool {
+        self.args.contains(&c)
+    }
+
+    /// An owned copy — for callers that must outlive the database borrow.
+    pub fn to_atom(&self) -> Atom {
+        Atom::new(self.rel, self.args.iter().copied())
+    }
+
+    /// Renders the atom like `ENR(A10, Math, TV)`.
+    pub fn render(&self, schema: &Schema, consts: &ConstPool) -> String {
+        let mut s = String::from(schema.name(self.rel));
+        s.push('(');
+        for (i, c) in self.args.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(consts.resolve(*c));
+        }
+        s.push(')');
+        s
+    }
+}
+
 impl fmt::Display for AtomId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "atom#{}", self.0)

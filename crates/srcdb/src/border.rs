@@ -18,17 +18,170 @@
 //! using [`Database::atoms_mentioning`], i.e. `O(Σ |incident atoms|)` —
 //! near-linear in the size of the reached sub-database (experiment E8).
 
+// BFS shards run on the shared worker pool; a panic in one shard would
+// poison the pool for every later caller in the process.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::atom::AtomId;
 use crate::consts::Const;
 use crate::database::Database;
 use crate::view::View;
+use obx_util::pool::{configured_threads, WorkerPool};
 use obx_util::FxHashSet;
-use std::sync::LazyLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{LazyLock, OnceLock};
 
 /// Process-wide count of materialised border atoms (per-run counts live on
 /// the `border` span).
 static BORDER_ATOMS: LazyLock<&'static obx_util::obs::Counter> =
     LazyLock::new(|| obx_util::obs::counter("obx.border.atoms"));
+
+/// The process-wide pool sharding frontier expansion. Spawned lazily on
+/// the first layer big enough to parallelise, sized like the scoring pool
+/// (`OBX_THREADS`, else available parallelism; the caller participates,
+/// so `n - 1` extra threads).
+static BORDER_POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+fn border_pool() -> &'static WorkerPool {
+    BORDER_POOL
+        .get_or_init(|| WorkerPool::named(configured_threads().saturating_sub(1), "obx-border"))
+}
+
+/// Number of extra worker threads the border pool will engage (0 on a
+/// single-core host, where `BorderMode::Auto` always expands serially).
+/// Benchmarks consult this to know whether a parallel-beats-serial
+/// expectation is even meaningful on the current machine.
+pub fn border_workers() -> usize {
+    border_pool().workers()
+}
+
+/// Incident-atom work below which a layer expands serially: sharding a
+/// small frontier costs more in latch traffic than the scan itself.
+const PARALLEL_WORK_THRESHOLD: usize = 1 << 13;
+
+/// Frontier items per work chunk. Chunks are claimed off an atomic cursor
+/// (dynamic distribution — a hub constant's huge posting delays only the
+/// thread that drew it) and merged back **in chunk order**, which is what
+/// keeps parallel discovery order byte-identical to the serial loop.
+const CHUNK: usize = 256;
+
+/// Forcing knob for the layer-expansion strategy, mostly for equivalence
+/// tests and incident diagnosis. [`BorderMode::Auto`] (the default
+/// everywhere) picks per layer based on the incident-atom work estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BorderMode {
+    /// Parallelise a layer when its work estimate crosses the threshold.
+    #[default]
+    Auto,
+    /// Always expand on the calling thread.
+    Serial,
+    /// Always shard across the border pool.
+    Parallel,
+}
+
+impl BorderMode {
+    #[inline]
+    fn parallel(self, work: usize) -> bool {
+        match self {
+            BorderMode::Serial => false,
+            BorderMode::Parallel => true,
+            BorderMode::Auto => work >= PARALLEL_WORK_THRESHOLD && border_pool().workers() > 0,
+        }
+    }
+}
+
+/// Runs `f` over `items` in [`CHUNK`]-sized slices on the border pool and
+/// returns each chunk's output **in chunk index order** — the merge side
+/// then replays first-occurrence dedup exactly as the serial loop would.
+/// `f` must only read shared state.
+fn chunked_map<T, U, F>(items: &[T], f: F) -> Vec<Vec<U>>
+where
+    T: Sync,
+    U: Send + Sync,
+    F: Fn(&[T]) -> Vec<U> + Sync,
+{
+    let n_chunks = items.len().div_ceil(CHUNK);
+    let slots: Vec<OnceLock<Vec<U>>> = (0..n_chunks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    border_pool().run(&|| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n_chunks {
+            break;
+        }
+        let start = i * CHUNK;
+        let end = ((i + 1) * CHUNK).min(items.len());
+        let _ = slots[i].set(f(&items[start..end]));
+    });
+    slots
+        .into_iter()
+        .map(|s| match s.into_inner() {
+            Some(v) => v,
+            // Only reachable if a pool job panicked mid-chunk; dropping
+            // atoms silently would corrupt the border, so propagate.
+            None => panic!("border expansion chunk lost to a worker panic"),
+        })
+        .collect()
+}
+
+/// The candidate stream for the next BFS layer: for every frontier
+/// constant (in order), the incident atoms not already in the border.
+/// Intra-layer duplicates are *not* removed here — the caller's in-order
+/// `all.insert` merge does that, reproducing serial discovery order.
+fn expand_candidates(
+    db: &Database,
+    frontier: &[Const],
+    all: &FxHashSet<AtomId>,
+) -> Vec<Vec<AtomId>> {
+    chunked_map(frontier, |consts| {
+        let mut out = Vec::new();
+        for &c in consts {
+            for &id in db.atoms_mentioning(c) {
+                if !all.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Collects the next frontier — constants first seen in `layer`'s atoms —
+/// in serial discovery order, sharding the scan when the layer is large.
+fn collect_frontier(
+    db: &Database,
+    layer: &[AtomId],
+    seen_consts: &mut FxHashSet<Const>,
+    mode: BorderMode,
+) -> Vec<Const> {
+    let mut next_frontier = Vec::new();
+    if mode.parallel(layer.len()) {
+        let chunks = chunked_map(layer, |ids| {
+            let mut out = Vec::new();
+            for &id in ids {
+                for &c in db.atom(id).args.iter() {
+                    if !seen_consts.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+            out
+        });
+        for c in chunks.into_iter().flatten() {
+            if seen_consts.insert(c) {
+                next_frontier.push(c);
+            }
+        }
+    } else {
+        for &id in layer {
+            for &c in db.atom(id).args.iter() {
+                if seen_consts.insert(c) {
+                    next_frontier.push(c);
+                }
+            }
+        }
+    }
+    next_frontier
+}
 
 /// Charges one completed BFS layer (`atoms` new border atoms) to the
 /// interrupt's resource guard, if any. Returns `false` when the guard has
@@ -76,6 +229,8 @@ pub struct Border {
     /// Constants discovered in the most recent layer, not yet expanded.
     frontier: Vec<Const>,
     seen_consts: FxHashSet<Const>,
+    /// Layer-expansion strategy, fixed at construction (extensions reuse it).
+    mode: BorderMode,
 }
 
 impl Border {
@@ -94,11 +249,24 @@ impl Border {
         radius: usize,
         interrupt: &obx_util::Interrupt,
     ) -> Self {
-        // Layer 0: atoms that mention a constant appearing in t.
+        Self::compute_with_mode(db, tuple, radius, interrupt, BorderMode::default())
+    }
+
+    /// [`Border::compute_interruptible`] with an explicit layer-expansion
+    /// strategy. Every mode produces byte-identical layers — [`BorderMode`]
+    /// only chooses *where* the incidence scans run.
+    pub fn compute_with_mode(
+        db: &Database,
+        tuple: &[Const],
+        radius: usize,
+        interrupt: &obx_util::Interrupt,
+        mode: BorderMode,
+    ) -> Self {
+        // Layer 0: atoms that mention a constant appearing in t. The tuple
+        // has a handful of constants — always expanded on the caller.
         let mut seen_consts: FxHashSet<Const> = FxHashSet::default();
         let mut all: FxHashSet<AtomId> = FxHashSet::default();
         let mut layer0: Vec<AtomId> = Vec::new();
-        let mut frontier: Vec<Const> = Vec::new();
         for &c in tuple {
             if !seen_consts.insert(c) {
                 continue;
@@ -111,19 +279,14 @@ impl Border {
         }
         // Constants of t are expanded; constants first seen inside layer-0
         // atoms form the frontier for layer 1.
-        for &id in &layer0 {
-            for &c in db.atom(id).args.iter() {
-                if seen_consts.insert(c) {
-                    frontier.push(c);
-                }
-            }
-        }
+        let frontier = collect_frontier(db, &layer0, &mut seen_consts, mode);
         let layer0_len = layer0.len();
         let mut border = Self {
             layers: vec![layer0],
             all,
             frontier,
             seen_consts,
+            mode,
         };
         let mut sp = obx_util::span!(interrupt.recorder(), "border");
         sp.count("atoms", layer0_len as u64);
@@ -185,22 +348,30 @@ impl Border {
                 return false;
             }
             let mut layer: Vec<AtomId> = Vec::new();
-            let mut next_frontier: Vec<Const> = Vec::new();
-            for &c in &self.frontier {
-                for &id in db.atoms_mentioning(c) {
+            // Work estimate for the strategy choice: total incident atoms
+            // across the frontier, an O(|frontier|) sum of index lengths.
+            let work: usize = self.frontier.iter().map(|&c| db.count_mentioning(c)).sum();
+            if self.mode.parallel(work) {
+                // Shard the incidence scans (and the `all`-membership
+                // filter) across the pool; the in-order merge below runs
+                // first-occurrence dedup exactly like the serial loop, so
+                // discovery order is byte-identical.
+                let chunks = expand_candidates(db, &self.frontier, &self.all);
+                for id in chunks.into_iter().flatten() {
                     if self.all.insert(id) {
                         layer.push(id);
                     }
                 }
-            }
-            for &id in &layer {
-                for &c in db.atom(id).args.iter() {
-                    if self.seen_consts.insert(c) {
-                        next_frontier.push(c);
+            } else {
+                for &c in &self.frontier {
+                    for &id in db.atoms_mentioning(c) {
+                        if self.all.insert(id) {
+                            layer.push(id);
+                        }
                     }
                 }
             }
-            self.frontier = next_frontier;
+            self.frontier = collect_frontier(db, &layer, &mut self.seen_consts, self.mode);
             let charged = charge_layer(interrupt, layer.len());
             sp.count("atoms", layer.len() as u64);
             sp.count("layers", 1);
@@ -275,6 +446,7 @@ pub fn border(db: &Database, tuple: &[Const], radius: usize) -> FxHashSet<AtomId
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::schema::Schema;
@@ -438,6 +610,94 @@ mod tests {
         let mut b2 = b;
         assert!(!b2.extend_interruptible(&db, 3, &interrupt));
         assert_eq!(guard.trip().unwrap().kind, GuardKind::BorderAtoms);
+    }
+
+    /// Builds a synthetic power-law-ish graph large enough to engage the
+    /// chunked parallel path even with `BorderMode::Parallel` forced on
+    /// small frontiers: `hubs` hub constants each incident to `spokes`
+    /// atoms, spokes chained so the BFS has several non-trivial layers.
+    fn hubbed_db(hubs: usize, spokes: usize) -> Database {
+        let mut schema = Schema::new();
+        schema.declare("E", 2).unwrap();
+        let mut db = Database::new(schema);
+        for h in 0..hubs {
+            let hub = format!("hub{h}");
+            for s in 0..spokes {
+                let spoke = format!("n{h}_{s}");
+                db.insert_named("E", &[&hub, &spoke]).unwrap();
+                // Chain some spokes to the next hub for depth.
+                if s % 7 == 0 {
+                    let next = format!("hub{}", (h + 1) % hubs);
+                    db.insert_named("E", &[&spoke, &next]).unwrap();
+                }
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn parallel_layers_are_byte_identical_to_serial() {
+        let db = hubbed_db(8, 300);
+        let interrupt = obx_util::Interrupt::none();
+        for radius in [0, 1, 2, 3] {
+            for tuple_consts in [vec!["hub0"], vec!["hub0", "n3_5"], vec!["n7_0"]] {
+                let tuple: Vec<Const> = tuple_consts
+                    .iter()
+                    .map(|c| db.consts().get(c).unwrap())
+                    .collect();
+                let serial =
+                    Border::compute_with_mode(&db, &tuple, radius, &interrupt, BorderMode::Serial);
+                let parallel = Border::compute_with_mode(
+                    &db,
+                    &tuple,
+                    radius,
+                    &interrupt,
+                    BorderMode::Parallel,
+                );
+                assert_eq!(serial.num_layers(), parallel.num_layers());
+                for j in 0..serial.num_layers() {
+                    // Exact Vec equality: same atoms in the same discovery
+                    // order, not just the same set.
+                    assert_eq!(
+                        serial.layer(j).unwrap(),
+                        parallel.layer(j).unwrap(),
+                        "layer {j} diverged at radius {radius} for {tuple_consts:?}"
+                    );
+                }
+                assert_eq!(
+                    serial.frontier, parallel.frontier,
+                    "frontier order diverged"
+                );
+                assert_eq!(serial.atoms(), parallel.atoms());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_mode_matches_serial_on_example_3_3() {
+        let db = example_3_3();
+        let a = db.consts().get("a").unwrap();
+        let interrupt = obx_util::Interrupt::none();
+        let auto = Border::compute(&db, &[a], 3);
+        let serial = Border::compute_with_mode(&db, &[a], 3, &interrupt, BorderMode::Serial);
+        for j in 0..serial.num_layers() {
+            assert_eq!(auto.layer(j), serial.layer(j));
+        }
+    }
+
+    #[test]
+    fn parallel_extend_is_byte_identical_too() {
+        let db = hubbed_db(6, 200);
+        let hub = db.consts().get("hub0").unwrap();
+        let interrupt = obx_util::Interrupt::none();
+        let mut serial = Border::compute_with_mode(&db, &[hub], 0, &interrupt, BorderMode::Serial);
+        let mut parallel =
+            Border::compute_with_mode(&db, &[hub], 0, &interrupt, BorderMode::Parallel);
+        serial.extend(&db, 3);
+        parallel.extend(&db, 3);
+        for j in 0..serial.num_layers() {
+            assert_eq!(serial.layer(j).unwrap(), parallel.layer(j).unwrap());
+        }
     }
 
     /// The union-of-layers border equals the "literal Definition 3.2"

@@ -4,7 +4,7 @@
 //! represented by interned [`Const`] symbols. Classified objects (the inputs
 //! of the partial function λ) are [`Tuple`]s of constants.
 
-use obx_util::{Interner, Symbol};
+use obx_util::{Interner, Span, Symbol};
 use std::fmt;
 
 /// An interned source constant (an element of `dom(D)` or a query constant).
@@ -38,6 +38,19 @@ impl ConstPool {
         Self::default()
     }
 
+    /// Creates an empty pool pre-sized for `cap` distinct constants
+    /// (bulk loads announce the count in their snapshot header).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            interner: Interner::with_capacity(cap),
+        }
+    }
+
+    /// Reserves room for `additional` further distinct constants.
+    pub fn reserve(&mut self, additional: usize) {
+        self.interner.reserve(additional);
+    }
+
     /// Interns a constant by its textual form.
     pub fn intern(&mut self, name: &str) -> Const {
         Const(self.interner.intern(name))
@@ -61,6 +74,19 @@ impl ConstPool {
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
         self.interner.is_empty()
+    }
+
+    /// The interner's raw columns `(arena, spans, slots)` — the snapshot
+    /// wire content for the constant pool. See [`Interner::as_parts`].
+    pub fn as_parts(&self) -> (&str, &[Span], &[(u64, u32)]) {
+        self.interner.as_parts()
+    }
+
+    /// Rebuilds a pool from raw interner columns, validating consistency.
+    /// Returns `None` on any structural inconsistency (see
+    /// [`Interner::from_parts`]).
+    pub fn from_parts(arena: String, spans: Vec<Span>, slots: Vec<(u64, u32)>) -> Option<Self> {
+        Interner::from_parts(arena, spans, slots).map(|interner| Self { interner })
     }
 
     /// Renders a tuple like `⟨A10, Math⟩` for diagnostics.

@@ -16,7 +16,9 @@
 //!   `B_{t,r}(D)` (Def. 3.2), with the BFS-layer semantics fixed by the
 //!   paper's Example 3.3;
 //! * [`parse`] — a small text format for databases (`ENR(A10, Math, TV).`),
-//!   used by examples and tests.
+//!   used by examples and tests;
+//! * [`snapshot`] — a versioned, checksummed binary image of the data
+//!   layer for fast million-atom loads.
 
 #![warn(missing_docs)]
 
@@ -26,10 +28,11 @@ pub mod consts;
 pub mod database;
 pub mod parse;
 pub mod schema;
+pub mod snapshot;
 pub mod view;
 
-pub use atom::{Atom, AtomId};
-pub use border::{border, reachable_from, Border};
+pub use atom::{Atom, AtomId, AtomRef};
+pub use border::{border, border_workers, reachable_from, Border, BorderMode};
 pub use consts::{Const, ConstPool, Tuple};
 pub use database::Database;
 pub use parse::{
@@ -37,4 +40,5 @@ pub use parse::{
     parse_schema_diag, split_atom, unquote, ParseError,
 };
 pub use schema::{RelDecl, RelId, Schema, SchemaError};
+pub use snapshot::{read_snapshot, write_snapshot, Snapshot, SnapshotError};
 pub use view::View;

@@ -6,7 +6,7 @@
 //! database with an optional atom-id mask; evaluators consult the database's
 //! indexes and filter by the mask.
 
-use crate::atom::{Atom, AtomId};
+use crate::atom::{AtomId, AtomRef};
 use crate::consts::Const;
 use crate::database::Database;
 use crate::schema::{RelId, Schema};
@@ -54,9 +54,9 @@ impl<'a> View<'a> {
         }
     }
 
-    /// The atom for a (visible or not) id.
+    /// The atom for a (visible or not) id, as a zero-copy columnar view.
     #[inline]
-    pub fn atom(&self, id: AtomId) -> &'a Atom {
+    pub fn atom(&self, id: AtomId) -> AtomRef<'a> {
         self.db.atom(id)
     }
 

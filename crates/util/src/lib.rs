@@ -22,7 +22,10 @@
 //!   and the `OBX_OBS` environment variable;
 //! * [`signal`] — the process's single SIGINT/SIGTERM handler, fanning
 //!   shutdown out to every registered cancellation flag (CLI Ctrl-C
-//!   cancel and `obx serve` drain share it — no double-install races).
+//!   cancel and `obx serve` drain share it — no double-install races);
+//! * [`pool`] — a persistent scoped worker pool (lifetime-erased batch
+//!   closures behind a countdown latch) shared by the scoring engine and
+//!   the parallel border BFS.
 
 #![warn(missing_docs)]
 
@@ -33,12 +36,14 @@ pub mod hash;
 pub mod intern;
 pub mod interrupt;
 pub mod obs;
+pub mod pool;
 pub mod signal;
 pub mod table;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use guard::{GuardKind, GuardLimits, GuardTrip, ResourceGuard};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use intern::{Interner, Symbol};
+pub use intern::{Interner, Span, Symbol};
 pub use interrupt::Interrupt;
 pub use obs::{PipelineProfile, Recorder};
+pub use pool::WorkerPool;
