@@ -9,17 +9,30 @@
 //! Runs the gate steps in order — `fmt --check`, workspace clippy with
 //! warnings denied, a release build, the test suite, and the bench
 //! bins — then compares the fresh bench numbers against the committed
-//! `BENCH_scoring.json` / `BENCH_search.json` / `BENCH_guided.json` /
-//! `BENCH_serve.json` / `BENCH_scale.json` baselines and fails on a
-//! wall-time regression above 20% that is also more than 5 ms absolute
-//! (sub-millisecond benches jitter past 20% on a loaded machine; the
-//! bench bins' own hard floors, e.g. the 2× search speedup, stay in
-//! force because a bin exiting nonzero fails its step). A bench file
-//! whose wall-time keys would fail gets its bin re-run once and is
-//! gated on the better of the two runs — machine-load noise retries
-//! away, a real regression fails twice. Every step is
-//! timed on the observability recorder and the whole run is written to
-//! `CI_REPORT.json` at the workspace root.
+//! `BENCH_*.json` baselines (scoring, search, guided, serve, scale,
+//! modes) and fails on a wall-time regression above 20% that is also
+//! more than 5 ms absolute (sub-millisecond benches jitter past 20% on
+//! a loaded machine; the bench bins' own hard floors, e.g. the 2×
+//! search speedup, stay in force because a bin exiting nonzero fails
+//! its step). A bench step that runs *without* a committed baseline
+//! fails the gate outright — an ungated bench is a silent hole, not a
+//! soft skip. A bench file whose wall-time keys would fail gets its bin
+//! re-run once and is gated on the better of the two runs —
+//! machine-load noise retries away, a real regression fails twice.
+//! Every step is timed on the observability recorder and the whole run
+//! is written to `CI_REPORT.json` at the workspace root, including a
+//! per-step wall-time table (`"timings"`).
+//!
+//! Steps can be filtered for local iteration:
+//!
+//! ```text
+//! cargo run --release -p obx-ci -- --only bench-modes
+//! cargo run --release -p obx-ci -- --skip bench-scale --skip test
+//! ```
+//!
+//! `--only` keeps the named steps (repeatable), `--skip` drops them;
+//! skipped steps appear in the report as `"skip"` and neither run nor
+//! fail the gate. Unknown step names are a usage error.
 //!
 //! The baseline files are snapshotted *before* the bench bins overwrite
 //! them, so the gate always compares against the committed state of the
@@ -39,11 +52,96 @@ const REGRESSION_TOLERANCE: f64 = 0.20;
 /// absolutely large to count.
 const REGRESSION_MIN_ABS_MS: f64 = 5.0;
 
+/// One row per bench step: (step name, baseline file, bench bin, retry
+/// step name). The regression gate, the missing-baseline check, and the
+/// one-shot retry all key off this table, so registering a new bench is
+/// one line here plus its entry in `steps`.
+const BENCHES: [(&str, &str, &str, &str); 6] = [
+    (
+        "bench-scoring",
+        "BENCH_scoring.json",
+        "smoke",
+        "bench-scoring-retry",
+    ),
+    (
+        "bench-search",
+        "BENCH_search.json",
+        "search",
+        "bench-search-retry",
+    ),
+    (
+        "bench-guided",
+        "BENCH_guided.json",
+        "guided",
+        "bench-guided-retry",
+    ),
+    (
+        "bench-serve",
+        "BENCH_serve.json",
+        "serve",
+        "bench-serve-retry",
+    ),
+    (
+        "bench-scale",
+        "BENCH_scale.json",
+        "scale",
+        "bench-scale-retry",
+    ),
+    (
+        "bench-modes",
+        "BENCH_modes.json",
+        "modes",
+        "bench-modes-retry",
+    ),
+];
+
 struct StepResult {
     name: &'static str,
     command: String,
     status: &'static str,
     wall_ms: f64,
+}
+
+/// Which steps an invocation runs, from `--only` / `--skip` flags.
+/// `only` empty means "everything"; `skip` always wins over `only`.
+#[derive(Debug, Default, PartialEq)]
+struct StepFilter {
+    only: Vec<String>,
+    skip: Vec<String>,
+}
+
+impl StepFilter {
+    /// Parses `--only NAME` / `--skip NAME` pairs (repeatable), checking
+    /// every name against `known`. Returns a usage-style error for
+    /// unknown steps, missing values, or unrecognized flags.
+    fn parse(args: &[String], known: &[&str]) -> Result<StepFilter, String> {
+        let mut filter = StepFilter::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let dest = match arg.as_str() {
+                "--only" => &mut filter.only,
+                "--skip" => &mut filter.skip,
+                other => return Err(format!("unknown flag `{other}` (expected --only/--skip)")),
+            };
+            let Some(name) = it.next() else {
+                return Err(format!("{arg} requires a step name"));
+            };
+            if !known.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown step `{name}` (steps: {})",
+                    known.join(", ")
+                ));
+            }
+            dest.push(name.clone());
+        }
+        Ok(filter)
+    }
+
+    /// Whether `name` runs under this filter.
+    fn selects(&self, name: &str) -> bool {
+        (self.only.is_empty() || self.only.iter().any(|o| o == name))
+            && !self.skip.iter().any(|s| s == name)
+    }
 }
 
 fn workspace_root() -> PathBuf {
@@ -223,19 +321,13 @@ fn main() {
 
     // Snapshot the committed bench baselines before anything overwrites
     // them.
-    let bench_files: [&'static str; 5] = [
-        "BENCH_scoring.json",
-        "BENCH_search.json",
-        "BENCH_guided.json",
-        "BENCH_serve.json",
-        "BENCH_scale.json",
-    ];
+    let bench_files: Vec<&'static str> = BENCHES.iter().map(|(_, file, _, _)| *file).collect();
     let baselines: Vec<Option<String>> = bench_files
         .iter()
         .map(|f| std::fs::read_to_string(root.join(f)).ok())
         .collect();
 
-    let steps: [(&'static str, &[&str]); 9] = [
+    let steps: [(&'static str, &[&str]); 10] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -271,10 +363,35 @@ fn main() {
             "bench-scale",
             &["run", "--release", "-p", "obx-bench", "--bin", "scale"],
         ),
+        (
+            "bench-modes",
+            &["run", "--release", "-p", "obx-bench", "--bin", "modes"],
+        ),
     ];
+
+    let step_names: Vec<&str> = steps.iter().map(|(n, _)| *n).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = match StepFilter::parse(&args, &step_names) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obx-ci: {e}");
+            eprintln!("usage: obx-ci [--only STEP]... [--skip STEP]...");
+            std::process::exit(2);
+        }
+    };
 
     let mut all_ok = true;
     for (name, args) in steps {
+        if !filter.selects(name) {
+            eprintln!("== {name}: skipped by step filter");
+            results.push(StepResult {
+                name,
+                command: format!("cargo {}", args.join(" ")),
+                status: "skip",
+                wall_ms: 0.0,
+            });
+            continue;
+        }
         let ok = run_step(&rec, &mut results, name, args, &root);
         all_ok &= ok;
         // A broken build makes every later step noise; stop early there.
@@ -285,13 +402,26 @@ fn main() {
     }
 
     // Bench regression gate: fresh numbers vs the committed baseline.
+    // Only benches that actually ran this invocation are gated — a step
+    // dropped by `--only`/`--skip` neither compares nor demands a
+    // baseline.
+    let ran = |step: &str| results.iter().any(|r| r.name == step && r.status != "skip");
     let mut deltas: Vec<Delta> = Vec::new();
     let mut regressions: Vec<String> = Vec::new();
-    if results.iter().any(|r| r.name.starts_with("bench-")) {
+    if BENCHES.iter().any(|(step, _, _, _)| ran(step)) {
         let mut gate_span = rec.kernel("regression-gate");
-        for (file, baseline) in bench_files.iter().zip(&baselines) {
+        for ((step, file, _, _), baseline) in BENCHES.iter().zip(&baselines) {
+            if !ran(step) {
+                continue;
+            }
             let Some(baseline) = baseline else {
-                eprintln!("== regression gate: no committed {file}, skipping");
+                // A registered bench without a committed baseline is an
+                // ungated bench: fail loudly instead of skipping, or the
+                // gate silently rots as benches are added.
+                regressions.push(format!(
+                    "{file}: no committed baseline for registered bench step {step} \
+                     (run the bench and commit the file)"
+                ));
                 continue;
             };
             let Ok(fresh) = std::fs::read_to_string(root.join(file)) else {
@@ -312,24 +442,11 @@ fn main() {
             .filter(|d| fails_gate(d))
             .map(|d| d.file)
             .collect();
-        for (file, bin) in [
-            ("BENCH_scoring.json", "smoke"),
-            ("BENCH_search.json", "search"),
-            ("BENCH_guided.json", "guided"),
-            ("BENCH_serve.json", "serve"),
-            ("BENCH_scale.json", "scale"),
-        ] {
+        for (_, file, bin, name) in BENCHES {
             if !retry_files.contains(&file) {
                 continue;
             }
             eprintln!("== regression gate: {file} over tolerance, retrying its bench once");
-            let name: &'static str = match bin {
-                "smoke" => "bench-scoring-retry",
-                "search" => "bench-search-retry",
-                "guided" => "bench-guided-retry",
-                "scale" => "bench-scale-retry",
-                _ => "bench-serve-retry",
-            };
             let ok = run_step(
                 &rec,
                 &mut results,
@@ -400,6 +517,18 @@ fn main() {
     drop(run_span);
     let total_ms = started.elapsed().as_secs_f64() * 1e3;
 
+    // Per-step wall-time table: where the pipeline's minutes go, at a
+    // glance, both on stderr and as the report's `"timings"` object.
+    eprintln!("== step timings");
+    let mut timings_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        eprintln!("{:<22} {:>9.0} ms  {}", r.name, r.wall_ms, r.status);
+        if i > 0 {
+            timings_json.push(',');
+        }
+        timings_json.push_str(&format!("\"{}\":{:.1}", json_escape(r.name), r.wall_ms));
+    }
+
     // CI_REPORT.json: per-step status/timings plus the recorder profile.
     let mut steps_json = String::new();
     for (i, r) in results.iter().enumerate() {
@@ -423,6 +552,7 @@ fn main() {
     }
     let report = format!(
         "{{\"ok\":{all_ok},\"total_ms\":{total_ms:.1},\"steps\":[{steps_json}],\
+         \"timings\":{{{timings_json}}},\
          \"regressions\":[{regressions_json}],\"profile\":{}}}\n",
         rec.profile().to_json()
     );
@@ -454,6 +584,71 @@ mod tests {
             vec![("a_ms".to_owned(), 12.5), ("b".to_owned(), 3.0)],
             "nested profile numbers must not leak into the baseline set"
         );
+    }
+
+    const KNOWN: [&str; 4] = ["fmt", "clippy", "test", "bench-modes"];
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn empty_filter_selects_everything() {
+        let f = StepFilter::parse(&[], &KNOWN).unwrap();
+        for step in KNOWN {
+            assert!(f.selects(step), "{step} must run by default");
+        }
+    }
+
+    #[test]
+    fn only_keeps_the_named_steps() {
+        let f =
+            StepFilter::parse(&strs(&["--only", "bench-modes", "--only", "fmt"]), &KNOWN).unwrap();
+        assert!(f.selects("fmt"));
+        assert!(f.selects("bench-modes"));
+        assert!(!f.selects("clippy"));
+        assert!(!f.selects("test"));
+    }
+
+    #[test]
+    fn skip_drops_steps_and_wins_over_only() {
+        let f = StepFilter::parse(&strs(&["--skip", "test"]), &KNOWN).unwrap();
+        assert!(f.selects("fmt"));
+        assert!(!f.selects("test"));
+        // A step both kept and skipped does not run: skip wins.
+        let f = StepFilter::parse(&strs(&["--only", "fmt", "--skip", "fmt"]), &KNOWN).unwrap();
+        assert!(!f.selects("fmt"));
+    }
+
+    #[test]
+    fn unknown_steps_flags_and_missing_values_are_errors() {
+        let e = StepFilter::parse(&strs(&["--only", "bench-nope"]), &KNOWN).unwrap_err();
+        assert!(e.contains("unknown step `bench-nope`"), "{e}");
+        assert!(
+            e.contains("bench-modes"),
+            "error must list valid steps: {e}"
+        );
+        let e = StepFilter::parse(&strs(&["--fast"]), &KNOWN).unwrap_err();
+        assert!(e.contains("unknown flag"), "{e}");
+        let e = StepFilter::parse(&strs(&["--skip"]), &KNOWN).unwrap_err();
+        assert!(e.contains("requires a step name"), "{e}");
+    }
+
+    #[test]
+    fn every_registered_bench_is_a_known_step_with_distinct_files() {
+        // The gate keys off BENCHES; a typo between the steps array and
+        // this table would silently un-gate a bench. The steps array
+        // lives in main(), so pin the invariants the table itself can
+        // carry: unique step names, unique files, retry names derived
+        // from step names.
+        for (i, (step, file, _, retry)) in BENCHES.iter().enumerate() {
+            assert_eq!(*retry, format!("{step}-retry"));
+            assert!(file.starts_with("BENCH_") && file.ends_with(".json"));
+            for (step2, file2, _, _) in &BENCHES[i + 1..] {
+                assert_ne!(step, step2);
+                assert_ne!(file, file2);
+            }
+        }
     }
 
     #[test]

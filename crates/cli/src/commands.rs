@@ -4,7 +4,7 @@
 use crate::scenario_io::{load_dir, write_paper_example, LoadError, LoadedScenario};
 use obx_core::budget::CancelToken;
 use obx_core::explain::{ExplainTask, SearchLimits};
-use obx_core::score::Scoring;
+use obx_core::score::{ExplainMode, Scoring};
 use obx_core::service::{self, ExplainRequest, ServiceError};
 use obx_srcdb::Border;
 use obx_util::obs::Recorder;
@@ -120,8 +120,18 @@ USAGE:
 OPTIONS:
   --radius N          border radius r (default 1)
   --strategy NAME     beam | bottom-up | exhaustive | greedy | data-level
+  --mode NAME         (explain) search objective: fscore (default, the
+                      paper's Z-score) | sound (best explanation with
+                      zero λ⁻ hits, then recall, then size) | complete
+                      (best explanation covering all of λ⁺, then
+                      precision, then size). When no perfect candidate
+                      exists within budget, the best approximation is
+                      printed with a marker and the exit code is 2
   --weights A,B,G     paper Z weights for δ1, δ4, δ5 (default 1,1,1)
   --top K             how many explanations to print (default 5)
+  --max-atoms N       cap atoms per candidate body (default 3); small
+                      caps shrink the space and arm bound pruning
+  --beam-width N      candidates kept per search round (default 24)
   --timeout-ms N      wall-clock budget; on expiry the best-so-far
                       explanations are printed and the exit code is 2
   --max-evals N       cap on J-match evaluator calls (anytime, like
@@ -174,6 +184,7 @@ enum ProfileFormat {
 struct Opts {
     radius: usize,
     strategy: String,
+    mode: ExplainMode,
     weights: (f64, f64, f64),
     top: usize,
     timeout_ms: Option<u64>,
@@ -181,6 +192,8 @@ struct Opts {
     max_rewrite: Option<usize>,
     max_chase: Option<usize>,
     max_border: Option<usize>,
+    max_atoms: Option<usize>,
+    beam_width: Option<usize>,
     profile: Option<ProfileFormat>,
     // `obx serve` knobs.
     port: Option<u16>,
@@ -199,6 +212,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
     let mut opts = Opts {
         radius: 1,
         strategy: "beam".to_owned(),
+        mode: ExplainMode::Fscore,
         weights: (1.0, 1.0, 1.0),
         top: 5,
         timeout_ms: None,
@@ -206,6 +220,8 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
         max_rewrite: None,
         max_chase: None,
         max_border: None,
+        max_atoms: None,
+        beam_width: None,
         profile: None,
         port: None,
         max_inflight: None,
@@ -233,6 +249,11 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
             }
             "--strategy" => {
                 opts.strategy = next("--strategy")?.clone();
+            }
+            "--mode" => {
+                opts.mode = next("--mode")?
+                    .parse()
+                    .map_err(|e: String| usage_err(format!("--mode: {e}")))?;
             }
             "--top" => {
                 opts.top = next("--top")?
@@ -272,6 +293,20 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), CliError> {
                     next("--max-border")?
                         .parse()
                         .map_err(|_| usage_err("--max-border must be a number"))?,
+                );
+            }
+            "--max-atoms" => {
+                opts.max_atoms = Some(
+                    next("--max-atoms")?
+                        .parse()
+                        .map_err(|_| usage_err("--max-atoms must be a number"))?,
+                );
+            }
+            "--beam-width" => {
+                opts.beam_width = Some(
+                    next("--beam-width")?
+                        .parse()
+                        .map_err(|_| usage_err("--beam-width must be a number"))?,
                 );
             }
             "--port" => {
@@ -384,8 +419,11 @@ fn request_of(opts: &Opts) -> ExplainRequest {
     ExplainRequest {
         radius: opts.radius,
         strategy: opts.strategy.clone(),
+        mode: opts.mode,
         weights: opts.weights,
         top: opts.top,
+        max_atoms: opts.max_atoms,
+        beam_width: opts.beam_width,
         timeout_ms: opts.timeout_ms,
         max_evals: opts.max_evals,
         max_rewrite: opts.max_rewrite,
@@ -878,6 +916,49 @@ mod tests {
             assert!(out.contains("Z = 0.8000"), "{out}");
             assert!(out.contains("[4/4+"), "{out}");
         });
+    }
+
+    #[test]
+    fn explain_mode_fscore_is_byte_identical_to_the_default() {
+        with_scenario("mode-fscore", |dir| {
+            let default = run(&args(&["explain", dir, "--top", "3"])).unwrap();
+            let fscore = run(&args(&["explain", dir, "--mode", "fscore", "--top", "3"])).unwrap();
+            assert_eq!(default, fscore);
+        });
+    }
+
+    #[test]
+    fn explain_mode_sound_returns_a_clean_query() {
+        with_scenario("mode-sound", |dir| {
+            let out = run_cancellable(
+                &args(&["explain", dir, "--mode", "sound", "--top", "1"]),
+                &CancelToken::new(),
+            )
+            .unwrap();
+            assert_eq!(out.exit_code, 0, "{}", out.stdout);
+            // The ranked line reports λ⁻ hits as "N-": sound means 0.
+            assert!(out.stdout.contains("  0-]"), "{}", out.stdout);
+        });
+    }
+
+    #[test]
+    fn explain_mode_complete_covers_every_positive() {
+        with_scenario("mode-complete", |dir| {
+            let out = run_cancellable(
+                &args(&["explain", dir, "--mode", "complete", "--top", "1"]),
+                &CancelToken::new(),
+            )
+            .unwrap();
+            assert_eq!(out.exit_code, 0, "{}", out.stdout);
+            assert!(out.stdout.contains("[4/4+"), "{}", out.stdout);
+        });
+    }
+
+    #[test]
+    fn bad_mode_is_a_usage_error() {
+        let e = run(&args(&["explain", "x", "--mode", "perfect"])).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+        assert!(e.to_string().contains("unknown mode"), "{e}");
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub enum Criterion {
     /// δ6: "are there few disjuncts used by the query?" —
     /// `f = 1 / #disjuncts`.
     DisjunctParsimony,
+    /// δS: the *soundness* indicator of the QDEF approximations (Cima,
+    /// Croce, Lenzerini 2021) — `f = 1` iff the query J-matches **no**
+    /// tuple of λ⁻ (it is precision-perfect), else `0`.
+    SoundIndicator,
+    /// δC: the *completeness* indicator — `f = 1` iff the query J-matches
+    /// **every** tuple of λ⁺ (it is recall-perfect), else `0`.
+    CompleteIndicator,
+    /// δP: precision `|matched⁺| / (|matched⁺| + |matched⁻|)` (0 when the
+    /// query matches nothing), the tie-breaker of complete mode.
+    Precision,
     /// A user-supplied criterion (must map into `[0, 1]` like the rest).
     Custom {
         /// Short name shown in reports.
@@ -64,6 +74,9 @@ impl Criterion {
             Criterion::NegHitPenalty => "δ4",
             Criterion::AtomParsimony => "δ5",
             Criterion::DisjunctParsimony => "δ6",
+            Criterion::SoundIndicator => "δS",
+            Criterion::CompleteIndicator => "δC",
+            Criterion::Precision => "δP",
             Criterion::Custom { name, .. } => name,
         }
     }
@@ -90,6 +103,21 @@ impl Criterion {
                     1.0 / ctx.num_disjuncts as f64
                 }
             }
+            Criterion::SoundIndicator => {
+                if s.neg_matched == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Criterion::CompleteIndicator => {
+                if s.pos_matched == s.pos_total {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Criterion::Precision => s.precision(),
             Criterion::Custom { f, .. } => f(ctx),
         }
     }
@@ -123,6 +151,71 @@ impl Criterion {
                 Interval::new(0.0, 1.0 - s.neg_fraction())
             }
             (Criterion::AtomParsimony | Criterion::DisjunctParsimony, _) => Interval::new(0.0, 1.0),
+            // Soundness: a specialize-child's λ⁻ matches are a subset of
+            // the parent's, so a sound parent pins every descendant sound;
+            // a generalize-child's are a superset, so an unsound parent
+            // pins every descendant unsound — the "dead before PerfectRef"
+            // prune of sound mode.
+            (Criterion::SoundIndicator, RefineDir::Specialize) => {
+                if s.neg_matched == 0 {
+                    Interval::point(1.0)
+                } else {
+                    Interval::new(0.0, 1.0)
+                }
+            }
+            (Criterion::SoundIndicator, RefineDir::Generalize) => {
+                if s.neg_matched > 0 {
+                    Interval::point(0.0)
+                } else {
+                    Interval::new(0.0, 1.0)
+                }
+            }
+            // Completeness: dual — an incomplete parent pins specialize
+            // descendants incomplete; a complete parent pins generalize
+            // descendants complete.
+            (Criterion::CompleteIndicator, RefineDir::Specialize) => {
+                if s.pos_matched < s.pos_total {
+                    Interval::point(0.0)
+                } else {
+                    Interval::new(0.0, 1.0)
+                }
+            }
+            (Criterion::CompleteIndicator, RefineDir::Generalize) => {
+                if s.pos_matched == s.pos_total {
+                    Interval::point(1.0)
+                } else {
+                    Interval::new(0.0, 1.0)
+                }
+            }
+            // Precision p/(p+n) is monotone increasing in p and decreasing
+            // in n, so over the child boxes it is extremized at corners.
+            (Criterion::Precision, RefineDir::Specialize) => {
+                // Children range over p ∈ [0, p̂], n ∈ [0, n̂]: dropping
+                // every λ⁻ hit while keeping a positive gives 1; dropping
+                // every λ⁺ match gives 0 (and a matchless parent can never
+                // regain precision by specializing).
+                if s.pos_matched > 0 {
+                    Interval::new(0.0, 1.0)
+                } else {
+                    Interval::point(0.0)
+                }
+            }
+            (Criterion::Precision, RefineDir::Generalize) => {
+                // Children range over p ∈ [p̂, P], n ∈ [n̂, N]: the corner
+                // values (p̂, N) and (P, n̂) bound the box (0/0 ↦ 0, as in
+                // the point evaluation).
+                let frac = |p: usize, n: usize| {
+                    if p + n == 0 {
+                        0.0
+                    } else {
+                        p as f64 / (p + n) as f64
+                    }
+                };
+                Interval::new(
+                    frac(s.pos_matched, s.neg_total),
+                    frac(s.pos_total, s.neg_matched),
+                )
+            }
             (Criterion::Custom { .. }, _) => Interval::UNKNOWN,
         }
     }
@@ -273,6 +366,9 @@ mod tests {
             Criterion::NegHitPenalty,
             Criterion::AtomParsimony,
             Criterion::DisjunctParsimony,
+            Criterion::SoundIndicator,
+            Criterion::CompleteIndicator,
+            Criterion::Precision,
         ];
         // Specialize children: matches are any subset of the parent's.
         for pos in 0..=parent.pos_matched {
@@ -321,6 +417,82 @@ mod tests {
         assert_eq!(
             custom.range_under(RefineDir::Specialize, &pctx),
             Interval::UNKNOWN
+        );
+    }
+
+    #[test]
+    fn mode_indicators_and_precision_values() {
+        let sound = MatchStats {
+            pos_matched: 2,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 3,
+        };
+        let complete = MatchStats {
+            pos_matched: 4,
+            pos_total: 4,
+            neg_matched: 2,
+            neg_total: 3,
+        };
+        let c_sound = ctx(&sound, 2, 1);
+        let c_complete = ctx(&complete, 2, 1);
+        assert_eq!(Criterion::SoundIndicator.value(&c_sound), 1.0);
+        assert_eq!(Criterion::SoundIndicator.value(&c_complete), 0.0);
+        assert_eq!(Criterion::CompleteIndicator.value(&c_sound), 0.0);
+        assert_eq!(Criterion::CompleteIndicator.value(&c_complete), 1.0);
+        assert_eq!(Criterion::Precision.value(&c_sound), 1.0);
+        assert!((Criterion::Precision.value(&c_complete) - 4.0 / 6.0).abs() < 1e-12);
+        // A matchless query has precision 0 by convention.
+        let nothing = MatchStats {
+            pos_matched: 0,
+            pos_total: 4,
+            neg_matched: 0,
+            neg_total: 3,
+        };
+        assert_eq!(Criterion::Precision.value(&ctx(&nothing, 1, 1)), 0.0);
+        // ... and is vacuously sound.
+        assert_eq!(Criterion::SoundIndicator.value(&ctx(&nothing, 1, 1)), 1.0);
+    }
+
+    #[test]
+    fn mode_indicator_ranges_pin_dead_branches() {
+        // An unsound parent kills every generalize-descendant in sound
+        // mode (δS pinned to 0)...
+        let unsound = MatchStats {
+            pos_matched: 2,
+            pos_total: 4,
+            neg_matched: 1,
+            neg_total: 3,
+        };
+        let c = ctx(&unsound, 2, 1);
+        assert_eq!(
+            Criterion::SoundIndicator.range_under(RefineDir::Generalize, &c),
+            Interval::point(0.0)
+        );
+        // ...while a sound parent pins every specialize-descendant sound.
+        let sound = MatchStats {
+            neg_matched: 0,
+            ..unsound
+        };
+        let c = ctx(&sound, 2, 1);
+        assert_eq!(
+            Criterion::SoundIndicator.range_under(RefineDir::Specialize, &c),
+            Interval::point(1.0)
+        );
+        // An incomplete parent kills every specialize-descendant in
+        // complete mode (δC pinned to 0).
+        assert_eq!(
+            Criterion::CompleteIndicator.range_under(RefineDir::Specialize, &c),
+            Interval::point(0.0)
+        );
+        let complete = MatchStats {
+            pos_matched: 4,
+            ..unsound
+        };
+        let c = ctx(&complete, 2, 1);
+        assert_eq!(
+            Criterion::CompleteIndicator.range_under(RefineDir::Generalize, &c),
+            Interval::point(1.0)
         );
     }
 }

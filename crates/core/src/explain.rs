@@ -280,6 +280,23 @@ impl<'a> ExplainTask<'a> {
         }
     }
 
+    /// A copy of this task under a different scoring (borders, limits,
+    /// engine, and budget are shared). This lets one expensive border
+    /// preparation serve several objectives — the mode bench re-runs
+    /// identical prepared borders under each [`crate::score::ExplainMode`]
+    /// scoring.
+    pub fn with_scoring(&self, scoring: &'a Scoring) -> ExplainTask<'a> {
+        ExplainTask {
+            prepared: self.prepared.clone(),
+            scoring,
+            limits: self.limits,
+            arity: self.arity,
+            engine: Arc::clone(&self.engine),
+            budget: self.budget.clone(),
+            interrupt: self.interrupt.clone(),
+        }
+    }
+
     /// A copy of this task scoring through a different engine (fresh
     /// cache and counters; borders and budget are shared). This is the
     /// A/B hook: pair it with [`ScoringEngine::with_config`] to compare

@@ -12,6 +12,69 @@
 use crate::criteria::{Criterion, CriterionCtx};
 use crate::prune::{Interval, RefineDir};
 use std::fmt;
+use std::str::FromStr;
+
+/// The search objective: what "best explanation" means (ROADMAP 4(a),
+/// after the QDEF approximations of Cima, Croce & Lenzerini 2021).
+///
+/// * [`ExplainMode::Fscore`] — the paper's Z-score ranking, unchanged.
+/// * [`ExplainMode::Sound`] — prefer *sound* explanations (zero λ⁻
+///   hits), then higher recall, then fewer atoms.
+/// * [`ExplainMode::Complete`] — prefer *complete* explanations (every
+///   λ⁺ tuple covered), then higher precision, then fewer atoms.
+///
+/// The lexicographic orders are encoded as single `f64` Z-scores (see
+/// [`Scoring::sound`] / [`Scoring::complete`]), so ranking, pool floors,
+/// and admissible bound pruning all run unmodified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Maximize the configured Z-score (the default; today's behavior).
+    #[default]
+    Fscore,
+    /// Best sound explanation: (λ⁻ hits = 0, recall, parsimony).
+    Sound,
+    /// Best complete explanation: (λ⁺ misses = 0, precision, parsimony).
+    Complete,
+}
+
+impl ExplainMode {
+    /// Every mode, in wire order.
+    pub const ALL: [ExplainMode; 3] = [
+        ExplainMode::Fscore,
+        ExplainMode::Sound,
+        ExplainMode::Complete,
+    ];
+
+    /// The canonical lowercase name used on the CLI and the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExplainMode::Fscore => "fscore",
+            ExplainMode::Sound => "sound",
+            ExplainMode::Complete => "complete",
+        }
+    }
+}
+
+impl fmt::Display for ExplainMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ExplainMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fscore" => Ok(ExplainMode::Fscore),
+            "sound" => Ok(ExplainMode::Sound),
+            "complete" => Ok(ExplainMode::Complete),
+            other => Err(format!(
+                "unknown mode '{other}' (expected fscore, sound, or complete)"
+            )),
+        }
+    }
+}
 
 /// An arithmetic expression over criterion variables `z_δ`.
 #[derive(Debug, Clone)]
@@ -164,6 +227,77 @@ impl Scoring {
             vec![Criterion::PosCoverage, Criterion::NegHitPenalty],
             ScoreExpr::weighted_average(&[1.0, 1.0]),
         )
+    }
+
+    /// The best-*sound* objective (QDEF approximation): lexicographic
+    /// (λ⁻ hits = 0, then recall, then fewer atoms), encoded as the single
+    /// score `Z = 2·z_δS + z_δ1 + ε·z_δ5` with `ε = 0.5 / max(|λ⁺|, 1)`.
+    ///
+    /// The encoding is exact, not heuristic: recall values are quantized
+    /// to multiples of `1/|λ⁺|`, so two candidates with different recall
+    /// differ by at least `1/|λ⁺|` in `z_δ1`, while the parsimony term
+    /// contributes at most `ε = 0.5/|λ⁺|` — it can break recall ties but
+    /// never flip a recall comparison. Likewise the indicator's weight 2
+    /// exceeds the secondary terms' maximum `1 + ε ≤ 1.5`, so any sound
+    /// candidate outranks every unsound one. All criteria carry real
+    /// [`Criterion::range_under`] intervals, so bound pruning keeps
+    /// firing (an unsound parent's generalize-cone is dead on arrival).
+    pub fn sound(pos_total: usize) -> Self {
+        let eps = 0.5 / pos_total.max(1) as f64;
+        Self::new(
+            vec![
+                Criterion::SoundIndicator,
+                Criterion::PosCoverage,
+                Criterion::AtomParsimony,
+            ],
+            ScoreExpr::Sum(vec![
+                ScoreExpr::Scale(2.0, Box::new(ScoreExpr::Var(0))),
+                ScoreExpr::Var(1),
+                ScoreExpr::Scale(eps, Box::new(ScoreExpr::Var(2))),
+            ]),
+        )
+    }
+
+    /// The best-*complete* objective (QDEF approximation): lexicographic
+    /// (λ⁺ misses = 0, then precision, then fewer atoms), encoded as
+    /// `Z = 2·z_δC + z_δP + ε·z_δ5` with `ε = 0.5 / max(|λ⁺|+|λ⁻|, 1)²`.
+    ///
+    /// Distinct precisions are ratios `p/(p+n)` with denominators at most
+    /// `|λ⁺|+|λ⁻|`, so they differ by at least `1/(|λ⁺|+|λ⁻|)²`; the
+    /// parsimony term stays strictly below that, and the indicator weight
+    /// strictly above the rest, making the encoding lexicographically
+    /// exact (see [`Scoring::sound`]).
+    pub fn complete(pos_total: usize, neg_total: usize) -> Self {
+        let denom = (pos_total + neg_total).max(1) as f64;
+        let eps = 0.5 / (denom * denom);
+        Self::new(
+            vec![
+                Criterion::CompleteIndicator,
+                Criterion::Precision,
+                Criterion::AtomParsimony,
+            ],
+            ScoreExpr::Sum(vec![
+                ScoreExpr::Scale(2.0, Box::new(ScoreExpr::Var(0))),
+                ScoreExpr::Var(1),
+                ScoreExpr::Scale(eps, Box::new(ScoreExpr::Var(2))),
+            ]),
+        )
+    }
+
+    /// The mode-appropriate scoring: [`Scoring::sound`] /
+    /// [`Scoring::complete`] sized to the label sets, or `fscore()` for
+    /// [`ExplainMode::Fscore`].
+    pub fn for_mode(
+        mode: ExplainMode,
+        fscore: impl FnOnce() -> Scoring,
+        pos_total: usize,
+        neg_total: usize,
+    ) -> Self {
+        match mode {
+            ExplainMode::Fscore => fscore(),
+            ExplainMode::Sound => Self::sound(pos_total),
+            ExplainMode::Complete => Self::complete(pos_total, neg_total),
+        }
     }
 
     /// The criteria `Δ`.
@@ -445,6 +579,8 @@ mod tests {
             Scoring::paper_weighted(3.0, 1.0, 1.0),
             Scoring::balanced(),
             Scoring::accuracy(),
+            Scoring::sound(5),
+            Scoring::complete(5, 4),
         ] {
             for dir in [RefineDir::Specialize, RefineDir::Generalize] {
                 let cone = scoring.optimistic_bound(dir, &pctx);
@@ -500,6 +636,8 @@ mod tests {
             Scoring::paper_weighted(3.0, 1.0, 1.0),
             Scoring::balanced(),
             Scoring::accuracy(),
+            Scoring::sound(5),
+            Scoring::complete(5, 4),
         ] {
             let down = scoring.optimistic_bound(RefineDir::Specialize, &pctx);
             for pos in 0..=parent.pos_matched {
@@ -540,5 +678,97 @@ mod tests {
             opaque.optimistic_bound(RefineDir::Specialize, &pctx),
             f64::INFINITY
         );
+    }
+
+    #[test]
+    fn explain_mode_round_trips_and_rejects_garbage() {
+        for mode in ExplainMode::ALL {
+            assert_eq!(mode.as_str().parse::<ExplainMode>(), Ok(mode));
+            assert_eq!(format!("{mode}").parse::<ExplainMode>(), Ok(mode));
+        }
+        assert_eq!(ExplainMode::default(), ExplainMode::Fscore);
+        assert!("precise".parse::<ExplainMode>().is_err());
+        assert!(
+            "SOUND".parse::<ExplainMode>().is_err(),
+            "names are lowercase"
+        );
+    }
+
+    /// The scalar encodings implement the lexicographic orders *exactly*:
+    /// enumerating every (pos, neg, atoms) candidate shape over small
+    /// label sets, the f64 comparison must agree with the explicit
+    /// lexicographic triple comparison.
+    #[test]
+    fn mode_scores_are_lexicographic() {
+        let (pos_total, neg_total) = (7usize, 5usize);
+        let sound = Scoring::sound(pos_total);
+        let complete = Scoring::complete(pos_total, neg_total);
+        let mut candidates = Vec::new();
+        for pos in 0..=pos_total {
+            for neg in 0..=neg_total {
+                for atoms in 1..=3 {
+                    let stats = MatchStats {
+                        pos_matched: pos,
+                        pos_total,
+                        neg_matched: neg,
+                        neg_total,
+                    };
+                    candidates.push((stats, atoms));
+                }
+            }
+        }
+        for (sa, atoms_a) in &candidates {
+            for (sb, atoms_b) in &candidates {
+                let ctx_a = q_ctx(sa, *atoms_a);
+                let ctx_b = q_ctx(sb, *atoms_b);
+                // Sound: (neg_matched == 0, recall, 1/atoms) descending.
+                let key = |s: &MatchStats, atoms: usize| {
+                    (
+                        (s.neg_matched == 0) as u32,
+                        s.pos_matched,
+                        std::cmp::Reverse(atoms),
+                    )
+                };
+                let (za, zb) = (sound.score(&ctx_a), sound.score(&ctx_b));
+                match key(sa, *atoms_a).cmp(&key(sb, *atoms_b)) {
+                    std::cmp::Ordering::Less => assert!(za < zb),
+                    std::cmp::Ordering::Equal => assert!((za - zb).abs() < 1e-12),
+                    std::cmp::Ordering::Greater => assert!(za > zb),
+                }
+                // Complete: (pos_matched == total, precision, 1/atoms).
+                // Compare precisions as cross-multiplied integers to keep
+                // the reference order exact.
+                let ckey = |s: &MatchStats| (s.pos_matched == s.pos_total) as u32;
+                let (pa, na) = (sa.pos_matched as u64, sa.neg_matched as u64);
+                let (pb, nb) = (sb.pos_matched as u64, sb.neg_matched as u64);
+                // p_a/(p_a+n_a) vs p_b/(p_b+n_b), 0/0 ↦ 0.
+                let lhs = if pa + na == 0 {
+                    0
+                } else {
+                    pa * (pb + nb).max(1)
+                };
+                let rhs = if pb + nb == 0 {
+                    0
+                } else {
+                    pb * (pa + na).max(1)
+                };
+                let cmp = ckey(sa)
+                    .cmp(&ckey(sb))
+                    .then(lhs.cmp(&rhs))
+                    .then(atoms_b.cmp(atoms_a));
+                let (za, zb) = (complete.score(&ctx_a), complete.score(&ctx_b));
+                match cmp {
+                    std::cmp::Ordering::Less => assert!(
+                        za < zb,
+                        "{sa:?}/{atoms_a} vs {sb:?}/{atoms_b}: {za} !< {zb}"
+                    ),
+                    std::cmp::Ordering::Equal => assert!((za - zb).abs() < 1e-12),
+                    std::cmp::Ordering::Greater => assert!(
+                        za > zb,
+                        "{sa:?}/{atoms_a} vs {sb:?}/{atoms_b}: {za} !> {zb}"
+                    ),
+                }
+            }
+        }
     }
 }

@@ -20,8 +20,9 @@ use crate::baseline::DataLevelBeam;
 use crate::budget::{CancelToken, SearchBudget};
 use crate::explain::{ExplainReport, ExplainTask, SearchLimits, Strategy};
 use crate::labels::Labels;
+use crate::matcher::MatchStats;
 use crate::scenario::load_dir_checked;
-use crate::score::Scoring;
+use crate::score::{ExplainMode, Scoring};
 use crate::strategies::{BeamSearch, BottomUpGeneralize, ExhaustiveSearch, GreedyUcq};
 use crate::validate::validate_scenario;
 use obx_obdm::ObdmSystem;
@@ -41,10 +42,19 @@ pub struct ExplainRequest {
     pub radius: usize,
     /// Strategy name: `beam | bottom-up | exhaustive | greedy | data-level`.
     pub strategy: String,
-    /// Paper Z weights for δ1, δ4, δ5.
+    /// Search objective: `fscore` (default) | `sound` | `complete`.
+    pub mode: ExplainMode,
+    /// Paper Z weights for δ1, δ4, δ5 (used by `fscore` mode only).
     pub weights: (f64, f64, f64),
     /// How many ranked explanations to return.
     pub top: usize,
+    /// Override the default cap on atoms per candidate body. Small caps
+    /// shrink the search space *and* arm the interval-bound pruning far
+    /// more often (see DESIGN.md §9/§15: wide conjunctive tiers fill the
+    /// guard window at the bound's own baseline).
+    pub max_atoms: Option<usize>,
+    /// Override the default beam width (candidates kept per round).
+    pub beam_width: Option<usize>,
     /// Wall-clock budget; on expiry best-so-far results are returned.
     pub timeout_ms: Option<u64>,
     /// Cap on J-match evaluator calls (anytime, like `timeout_ms`).
@@ -62,8 +72,11 @@ impl Default for ExplainRequest {
         Self {
             radius: 1,
             strategy: "beam".to_owned(),
+            mode: ExplainMode::Fscore,
             weights: (1.0, 1.0, 1.0),
             top: 5,
+            max_atoms: None,
+            beam_width: None,
             timeout_ms: None,
             max_evals: None,
             max_rewrite: None,
@@ -74,9 +87,25 @@ impl Default for ExplainRequest {
 }
 
 impl ExplainRequest {
-    /// The paper-weighted scoring this request asks for.
+    /// The paper-weighted scoring this request asks for (the `fscore`
+    /// objective; what every request used before modes existed).
     pub fn scoring(&self) -> Scoring {
         Scoring::paper_weighted(self.weights.0, self.weights.1, self.weights.2)
+    }
+
+    /// The scoring the request's [`ExplainMode`] asks for, sized to the
+    /// label sets: the lexicographic sound/complete encodings need
+    /// `|λ⁺|`/`|λ⁻|` to scale their tie-breaker terms (see
+    /// [`Scoring::sound`]). `fscore` mode routes through
+    /// [`ExplainRequest::scoring`] unchanged, keeping its output
+    /// byte-identical to the pre-mode behavior.
+    pub fn scoring_for(&self, labels: &Labels) -> Scoring {
+        Scoring::for_mode(
+            self.mode,
+            || self.scoring(),
+            labels.pos().len(),
+            labels.neg().len(),
+        )
     }
 
     /// The [`SearchBudget`] this request describes, under the caller's
@@ -185,11 +214,17 @@ pub fn run_explain(
     req: &ExplainRequest,
     budget: SearchBudget,
 ) -> Result<ServiceOutcome, ServiceError> {
-    let scoring = req.scoring();
-    let limits = SearchLimits {
+    let scoring = req.scoring_for(labels);
+    let mut limits = SearchLimits {
         top_k: req.top,
         ..SearchLimits::default()
     };
+    if let Some(n) = req.max_atoms {
+        limits.max_atoms = n;
+    }
+    if let Some(n) = req.beam_width {
+        limits.beam_width = n;
+    }
     let recorder = budget.recorder().cloned();
     let task = {
         let _prepare = recorder.as_ref().map(|r| r.enter_phase("explain/prepare"));
@@ -234,7 +269,8 @@ pub fn run_explain(
             .explain_with_status(&task)
             .map_err(|e| ServiceError::Search(e.to_string()))?
     };
-    let (stdout, exit_code) = render_report_text(&report, system, task.budget().guard_trip());
+    let (stdout, exit_code) =
+        render_report_text(&report, system, task.budget().guard_trip(), req.mode);
     Ok(ServiceOutcome {
         stdout,
         exit_code,
@@ -242,15 +278,32 @@ pub fn run_explain(
     })
 }
 
+/// Whether the top-ranked explanation meets the mode's perfection bar:
+/// zero λ⁻ hits for sound mode, zero λ⁺ misses for complete mode (always
+/// met in fscore mode, which has no bar). `None` — an empty report —
+/// never meets a sound/complete bar.
+fn mode_satisfied(mode: ExplainMode, top: Option<&MatchStats>) -> bool {
+    match (mode, top) {
+        (ExplainMode::Fscore, _) => true,
+        (_, None) => false,
+        (ExplainMode::Sound, Some(s)) => s.neg_matched == 0,
+        (ExplainMode::Complete, Some(s)) => s.pos_matched == s.pos_total,
+    }
+}
+
 /// Renders an [`ExplainReport`]: one ranked line per explanation, and —
 /// only when the run did not complete — a trailing status line (plus the
-/// tripped resource guard's detail, when one fired). Complete runs keep
-/// the historical line-per-explanation output byte for byte. Returns the
+/// tripped resource guard's detail, when one fired). In sound/complete
+/// mode, a run whose best result misses the mode's perfection bar
+/// additionally carries a best-approximation marker (QDEF degradation is
+/// a reportable condition, not an error). Complete fscore runs keep the
+/// historical line-per-explanation output byte for byte. Returns the
 /// text and the exit code (`0` complete, `2` degraded/partial).
 pub fn render_report_text(
     report: &ExplainReport,
     system: &ObdmSystem,
     guard_trip: Option<GuardTrip>,
+    mode: ExplainMode,
 ) -> (String, i32) {
     let mut out = String::new();
     for e in &report.explanations {
@@ -264,9 +317,8 @@ pub fn render_report_text(
             e.render(system)
         );
     }
-    if report.termination.is_complete() {
-        (out, 0)
-    } else {
+    let mut degraded = false;
+    if !report.termination.is_complete() {
         let _ = writeln!(
             out,
             "-- search stopped early: {} (showing best results so far)",
@@ -275,8 +327,28 @@ pub fn render_report_text(
         if let Some(trip) = guard_trip {
             let _ = writeln!(out, "-- resource guard tripped: {trip}");
         }
-        (out, 2)
+        degraded = true;
     }
+    let top = report.explanations.first().map(|e| &e.stats);
+    if !mode_satisfied(mode, top) {
+        let detail = match (mode, top) {
+            (ExplainMode::Sound, Some(s)) => {
+                format!("best approximation hits {} λ⁻ tuple(s)", s.neg_matched)
+            }
+            (ExplainMode::Complete, Some(s)) => format!(
+                "best approximation misses {} λ⁺ tuple(s)",
+                s.pos_total - s.pos_matched
+            ),
+            _ => "no candidate survived the search".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "-- no perfectly {} explanation within budget: {detail}",
+            mode
+        );
+        degraded = true;
+    }
+    (out, if degraded { 2 } else { 0 })
 }
 
 /// Validates a scenario directory: best-effort load collecting every
@@ -387,6 +459,93 @@ mod tests {
         assert!(out.stdout.contains("0.8333"), "{}", out.stdout);
         assert_eq!(out.stdout.lines().count(), 3);
         assert!(out.report.is_some());
+    }
+
+    #[test]
+    fn sound_mode_finds_a_precision_perfect_explanation() {
+        let (system, labels) = paper_setup();
+        let req = ExplainRequest {
+            mode: ExplainMode::Sound,
+            top: 3,
+            ..ExplainRequest::default()
+        };
+        let out = run_explain(&system, &labels, &req, req.budget(&CancelToken::new())).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        let report = out.report.unwrap();
+        let top = &report.explanations[0];
+        assert_eq!(top.stats.neg_matched, 0, "sound winner hits λ⁻");
+        assert!(!out.stdout.contains("no perfectly"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn complete_mode_finds_a_recall_perfect_explanation() {
+        let (system, labels) = paper_setup();
+        let req = ExplainRequest {
+            mode: ExplainMode::Complete,
+            top: 3,
+            ..ExplainRequest::default()
+        };
+        let out = run_explain(&system, &labels, &req, req.budget(&CancelToken::new())).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.stdout);
+        let report = out.report.unwrap();
+        let top = &report.explanations[0];
+        assert_eq!(
+            top.stats.pos_matched, top.stats.pos_total,
+            "complete winner misses λ⁺"
+        );
+    }
+
+    #[test]
+    fn fscore_mode_is_byte_identical_to_the_default() {
+        let (system, labels) = paper_setup();
+        let implicit = ExplainRequest {
+            top: 3,
+            ..ExplainRequest::default()
+        };
+        let explicit = ExplainRequest {
+            mode: ExplainMode::Fscore,
+            ..implicit.clone()
+        };
+        let a = run_explain(
+            &system,
+            &labels,
+            &implicit,
+            implicit.budget(&CancelToken::new()),
+        )
+        .unwrap();
+        let b = run_explain(
+            &system,
+            &labels,
+            &explicit,
+            explicit.budget(&CancelToken::new()),
+        )
+        .unwrap();
+        assert_eq!(a.stdout, b.stdout);
+        assert_eq!(a.exit_code, b.exit_code);
+    }
+
+    #[test]
+    fn unmet_mode_bar_degrades_with_a_marker_not_an_error() {
+        use crate::budget::Termination;
+        let (system, _) = paper_setup();
+        // An empty report never meets a sound/complete bar...
+        let empty = ExplainReport {
+            explanations: vec![],
+            termination: Termination::Complete,
+            quarantined: 0,
+            pruned: 0,
+            profile: Default::default(),
+        };
+        let (text, code) = render_report_text(&empty, &system, None, ExplainMode::Sound);
+        assert_eq!(code, 2);
+        assert!(
+            text.contains("no perfectly sound explanation within budget"),
+            "{text}"
+        );
+        assert!(text.contains("no candidate survived"), "{text}");
+        // ...but is a clean exit under fscore, which has no bar.
+        let (text, code) = render_report_text(&empty, &system, None, ExplainMode::Fscore);
+        assert_eq!(code, 0, "{text}");
     }
 
     #[test]

@@ -129,6 +129,10 @@ impl Strategy for GreedyUcq {
                         if bound <= threshold + 1e-12 {
                             bound_skipped += 1;
                             sp.count("bound_skipped", 1);
+                            // Also under the uniform key every strategy's
+                            // scoring spans use, so profile consumers can
+                            // sum "pruned" without knowing the strategy.
+                            sp.count("pruned", 1);
                             continue;
                         }
                     }
@@ -188,6 +192,12 @@ fn union_bound(
     trial_atoms: usize,
     trial_disjuncts: usize,
 ) -> f64 {
+    // The union's matched *counts* land in `[max(a, b), min(total, a+b)]`
+    // per label set; every criterion range below derives from these.
+    let lo_p = chosen.pos_matched.max(cand.pos_matched);
+    let hi_p = (chosen.pos_matched + cand.pos_matched).min(chosen.pos_total);
+    let lo_n = chosen.neg_matched.max(cand.neg_matched);
+    let hi_n = (chosen.neg_matched + cand.neg_matched).min(chosen.neg_total);
     // Matched-count interval → fraction interval, mirroring the
     // `MatchStats` empty-set conventions (coverage of an empty λ⁺ is 0,
     // avoidance of an empty λ⁻ is 1).
@@ -195,23 +205,26 @@ fn union_bound(
         Interval::point(0.0)
     } else {
         let t = chosen.pos_total as f64;
-        let lo = chosen.pos_matched.max(cand.pos_matched) as f64;
-        let hi = (chosen.pos_matched + cand.pos_matched).min(chosen.pos_total) as f64;
-        Interval::new(lo / t, hi / t)
+        Interval::new(lo_p as f64 / t, hi_p as f64 / t)
     };
     let neg = if chosen.neg_total == 0 {
         Interval::point(1.0)
     } else {
         let t = chosen.neg_total as f64;
-        let lo = chosen.neg_matched.max(cand.neg_matched) as f64;
-        let hi = (chosen.neg_matched + cand.neg_matched).min(chosen.neg_total) as f64;
-        Interval::new(1.0 - hi / t, 1.0 - lo / t)
+        Interval::new(1.0 - hi_n as f64 / t, 1.0 - lo_n as f64 / t)
     };
     let point_recip = |n: usize| {
         if n == 0 {
             Interval::point(0.0)
         } else {
             Interval::point(1.0 / n as f64)
+        }
+    };
+    let frac = |p: usize, n: usize| {
+        if p + n == 0 {
+            0.0
+        } else {
+            p as f64 / (p + n) as f64
         }
     };
     let ranges: Vec<Interval> = task
@@ -223,6 +236,20 @@ fn union_bound(
             Criterion::NegAvoidance | Criterion::NegHitPenalty => neg,
             Criterion::AtomParsimony => point_recip(trial_atoms),
             Criterion::DisjunctParsimony => point_recip(trial_disjuncts),
+            // A union of two λ⁻-clean disjunct sets is exactly clean; one
+            // with a dirty side is exactly dirty — δS is a known point.
+            Criterion::SoundIndicator => Interval::point(if lo_n == 0 { 1.0 } else { 0.0 }),
+            Criterion::CompleteIndicator => {
+                if lo_p == chosen.pos_total {
+                    Interval::point(1.0)
+                } else if hi_p < chosen.pos_total {
+                    Interval::point(0.0)
+                } else {
+                    Interval::new(0.0, 1.0)
+                }
+            }
+            // Precision is monotone (↑ in p, ↓ in n) over the count box.
+            Criterion::Precision => Interval::new(frac(lo_p, hi_n), frac(hi_p, lo_n)),
             Criterion::Custom { .. } => Interval::UNKNOWN,
         })
         .collect();

@@ -18,11 +18,15 @@
 //!   (E7);
 //! * [`skewed`] — the university scenario with power-law (Zipf) enrolment
 //!   degrees: hub constants stress per-constant index scans, the workload
-//!   behind the guided-evaluator bench.
+//!   behind the guided-evaluator bench;
+//! * [`modes`] — a compliance-audit family whose best sound, best
+//!   complete, and best F-score explanations provably differ (the
+//!   workload behind `BENCH_modes.json` and the mode proptests).
 
 #![warn(missing_docs)]
 
 pub mod hierarchy;
+pub mod modes;
 pub mod random_scenario;
 pub mod recidivism;
 pub mod scale;
@@ -30,6 +34,7 @@ pub mod scenario;
 pub mod skewed;
 pub mod university;
 
+pub use modes::{modes_scenario, ModesParams};
 pub use random_scenario::{random_scenario, RandomParams};
 pub use recidivism::{recidivism_scenario, RecidivismParams};
 pub use scenario::{fidelity, Fidelity, Scenario};

@@ -1,0 +1,232 @@
+//! A compliance-audit scenario family where the three [`ExplainMode`]
+//! winners provably differ.
+//!
+//! Students apply for a certification. Three evidence roles grade from
+//! strict to lax:
+//!
+//! * `vetted(x, r)` — a manually vetted record. Held by a fraction
+//!   (`clean_recall`) of the approved students and by **no** rejected
+//!   one: the best *sound* explanation, with imperfect recall.
+//! * `reviewed(x, r)` — a desk-reviewed record (`vetted < reviewed` in
+//!   the ontology; every vetted student is generated reviewed too). Held
+//!   by almost all approved students (`mid_recall`) and by a **few**
+//!   rejected ones (`mid_neg_hits`): the F-score winner — its near-total
+//!   coverage beats the small λ⁻ penalty — yet neither sound nor
+//!   complete.
+//! * `screened(x, r)` — an automated screening record. Held by **every**
+//!   approved student and by `broad_neg_hits` rejected ones: the best
+//!   *complete* explanation, paying precision for total recall.
+//!
+//! With the defaults, the paper's Z ranks `reviewed > screened > vetted`
+//! while sound mode must pick `vetted` and complete mode `screened` — so
+//! any conflation of the three objectives is caught by a single scenario
+//! (the bench and the mode proptests both lean on this).
+//!
+//! Record constants are per-student (`vrec0`, `rrec3`, …), so borders
+//! stay student-local and the scenario exercises the matcher, not hub
+//! skew (see [`crate::skewed`] for that).
+
+use crate::scenario::Scenario;
+use obx_core::labels::Labels;
+use obx_mapping::parse_mapping;
+use obx_obdm::{ObdmSpec, ObdmSystem};
+use obx_ontology::parse_tbox;
+use obx_srcdb::{parse_schema, Database, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`modes_scenario`].
+#[derive(Debug, Clone, Copy)]
+pub struct ModesParams {
+    /// Number of approved (λ⁺) students.
+    pub n_pos: usize,
+    /// Number of rejected (λ⁻) students.
+    pub n_neg: usize,
+    /// Fraction of λ⁺ holding a `vetted` record (the sound winner's
+    /// recall).
+    pub clean_recall: f64,
+    /// Fraction of λ⁺ holding a `reviewed` record (at least
+    /// `clean_recall`: vetted implies reviewed).
+    pub mid_recall: f64,
+    /// λ⁻ students holding a `reviewed` record (keep `> 0` so the F
+    /// winner is unsound).
+    pub mid_neg_hits: usize,
+    /// λ⁻ students holding a `screened` record (keep `> mid_neg_hits`
+    /// so completeness costs precision).
+    pub broad_neg_hits: usize,
+    /// RNG seed (which students draw which records).
+    pub seed: u64,
+}
+
+impl Default for ModesParams {
+    fn default() -> Self {
+        Self {
+            n_pos: 40,
+            n_neg: 40,
+            clean_recall: 0.6,
+            mid_recall: 0.95,
+            mid_neg_hits: 1,
+            broad_neg_hits: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// A seeded Fisher–Yates permutation of `0..n` (the vendored `rand` shim
+/// has no `SliceRandom`).
+fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        idx.swap(i, rng.gen_range(0..=i));
+    }
+    idx
+}
+
+/// Generates the audit scenario. See the module docs for the structure.
+pub fn modes_scenario(params: ModesParams) -> Scenario {
+    assert!(params.n_pos > 0, "modes scenario needs positives");
+    assert!(
+        params.mid_neg_hits <= params.n_neg && params.broad_neg_hits <= params.n_neg,
+        "negative hit counts exceed n_neg"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let schema = parse_schema("STUD/1 VET/2 REV/2 SCR/2").expect("static schema");
+    let mut db = Database::new(schema);
+
+    let clean_count =
+        ((params.clean_recall * params.n_pos as f64).round() as usize).clamp(1, params.n_pos);
+    let mid_count = ((params.mid_recall * params.n_pos as f64).round() as usize)
+        .clamp(clean_count, params.n_pos);
+
+    let n_total = params.n_pos + params.n_neg;
+    let pos_order = permutation(params.n_pos, &mut rng);
+    let neg_order = permutation(params.n_neg, &mut rng);
+
+    let mut labels = Labels::new();
+    for s in 0..n_total {
+        let name = format!("stud{s}");
+        db.insert_named("STUD", &[&name]).expect("fits schema");
+    }
+    // Approved students: everyone screened, a prefix (in permuted order)
+    // reviewed, a shorter prefix also vetted.
+    for (rank, &p) in pos_order.iter().enumerate() {
+        let name = format!("stud{p}");
+        db.insert_named("SCR", &[&name, &format!("srec{p}")])
+            .expect("fits schema");
+        if rank < mid_count {
+            db.insert_named("REV", &[&name, &format!("rrec{p}")])
+                .expect("fits schema");
+        }
+        if rank < clean_count {
+            db.insert_named("VET", &[&name, &format!("vrec{p}")])
+                .expect("fits schema");
+        }
+    }
+    // Rejected students: a few slip through each automated net; none are
+    // ever vetted.
+    for (rank, &n) in neg_order.iter().enumerate() {
+        let s = params.n_pos + n;
+        let name = format!("stud{s}");
+        if rank < params.broad_neg_hits {
+            db.insert_named("SCR", &[&name, &format!("srec{s}")])
+                .expect("fits schema");
+        }
+        if rank < params.mid_neg_hits {
+            db.insert_named("REV", &[&name, &format!("rrec{s}")])
+                .expect("fits schema");
+        }
+    }
+    for s in 0..n_total {
+        let tuple: Tuple = vec![db
+            .consts()
+            .get(&format!("stud{s}"))
+            .expect("interned above")]
+        .into_boxed_slice();
+        if s < params.n_pos {
+            labels.add_pos(tuple).expect("distinct tuples");
+        } else {
+            labels.add_neg(tuple).expect("distinct tuples");
+        }
+    }
+
+    let tbox = parse_tbox(
+        "concept Student\n\
+         role vetted reviewed screened\n\
+         vetted < reviewed",
+    )
+    .expect("static tbox");
+    let (schema_ref, consts) = db.schema_and_consts_mut();
+    let mapping = parse_mapping(
+        schema_ref,
+        tbox.vocab(),
+        consts,
+        "STUD(x) ~> Student(x)\n\
+         VET(x, y) ~> vetted(x, y)\n\
+         REV(x, y) ~> reviewed(x, y)\n\
+         SCR(x, y) ~> screened(x, y)",
+    )
+    .expect("static mapping");
+    let mut system = ObdmSystem::new(ObdmSpec::new(tbox, mapping), db);
+    // The complete-mode winner doubles as a ground truth for fidelity
+    // experiments: it is the only planted query whose certain answers
+    // include every positive.
+    let truth = system
+        .parse_query("q(x) :- screened(x, y)")
+        .expect("static query");
+    Scenario {
+        system,
+        labels,
+        ground_truth: Some(truth),
+        description: format!("modes({params:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = modes_scenario(ModesParams::default());
+        let b = modes_scenario(ModesParams::default());
+        assert_eq!(a.system.db().len(), b.system.db().len());
+        assert_eq!(a.labels.pos().len(), b.labels.pos().len());
+    }
+
+    #[test]
+    fn every_student_is_labelled_and_classes_are_sized() {
+        let s = modes_scenario(ModesParams::default());
+        assert_eq!(s.labels.pos().len(), 40);
+        assert_eq!(s.labels.neg().len(), 40);
+        assert_eq!(s.labels.arity(), Some(1));
+    }
+
+    #[test]
+    fn planted_roles_have_the_documented_extensions() {
+        let p = ModesParams::default();
+        let mut s = modes_scenario(p);
+        let pos: std::collections::BTreeSet<_> = s.labels.pos().iter().cloned().collect();
+        let count = |s: &mut Scenario, q: &str| {
+            let ucq = s.system.parse_query(q).unwrap();
+            let answers = s.system.certain_answers(&ucq).unwrap();
+            let pos_hits = answers.iter().filter(|t| pos.contains(*t)).count();
+            (pos_hits, answers.len() - pos_hits)
+        };
+        // vetted: sound (0 λ⁻) with partial recall.
+        assert_eq!(count(&mut s, "q(x) :- vetted(x, y)"), (24, 0));
+        // reviewed ⊇ vetted: near-total recall, one λ⁻ hit.
+        assert_eq!(count(&mut s, "q(x) :- reviewed(x, y)"), (38, 1));
+        // screened: complete, six λ⁻ hits.
+        assert_eq!(count(&mut s, "q(x) :- screened(x, y)"), (40, 6));
+    }
+
+    #[test]
+    fn scenario_system_is_consistent() {
+        let s = modes_scenario(ModesParams {
+            n_pos: 10,
+            n_neg: 10,
+            ..ModesParams::default()
+        });
+        assert!(s.system.check_consistency().is_empty());
+    }
+}

@@ -55,7 +55,8 @@ impl Json {
 /// A structured decode failure: stable `OBX31x` code plus detail.
 #[derive(Debug)]
 pub struct JsonError {
-    /// Stable diagnostic code (`OBX310`–`OBX313`).
+    /// Stable diagnostic code (`OBX310`–`OBX313`, or `OBX330` for an
+    /// invalid explanation mode).
     pub code: &'static str,
     /// Human-readable detail.
     pub msg: String,
@@ -456,11 +457,27 @@ pub fn explain_body(text: &str) -> Result<ExplainBody, JsonError> {
                     ))
                 }
             },
+            "mode" => match value {
+                Json::Str(s) => match s.parse::<obx_core::score::ExplainMode>() {
+                    Ok(mode) => out.req.mode = mode,
+                    // Invalid modes get their own stable code (OBX330):
+                    // clients feature-detect mode support by probing it.
+                    Err(e) => return Err(JsonError::new("OBX330", e)),
+                },
+                other => {
+                    return Err(JsonError::new(
+                        "OBX311",
+                        format!("`mode` must be a string, got {}", other.type_name()),
+                    ))
+                }
+            },
             "timeout_ms" => out.req.timeout_ms = Some(num_u64(key, value)?),
             "max_evals" => out.req.max_evals = Some(num_u64(key, value)?),
             "max_rewrite" => out.req.max_rewrite = Some(num_usize(key, value)?),
             "max_chase" => out.req.max_chase = Some(num_usize(key, value)?),
             "max_border" => out.req.max_border = Some(num_usize(key, value)?),
+            "max_atoms" => out.req.max_atoms = Some(num_usize(key, value)?),
+            "beam_width" => out.req.beam_width = Some(num_usize(key, value)?),
             "scenario" => out.scenario = Some(str_field(key, value)?),
             "client" => match value {
                 Json::Str(s) => out.client = Some(s.clone()),
@@ -573,6 +590,7 @@ mod tests {
             r#"{"radius": 2, "strategy": "greedy", "weights": [1, 0.5, 2],
                 "top": 3, "timeout_ms": 250, "max_evals": 1000,
                 "max_rewrite": 10, "max_chase": 20, "max_border": 30,
+                "max_atoms": 2, "beam_width": 8,
                 "client": "alice", "profile": true}"#,
         )
         .unwrap();
@@ -585,6 +603,8 @@ mod tests {
         assert_eq!(b.req.max_rewrite, Some(10));
         assert_eq!(b.req.max_chase, Some(20));
         assert_eq!(b.req.max_border, Some(30));
+        assert_eq!(b.req.max_atoms, Some(2));
+        assert_eq!(b.req.beam_width, Some(8));
         assert_eq!(b.client.as_deref(), Some("alice"));
         assert!(b.profile);
     }
@@ -649,6 +669,25 @@ mod tests {
             let e = explain_body(bad).unwrap_err();
             assert_eq!(e.code, "OBX311", "{bad}: {e}");
         }
+    }
+
+    #[test]
+    fn mode_field_round_trips_and_invalid_modes_are_obx330() {
+        use obx_core::score::ExplainMode;
+        let b = explain_body(r#"{"mode": "sound"}"#).unwrap();
+        assert_eq!(b.req.mode, ExplainMode::Sound);
+        let b = explain_body(r#"{"mode": "complete", "top": 2}"#).unwrap();
+        assert_eq!(b.req.mode, ExplainMode::Complete);
+        assert_eq!(b.req.top, 2);
+        let b = explain_body(r#"{"mode": "fscore"}"#).unwrap();
+        assert_eq!(b.req, ExplainRequest::default());
+        // Invalid mode values carry the stable OBX330 code; a non-string
+        // mode is an ordinary type mismatch.
+        let e = explain_body(r#"{"mode": "unsound"}"#).unwrap_err();
+        assert_eq!(e.code, "OBX330");
+        assert!(e.msg.contains("unsound"), "{e}");
+        let e = explain_body(r#"{"mode": 3}"#).unwrap_err();
+        assert_eq!(e.code, "OBX311");
     }
 
     #[test]

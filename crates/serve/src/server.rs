@@ -847,6 +847,41 @@ mod tests {
     }
 
     #[test]
+    fn serves_mode_requests_and_rejects_bad_modes_with_obx330() {
+        let dir = scratch_scenario("modes");
+        let server = start(&dir, test_config()).unwrap();
+        let addr = server.addr();
+
+        // A sound-mode request serves byte-identically to a local run of
+        // the same request through the shared service layer.
+        let (status, head, body) = http(addr, "POST", "/explain", r#"{"mode": "sound", "top": 2}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("x-obx-exit: 0"), "{head}");
+        let scenario = obx_core::scenario::load_dir(&dir).unwrap();
+        let req = obx_core::service::ExplainRequest {
+            mode: obx_core::score::ExplainMode::Sound,
+            top: 2,
+            ..Default::default()
+        };
+        let local = run_explain(
+            &scenario.system,
+            &scenario.labels,
+            &req,
+            req.budget(&CancelToken::new()),
+        )
+        .unwrap();
+        assert_eq!(body, local.stdout);
+
+        // An invalid mode is rejected up front with the stable OBX330.
+        let (status, _, body) = http(addr, "POST", "/explain", r#"{"mode": "lossless"}"#);
+        assert_eq!(status, 400);
+        assert!(body.contains("OBX330"), "{body}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn validate_reload_and_epoch_pinning() {
         let dir = scratch_scenario("reload");
         // A wide backoff window so the retry below lands inside it even
